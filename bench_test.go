@@ -1,0 +1,374 @@
+package recycledb_test
+
+// Benchmarks regenerating every figure of the paper's evaluation (§V), plus
+// component micro-benchmarks and ablations of the design choices called out
+// in DESIGN.md. One benchmark iteration runs one full experiment at
+// laptop scale; paper-relevant quantities are attached via b.ReportMetric
+// (custom units), so `go test -bench=. -benchmem` regenerates the whole
+// evaluation. Absolute times differ from the paper's testbed; shapes are
+// the reproduction target (EXPERIMENTS.md records both).
+
+import (
+	"fmt"
+	"testing"
+
+	"recycledb"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/core"
+	"recycledb/internal/harness"
+	"recycledb/internal/monet"
+	"recycledb/internal/skyserver"
+	"recycledb/internal/tpch"
+	"recycledb/internal/workload"
+)
+
+// BenchmarkFig6SkyServer regenerates Fig. 6: SkyServer workload runtime as a
+// percentage of naive, for the pipelined recycler and the operator-at-a-time
+// (MonetDB-style) recycler, under batch splits and cache limits.
+func BenchmarkFig6SkyServer(b *testing.B) {
+	cfg := harness.Fig6Config{
+		Objects:           60000,
+		Queries:           60,
+		LimitedCacheBytes: 64 << 10,
+		Seed:              1,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunFig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Cells {
+			if c.Split == "1x100" {
+				b.ReportMetric(c.PctOfNaive(),
+					fmt.Sprintf("%%naive_%s_%s", c.System, c.Cache))
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+}
+
+// fig7cfg is the shared throughput configuration for Figs. 7 and 8.
+func fig7cfg() harness.TPCHConfig {
+	return harness.TPCHConfig{
+		SF:            0.005,
+		Streams:       []int{4, 16, 64},
+		MaxConcurrent: 12,
+		CacheBytes:    256 << 20,
+		Seed:          1,
+	}
+}
+
+// BenchmarkFig7Throughput regenerates Fig. 7: average evaluation time per
+// TPC-H stream under OFF/HIST/SPEC/PA across stream counts.
+func BenchmarkFig7Throughput(b *testing.B) {
+	cfg := fig7cfg()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunThroughput(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxStreams := cfg.Streams[len(cfg.Streams)-1]
+		for _, m := range harness.Modes[1:] {
+			b.ReportMetric(100*res.Improvement(m, maxStreams),
+				fmt.Sprintf("%%improve_%s_%dstreams", m, maxStreams))
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+}
+
+// BenchmarkFig8Breakdown regenerates Fig. 8: the per-query-pattern breakdown
+// relative to OFF at the largest stream count.
+func BenchmarkFig8Breakdown(b *testing.B) {
+	cfg := fig7cfg()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunThroughput(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Fig8String())
+		}
+		n := cfg.Streams[len(cfg.Streams)-1]
+		off := res.Cell(recycledb.Off, n)
+		spec := res.Cell(recycledb.Speculative, n)
+		if off != nil && spec != nil && off.PerPattern["Q1"] > 0 {
+			b.ReportMetric(100*float64(spec.PerPattern["Q1"])/float64(off.PerPattern["Q1"]),
+				"%ofOFF_Q1_SPEC")
+		}
+	}
+}
+
+// BenchmarkFig9Trace regenerates Fig. 9: the 8-stream concurrent trace with
+// materialize/reuse/stall events.
+func BenchmarkFig9Trace(b *testing.B) {
+	cfg := harness.DefaultFig9()
+	cfg.SF = 0.005
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunFig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var reused, mat int
+		for _, e := range res.Events {
+			if e.Outcome.Reused {
+				reused++
+			}
+			if e.Outcome.Materialized {
+				mat++
+			}
+		}
+		b.ReportMetric(float64(reused), "reused_queries")
+		b.ReportMetric(float64(mat), "materializing_queries")
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+}
+
+// BenchmarkFig10MatchingCost regenerates Fig. 10: recycler-graph matching
+// cost across a multi-stream run, against query evaluation cost.
+func BenchmarkFig10MatchingCost(b *testing.B) {
+	cfg := harness.Fig10Config{SF: 0.005, Streams: 64, MaxConcurrent: 12, Seed: 1, Windows: 8}
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunFig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Max().Microseconds()), "max_match_µs")
+		b.ReportMetric(float64(res.ExecAvg.Microseconds()), "avg_exec_µs")
+		b.ReportMetric(float64(res.GraphNodes), "graph_nodes")
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+}
+
+// --- Component micro-benchmarks -----------------------------------------
+
+// benchCatalog loads a small TPC-H database once.
+var benchCatalog = func() *catalog.Catalog {
+	cat := catalog.New()
+	tpch.Generate(cat, 0.005, 1)
+	return cat
+}()
+
+// BenchmarkMatchInsert measures recycler-graph matching+insertion of a fresh
+// 22-pattern workload (the per-query cost the paper bounds at ~2 ms).
+func BenchmarkMatchInsert(b *testing.B) {
+	streams := tpch.Streams(1, 1)
+	plans := make([]*recycledb.Plan, 0, 22)
+	for _, p := range streams[0].Queries {
+		q := tpch.Build(p)
+		if err := q.Resolve(benchCatalog); err != nil {
+			b.Fatal(err)
+		}
+		plans = append(plans, q)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := core.New(core.DefaultConfig())
+		for _, q := range plans {
+			rec.MatchInsert(q)
+		}
+	}
+}
+
+// BenchmarkMatchAgainstLargeGraph measures exact matching against a graph
+// already holding many distinct queries (Fig. 10's growth axis).
+func BenchmarkMatchAgainstLargeGraph(b *testing.B) {
+	rec := core.New(core.DefaultConfig())
+	for _, s := range tpch.Streams(32, 1) {
+		for _, p := range s.Queries {
+			q := tpch.Build(p)
+			if err := q.Resolve(benchCatalog); err != nil {
+				b.Fatal(err)
+			}
+			rec.MatchInsert(q)
+		}
+	}
+	probe := tpch.Build(tpch.NewStream(0, 1).Queries[0])
+	if err := probe.Resolve(benchCatalog); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.MatchInsert(probe)
+	}
+}
+
+// BenchmarkQueryOff measures a representative query (Q6) without recycling.
+func BenchmarkQueryOff(b *testing.B) {
+	eng := recycledb.NewWithCatalog(recycledb.Config{Mode: recycledb.Off}, benchCatalog)
+	q := tpch.Build(tpch.Params{Q: 6, Date: mustDate("1994-01-01"), Float1: 0.06, Int1: 24})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryRecycled measures the same query with a warm cache: the
+// paper's headline effect at micro scale.
+func BenchmarkQueryRecycled(b *testing.B) {
+	eng := recycledb.NewWithCatalog(recycledb.Config{Mode: recycledb.Speculative}, benchCatalog)
+	q := tpch.Build(tpch.Params{Q: 6, Date: mustDate("1994-01-01"), Float1: 0.06, Int1: 24})
+	if _, err := eng.Execute(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreOverhead measures the pipelined engine's materialization
+// tax: the same query with and without a committing store operator.
+func BenchmarkStoreOverhead(b *testing.B) {
+	q := tpch.Build(tpch.Params{Q: 1, Date: mustDate("1998-09-02")})
+	b.Run("passthrough", func(b *testing.B) {
+		eng := recycledb.NewWithCatalog(recycledb.Config{Mode: recycledb.Off}, benchCatalog)
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Execute(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("materializing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			// A fresh engine each round so the store always commits
+			// rather than reusing.
+			eng := recycledb.NewWithCatalog(recycledb.Config{Mode: recycledb.Speculative}, benchCatalog)
+			b.StartTimer()
+			if _, err := eng.Execute(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablations ------------------------------------------------------------
+
+// ablationWorkload runs a small shared-parameter workload and reports the
+// total execution time plus reuse counts.
+func ablationWorkload(b *testing.B, eng *recycledb.Engine) {
+	streams := harness.TPCHStreams(tpch.Streams(8, 1), eng.Mode())
+	run := workload.Run(streams, 8, harness.EngineExec(eng))
+	if run.Errs > 0 {
+		b.Fatalf("%d queries failed", run.Errs)
+	}
+	st := eng.Recycler().Stats()
+	b.ReportMetric(float64(st.Reuses+st.SubsumptionReuse), "reuses")
+	b.ReportMetric(float64(st.Materializations), "materializations")
+}
+
+// BenchmarkAblationSubsumption compares speculative mode with and without
+// subsumption matching (§IV-A).
+func BenchmarkAblationSubsumption(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		name := "on"
+		if !on {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := recycledb.NewWithCatalog(recycledb.Config{
+					Mode:               recycledb.Speculative,
+					DisableSubsumption: !on,
+				}, benchCatalog)
+				ablationWorkload(b, eng)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCacheBudget sweeps the recycler cache size (the paper's
+// limited-vs-unlimited axis of Fig. 6, on TPC-H).
+func BenchmarkAblationCacheBudget(b *testing.B) {
+	for _, kb := range []int64{64, 1024, -1} {
+		name := fmt.Sprintf("%dKB", kb)
+		if kb < 0 {
+			name = "unlimited"
+		}
+		bytes := kb << 10
+		if kb < 0 {
+			bytes = -1
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := recycledb.NewWithCatalog(recycledb.Config{Mode: recycledb.Speculative, CacheBytes: bytes}, benchCatalog)
+				ablationWorkload(b, eng)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAging compares workload-adaptive aging (alpha < 1)
+// against no aging under a shifting workload: the first half references one
+// parameter set, the second half another; aging lets the cache turn over.
+func BenchmarkAblationAging(b *testing.B) {
+	for _, alpha := range []float64{0.995, 1.0} {
+		b.Run(fmt.Sprintf("alpha=%.3f", alpha), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := recycledb.NewWithCatalog(recycledb.Config{
+					Mode:       recycledb.Speculative,
+					Alpha:      alpha,
+					CacheBytes: 128 << 10, // tight: eviction pressure matters
+				}, benchCatalog)
+				phase1 := harness.TPCHStreams(tpch.Streams(4, 1), recycledb.Speculative)
+				phase2 := harness.TPCHStreams(tpch.Streams(4, 99), recycledb.Speculative)
+				workload.Run(phase1, 8, harness.EngineExec(eng))
+				run := workload.Run(phase2, 8, harness.EngineExec(eng))
+				if run.Errs > 0 {
+					b.Fatal("phase 2 failed")
+				}
+				st := eng.Recycler().Stats()
+				b.ReportMetric(float64(st.Reuses), "reuses")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAdmitAll contrasts the paper's selective benefit-driven
+// admission with the operator-at-a-time admit-all recycler under the same
+// limited cache (the crux of Fig. 6's limited-cache columns).
+func BenchmarkAblationAdmitAll(b *testing.B) {
+	cat := catalog.New()
+	skyserver.Load(cat, 40000, 1)
+	queries := skyserver.Workload(40, 1)
+	b.Run("selective-pipelined", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := recycledb.NewWithCatalog(recycledb.Config{Mode: recycledb.Speculative, CacheBytes: 64 << 10}, cat)
+			for _, q := range queries {
+				if _, err := eng.Execute(q.Plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("admitall-materializing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := monet.New(cat, monet.NewRecycler(64<<10))
+			for _, q := range queries {
+				if _, err := eng.Execute(q.Plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func mustDate(s string) int64 {
+	q := tpch.Params{}
+	_ = q
+	d := recycledb.DateDatum(s)
+	return d.I64
+}

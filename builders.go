@@ -1,0 +1,196 @@
+package recycledb
+
+import (
+	"recycledb/internal/expr"
+	"recycledb/internal/plan"
+	"recycledb/internal/vector"
+)
+
+// This file re-exports the plan- and expression-builder DSL so applications
+// can construct queries against the public package alone.
+
+// Plan is a logical query plan node.
+type Plan = plan.Node
+
+// Expr is a scalar expression.
+type Expr = expr.Expr
+
+// batchAlias keeps Result.Batches typed without exporting internal names.
+type batchAlias = *vector.Batch
+
+// Datum is a single typed value (table-function arguments, IN lists).
+type Datum = vector.Datum
+
+// SortKey orders results by a column.
+type SortKey = plan.SortKey
+
+// AggSpec describes one aggregate computation.
+type AggSpec = plan.AggSpec
+
+// Relational operators -------------------------------------------------
+
+// Scan reads the named columns of a base table (all columns if omitted).
+func Scan(table string, cols ...string) *Plan { return plan.NewScan(table, cols...) }
+
+// TableFn invokes a registered table function.
+func TableFn(fn string, args ...Datum) *Plan { return plan.NewTableFn(fn, args...) }
+
+// Select filters child rows by a boolean predicate.
+func Select(child *Plan, pred Expr) *Plan { return plan.NewSelect(child, pred) }
+
+// Project computes named expressions; build items with As.
+func Project(child *Plan, items ...plan.NamedExpr) *Plan {
+	return plan.NewProject(child, items...)
+}
+
+// As names a projected expression.
+func As(e Expr, name string) plan.NamedExpr { return plan.P(e, name) }
+
+// GroupBy lists grouping columns for Aggregate.
+func GroupBy(cols ...string) []string { return cols }
+
+// Aggregate groups child rows and computes aggregates.
+func Aggregate(child *Plan, groupBy []string, aggs ...AggSpec) *Plan {
+	return plan.NewAggregate(child, groupBy, aggs...)
+}
+
+// Sum aggregates the sum of e as name.
+func Sum(e Expr, name string) AggSpec { return plan.A(plan.Sum, e, name) }
+
+// CountAll counts rows as name.
+func CountAll(name string) AggSpec { return plan.A(plan.Count, nil, name) }
+
+// CountOf counts (non-null) values of e as name.
+func CountOf(e Expr, name string) AggSpec { return plan.A(plan.Count, e, name) }
+
+// Min aggregates the minimum of e as name.
+func Min(e Expr, name string) AggSpec { return plan.A(plan.Min, e, name) }
+
+// Max aggregates the maximum of e as name.
+func Max(e Expr, name string) AggSpec { return plan.A(plan.Max, e, name) }
+
+// Avg aggregates the mean of e as name.
+func Avg(e Expr, name string) AggSpec { return plan.A(plan.Avg, e, name) }
+
+// Join builds an inner hash join on equal keys.
+func Join(left, right *Plan, leftKeys, rightKeys []string) *Plan {
+	return plan.NewJoin(plan.Inner, left, right, leftKeys, rightKeys)
+}
+
+// SemiJoin keeps left rows with a match on the right.
+func SemiJoin(left, right *Plan, leftKeys, rightKeys []string) *Plan {
+	return plan.NewJoin(plan.LeftSemi, left, right, leftKeys, rightKeys)
+}
+
+// AntiJoin keeps left rows without a match on the right.
+func AntiJoin(left, right *Plan, leftKeys, rightKeys []string) *Plan {
+	return plan.NewJoin(plan.LeftAnti, left, right, leftKeys, rightKeys)
+}
+
+// OuterJoin keeps all left rows, zero-filling unmatched right columns and
+// appending a 0/1 match column.
+func OuterJoin(left, right *Plan, leftKeys, rightKeys []string) *Plan {
+	return plan.NewJoin(plan.LeftOuter, left, right, leftKeys, rightKeys)
+}
+
+// Keys builds a join key list.
+func Keys(cols ...string) []string { return cols }
+
+// TopN returns the first n rows under the given order (heap-based).
+func TopN(child *Plan, keys []SortKey, n int) *Plan { return plan.NewTopN(child, keys, n) }
+
+// OrderBy builds a sort-key list.
+func OrderBy(keys ...SortKey) []SortKey { return keys }
+
+// Asc sorts ascending by col.
+func Asc(col string) SortKey { return SortKey{Col: col} }
+
+// Desc sorts descending by col.
+func Desc(col string) SortKey { return SortKey{Col: col, Desc: true} }
+
+// Sort fully sorts child rows.
+func Sort(child *Plan, keys ...SortKey) *Plan { return plan.NewSort(child, keys...) }
+
+// Limit passes through the first n rows.
+func Limit(child *Plan, n int) *Plan { return plan.NewLimit(child, n) }
+
+// Union concatenates two same-schema inputs (bag semantics).
+func Union(left, right *Plan) *Plan { return plan.NewUnion(left, right) }
+
+// Scalar expressions ----------------------------------------------------
+
+// Col references a column by name.
+func Col(name string) Expr { return expr.C(name) }
+
+// Int is an int64 literal.
+func Int(x int64) Expr { return expr.Int(x) }
+
+// Float is a float64 literal.
+func Float(x float64) Expr { return expr.Flt(x) }
+
+// Str is a string literal.
+func Str(x string) Expr { return expr.Str(x) }
+
+// Date is a date literal from "YYYY-MM-DD".
+func Date(s string) Expr { return expr.DateLit(s) }
+
+// Comparison and logic.
+var (
+	// Eq builds l = r.
+	Eq = func(l, r Expr) Expr { return expr.Eq(l, r) }
+	// Ne builds l <> r.
+	Ne = func(l, r Expr) Expr { return expr.Ne(l, r) }
+	// Lt builds l < r.
+	Lt = func(l, r Expr) Expr { return expr.Lt(l, r) }
+	// Le builds l <= r.
+	Le = func(l, r Expr) Expr { return expr.Le(l, r) }
+	// Gt builds l > r.
+	Gt = func(l, r Expr) Expr { return expr.Gt(l, r) }
+	// Ge builds l >= r.
+	Ge = func(l, r Expr) Expr { return expr.Ge(l, r) }
+)
+
+// And conjoins predicates.
+func And(es ...Expr) Expr { return expr.AndOf(es...) }
+
+// Or disjoins predicates.
+func Or(es ...Expr) Expr { return expr.OrOf(es...) }
+
+// Not negates a predicate.
+func Not(e Expr) Expr { return expr.NotOf(e) }
+
+// Like matches a SQL LIKE pattern with % and _.
+func Like(e Expr, pattern string) Expr { return expr.LikeOf(e, pattern) }
+
+// NotLike negates Like.
+func NotLike(e Expr, pattern string) Expr { return expr.NotLikeOf(e, pattern) }
+
+// InStrings tests membership in a string list.
+func InStrings(e Expr, vals ...string) Expr { return expr.InStrings(e, vals...) }
+
+// Between builds lo <= e AND e <= hi.
+func Between(e, lo, hi Expr) Expr { return expr.Between(e, lo, hi) }
+
+// Arithmetic.
+func Add(l, r Expr) Expr { return expr.Add(l, r) }
+
+// SubE builds l - r.
+func SubE(l, r Expr) Expr { return expr.Sub(l, r) }
+
+// Mul builds l * r.
+func Mul(l, r Expr) Expr { return expr.Mul(l, r) }
+
+// DivE builds l / r (float64).
+func DivE(l, r Expr) Expr { return expr.Div(l, r) }
+
+// Year extracts the year of a date expression.
+func Year(e Expr) Expr { return expr.YearOf(e) }
+
+// Case builds CASE WHEN cond THEN then ELSE els END.
+func Case(cond, then, els Expr) Expr { return expr.CaseWhen(cond, then, els) }
+
+// Datum constructors for table-function arguments.
+func IntDatum(x int64) Datum     { return vector.NewInt64Datum(x) }
+func FloatDatum(x float64) Datum { return vector.NewFloat64Datum(x) }
+func StrDatum(x string) Datum    { return vector.NewStringDatum(x) }
+func DateDatum(s string) Datum   { return vector.NewDateDatum(vector.MustParseDate(s)) }

@@ -1,0 +1,130 @@
+// Command recycledb-bench runs the paper's experiments (Figs. 6-10 of
+// "Recycling in Pipelined Query Evaluation", ICDE 2013) and prints the
+// corresponding tables/series.
+//
+// Usage:
+//
+//	recycledb-bench -fig 6 [-objects 120000 -queries 100]
+//	recycledb-bench -fig 7 [-sf 0.01 -streams 4,16,64,256]
+//	recycledb-bench -fig 8 [-sf 0.01 -streams 4,16,64,256]
+//	recycledb-bench -fig 9 [-sf 0.01]
+//	recycledb-bench -fig 10 [-sf 0.01 -streams256 256]
+//	recycledb-bench -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"recycledb/internal/harness"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to reproduce: 6, 7, 8, 9, 10 or all")
+		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		streams  = flag.String("streams", "4,16,64,256", "stream counts for figs 7/8")
+		nstreams = flag.Int("streams256", 256, "stream count for fig 10")
+		objects  = flag.Int("objects", 120000, "SkyServer PhotoPrimary size for fig 6")
+		queries  = flag.Int("queries", 100, "SkyServer workload length for fig 6")
+		maxConc  = flag.Int("concurrent", 12, "query admission limit")
+		seed     = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	counts, err := parseStreams(*streams)
+	if err != nil {
+		fatal(err)
+	}
+	run := func(name string, f func() error) {
+		fmt.Printf("=== %s ===\n", name)
+		if err := f(); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	want := func(n string) bool { return *fig == "all" || *fig == n }
+
+	if want("6") {
+		run("Fig. 6 (SkyServer)", func() error {
+			cfg := harness.DefaultFig6()
+			cfg.Objects = *objects
+			cfg.Queries = *queries
+			cfg.Seed = *seed
+			res, err := harness.RunFig6(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
+			return nil
+		})
+	}
+	if want("7") || want("8") {
+		run("Figs. 7+8 (TPC-H throughput)", func() error {
+			cfg := harness.DefaultTPCH()
+			cfg.SF = *sf
+			cfg.Streams = counts
+			cfg.MaxConcurrent = *maxConc
+			cfg.Seed = *seed
+			res, err := harness.RunThroughput(cfg)
+			if err != nil {
+				return err
+			}
+			if want("7") {
+				fmt.Print(res.String())
+			}
+			if want("8") {
+				fmt.Print(res.Fig8String())
+			}
+			return nil
+		})
+	}
+	if want("9") {
+		run("Fig. 9 (concurrent trace)", func() error {
+			cfg := harness.DefaultFig9()
+			cfg.SF = *sf
+			cfg.Seed = *seed
+			res, err := harness.RunFig9(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
+			return nil
+		})
+	}
+	if want("10") {
+		run("Fig. 10 (matching cost)", func() error {
+			cfg := harness.DefaultFig10()
+			cfg.SF = *sf
+			cfg.Streams = *nstreams
+			cfg.MaxConcurrent = *maxConc
+			cfg.Seed = *seed
+			res, err := harness.RunFig10(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
+			return nil
+		})
+	}
+}
+
+func parseStreams(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad stream count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "recycledb-bench:", err)
+	os.Exit(1)
+}

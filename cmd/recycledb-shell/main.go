@@ -1,0 +1,136 @@
+// Command recycledb-shell is an interactive SQL shell over the recycling
+// engine, loaded with a generated TPC-H database. It demonstrates recycling
+// live: repeat a query (or a near-variant) and watch the recycler statistics
+// line under each result.
+//
+// Shell commands: \mode off|hist|spec|pa, \stats, \flush, \tables, \q.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"recycledb"
+	"recycledb/internal/sql"
+	"recycledb/internal/tpch"
+	"recycledb/internal/vector"
+)
+
+func main() {
+	var (
+		sf   = flag.Float64("sf", 0.01, "TPC-H scale factor to load")
+		mode = flag.String("mode", "spec", "recycling mode: off, hist, spec, pa")
+	)
+	flag.Parse()
+
+	eng := recycledb.New(recycledb.Config{Mode: parseMode(*mode)})
+	fmt.Printf("loading TPC-H sf=%g ...\n", *sf)
+	tpch.Generate(eng.Catalog(), *sf, 1)
+	fmt.Printf("tables: %s\n", strings.Join(eng.Catalog().TableNames(), ", "))
+	fmt.Println(`type SQL, or \mode, \stats, \flush, \tables, \q`)
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("recycledb> ")
+		if !in.Scan() {
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q`:
+			return
+		case line == `\stats`:
+			fmt.Printf("%+v\n", eng.Recycler().Stats())
+			continue
+		case line == `\flush`:
+			eng.FlushCache()
+			fmt.Println("cache flushed")
+			continue
+		case line == `\tables`:
+			fmt.Println(strings.Join(eng.Catalog().TableNames(), ", "))
+			continue
+		case strings.HasPrefix(line, `\mode`):
+			parts := strings.Fields(line)
+			if len(parts) == 2 {
+				eng.SetMode(parseMode(parts[1]))
+				fmt.Println("mode:", eng.Mode())
+			} else {
+				fmt.Println("usage: \\mode off|hist|spec|pa")
+			}
+			continue
+		}
+		q, err := sql.Compile(line, eng.Catalog())
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		res, err := eng.Execute(q)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printResult(res, 20)
+		s := res.Stats
+		fmt.Printf("-- %d rows in %v (match %v, exec %v; reused=%d subsumed=%d stored=%d stalled=%d%s)\n",
+			res.Rows(), s.Total.Round(10e3), s.Matching.Round(10e3), s.Execution.Round(10e3),
+			s.Reused, s.SubsumptionReused, s.Materialized, s.Waits,
+			map[bool]string{true: ", proactive", false: ""}[s.ProactiveApplied])
+	}
+}
+
+func parseMode(s string) recycledb.Mode {
+	switch strings.ToLower(s) {
+	case "hist", "history":
+		return recycledb.History
+	case "spec", "speculative":
+		return recycledb.Speculative
+	case "pa", "proactive":
+		return recycledb.Proactive
+	default:
+		return recycledb.Off
+	}
+}
+
+func printResult(res *recycledb.Result, max int) {
+	names := make([]string, len(res.Schema))
+	for i, c := range res.Schema {
+		names[i] = c.Name
+	}
+	fmt.Println(strings.Join(names, " | "))
+	printed := 0
+	for _, b := range res.Batches {
+		for i := 0; i < b.Len() && printed < max; i++ {
+			cells := make([]string, b.Width())
+			for c, v := range b.Row(i) {
+				cells[c] = datumString(v)
+			}
+			fmt.Println(strings.Join(cells, " | "))
+			printed++
+		}
+		if printed >= max {
+			break
+		}
+	}
+	if res.Rows() > max {
+		fmt.Printf("... (%d more rows)\n", res.Rows()-max)
+	}
+}
+
+func datumString(d vector.Datum) string {
+	switch d.Typ {
+	case vector.Date:
+		return vector.DateString(d.I64)
+	case vector.Float64:
+		return fmt.Sprintf("%.2f", d.F64)
+	case vector.String:
+		return d.Str
+	default:
+		return strings.Trim(d.String(), `"`)
+	}
+}

@@ -1,0 +1,32 @@
+// Command recycledb-trace renders the paper's Fig. 9: a timeline of 8
+// concurrent TPC-H streams with per-query materialization/reuse/stall
+// shading, on a freshly generated database.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"recycledb/internal/harness"
+)
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		streams = flag.Int("streams", 8, "number of concurrent streams")
+		seed    = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	cfg := harness.DefaultFig9()
+	cfg.SF = *sf
+	cfg.Streams = *streams
+	cfg.MaxConcurrent = *streams
+	cfg.Seed = *seed
+	res, err := harness.RunFig9(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "recycledb-trace:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.String())
+}

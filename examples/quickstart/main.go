@@ -1,0 +1,64 @@
+// Quickstart: build a table, run an aggregation twice, and watch the
+// recycler serve the second execution from its cache.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"recycledb"
+	"recycledb/internal/catalog"
+	"recycledb/internal/vector"
+)
+
+func main() {
+	// An engine with speculative recycling: new results that look
+	// expensive and small (aggregates, final results) are materialized.
+	eng := recycledb.New(recycledb.Config{Mode: recycledb.Speculative})
+
+	// Load a sales table.
+	sales := catalog.NewTable("sales", catalog.Schema{
+		{Name: "region", Typ: vector.String},
+		{Name: "amount", Typ: vector.Float64},
+		{Name: "qty", Typ: vector.Int64},
+	})
+	rng := rand.New(rand.NewSource(1))
+	regions := []string{"north", "south", "east", "west"}
+	ap := sales.Appender()
+	for i := 0; i < 500000; i++ {
+		ap.String(0, regions[rng.Intn(4)])
+		ap.Float64(1, rng.Float64()*100)
+		ap.Int64(2, int64(rng.Intn(10)+1))
+		ap.FinishRow()
+	}
+	eng.Catalog().AddTable(sales)
+
+	// Revenue per region over large sales.
+	query := recycledb.Aggregate(
+		recycledb.Select(
+			recycledb.Scan("sales", "region", "amount", "qty"),
+			recycledb.Gt(recycledb.Col("amount"), recycledb.Float(50))),
+		recycledb.GroupBy("region"),
+		recycledb.Sum(recycledb.Mul(recycledb.Col("amount"), recycledb.Col("qty")), "revenue"),
+		recycledb.CountAll("orders"),
+	)
+
+	for run := 1; run <= 2; run++ {
+		res, err := eng.Execute(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run %d: %d groups in %v (reused=%d, materialized=%d)\n",
+			run, res.Rows(), res.Stats.Total.Round(10e3),
+			res.Stats.Reused, res.Stats.Materialized)
+		for _, b := range res.Batches {
+			for i := 0; i < b.Len(); i++ {
+				row := b.Row(i)
+				fmt.Printf("  %-6s revenue=%12.2f orders=%d\n",
+					row[0].Str, row[1].F64, row[2].I64)
+			}
+		}
+	}
+	fmt.Printf("\nrecycler: %+v\n", eng.Recycler().Stats())
+}

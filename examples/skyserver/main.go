@@ -1,0 +1,69 @@
+// SkyServer: the paper's real-world workload (Fig. 6) in miniature — 100
+// astronomy queries dominated by one expensive cone-search pattern, run
+// against the naive pipelined engine, the recycling pipelined engine, and
+// the operator-at-a-time (MonetDB-style) baseline with its admit-all
+// recycler.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"recycledb"
+	"recycledb/internal/catalog"
+	"recycledb/internal/monet"
+	"recycledb/internal/skyserver"
+)
+
+func main() {
+	cat := catalog.New()
+	skyserver.Load(cat, 150000, 1)
+	queries := skyserver.Workload(100, 1)
+
+	// Pipelined engine, naive.
+	naive := run("pipelined naive", func() error {
+		eng := recycledb.NewWithCatalog(recycledb.Config{Mode: recycledb.Off}, cat)
+		return execAll(eng, queries)
+	})
+	// Pipelined engine with the paper's recycler.
+	recEng := recycledb.NewWithCatalog(recycledb.Config{Mode: recycledb.Speculative}, cat)
+	rec := run("pipelined + recycler", func() error {
+		return execAll(recEng, queries)
+	})
+	st := recEng.Recycler().Stats()
+	fmt.Printf("  (reuses=%d materializations=%d cache=%dKB)\n",
+		st.Reuses, st.Materializations, st.CacheBytes/1024)
+	// Operator-at-a-time baseline with admit-all recycler.
+	mon := run("operator-at-a-time + admit-all recycler", func() error {
+		eng := monet.New(cat, monet.NewRecycler(0))
+		for _, q := range queries {
+			if _, err := eng.Execute(q.Plan); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	fmt.Printf("\npipelined recycler: %.1f%% of naive\n", 100*float64(rec)/float64(naive))
+	fmt.Printf("operator-at-a-time recycler: %.1f%% of naive\n", 100*float64(mon)/float64(naive))
+}
+
+func run(name string, f func() error) time.Duration {
+	start := time.Now()
+	if err := f(); err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	d := time.Since(start)
+	fmt.Printf("%-42s %v\n", name, d.Round(time.Millisecond))
+	return d
+}
+
+func execAll(eng *recycledb.Engine, queries []skyserver.Query) error {
+	for _, q := range queries {
+		if _, err := eng.Execute(q.Plan); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+// Package catalog implements the in-memory columnar storage layer: base
+// tables, their schemas, and registered table functions (used by the
+// SkyServer workload's fGetNearbyObjEq). Tables are append-only; the paper
+// leaves update handling / view maintenance out of scope (§II) and so do we.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"recycledb/internal/vector"
+)
+
+// Column describes one column of a table or intermediate result.
+type Column struct {
+	Name string
+	Typ  vector.Type
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColIndex returns the position of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Types returns the vector types of the schema columns.
+func (s Schema) Types() []vector.Type {
+	ts := make([]vector.Type, len(s))
+	for i, c := range s {
+		ts[i] = c.Typ
+	}
+	return ts
+}
+
+// Names returns the column names.
+func (s Schema) Names() []string {
+	ns := make([]string, len(s))
+	for i, c := range s {
+		ns[i] = c.Name
+	}
+	return ns
+}
+
+// Table is an append-only columnar table. Column data is stored in one
+// contiguous typed slice per column; scans slice it into batches.
+type Table struct {
+	Name   string
+	Schema Schema
+	cols   []*vector.Vector
+	rows   int
+
+	distinctMu sync.Mutex
+	distinct   map[int]int64
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema Schema) *Table {
+	t := &Table{Name: name, Schema: schema}
+	t.cols = make([]*vector.Vector, len(schema))
+	for i, c := range schema {
+		t.cols[i] = vector.New(c.Typ, 0)
+	}
+	return t
+}
+
+// Rows returns the number of rows in the table.
+func (t *Table) Rows() int { return t.rows }
+
+// Col returns the full column vector at position i. Callers must not
+// modify it.
+func (t *Table) Col(i int) *vector.Vector { return t.cols[i] }
+
+// AppendRow appends one row given as datums in schema order.
+func (t *Table) AppendRow(vals ...vector.Datum) error {
+	if len(vals) != len(t.Schema) {
+		return fmt.Errorf("catalog: table %s expects %d values, got %d",
+			t.Name, len(t.Schema), len(vals))
+	}
+	for i, d := range vals {
+		want := t.Schema[i].Typ
+		got := d.Typ
+		if want != got && !(want == vector.Date && got == vector.Int64) {
+			return fmt.Errorf("catalog: table %s column %s expects %v, got %v",
+				t.Name, t.Schema[i].Name, want, got)
+		}
+		t.cols[i].AppendDatum(d)
+	}
+	t.rows++
+	return nil
+}
+
+// Appender returns a fast columnar appender for bulk loads. The generator
+// packages use it to avoid per-row interface churn.
+type Appender struct {
+	t *Table
+}
+
+// Appender returns a bulk appender for the table.
+func (t *Table) Appender() *Appender { return &Appender{t: t} }
+
+// Int64 appends v to column c (Int64 or Date typed).
+func (a *Appender) Int64(c int, v int64) { a.t.cols[c].AppendInt64(v) }
+
+// Float64 appends v to column c.
+func (a *Appender) Float64(c int, v float64) { a.t.cols[c].AppendFloat64(v) }
+
+// String appends v to column c.
+func (a *Appender) String(c int, v string) { a.t.cols[c].AppendString(v) }
+
+// Bool appends v to column c.
+func (a *Appender) Bool(c int, v bool) { a.t.cols[c].AppendBool(v) }
+
+// FinishRow marks one complete row appended; callers must have appended
+// exactly one value to every column since the last call.
+func (a *Appender) FinishRow() { a.t.rows++ }
+
+// DistinctCount returns the number of distinct values in the named column,
+// computed lazily and cached. The proactive cube-caching heuristic uses it
+// (§IV-B: only extend GROUP BY with low-cardinality columns).
+func (t *Table) DistinctCount(col string) int64 {
+	i := t.Schema.ColIndex(col)
+	if i < 0 {
+		return -1
+	}
+	t.distinctMu.Lock()
+	defer t.distinctMu.Unlock()
+	if t.distinct == nil {
+		t.distinct = make(map[int]int64)
+	}
+	if d, ok := t.distinct[i]; ok {
+		return d
+	}
+	v := t.cols[i]
+	var d int64
+	switch v.Typ {
+	case vector.Int64, vector.Date:
+		set := make(map[int64]struct{})
+		for _, x := range v.I64 {
+			set[x] = struct{}{}
+		}
+		d = int64(len(set))
+	case vector.Float64:
+		set := make(map[float64]struct{})
+		for _, x := range v.F64 {
+			set[x] = struct{}{}
+		}
+		d = int64(len(set))
+	case vector.String:
+		set := make(map[string]struct{})
+		for _, x := range v.Str {
+			set[x] = struct{}{}
+		}
+		d = int64(len(set))
+	case vector.Bool:
+		d = 2
+	}
+	t.distinct[i] = d
+	return d
+}
+
+// Bytes returns the approximate footprint of the table.
+func (t *Table) Bytes() int64 {
+	var n int64
+	for _, c := range t.cols {
+		n += c.Bytes()
+	}
+	return n
+}
+
+// TableFunc is a parameterized table-producing function (a leaf in query
+// plans, like SkyServer's fGetNearbyObjEq). Invoke must be deterministic for
+// identical arguments: the recycler caches its results.
+type TableFunc struct {
+	Name   string
+	Schema Schema
+	// Invoke computes the full function result. The catalog is passed so
+	// functions can read base tables.
+	Invoke func(cat *Catalog, args []vector.Datum) (*Result, error)
+}
+
+// Result is a fully materialized row set (used by table functions and by the
+// operator-at-a-time baseline engine).
+type Result struct {
+	Schema  Schema
+	Batches []*vector.Batch
+}
+
+// Rows returns the total number of rows in the result.
+func (r *Result) Rows() int {
+	n := 0
+	for _, b := range r.Batches {
+		n += b.Len()
+	}
+	return n
+}
+
+// Bytes returns the approximate footprint of the result.
+func (r *Result) Bytes() int64 {
+	var n int64
+	for _, b := range r.Batches {
+		n += b.Bytes()
+	}
+	return n
+}
+
+// Catalog is a named collection of tables and table functions. It is safe
+// for concurrent readers; registration is expected at load time.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	funcs  map[string]*TableFunc
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		funcs:  make(map[string]*TableFunc),
+	}
+}
+
+// AddTable registers a table, replacing any previous table of the same name.
+func (c *Catalog) AddTable(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[t.Name] = t
+}
+
+// Table returns the named table.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames returns the sorted names of all tables.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddFunc registers a table function.
+func (c *Catalog) AddFunc(f *TableFunc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.funcs[f.Name] = f
+}
+
+// Func returns the named table function.
+func (c *Catalog) Func(name string) (*TableFunc, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table function %q", name)
+	}
+	return f, nil
+}

@@ -1,0 +1,166 @@
+package catalog
+
+import (
+	"testing"
+
+	"recycledb/internal/vector"
+)
+
+func testSchema() Schema {
+	return Schema{
+		{Name: "id", Typ: vector.Int64},
+		{Name: "name", Typ: vector.String},
+		{Name: "score", Typ: vector.Float64},
+	}
+}
+
+func TestSchemaColIndex(t *testing.T) {
+	s := testSchema()
+	if s.ColIndex("name") != 1 {
+		t.Fatalf("ColIndex(name) = %d", s.ColIndex("name"))
+	}
+	if s.ColIndex("missing") != -1 {
+		t.Fatalf("ColIndex(missing) = %d", s.ColIndex("missing"))
+	}
+}
+
+func TestSchemaTypesNames(t *testing.T) {
+	s := testSchema()
+	ts := s.Types()
+	if len(ts) != 3 || ts[0] != vector.Int64 || ts[2] != vector.Float64 {
+		t.Fatalf("Types = %v", ts)
+	}
+	ns := s.Names()
+	if ns[0] != "id" || ns[1] != "name" || ns[2] != "score" {
+		t.Fatalf("Names = %v", ns)
+	}
+}
+
+func TestTableAppendRow(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	err := tbl.AppendRow(
+		vector.NewInt64Datum(1),
+		vector.NewStringDatum("a"),
+		vector.NewFloat64Datum(0.5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 1 {
+		t.Fatalf("Rows = %d", tbl.Rows())
+	}
+	if tbl.Col(1).Str[0] != "a" {
+		t.Fatalf("col 1 = %v", tbl.Col(1).Str)
+	}
+}
+
+func TestTableAppendRowArityError(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	if err := tbl.AppendRow(vector.NewInt64Datum(1)); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestTableAppendRowTypeError(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	err := tbl.AppendRow(
+		vector.NewStringDatum("oops"),
+		vector.NewStringDatum("a"),
+		vector.NewFloat64Datum(0.5),
+	)
+	if err == nil {
+		t.Fatal("expected type error")
+	}
+}
+
+func TestTableAppendRowDateAcceptsInt64(t *testing.T) {
+	tbl := NewTable("d", Schema{{Name: "day", Typ: vector.Date}})
+	if err := tbl.AppendRow(vector.NewInt64Datum(10)); err != nil {
+		t.Fatalf("date column should accept int64 datum: %v", err)
+	}
+	if tbl.Col(0).I64[0] != 10 {
+		t.Fatal("stored value mismatch")
+	}
+}
+
+func TestAppenderBulkLoad(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	ap := tbl.Appender()
+	for i := 0; i < 100; i++ {
+		ap.Int64(0, int64(i))
+		ap.String(1, "row")
+		ap.Float64(2, float64(i)/2)
+		ap.FinishRow()
+	}
+	if tbl.Rows() != 100 {
+		t.Fatalf("Rows = %d", tbl.Rows())
+	}
+	if tbl.Col(0).I64[99] != 99 {
+		t.Fatalf("last id = %d", tbl.Col(0).I64[99])
+	}
+	if tbl.Bytes() <= 0 {
+		t.Fatal("Bytes should be positive")
+	}
+}
+
+func TestCatalogTables(t *testing.T) {
+	c := New()
+	c.AddTable(NewTable("b", testSchema()))
+	c.AddTable(NewTable("a", testSchema()))
+	if _, err := c.Table("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("zzz"); err == nil {
+		t.Fatal("expected unknown table error")
+	}
+	names := c.TableNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("TableNames = %v", names)
+	}
+}
+
+func TestCatalogFuncs(t *testing.T) {
+	c := New()
+	f := &TableFunc{
+		Name:   "f",
+		Schema: Schema{{Name: "x", Typ: vector.Int64}},
+		Invoke: func(cat *Catalog, args []vector.Datum) (*Result, error) {
+			b := vector.NewBatch([]vector.Type{vector.Int64}, 1)
+			b.Vecs[0].AppendInt64(args[0].I64 * 2)
+			return &Result{
+				Schema:  Schema{{Name: "x", Typ: vector.Int64}},
+				Batches: []*vector.Batch{b},
+			}, nil
+		},
+	}
+	c.AddFunc(f)
+	got, err := c.Func("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := got.Invoke(c, []vector.Datum{vector.NewInt64Datum(21)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() != 1 || res.Batches[0].Vecs[0].I64[0] != 42 {
+		t.Fatalf("Invoke result = %+v", res)
+	}
+	if _, err := c.Func("nope"); err == nil {
+		t.Fatal("expected unknown function error")
+	}
+}
+
+func TestResultRowsBytes(t *testing.T) {
+	b1 := vector.NewBatch([]vector.Type{vector.Int64}, 2)
+	b1.Vecs[0].AppendInt64(1)
+	b1.Vecs[0].AppendInt64(2)
+	b2 := vector.NewBatch([]vector.Type{vector.Int64}, 1)
+	b2.Vecs[0].AppendInt64(3)
+	r := &Result{Batches: []*vector.Batch{b1, b2}}
+	if r.Rows() != 3 {
+		t.Fatalf("Rows = %d", r.Rows())
+	}
+	if r.Bytes() != 24 {
+		t.Fatalf("Bytes = %d", r.Bytes())
+	}
+}

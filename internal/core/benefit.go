@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// This file implements §III-C: the benefit metric
+//
+//	B(R) = cost(R) * hR / size(R)                     (Eq. 1)
+//	cost(R) = bcost(R) - Σ_{j in DMDs(R)} bcost(Rj)   (Eq. 2)
+//
+// importance-factor maintenance on materialization/eviction (Eq. 3-4,
+// Algorithm 2) and lazy exponential aging (Eq. 5). All functions here assume
+// the graph write lock is held.
+
+// foldAge lazily applies aging to n up to the global sequence seq:
+// h_t = h_{t-1} * alpha per query (Eq. 5), folded in one step.
+func foldAge(n *Node, seq uint64, alpha float64) {
+	if n.ageSeq >= seq || alpha >= 1 {
+		n.ageSeq = seq
+		return
+	}
+	n.hr *= math.Pow(alpha, float64(seq-n.ageSeq))
+	n.ageSeq = seq
+}
+
+// addRef increments the node's importance factor by one reference.
+func addRef(n *Node, seq uint64, alpha float64) {
+	foldAge(n, seq, alpha)
+	n.hr++
+}
+
+// HR returns the node's current (aged) importance factor.
+func (n *Node) hrAt(seq uint64, alpha float64) float64 {
+	foldAge(n, seq, alpha)
+	if n.hr < 0 {
+		return 0
+	}
+	return n.hr
+}
+
+// dmdBaseCost sums the base costs of the direct materialized descendants of
+// n: materialized descendants with no materialized node in between (§III-C).
+// The DAG may share subtrees; each DMD counts once.
+func dmdBaseCost(n *Node) time.Duration {
+	seen := make(map[*Node]struct{})
+	var total time.Duration
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		if _, ok := seen[m]; ok {
+			return
+		}
+		seen[m] = struct{}{}
+		if m.cached != nil {
+			total += m.baseCost
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	for _, c := range n.Children {
+		walk(c)
+	}
+	return total
+}
+
+// trueCost computes Eq. 2. The true cost is recomputed on demand from the
+// stored base costs rather than stored, as the paper prescribes (cheap, and
+// avoids graph-wide updates when cache contents change).
+func trueCost(n *Node) time.Duration {
+	c := n.baseCost - dmdBaseCost(n)
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// benefit computes Eq. 1 with an explicit hr (callers pass either the aged
+// importance factor or the speculation constant) and size in bytes.
+func benefitOf(cost time.Duration, hr float64, size int64) float64 {
+	if size <= 0 {
+		size = 1
+	}
+	return cost.Seconds() * hr / float64(size)
+}
+
+// BenefitValue exposes Eq. 1 for callers that estimate cost and size at
+// run time (speculation, §III-D).
+func BenefitValue(cost time.Duration, hr float64, size int64) float64 {
+	return benefitOf(cost, hr, size)
+}
+
+// updateHROnAdd implements Algorithm 2 / Eq. 3: when node n's result is
+// added to the cache, every DMD and potential DMD below it loses the
+// references that will now be served by n.
+func updateHROnAdd(n *Node, seq uint64, alpha float64) {
+	foldAge(n, seq, alpha)
+	delta := n.hr
+	for _, c := range n.Children {
+		updateHR(c, -delta, seq, alpha, make(map[*Node]struct{}))
+	}
+}
+
+// updateHROnEvict implements Eq. 4: when node n's result is evicted, its
+// DMDs and potential DMDs regain those references.
+func updateHROnEvict(n *Node, seq uint64, alpha float64) {
+	foldAge(n, seq, alpha)
+	delta := n.hr
+	for _, c := range n.Children {
+		updateHR(c, delta, seq, alpha, make(map[*Node]struct{}))
+	}
+}
+
+// updateHR adjusts hR by delta, stopping below materialized results
+// (Algorithm 2, generalized to the shared DAG with a visited set).
+func updateHR(m *Node, delta float64, seq uint64, alpha float64, seen map[*Node]struct{}) {
+	if _, ok := seen[m]; ok {
+		return
+	}
+	seen[m] = struct{}{}
+	foldAge(m, seq, alpha)
+	m.hr += delta
+	if m.hr < 0 {
+		m.hr = 0
+	}
+	if m.cached != nil {
+		return
+	}
+	for _, c := range m.Children {
+		updateHR(c, delta, seq, alpha, seen)
+	}
+}

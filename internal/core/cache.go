@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+
+	"recycledb/internal/vector"
+)
+
+// Entry is a cached materialized result. Pins prevent eviction while a
+// running query replays the result.
+type Entry struct {
+	Node    *Node
+	Batches []*vector.Batch
+	Size    int64
+	Rows    int64
+	pins    int
+	// benefit as of the last policy evaluation. The paper re-positions
+	// entries within their group whenever benefits change; we refresh
+	// benefits lazily at policy-evaluation time, which visits the same
+	// group scan order.
+	benefit float64
+}
+
+// Pins returns the current pin count (for tests).
+func (e *Entry) Pins() int { return e.pins }
+
+// Cache is the recycler cache (§III-E): a finite in-memory store of
+// materialized results managed as a knapsack via Dantzig's greedy algorithm,
+// with results classified into logarithmic size groups and scanned in
+// increasing benefit order. All methods assume the recycler/graph lock is
+// held.
+type Cache struct {
+	capacity int64
+	used     int64
+	groups   map[int][]*Entry
+	count    int
+
+	admissions int64
+	evictions  int64
+	rejected   int64
+}
+
+// NewCache returns a cache bounded to capacity bytes; capacity <= 0 means
+// unlimited.
+func NewCache(capacity int64) *Cache {
+	return &Cache{capacity: capacity, groups: make(map[int][]*Entry)}
+}
+
+// Used returns the bytes currently cached.
+func (c *Cache) Used() int64 { return c.used }
+
+// Count returns the number of cached results.
+func (c *Cache) Count() int { return c.count }
+
+// Capacity returns the configured capacity (0 = unlimited).
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// sizeGroup classifies a result by the logarithm of its size (§III-E).
+func sizeGroup(size int64) int {
+	if size <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(size))
+}
+
+// refreshGroup recomputes benefits and re-sorts a group ascending.
+func (c *Cache) refreshGroup(g int, benefit func(*Node) float64) {
+	es := c.groups[g]
+	for _, e := range es {
+		e.benefit = benefit(e.Node)
+	}
+	sort.SliceStable(es, func(a, b int) bool { return es[a].benefit < es[b].benefit })
+}
+
+// wouldAdmit reports whether a result of the given size and benefit would be
+// admitted right now, without mutating anything. It mirrors admit below and
+// drives speculation decisions (§III-D).
+func (c *Cache) wouldAdmit(benefit float64, size int64, benefitFn func(*Node) float64) bool {
+	if size <= 0 {
+		return false
+	}
+	if c.capacity <= 0 || c.used+size <= c.capacity {
+		return true
+	}
+	if size > c.capacity {
+		return false
+	}
+	g := sizeGroup(size)
+	c.refreshGroup(g, benefitFn)
+	free := c.capacity - c.used
+	var sumSize int64
+	var sumBenefit float64
+	n := 0
+	for _, e := range c.groups[g] {
+		if e.pins > 0 {
+			continue
+		}
+		if (sumBenefit+e.benefit)/float64(n+1) >= benefit {
+			return false
+		}
+		sumBenefit += e.benefit
+		sumSize += e.Size
+		n++
+		if free+sumSize >= size {
+			return true
+		}
+	}
+	return false
+}
+
+// admit inserts a result, evicting a lower-average-benefit set from the same
+// size group if needed (§III-E). Returns the evicted entries (the caller
+// updates hR per Eq. 4) and whether admission happened.
+func (c *Cache) admit(e *Entry, benefitFn func(*Node) float64) (evicted []*Entry, ok bool) {
+	if e.Size <= 0 {
+		e.Size = 1
+	}
+	if c.capacity > 0 && e.Size > c.capacity {
+		c.rejected++
+		return nil, false
+	}
+	if c.capacity > 0 && c.used+e.Size > c.capacity {
+		g := sizeGroup(e.Size)
+		c.refreshGroup(g, benefitFn)
+		free := c.capacity - c.used
+		var sumSize int64
+		var sumBenefit float64
+		var set []*Entry
+		for _, cand := range c.groups[g] {
+			if cand.pins > 0 {
+				continue
+			}
+			if (sumBenefit+cand.benefit)/float64(len(set)+1) >= e.benefit {
+				break
+			}
+			sumBenefit += cand.benefit
+			sumSize += cand.Size
+			set = append(set, cand)
+			if free+sumSize >= e.Size {
+				break
+			}
+		}
+		if free+sumSize < e.Size {
+			c.rejected++
+			return nil, false
+		}
+		for _, v := range set {
+			c.remove(v)
+			evicted = append(evicted, v)
+		}
+	}
+	g := sizeGroup(e.Size)
+	c.groups[g] = append(c.groups[g], e)
+	c.used += e.Size
+	c.count++
+	c.admissions++
+	return evicted, true
+}
+
+// remove unlinks an entry from its group.
+func (c *Cache) remove(e *Entry) {
+	g := sizeGroup(e.Size)
+	es := c.groups[g]
+	for i, v := range es {
+		if v == e {
+			c.groups[g] = append(es[:i], es[i+1:]...)
+			break
+		}
+	}
+	c.used -= e.Size
+	c.count--
+	c.evictions++
+}
+
+// evictAll removes every unpinned entry (cache flush between batches in the
+// Fig. 6 protocol, simulating update invalidation). It returns the evicted
+// entries so the caller can run Eq. 4 updates.
+func (c *Cache) evictAll() []*Entry {
+	var out []*Entry
+	for g, es := range c.groups {
+		keep := es[:0]
+		for _, e := range es {
+			if e.pins > 0 {
+				keep = append(keep, e)
+				continue
+			}
+			c.used -= e.Size
+			c.count--
+			c.evictions++
+			out = append(out, e)
+		}
+		c.groups[g] = keep
+	}
+	return out
+}
+
+// entries returns all cached entries (for tests and introspection).
+func (c *Cache) entries() []*Entry {
+	var out []*Entry
+	for _, es := range c.groups {
+		out = append(out, es...)
+	}
+	return out
+}

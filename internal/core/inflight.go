@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// In-flight coordination: when multiple concurrently executing queries share
+// a subtree whose result is being materialized, "the recycler stalls all but
+// one until it has either finished materializing the result, or decides not
+// to materialize" (§V). The wait is bounded (Config.StallTimeout) to break
+// the cross-query deadlock the unbounded rule admits; on timeout the waiter
+// recomputes (see DESIGN.md).
+
+// inflight tracks one in-progress materialization.
+type inflight struct {
+	done    chan struct{}
+	success bool
+}
+
+// BeginInflight registers the calling query as the producer of node n's
+// materialization. It returns true if the caller is the producer, false if
+// another query already is (the caller should stall-and-reuse instead).
+func (r *Recycler) BeginInflight(n *Node) bool {
+	var producer bool
+	r.graph.Locked(func() {
+		if n.inflight != nil {
+			return
+		}
+		n.inflight = &inflight{done: make(chan struct{})}
+		producer = true
+		if DebugInflight {
+			DebugBegin.Add(1)
+		}
+	})
+	return producer
+}
+
+// Inflight reports whether node n currently has an in-flight producer.
+func (r *Recycler) Inflight(n *Node) bool {
+	var f bool
+	r.graph.RLocked(func() { f = n.inflight != nil })
+	return f
+}
+
+// FinishInflight marks the materialization finished (success = result is now
+// in the cache) and wakes all waiters.
+func (r *Recycler) FinishInflight(n *Node, success bool) {
+	r.graph.Locked(func() {
+		if n.inflight == nil {
+			return
+		}
+		n.inflight.success = success
+		close(n.inflight.done)
+		n.inflight = nil
+		if DebugInflight {
+			DebugFinish.Add(1)
+		}
+	})
+}
+
+// WaitInflight blocks until n's in-flight materialization completes or the
+// timeout elapses, then returns the (pinned) cache entry if the result is
+// available. ok=false means the waiter should recompute.
+func (r *Recycler) WaitInflight(n *Node, timeout time.Duration) (*Entry, bool) {
+	var ch chan struct{}
+	r.graph.RLocked(func() {
+		if n.inflight != nil {
+			ch = n.inflight.done
+		}
+	})
+	if ch != nil {
+		select {
+		case <-ch:
+		case <-time.After(timeout):
+			if DebugInflight {
+				fmt.Fprintf(os.Stderr, "TIMEOUT waiting on %s\n", n.Describe())
+			}
+			return nil, false
+		}
+	}
+	e := r.Cached(n)
+	if e == nil {
+		return nil, false
+	}
+	return e, true
+}
+
+// Debug instrumentation (used by development tests only).
+var (
+	// DebugInflight enables timeout diagnostics on stderr.
+	DebugInflight bool
+	// DebugBegin and DebugFinish count registrations and completions.
+	DebugBegin, DebugFinish atomic.Int64
+)

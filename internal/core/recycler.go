@@ -1,0 +1,428 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recycledb/internal/plan"
+	"recycledb/internal/vector"
+)
+
+// Config tunes the recycler.
+type Config struct {
+	// CacheBytes bounds the recycler cache; <= 0 means unlimited.
+	CacheBytes int64
+	// Alpha is the per-query aging factor (Eq. 5); 1 disables aging.
+	Alpha float64
+	// SpeculationHR is the constant importance factor used when deciding
+	// on never-before-seen results (the paper suggests 0.001, §III-D).
+	SpeculationHR float64
+	// MaxSpeculateBytes caps a speculative store's buffer; beyond it the
+	// store cancels (buffering is not free in a pipelined engine).
+	MaxSpeculateBytes int64
+	// MinProgress is the minimum producer progress before speculation
+	// extrapolates cost and size.
+	MinProgress float64
+	// StallTimeout bounds how long a query waits for a concurrent
+	// query's in-flight materialization before recomputing.
+	StallTimeout time.Duration
+	// Subsumption enables subsumption edges and derived reuse (§IV-A).
+	Subsumption bool
+	// CopyBytesPerSec models the cost of materialization itself (the
+	// deep copy a store operator performs). A result only qualifies for
+	// materialization if its expected recompute savings exceed the copy
+	// cost — the quantified form of the paper's "computationally
+	// expensive and likely to have a small result size" criterion
+	// (§III-D), which matters at in-memory scales where copying can be
+	// as expensive as computing.
+	CopyBytesPerSec int64
+}
+
+// CopyCost estimates the one-time materialization cost of a result.
+func (c Config) CopyCost(size int64) time.Duration {
+	bps := c.CopyBytesPerSec
+	if bps <= 0 {
+		bps = 32 << 20
+	}
+	return time.Duration(float64(size) / float64(bps) * float64(time.Second))
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		CacheBytes:        256 << 20,
+		Alpha:             0.995,
+		SpeculationHR:     0.001,
+		MaxSpeculateBytes: 64 << 20,
+		MinProgress:       0.05,
+		StallTimeout:      2 * time.Second,
+		Subsumption:       true,
+		CopyBytesPerSec:   32 << 20,
+	}
+}
+
+// Stats aggregates recycler activity counters.
+type Stats struct {
+	Queries          int64
+	NodesMatched     int64
+	NodesInserted    int64
+	Reuses           int64
+	SubsumptionReuse int64
+	Materializations int64
+	SpecCancels      int64
+	SpecCommits      int64
+	Stalls           int64
+	StallReuses      int64
+	Admissions       int64
+	Evictions        int64
+	Rejected         int64
+	GraphNodes       int
+	CacheBytes       int64
+	CacheEntries     int
+	MatchTime        time.Duration
+	InsertConflicts  int64
+}
+
+// Recycler combines the recycler graph and the recycler cache and implements
+// the decision procedures the rewriter and the store operators consult.
+type Recycler struct {
+	cfg   Config
+	graph *Graph
+	cache *Cache
+
+	seq uint64 // query sequence for aging (atomic)
+
+	statMu sync.Mutex
+	stats  Stats
+}
+
+// New returns a recycler with the given configuration.
+func New(cfg Config) *Recycler {
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 1
+	}
+	if cfg.SpeculationHR <= 0 {
+		cfg.SpeculationHR = 0.001
+	}
+	if cfg.MinProgress <= 0 {
+		cfg.MinProgress = 0.05
+	}
+	if cfg.StallTimeout <= 0 {
+		cfg.StallTimeout = 2 * time.Second
+	}
+	return &Recycler{cfg: cfg, graph: NewGraph(), cache: NewCache(cfg.CacheBytes)}
+}
+
+// Config returns the active configuration.
+func (r *Recycler) Config() Config { return r.cfg }
+
+// Graph exposes the recycler graph (matching, tests, introspection).
+func (r *Recycler) Graph() *Graph { return r.graph }
+
+// BeginQuery advances the aging clock and returns the query sequence number.
+func (r *Recycler) BeginQuery() uint64 {
+	r.statMu.Lock()
+	r.stats.Queries++
+	r.statMu.Unlock()
+	return atomic.AddUint64(&r.seq, 1)
+}
+
+func (r *Recycler) curSeq() uint64 { return atomic.LoadUint64(&r.seq) }
+
+// MatchInsert matches the query tree against the recycler graph, inserting
+// missing nodes, and records matching-cost statistics.
+func (r *Recycler) MatchInsert(root *plan.Node) *MatchResult {
+	res := r.graph.MatchInsert(root)
+	r.statMu.Lock()
+	r.stats.NodesMatched += int64(res.Matched)
+	r.stats.NodesInserted += int64(res.Inserted)
+	r.stats.MatchTime += res.Cost
+	r.statMu.Unlock()
+	return res
+}
+
+// AddRefs implements the importance-factor increment after a query finished
+// matching/insertion (§III-C): every node whose result could have been used
+// to answer the query — i.e. every exactly-matched node with no materialized
+// matched ancestor — gains one reference.
+func (r *Recycler) AddRefs(root *plan.Node, m *MatchResult) {
+	seq := r.curSeq()
+	r.graph.Locked(func() {
+		var walk func(n *plan.Node, covered bool)
+		walk = func(n *plan.Node, covered bool) {
+			nm := m.ByNode[n]
+			if nm == nil {
+				return
+			}
+			if nm.Existed {
+				if !covered {
+					addRef(nm.G, seq, r.cfg.Alpha)
+				}
+				if nm.G.cached != nil {
+					covered = true
+				}
+			}
+			for _, c := range n.Children {
+				walk(c, covered)
+			}
+		}
+		walk(root, false)
+	})
+}
+
+// AddRefTo bumps a single node's importance factor. The proactive rules use
+// it: each time a rule triggers and matches the proactive variant, the
+// common parts of the proactive plan obtain a higher benefit score (§IV-B).
+func (r *Recycler) AddRefTo(n *Node) {
+	seq := r.curSeq()
+	r.graph.Locked(func() { addRef(n, seq, r.cfg.Alpha) })
+}
+
+// HR returns the node's aged importance factor.
+func (r *Recycler) HR(n *Node) float64 {
+	var h float64
+	r.graph.Locked(func() { h = n.hrAt(r.curSeq(), r.cfg.Alpha) })
+	return h
+}
+
+// Benefit computes Eq. 1 for a node from its recorded statistics.
+func (r *Recycler) Benefit(n *Node) float64 {
+	var b float64
+	r.graph.Locked(func() { b = r.benefitLocked(n) })
+	return b
+}
+
+func (r *Recycler) benefitLocked(n *Node) float64 {
+	hr := n.hrAt(r.curSeq(), r.cfg.Alpha)
+	return benefitOf(trueCost(n), hr, n.estBytes)
+}
+
+// NodeStats returns a consistent snapshot of a node's execution statistics.
+func (r *Recycler) NodeStats(n *Node) (cost time.Duration, known bool, card, estBytes int64) {
+	r.graph.RLocked(func() {
+		cost, known, card, estBytes = n.baseCost, n.costKnown, n.card, n.estBytes
+	})
+	return
+}
+
+// StallTimeoutFor adapts the stall bound to the producer's expected cost: a
+// waiter should not wait much longer than recomputing would take, while
+// slow, valuable producers deserve the full configured bound.
+func (r *Recycler) StallTimeoutFor(n *Node) time.Duration {
+	max := r.cfg.StallTimeout
+	cost, known, _, _ := r.NodeStats(n)
+	var est time.Duration
+	if known {
+		est = 5 * cost
+	} else {
+		est = max / 8
+	}
+	if est < 10*time.Millisecond {
+		est = 10 * time.Millisecond
+	}
+	if est > max {
+		est = max
+	}
+	return est
+}
+
+// TrueCost returns Eq. 2 for the node.
+func (r *Recycler) TrueCost(n *Node) time.Duration {
+	var c time.Duration
+	r.graph.Locked(func() { c = trueCost(n) })
+	return c
+}
+
+// UpdateStats records post-execution measurements for a node: base cost
+// (measured cost plus the base costs of reused descendants substituted in
+// this plan), cardinality and result size estimate. The stored bcost is
+// refreshed on every recomputation, as the paper prescribes.
+func (r *Recycler) UpdateStats(n *Node, baseCost time.Duration, card, estBytes int64) {
+	r.graph.Locked(func() {
+		n.baseCost = baseCost
+		n.costKnown = true
+		n.execCount++
+		if card >= 0 {
+			n.card = card
+		}
+		if estBytes > 0 {
+			n.estBytes = estBytes
+		}
+	})
+}
+
+// Cached returns the node's cache entry, pinned, or nil. The caller must
+// Release the returned entry once done replaying it.
+func (r *Recycler) Cached(n *Node) *Entry {
+	var e *Entry
+	r.graph.Locked(func() {
+		if n.cached != nil {
+			e = n.cached
+			e.pins++
+		}
+	})
+	if e != nil {
+		r.statMu.Lock()
+		r.stats.Reuses++
+		r.statMu.Unlock()
+	}
+	return e
+}
+
+// Release unpins a cache entry.
+func (r *Recycler) Release(e *Entry) {
+	r.graph.Locked(func() {
+		if e.pins > 0 {
+			e.pins--
+		}
+	})
+}
+
+// WouldAdmit reports whether a result with the given benefit and size would
+// currently be admitted (used by store-injection and speculation decisions).
+func (r *Recycler) WouldAdmit(benefit float64, size int64) bool {
+	var ok bool
+	r.graph.Locked(func() {
+		ok = r.cache.wouldAdmit(benefit, size, r.benefitLocked)
+	})
+	return ok
+}
+
+// Admit offers a fully materialized result for node n to the cache, running
+// admission/replacement (§III-E) and the hR updates of Eq. 3/4. hrOverride
+// < 0 means "use the node's aged hR"; speculation passes its constant.
+func (r *Recycler) Admit(n *Node, batches []*vector.Batch, rows, size int64, cost time.Duration, hrOverride float64) bool {
+	var admitted bool
+	r.graph.Locked(func() {
+		if n.cached != nil {
+			admitted = true // already cached by a concurrent query
+			return
+		}
+		hr := n.hrAt(r.curSeq(), r.cfg.Alpha)
+		if hrOverride >= 0 && hr < hrOverride {
+			hr = hrOverride
+		}
+		// Never-measured nodes (speculation) get their first base-cost
+		// sample from the store operator's measurement.
+		if !n.costKnown && cost > 0 {
+			n.baseCost = cost
+			n.costKnown = true
+		}
+		e := &Entry{Node: n, Batches: batches, Size: size, Rows: rows}
+		e.benefit = benefitOf(trueCost(n), hr, size)
+		evicted, ok := r.cache.admit(e, r.benefitLocked)
+		if !ok {
+			return
+		}
+		for _, ev := range evicted {
+			ev.Node.cached = nil
+			updateHROnEvict(ev.Node, r.curSeq(), r.cfg.Alpha)
+		}
+		n.cached = e
+		n.estBytes = size
+		n.card = rows
+		updateHROnAdd(n, r.curSeq(), r.cfg.Alpha)
+		admitted = true
+	})
+	r.statMu.Lock()
+	if admitted {
+		r.stats.Materializations++
+		r.stats.Admissions++
+	} else {
+		r.stats.Rejected++
+	}
+	r.statMu.Unlock()
+	return admitted
+}
+
+// Evict removes a node's cached result (if any), applying Eq. 4.
+func (r *Recycler) Evict(n *Node) {
+	r.graph.Locked(func() {
+		if n.cached == nil {
+			return
+		}
+		r.cache.remove(n.cached)
+		n.cached = nil
+		updateHROnEvict(n, r.curSeq(), r.cfg.Alpha)
+	})
+}
+
+// FlushCache evicts every unpinned result (the Fig. 6 invalidation
+// protocol).
+func (r *Recycler) FlushCache() {
+	r.graph.Locked(func() {
+		for _, e := range r.cache.evictAll() {
+			e.Node.cached = nil
+			updateHROnEvict(e.Node, r.curSeq(), r.cfg.Alpha)
+		}
+	})
+}
+
+// Stats returns a snapshot of activity counters.
+func (r *Recycler) Stats() Stats {
+	r.statMu.Lock()
+	s := r.stats
+	r.statMu.Unlock()
+	r.graph.RLocked(func() {
+		s.CacheBytes = r.cache.used
+		s.CacheEntries = r.cache.count
+		s.Evictions = r.cache.evictions
+	})
+	s.GraphNodes = r.graph.Size()
+	s.InsertConflicts = r.graph.Conflicts()
+	return s
+}
+
+// CountSpecCancel bumps the speculation-cancel counter.
+func (r *Recycler) CountSpecCancel() {
+	r.statMu.Lock()
+	r.stats.SpecCancels++
+	r.statMu.Unlock()
+}
+
+// CountSpecCommit bumps the speculation-commit counter.
+func (r *Recycler) CountSpecCommit() {
+	r.statMu.Lock()
+	r.stats.SpecCommits++
+	r.statMu.Unlock()
+}
+
+// CountStall records a stall on an in-flight materialization.
+func (r *Recycler) CountStall(reused bool) {
+	r.statMu.Lock()
+	r.stats.Stalls++
+	if reused {
+		r.stats.StallReuses++
+	}
+	r.statMu.Unlock()
+}
+
+// CountSubsumptionReuse records a reuse through a subsumption edge.
+func (r *Recycler) CountSubsumptionReuse() {
+	r.statMu.Lock()
+	r.stats.SubsumptionReuse++
+	r.statMu.Unlock()
+}
+
+// EstimateResultBytes estimates a node's result size from its measured
+// cardinality and output types (used before a result was ever materialized;
+// string widths use the paper's sampling idea, approximated by a fixed
+// average width).
+func EstimateResultBytes(n *Node, card int64) int64 {
+	if card < 0 {
+		return -1
+	}
+	var width int64
+	for _, t := range n.OutTypes {
+		w := t.Width()
+		if t == vector.String {
+			w += 16 // sampled average payload width
+		}
+		width += w
+	}
+	if width == 0 {
+		width = 8
+	}
+	return card * width
+}

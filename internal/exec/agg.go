@@ -1,0 +1,257 @@
+package exec
+
+import (
+	"recycledb/internal/catalog"
+	"recycledb/internal/expr"
+	"recycledb/internal/plan"
+	"recycledb/internal/vector"
+)
+
+// AggExpr is one aggregate computation evaluated by HashAgg.
+type AggExpr struct {
+	Func plan.AggFunc
+	Arg  expr.Expr   // nil for count(*)
+	Typ  vector.Type // output type (resolved by the planner)
+}
+
+// HashAgg is a blocking grouped aggregation. With no group columns it
+// produces exactly one row (the scalar-aggregate convention used by the
+// decorrelated TPC-H plans).
+type HashAgg struct {
+	base
+	Child     Operator
+	GroupCols []int // group-by column indexes in the child schema
+	Aggs      []AggExpr
+
+	built   bool
+	groups  map[string]int
+	keyRows *vector.Batch // one row per group: the group-by column values
+	accs    [][]acc       // accs[agg][group]
+	emit    int           // next group to emit
+	nGroups int
+	out     *vector.Batch
+}
+
+// acc is a single aggregate accumulator.
+type acc struct {
+	i   int64
+	f   float64
+	s   string
+	cnt int64
+	set bool
+}
+
+// NewHashAgg builds a grouped aggregation over child.
+func NewHashAgg(child Operator, groupCols []int, aggs []AggExpr, schema catalog.Schema) *HashAgg {
+	return &HashAgg{base: base{schema: schema}, Child: child, GroupCols: groupCols, Aggs: aggs}
+}
+
+// Open implements Operator.
+func (h *HashAgg) Open(ctx *Ctx) error {
+	defer h.timed()()
+	h.built = false
+	h.emit = 0
+	h.nGroups = 0
+	h.groups = make(map[string]int)
+	h.accs = make([][]acc, len(h.Aggs))
+	keyTypes := make([]vector.Type, len(h.GroupCols))
+	for i, c := range h.GroupCols {
+		keyTypes[i] = h.Child.Schema()[c].Typ
+	}
+	h.keyRows = vector.NewBatch(keyTypes, 64)
+	h.out = vector.NewBatch(h.schema.Types(), ctx.vecSize())
+	return h.Child.Open(ctx)
+}
+
+func (h *HashAgg) build(ctx *Ctx) error {
+	coerce := make([]bool, len(h.GroupCols))
+	var key []byte
+	argVec := make([]*vector.Vector, len(h.Aggs))
+	for {
+		in, err := h.Child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if in == nil {
+			break
+		}
+		// Evaluate aggregate arguments once per batch, coercing to the
+		// accumulator's type (avg over an int column accumulates floats).
+		for a, ag := range h.Aggs {
+			if ag.Arg == nil {
+				argVec[a] = nil
+				continue
+			}
+			v := vector.New(argType(ag), in.Len())
+			if err := expr.EvalAs(ag.Arg, in, v, argType(ag)); err != nil {
+				return err
+			}
+			argVec[a] = v
+		}
+		n := in.Len()
+		for i := 0; i < n; i++ {
+			key = encodeRowKey(key, in, h.GroupCols, coerce, i)
+			g, ok := h.groups[string(key)]
+			if !ok {
+				g = h.nGroups
+				h.nGroups++
+				h.groups[string(key)] = g
+				for k, c := range h.GroupCols {
+					h.keyRows.Vecs[k].AppendFrom(in.Vecs[c], i)
+				}
+				for a := range h.Aggs {
+					h.accs[a] = append(h.accs[a], acc{})
+				}
+			}
+			for a, ag := range h.Aggs {
+				update(&h.accs[a][g], ag, argVec[a], i)
+			}
+		}
+	}
+	// Scalar aggregation over empty input still yields one row.
+	if len(h.GroupCols) == 0 && h.nGroups == 0 {
+		h.nGroups = 1
+		for a := range h.Aggs {
+			h.accs[a] = append(h.accs[a], acc{})
+		}
+	}
+	h.built = true
+	return nil
+}
+
+// argType returns the vector type the aggregate argument evaluates to.
+func argType(ag AggExpr) vector.Type {
+	switch ag.Func {
+	case plan.Avg:
+		return vector.Float64
+	case plan.Count:
+		return ag.Typ // unused payload; count only counts rows
+	case plan.Sum:
+		if ag.Typ == vector.Float64 {
+			return vector.Float64
+		}
+		return vector.Int64
+	default: // Min, Max: output type equals argument type
+		return ag.Typ
+	}
+}
+
+func update(a *acc, ag AggExpr, arg *vector.Vector, i int) {
+	switch ag.Func {
+	case plan.Count:
+		a.cnt++
+	case plan.Sum:
+		if arg.Typ == vector.Float64 {
+			a.f += arg.F64[i]
+		} else {
+			a.i += arg.I64[i]
+		}
+	case plan.Avg:
+		a.f += arg.F64[i]
+		a.cnt++
+	case plan.Min:
+		updateMinMax(a, arg, i, true)
+	case plan.Max:
+		updateMinMax(a, arg, i, false)
+	}
+}
+
+func updateMinMax(a *acc, arg *vector.Vector, i int, min bool) {
+	switch arg.Typ {
+	case vector.Int64, vector.Date:
+		x := arg.I64[i]
+		if !a.set || (min && x < a.i) || (!min && x > a.i) {
+			a.i = x
+		}
+	case vector.Float64:
+		x := arg.F64[i]
+		if !a.set || (min && x < a.f) || (!min && x > a.f) {
+			a.f = x
+		}
+	case vector.String:
+		x := arg.Str[i]
+		if !a.set || (min && x < a.s) || (!min && x > a.s) {
+			a.s = x
+		}
+	}
+	a.set = true
+}
+
+// Next implements Operator.
+func (h *HashAgg) Next(ctx *Ctx) (*vector.Batch, error) {
+	defer h.timed()()
+	if !h.built {
+		if err := h.build(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if h.emit >= h.nGroups {
+		return nil, nil
+	}
+	h.out.Reset()
+	lo := h.emit
+	hi := lo + ctx.vecSize()
+	if hi > h.nGroups {
+		hi = h.nGroups
+	}
+	nk := len(h.GroupCols)
+	for g := lo; g < hi; g++ {
+		for k := 0; k < nk; k++ {
+			h.out.Vecs[k].AppendFrom(h.keyRows.Vecs[k], g)
+		}
+		for a, ag := range h.Aggs {
+			emitAcc(h.out.Vecs[nk+a], &h.accs[a][g], ag)
+		}
+	}
+	h.emit = hi
+	h.rows += int64(hi - lo)
+	return h.out, nil
+}
+
+func emitAcc(out *vector.Vector, a *acc, ag AggExpr) {
+	switch ag.Func {
+	case plan.Count:
+		out.AppendInt64(a.cnt)
+	case plan.Sum:
+		if ag.Typ == vector.Float64 {
+			out.AppendFloat64(a.f)
+		} else {
+			out.AppendInt64(a.i)
+		}
+	case plan.Avg:
+		if a.cnt == 0 {
+			out.AppendFloat64(0)
+		} else {
+			out.AppendFloat64(a.f / float64(a.cnt))
+		}
+	case plan.Min, plan.Max:
+		switch ag.Typ {
+		case vector.Int64, vector.Date:
+			out.AppendInt64(a.i)
+		case vector.Float64:
+			out.AppendFloat64(a.f)
+		case vector.String:
+			out.AppendString(a.s)
+		}
+	}
+}
+
+// Close implements Operator.
+func (h *HashAgg) Close(ctx *Ctx) error {
+	h.groups = nil
+	h.accs = nil
+	return h.Child.Close(ctx)
+}
+
+// Progress implements Operator: a blocking operator knows its output total
+// once built (§III-D); before that it reports 0 so the store above it does
+// not extrapolate from an empty prefix.
+func (h *HashAgg) Progress() float64 {
+	if !h.built {
+		return 0
+	}
+	if h.nGroups == 0 {
+		return 1
+	}
+	return float64(h.emit) / float64(h.nGroups)
+}

@@ -1,0 +1,178 @@
+package exec
+
+import (
+	"fmt"
+
+	"recycledb/internal/expr"
+	"recycledb/internal/plan"
+	"recycledb/internal/vector"
+)
+
+// ReuseSpec replaces a plan subtree with a replay of a cached result.
+type ReuseSpec struct {
+	Batches []*vector.Batch
+	// OutIdx maps output position -> cached column index (the physical
+	// form of the recycler's name mapping).
+	OutIdx []int
+	// Release unpins the cache entry when the scan closes.
+	Release func()
+}
+
+// Decor attaches recycler decisions to a plan node. At most one of Reuse
+// and Wait is set; Store may combine with neither on the same node.
+type Decor struct {
+	Reuse *ReuseSpec
+	Wait  *WaitSpec
+	Store *StoreSpec
+}
+
+// Decorations maps plan nodes to recycler decisions made by the rewriter.
+type Decorations map[*plan.Node]*Decor
+
+// Build turns a resolved plan tree plus recycler decorations into an
+// executable operator tree. If opmap is non-nil it is filled with the
+// operator built for each plan node (the outermost operator when a node is
+// wrapped by Wait/Store), which the engine uses to annotate the recycler
+// graph with measured costs and cardinalities after execution.
+func Build(ctx *Ctx, n *plan.Node, dec Decorations, opmap map[*plan.Node]Operator) (Operator, error) {
+	var d Decor
+	if dec != nil {
+		if dd := dec[n]; dd != nil {
+			d = *dd
+		}
+	}
+	if d.Reuse != nil {
+		var op Operator = NewCacheScan(n.Schema(), d.Reuse.Batches, d.Reuse.OutIdx, d.Reuse.Release)
+		if d.Store != nil {
+			op = NewStore(op, *d.Store)
+		}
+		if opmap != nil {
+			opmap[n] = op
+		}
+		return op, nil
+	}
+	op, err := buildRaw(ctx, n, dec, opmap)
+	if err != nil {
+		return nil, err
+	}
+	if d.Wait != nil {
+		op = NewWaitReuse(op, *d.Wait)
+	}
+	if d.Store != nil {
+		op = NewStore(op, *d.Store)
+	}
+	if opmap != nil {
+		opmap[n] = op
+	}
+	return op, nil
+}
+
+func buildRaw(ctx *Ctx, n *plan.Node, dec Decorations, opmap map[*plan.Node]Operator) (Operator, error) {
+	switch n.Op {
+	case plan.Scan:
+		t, err := ctx.Cat.Table(n.Table)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]int, len(n.Cols))
+		for i, c := range n.Cols {
+			cols[i] = t.Schema.ColIndex(c)
+			if cols[i] < 0 {
+				return nil, fmt.Errorf("exec: table %s has no column %q", n.Table, c)
+			}
+		}
+		return NewTableScan(t, cols, n.Schema()), nil
+	case plan.TableFn:
+		f, err := ctx.Cat.Func(n.Fn)
+		if err != nil {
+			return nil, err
+		}
+		return NewTableFnScan(f, n.Args), nil
+	case plan.Select:
+		child, err := Build(ctx, n.Children[0], dec, opmap)
+		if err != nil {
+			return nil, err
+		}
+		return NewFilter(child, n.Pred), nil
+	case plan.Project:
+		child, err := Build(ctx, n.Children[0], dec, opmap)
+		if err != nil {
+			return nil, err
+		}
+		exprs := make([]expr.Expr, len(n.Projs))
+		for i, p := range n.Projs {
+			exprs[i] = p.E
+		}
+		return NewProject(child, exprs, n.Schema()), nil
+	case plan.Aggregate:
+		child, err := Build(ctx, n.Children[0], dec, opmap)
+		if err != nil {
+			return nil, err
+		}
+		groupCols := make([]int, len(n.GroupBy))
+		for i, g := range n.GroupBy {
+			groupCols[i] = n.Children[0].Schema().ColIndex(g)
+			if groupCols[i] < 0 {
+				return nil, fmt.Errorf("exec: group-by column %q missing", g)
+			}
+		}
+		aggs := make([]AggExpr, len(n.Aggs))
+		for i, a := range n.Aggs {
+			aggs[i] = AggExpr{
+				Func: a.Func,
+				Arg:  a.Arg,
+				Typ:  n.Schema()[len(n.GroupBy)+i].Typ,
+			}
+		}
+		return NewHashAgg(child, groupCols, aggs, n.Schema()), nil
+	case plan.Join:
+		left, err := Build(ctx, n.Children[0], dec, opmap)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Build(ctx, n.Children[1], dec, opmap)
+		if err != nil {
+			return nil, err
+		}
+		lcols := make([]int, len(n.LeftKeys))
+		rcols := make([]int, len(n.RightKeys))
+		for i := range n.LeftKeys {
+			lcols[i] = n.Children[0].Schema().ColIndex(n.LeftKeys[i])
+			rcols[i] = n.Children[1].Schema().ColIndex(n.RightKeys[i])
+			if lcols[i] < 0 || rcols[i] < 0 {
+				return nil, fmt.Errorf("exec: join key %q/%q missing",
+					n.LeftKeys[i], n.RightKeys[i])
+			}
+		}
+		return NewHashJoin(n.JT, left, right, lcols, rcols, n.Schema()), nil
+	case plan.TopN:
+		child, err := Build(ctx, n.Children[0], dec, opmap)
+		if err != nil {
+			return nil, err
+		}
+		return NewTopN(child, n.Keys, n.N), nil
+	case plan.Sort:
+		child, err := Build(ctx, n.Children[0], dec, opmap)
+		if err != nil {
+			return nil, err
+		}
+		return NewSort(child, n.Keys), nil
+	case plan.Limit:
+		child, err := Build(ctx, n.Children[0], dec, opmap)
+		if err != nil {
+			return nil, err
+		}
+		return NewLimit(child, n.N), nil
+	case plan.Union:
+		left, err := Build(ctx, n.Children[0], dec, opmap)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Build(ctx, n.Children[1], dec, opmap)
+		if err != nil {
+			return nil, err
+		}
+		return NewUnion(left, right), nil
+	}
+	return nil, fmt.Errorf("exec: cannot build operator for %v", n.Op)
+}

@@ -1,0 +1,125 @@
+// Package exec implements the vector-at-a-time pipelined execution engine:
+// pull-based operators exchanging column-vector batches, per-operator cost
+// and cardinality measurement, progress meters (after Luo et al., as used by
+// the paper's speculation mechanism, §III-D), and the store operator that
+// tees the tuple flow into the recycler cache (§II).
+package exec
+
+import (
+	"time"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/vector"
+)
+
+// DefaultVectorSize is the number of rows per batch, following the
+// X100/Vectorwise convention.
+const DefaultVectorSize = 1024
+
+// Ctx carries per-query execution state.
+type Ctx struct {
+	Cat        *catalog.Catalog
+	VectorSize int
+}
+
+// NewCtx returns an execution context with the default vector size.
+func NewCtx(cat *catalog.Catalog) *Ctx {
+	return &Ctx{Cat: cat, VectorSize: DefaultVectorSize}
+}
+
+func (c *Ctx) vecSize() int {
+	if c.VectorSize <= 0 {
+		return DefaultVectorSize
+	}
+	return c.VectorSize
+}
+
+// Operator is a pipelined physical operator. The contract is:
+// Open, then Next until it returns (nil, nil) for end-of-stream, then Close.
+// A returned batch is only valid until the following Next call; operators
+// that retain batches (Store, blocking operators) must clone them.
+type Operator interface {
+	// Schema returns the output schema.
+	Schema() catalog.Schema
+	// Open prepares the operator.
+	Open(ctx *Ctx) error
+	// Next returns the next batch, or (nil, nil) at end of stream.
+	Next(ctx *Ctx) (*vector.Batch, error)
+	// Close releases resources. Close is idempotent.
+	Close(ctx *Ctx) error
+	// Progress estimates the fraction of output produced in [0, 1].
+	// Pipelined operators report the progress of their closest scan or
+	// blocking left-deep descendant (§III-D).
+	Progress() float64
+	// Cost returns the cumulative wall time spent inside this operator's
+	// Open/Next calls, children included (the subtree's base cost).
+	Cost() time.Duration
+	// RowsOut returns the number of rows emitted so far.
+	RowsOut() int64
+}
+
+// base provides the bookkeeping shared by operators.
+type base struct {
+	schema catalog.Schema
+	cost   time.Duration
+	rows   int64
+}
+
+func (b *base) Schema() catalog.Schema { return b.schema }
+func (b *base) Cost() time.Duration    { return b.cost }
+func (b *base) RowsOut() int64         { return b.rows }
+
+// timer measures one Open/Next invocation; use as:
+//
+//	defer b.timed()()
+type timed struct{ start time.Time }
+
+func (b *base) timed() func() {
+	t := time.Now()
+	return func() { b.cost += time.Since(t) }
+}
+
+// Run opens op, drains it into a materialized result, and closes it.
+func Run(ctx *Ctx, op Operator) (*catalog.Result, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	res := &catalog.Result{Schema: op.Schema()}
+	for {
+		b, err := op.Next(ctx)
+		if err != nil {
+			op.Close(ctx)
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() > 0 {
+			res.Batches = append(res.Batches, b.Clone())
+		}
+	}
+	if err := op.Close(ctx); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Drain opens op and discards its output (used when only side effects --
+// store materializations -- matter, or for timing runs).
+func Drain(ctx *Ctx, op Operator) (rows int64, err error) {
+	if err := op.Open(ctx); err != nil {
+		return 0, err
+	}
+	for {
+		b, err := op.Next(ctx)
+		if err != nil {
+			op.Close(ctx)
+			return rows, err
+		}
+		if b == nil {
+			break
+		}
+		rows += int64(b.Len())
+	}
+	return rows, op.Close(ctx)
+}

@@ -1,0 +1,230 @@
+package exec
+
+import (
+	"recycledb/internal/catalog"
+	"recycledb/internal/expr"
+	"recycledb/internal/vector"
+)
+
+// Filter emits the input rows satisfying a boolean predicate, compacting
+// survivors into dense output batches.
+type Filter struct {
+	base
+	Child Operator
+	Pred  expr.Expr
+	sel   *vector.Vector
+	out   *vector.Batch
+}
+
+// NewFilter builds a filter over child.
+func NewFilter(child Operator, pred expr.Expr) *Filter {
+	return &Filter{base: base{schema: child.Schema()}, Child: child, Pred: pred}
+}
+
+// Open implements Operator.
+func (f *Filter) Open(ctx *Ctx) error {
+	defer f.timed()()
+	f.sel = vector.New(vector.Bool, ctx.vecSize())
+	f.out = vector.NewBatch(f.schema.Types(), ctx.vecSize())
+	return f.Child.Open(ctx)
+}
+
+// Next implements Operator.
+func (f *Filter) Next(ctx *Ctx) (*vector.Batch, error) {
+	defer f.timed()()
+	for {
+		in, err := f.Child.Next(ctx)
+		if err != nil || in == nil {
+			return nil, err
+		}
+		f.sel.Reset()
+		if err := f.Pred.Eval(in, f.sel); err != nil {
+			return nil, err
+		}
+		f.out.Reset()
+		n := in.Len()
+		for i := 0; i < n; i++ {
+			if f.sel.B[i] {
+				f.out.AppendRow(in, i)
+			}
+		}
+		if f.out.Len() > 0 {
+			f.rows += int64(f.out.Len())
+			return f.out, nil
+		}
+		// All rows filtered out; pull the next input batch.
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close(ctx *Ctx) error { return f.Child.Close(ctx) }
+
+// Progress implements Operator.
+func (f *Filter) Progress() float64 { return f.Child.Progress() }
+
+// Project computes one output column per expression.
+type Project struct {
+	base
+	Child Operator
+	Exprs []expr.Expr
+	out   *vector.Batch
+}
+
+// NewProject builds a projection over child. schema gives the output
+// column names and types (already resolved by the planner).
+func NewProject(child Operator, exprs []expr.Expr, schema catalog.Schema) *Project {
+	return &Project{base: base{schema: schema}, Child: child, Exprs: exprs}
+}
+
+// Open implements Operator.
+func (p *Project) Open(ctx *Ctx) error {
+	defer p.timed()()
+	p.out = vector.NewBatch(p.schema.Types(), ctx.vecSize())
+	return p.Child.Open(ctx)
+}
+
+// Next implements Operator.
+func (p *Project) Next(ctx *Ctx) (*vector.Batch, error) {
+	defer p.timed()()
+	in, err := p.Child.Next(ctx)
+	if err != nil || in == nil {
+		return nil, err
+	}
+	p.out.Reset()
+	for i, e := range p.Exprs {
+		if err := e.Eval(in, p.out.Vecs[i]); err != nil {
+			return nil, err
+		}
+	}
+	p.rows += int64(p.out.Len())
+	return p.out, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close(ctx *Ctx) error { return p.Child.Close(ctx) }
+
+// Progress implements Operator.
+func (p *Project) Progress() float64 { return p.Child.Progress() }
+
+// LimitOp passes through the first N rows and then stops pulling.
+type LimitOp struct {
+	base
+	Child Operator
+	N     int
+	seen  int
+	done  bool
+	out   *vector.Batch
+}
+
+// NewLimit builds a limit over child.
+func NewLimit(child Operator, n int) *LimitOp {
+	return &LimitOp{base: base{schema: child.Schema()}, Child: child, N: n}
+}
+
+// Open implements Operator.
+func (l *LimitOp) Open(ctx *Ctx) error {
+	defer l.timed()()
+	l.seen = 0
+	l.done = false
+	l.out = vector.NewBatch(l.Schema().Types(), ctx.vecSize())
+	return l.Child.Open(ctx)
+}
+
+// Next implements Operator.
+func (l *LimitOp) Next(ctx *Ctx) (*vector.Batch, error) {
+	defer l.timed()()
+	if l.done || l.seen >= l.N {
+		return nil, nil
+	}
+	in, err := l.Child.Next(ctx)
+	if err != nil || in == nil {
+		l.done = true
+		return nil, err
+	}
+	if l.seen+in.Len() <= l.N {
+		l.seen += in.Len()
+		l.rows += int64(in.Len())
+		return in, nil
+	}
+	l.out.Reset()
+	for i := 0; l.seen < l.N; i++ {
+		l.out.AppendRow(in, i)
+		l.seen++
+	}
+	l.rows += int64(l.out.Len())
+	return l.out, nil
+}
+
+// Close implements Operator.
+func (l *LimitOp) Close(ctx *Ctx) error { return l.Child.Close(ctx) }
+
+// Progress implements Operator.
+func (l *LimitOp) Progress() float64 {
+	if l.N == 0 {
+		return 1
+	}
+	p := float64(l.seen) / float64(l.N)
+	if cp := l.Child.Progress(); cp > p {
+		return cp
+	}
+	return p
+}
+
+// UnionOp concatenates two same-schema inputs (bag union).
+type UnionOp struct {
+	base
+	Left, Right Operator
+	onRight     bool
+}
+
+// NewUnion builds a bag union.
+func NewUnion(left, right Operator) *UnionOp {
+	return &UnionOp{base: base{schema: left.Schema()}, Left: left, Right: right}
+}
+
+// Open implements Operator.
+func (u *UnionOp) Open(ctx *Ctx) error {
+	defer u.timed()()
+	u.onRight = false
+	if err := u.Left.Open(ctx); err != nil {
+		return err
+	}
+	return u.Right.Open(ctx)
+}
+
+// Next implements Operator.
+func (u *UnionOp) Next(ctx *Ctx) (*vector.Batch, error) {
+	defer u.timed()()
+	if !u.onRight {
+		b, err := u.Left.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			u.rows += int64(b.Len())
+			return b, nil
+		}
+		u.onRight = true
+	}
+	b, err := u.Right.Next(ctx)
+	if err != nil || b == nil {
+		return nil, err
+	}
+	u.rows += int64(b.Len())
+	return b, nil
+}
+
+// Close implements Operator.
+func (u *UnionOp) Close(ctx *Ctx) error {
+	err1 := u.Left.Close(ctx)
+	err2 := u.Right.Close(ctx)
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Progress implements Operator.
+func (u *UnionOp) Progress() float64 {
+	return (u.Left.Progress() + u.Right.Progress()) / 2
+}

@@ -1,0 +1,248 @@
+package exec
+
+import (
+	"recycledb/internal/catalog"
+	"recycledb/internal/plan"
+	"recycledb/internal/vector"
+)
+
+// HashJoin builds a hash table on its right input and streams its left
+// (probe) input, supporting inner, left-semi, left-anti and left-outer
+// semantics. The engine has no NULLs: left-outer zero-fills unmatched right
+// columns and appends a 0/1 match column (plan.MatchCol).
+type HashJoin struct {
+	base
+	Left, Right          Operator
+	JT                   plan.JoinType
+	LeftCols, RightCols  []int // key column indexes
+	built                bool
+	table                map[string][]int32
+	rightRows            *vector.Batch
+	coerce               []bool
+	out                  *vector.Batch
+	cur                  *vector.Batch // current probe batch
+	curRow               int
+	curMatches           []int32
+	curMatchIdx          int
+	key                  []byte
+	leftWidth, rightVecs int
+}
+
+// NewHashJoin builds a hash join; schema is the resolved output schema.
+func NewHashJoin(jt plan.JoinType, left, right Operator, leftCols, rightCols []int, schema catalog.Schema) *HashJoin {
+	return &HashJoin{
+		base: base{schema: schema}, JT: jt, Left: left, Right: right,
+		LeftCols: leftCols, RightCols: rightCols,
+	}
+}
+
+// Open implements Operator.
+func (j *HashJoin) Open(ctx *Ctx) error {
+	defer j.timed()()
+	j.built = false
+	j.cur = nil
+	j.curRow = 0
+	j.curMatches = nil
+	j.table = make(map[string][]int32)
+	j.leftWidth = len(j.Left.Schema())
+	j.rightVecs = len(j.Right.Schema())
+	j.coerce = make([]bool, len(j.LeftCols))
+	for k := range j.LeftCols {
+		lt := j.Left.Schema()[j.LeftCols[k]].Typ
+		rt := j.Right.Schema()[j.RightCols[k]].Typ
+		j.coerce[k] = lt == vector.Float64 || rt == vector.Float64
+	}
+	j.out = vector.NewBatch(j.schema.Types(), ctx.vecSize())
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	return j.Right.Open(ctx)
+}
+
+func (j *HashJoin) build(ctx *Ctx) error {
+	j.rightRows = vector.NewBatch(j.Right.Schema().Types(), ctx.vecSize())
+	var key []byte
+	for {
+		b, err := j.Right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			key = encodeRowKey(key, b, j.RightCols, j.coerce, i)
+			row := int32(j.rightRows.Len())
+			j.rightRows.AppendRow(b, i)
+			j.table[string(key)] = append(j.table[string(key)], row)
+		}
+	}
+	j.built = true
+	return nil
+}
+
+// emitsRight reports whether output rows include right-side columns.
+func (j *HashJoin) emitsRight() bool {
+	return j.JT == plan.Inner || j.JT == plan.LeftOuter
+}
+
+// appendJoined appends the combination of left row (b,i) and right row r
+// (r < 0 means unmatched outer row).
+func (j *HashJoin) appendJoined(b *vector.Batch, i int, r int32) {
+	for c := 0; c < j.leftWidth; c++ {
+		j.out.Vecs[c].AppendFrom(b.Vecs[c], i)
+	}
+	if !j.emitsRight() {
+		return
+	}
+	for c := 0; c < j.rightVecs; c++ {
+		out := j.out.Vecs[j.leftWidth+c]
+		if r >= 0 {
+			out.AppendFrom(j.rightRows.Vecs[c], int(r))
+			continue
+		}
+		// Zero-fill unmatched outer rows.
+		switch out.Typ {
+		case vector.Int64, vector.Date:
+			out.AppendInt64(0)
+		case vector.Float64:
+			out.AppendFloat64(0)
+		case vector.String:
+			out.AppendString("")
+		case vector.Bool:
+			out.AppendBool(false)
+		}
+	}
+	if j.JT == plan.LeftOuter {
+		m := int64(1)
+		if r < 0 {
+			m = 0
+		}
+		j.out.Vecs[len(j.out.Vecs)-1].AppendInt64(m)
+	}
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next(ctx *Ctx) (*vector.Batch, error) {
+	defer j.timed()()
+	if !j.built {
+		if err := j.build(ctx); err != nil {
+			return nil, err
+		}
+	}
+	j.out.Reset()
+	limit := ctx.vecSize()
+	for {
+		// Continue emitting pending matches for the current probe row.
+		for j.curMatches != nil && j.curMatchIdx < len(j.curMatches) {
+			j.appendJoined(j.cur, j.curRow, j.curMatches[j.curMatchIdx])
+			j.curMatchIdx++
+			if j.out.Len() >= limit {
+				j.advanceIfDone()
+				j.rows += int64(j.out.Len())
+				return j.out, nil
+			}
+		}
+		j.advanceIfDone()
+		// Fetch a probe batch if needed.
+		if j.cur == nil {
+			b, err := j.Left.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				if j.out.Len() > 0 {
+					j.rows += int64(j.out.Len())
+					return j.out, nil
+				}
+				return nil, nil
+			}
+			j.cur = b
+			j.curRow = 0
+		}
+		// Probe rows until the output batch fills.
+		n := j.cur.Len()
+		for j.curRow < n {
+			j.key = encodeRowKey(j.key, j.cur, j.LeftCols, j.coerce, j.curRow)
+			matches := j.table[string(j.key)]
+			switch j.JT {
+			case plan.LeftSemi:
+				if len(matches) > 0 {
+					j.appendJoined(j.cur, j.curRow, -1)
+				}
+			case plan.LeftAnti:
+				if len(matches) == 0 {
+					j.appendJoined(j.cur, j.curRow, -1)
+				}
+			case plan.LeftOuter:
+				if len(matches) == 0 {
+					j.appendJoined(j.cur, j.curRow, -1)
+				} else {
+					j.curMatches = matches
+					j.curMatchIdx = 0
+				}
+			case plan.Inner:
+				if len(matches) > 0 {
+					j.curMatches = matches
+					j.curMatchIdx = 0
+				}
+			}
+			if j.curMatches != nil {
+				// Emit matches via the loop top (may span batches).
+				for j.curMatchIdx < len(j.curMatches) && j.out.Len() < limit {
+					j.appendJoined(j.cur, j.curRow, j.curMatches[j.curMatchIdx])
+					j.curMatchIdx++
+				}
+				if j.curMatchIdx < len(j.curMatches) {
+					j.rows += int64(j.out.Len())
+					return j.out, nil
+				}
+				j.curMatches = nil
+				j.curRow++
+			} else {
+				j.curRow++
+			}
+			if j.out.Len() >= limit {
+				if j.curRow >= n {
+					j.cur = nil
+				}
+				j.rows += int64(j.out.Len())
+				return j.out, nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+// advanceIfDone moves to the next probe row once its match list is drained.
+func (j *HashJoin) advanceIfDone() {
+	if j.curMatches != nil && j.curMatchIdx >= len(j.curMatches) {
+		j.curMatches = nil
+		j.curRow++
+		if j.cur != nil && j.curRow >= j.cur.Len() {
+			j.cur = nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close(ctx *Ctx) error {
+	j.table = nil
+	j.rightRows = nil
+	err1 := j.Left.Close(ctx)
+	err2 := j.Right.Close(ctx)
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Progress implements Operator: the probe (left) side drives progress, per
+// the paper's left-deep progress-meter rule.
+func (j *HashJoin) Progress() float64 {
+	if !j.built {
+		return 0
+	}
+	return j.Left.Progress()
+}

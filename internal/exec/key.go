@@ -1,0 +1,49 @@
+package exec
+
+import (
+	"encoding/binary"
+	"math"
+
+	"recycledb/internal/vector"
+)
+
+// appendKey appends a type-tagged encoding of row i of v to buf, so that
+// multi-column group/join keys can be compared as byte strings. Numeric
+// columns (int64/date/float64) are encoded as float64 bits when mixed-type
+// joins require it (coerce=true), keeping 1 = 1.0.
+func appendKey(buf []byte, v *vector.Vector, i int, coerce bool) []byte {
+	switch v.Typ {
+	case vector.Int64, vector.Date:
+		if coerce {
+			buf = append(buf, 'f')
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(float64(v.I64[i])))
+		} else {
+			buf = append(buf, 'i')
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.I64[i]))
+		}
+	case vector.Float64:
+		buf = append(buf, 'f')
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F64[i]))
+	case vector.String:
+		buf = append(buf, 's')
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Str[i])))
+		buf = append(buf, v.Str[i]...)
+	case vector.Bool:
+		buf = append(buf, 'b')
+		if v.B[i] {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// encodeRowKey encodes the given columns of row i as a byte-string key.
+func encodeRowKey(buf []byte, b *vector.Batch, cols []int, coerce []bool, i int) []byte {
+	buf = buf[:0]
+	for k, c := range cols {
+		buf = appendKey(buf, b.Vecs[c], i, coerce[k])
+	}
+	return buf
+}

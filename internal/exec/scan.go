@@ -1,0 +1,188 @@
+package exec
+
+import (
+	"fmt"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/vector"
+)
+
+// TableScan reads a projection of a base table, slicing column storage into
+// batches without copying (batches alias table storage; consumers never
+// mutate input batches).
+type TableScan struct {
+	base
+	Table *catalog.Table
+	Cols  []int // column indexes into the table schema
+	pos   int
+	out   *vector.Batch
+}
+
+// NewTableScan builds a scan of the given column indexes of t.
+func NewTableScan(t *catalog.Table, cols []int, schema catalog.Schema) *TableScan {
+	return &TableScan{base: base{schema: schema}, Table: t, Cols: cols}
+}
+
+// Open implements Operator.
+func (s *TableScan) Open(ctx *Ctx) error {
+	defer s.timed()()
+	s.pos = 0
+	s.out = &vector.Batch{Vecs: make([]*vector.Vector, len(s.Cols))}
+	return nil
+}
+
+// Next implements Operator.
+func (s *TableScan) Next(ctx *Ctx) (*vector.Batch, error) {
+	defer s.timed()()
+	n := s.Table.Rows()
+	if s.pos >= n {
+		return nil, nil
+	}
+	hi := s.pos + ctx.vecSize()
+	if hi > n {
+		hi = n
+	}
+	for i, c := range s.Cols {
+		col := s.Table.Col(c)
+		v := &vector.Vector{Typ: col.Typ}
+		switch col.Typ {
+		case vector.Int64, vector.Date:
+			v.I64 = col.I64[s.pos:hi]
+		case vector.Float64:
+			v.F64 = col.F64[s.pos:hi]
+		case vector.String:
+			v.Str = col.Str[s.pos:hi]
+		case vector.Bool:
+			v.B = col.B[s.pos:hi]
+		}
+		s.out.Vecs[i] = v
+	}
+	s.rows += int64(hi - s.pos)
+	s.pos = hi
+	return s.out, nil
+}
+
+// Close implements Operator.
+func (s *TableScan) Close(ctx *Ctx) error { return nil }
+
+// Progress implements Operator: scans know their total row count.
+func (s *TableScan) Progress() float64 {
+	n := s.Table.Rows()
+	if n == 0 {
+		return 1
+	}
+	return float64(s.pos) / float64(n)
+}
+
+// TableFnScan invokes a table function at Open and replays its result.
+type TableFnScan struct {
+	base
+	Fn   *catalog.TableFunc
+	Args []vector.Datum
+	res  *catalog.Result
+	idx  int
+}
+
+// NewTableFnScan builds a table-function leaf.
+func NewTableFnScan(fn *catalog.TableFunc, args []vector.Datum) *TableFnScan {
+	return &TableFnScan{base: base{schema: fn.Schema}, Fn: fn, Args: args}
+}
+
+// Open implements Operator; the function is evaluated here so its cost is
+// attributed to this leaf.
+func (s *TableFnScan) Open(ctx *Ctx) error {
+	defer s.timed()()
+	res, err := s.Fn.Invoke(ctx.Cat, s.Args)
+	if err != nil {
+		return fmt.Errorf("exec: table function %s: %w", s.Fn.Name, err)
+	}
+	s.res = res
+	s.idx = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *TableFnScan) Next(ctx *Ctx) (*vector.Batch, error) {
+	defer s.timed()()
+	if s.res == nil || s.idx >= len(s.res.Batches) {
+		return nil, nil
+	}
+	b := s.res.Batches[s.idx]
+	s.idx++
+	s.rows += int64(b.Len())
+	return b, nil
+}
+
+// Close implements Operator.
+func (s *TableFnScan) Close(ctx *Ctx) error {
+	s.res = nil
+	return nil
+}
+
+// Progress implements Operator.
+func (s *TableFnScan) Progress() float64 {
+	if s.res == nil {
+		return 0
+	}
+	if len(s.res.Batches) == 0 {
+		return 1
+	}
+	return float64(s.idx) / float64(len(s.res.Batches))
+}
+
+// CacheScan replays a materialized result from the recycler cache,
+// projecting and reordering columns through outIdx (the name-mapping applied
+// physically: output column i is cached column outIdx[i]).
+type CacheScan struct {
+	base
+	Batches []*vector.Batch
+	OutIdx  []int
+	idx     int
+	// Release is called once at Close (unpins the cache entry).
+	Release func()
+	out     *vector.Batch
+}
+
+// NewCacheScan builds a replay of cached batches.
+func NewCacheScan(schema catalog.Schema, batches []*vector.Batch, outIdx []int, release func()) *CacheScan {
+	return &CacheScan{base: base{schema: schema}, Batches: batches, OutIdx: outIdx, Release: release}
+}
+
+// Open implements Operator.
+func (s *CacheScan) Open(ctx *Ctx) error {
+	s.idx = 0
+	s.out = &vector.Batch{Vecs: make([]*vector.Vector, len(s.OutIdx))}
+	return nil
+}
+
+// Next implements Operator.
+func (s *CacheScan) Next(ctx *Ctx) (*vector.Batch, error) {
+	defer s.timed()()
+	if s.idx >= len(s.Batches) {
+		return nil, nil
+	}
+	src := s.Batches[s.idx]
+	s.idx++
+	for i, c := range s.OutIdx {
+		s.out.Vecs[i] = src.Vecs[c]
+	}
+	s.rows += int64(src.Len())
+	return s.out, nil
+}
+
+// Close implements Operator.
+func (s *CacheScan) Close(ctx *Ctx) error {
+	if s.Release != nil {
+		s.Release()
+		s.Release = nil
+	}
+	return nil
+}
+
+// Progress implements Operator.
+func (s *CacheScan) Progress() float64 {
+	if len(s.Batches) == 0 {
+		return 1
+	}
+	return float64(s.idx) / float64(len(s.Batches))
+}

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"recycledb"
+	"recycledb/internal/tpch"
+	"recycledb/internal/workload"
+)
+
+// Fig. 10: "Matching cost for 256-stream throughput run": per-query
+// recycler-graph matching+insertion cost over all 22*streams invocations,
+// total and per query pattern. The paper's observation to reproduce: the
+// cost grows moderately with graph size and stays orders of magnitude below
+// query evaluation cost (max ~2 ms vs. 0.3-11 s there).
+
+// Fig10Config sizes the run.
+type Fig10Config struct {
+	SF            float64
+	Streams       int
+	MaxConcurrent int
+	Seed          int64
+	// Windows is how many buckets the series is summarized into.
+	Windows int
+}
+
+// DefaultFig10 mirrors the paper's 256-stream run at laptop scale.
+func DefaultFig10() Fig10Config {
+	return Fig10Config{SF: 0.01, Streams: 256, MaxConcurrent: 12, Seed: 1, Windows: 8}
+}
+
+// Fig10Result carries the series.
+type Fig10Result struct {
+	Cfg Fig10Config
+	// MatchCosts in completion order (the figure's x-axis is query
+	// number).
+	MatchCosts []time.Duration
+	// PerPattern collects match costs by pattern.
+	PerPattern map[string][]time.Duration
+	// ExecAvg is the average query execution time, for the
+	// orders-of-magnitude comparison.
+	ExecAvg    time.Duration
+	GraphNodes int
+}
+
+// RunFig10 executes the run in speculative mode.
+func RunFig10(cfg Fig10Config) (*Fig10Result, error) {
+	cat := LoadTPCH(TPCHConfig{SF: cfg.SF, Seed: cfg.Seed})
+	eng := NewEngine(cat, recycledb.Speculative, 256<<20)
+	streams := TPCHStreams(tpch.Streams(cfg.Streams, cfg.Seed), recycledb.Speculative)
+	run := workload.Run(streams, cfg.MaxConcurrent, EngineExec(eng))
+	if run.Errs > 0 {
+		return nil, fmt.Errorf("harness: %d queries failed", run.Errs)
+	}
+	events := append([]workload.Event(nil), run.Events...)
+	sort.Slice(events, func(a, b int) bool { return events[a].End < events[b].End })
+	res := &Fig10Result{Cfg: cfg, PerPattern: make(map[string][]time.Duration)}
+	var execSum time.Duration
+	for _, e := range events {
+		res.MatchCosts = append(res.MatchCosts, e.Outcome.MatchTime)
+		res.PerPattern[e.Label] = append(res.PerPattern[e.Label], e.Outcome.MatchTime)
+		execSum += e.Outcome.ExecTime
+	}
+	if len(events) > 0 {
+		res.ExecAvg = execSum / time.Duration(len(events))
+	}
+	res.GraphNodes = eng.Recycler().Stats().GraphNodes
+	return res, nil
+}
+
+// Max returns the largest matching cost observed.
+func (r *Fig10Result) Max() time.Duration {
+	var m time.Duration
+	for _, c := range r.MatchCosts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// WindowAvgs summarizes the series into Cfg.Windows buckets.
+func (r *Fig10Result) WindowAvgs() []time.Duration {
+	w := r.Cfg.Windows
+	if w <= 0 {
+		w = 8
+	}
+	n := len(r.MatchCosts)
+	if n == 0 {
+		return nil
+	}
+	out := make([]time.Duration, 0, w)
+	per := (n + w - 1) / w
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		var sum time.Duration
+		for _, c := range r.MatchCosts[lo:hi] {
+			sum += c
+		}
+		out = append(out, sum/time.Duration(hi-lo))
+	}
+	return out
+}
+
+// String renders the series summary and the per-pattern averages.
+func (r *Fig10Result) String() string {
+	s := fmt.Sprintf("Fig. 10 - matching cost over %d query invocations (%d graph nodes)\n",
+		len(r.MatchCosts), r.GraphNodes)
+	header := []string{"window", "avg match cost"}
+	var rows [][]string
+	for i, avg := range r.WindowAvgs() {
+		rows = append(rows, []string{fmt.Sprintf("%d", i+1), fmt.Sprintf("%.1fµs", float64(avg.Nanoseconds())/1000)})
+	}
+	s += table(header, rows)
+	labels := make([]string, 0, len(r.PerPattern))
+	for l := range r.PerPattern {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(a, b int) bool { return patternNum(labels[a]) < patternNum(labels[b]) })
+	header = []string{"pattern", "avg match cost", "max"}
+	rows = rows[:0]
+	for _, l := range labels {
+		var sum, max time.Duration
+		for _, c := range r.PerPattern[l] {
+			sum += c
+			if c > max {
+				max = c
+			}
+		}
+		avg := sum / time.Duration(len(r.PerPattern[l]))
+		rows = append(rows, []string{l,
+			fmt.Sprintf("%.1fµs", float64(avg.Nanoseconds())/1000),
+			fmt.Sprintf("%.1fµs", float64(max.Nanoseconds())/1000)})
+	}
+	s += table(header, rows)
+	var avgMatch time.Duration
+	for _, c := range r.MatchCosts {
+		avgMatch += c
+	}
+	if len(r.MatchCosts) > 0 {
+		avgMatch /= time.Duration(len(r.MatchCosts))
+	}
+	s += fmt.Sprintf("avg match cost %.3fms, max %.2fms; avg query execution %s (avg exec / avg match = %.1fx)\n",
+		float64(avgMatch.Nanoseconds())/1e6,
+		float64(r.Max().Nanoseconds())/1e6, fmtDur(r.ExecAvg),
+		float64(r.ExecAvg)/float64(max64(int64(avgMatch), 1)))
+	return s
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

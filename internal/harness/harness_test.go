@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"recycledb"
+)
+
+// Small-scale smoke runs of every figure. Shape assertions are deliberately
+// loose (timing on CI machines is noisy at tiny scale); the full-scale runs
+// happen in bench_test.go / cmd/recycledb-bench.
+
+func TestRunFig6Small(t *testing.T) {
+	cfg := Fig6Config{Objects: 8000, Queries: 24, LimitedCacheBytes: 32 << 10, Seed: 1}
+	res, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 12 { // 3 splits x 2 caches x 2 systems
+		t.Fatalf("cells = %d, want 12", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Naive <= 0 || c.Recycle <= 0 {
+			t.Fatalf("degenerate cell %+v", c)
+		}
+	}
+	// Recycling must beat naive on the unflushed, unlimited-cache run for
+	// both systems (the workload repeats one dominant expensive pattern).
+	for _, c := range res.Cells {
+		if c.Split == "1x100" && c.Cache == "unlimited" && c.PctOfNaive() > 95 {
+			t.Errorf("%s %s %s: %.1f%% of naive; recycling should win clearly",
+				c.System, c.Split, c.Cache, c.PctOfNaive())
+		}
+	}
+	if !strings.Contains(res.String(), "% of naive") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestRunThroughputSmall(t *testing.T) {
+	cfg := TPCHConfig{
+		SF:            0.002,
+		Streams:       []int{2, 6},
+		MaxConcurrent: 4,
+		CacheBytes:    64 << 20,
+		Seed:          1,
+	}
+	res, err := RunThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 8 { // 2 stream counts x 4 modes
+		t.Fatalf("cells = %d, want 8", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.AvgStream <= 0 {
+			t.Fatalf("degenerate cell %+v", c)
+		}
+	}
+	// Recycling must produce reuses at the higher stream count.
+	for _, m := range []recycledb.Mode{recycledb.Speculative, recycledb.Proactive} {
+		c := res.Cell(m, 6)
+		if c.Reuses == 0 {
+			t.Errorf("mode %v at 6 streams: no reuses", m)
+		}
+	}
+	out := res.String()
+	if !strings.Contains(out, "streams") {
+		t.Fatal("Fig7 rendering broken")
+	}
+	out8 := res.Fig8String()
+	if !strings.Contains(out8, "Q1") || !strings.Contains(out8, "Q22") {
+		t.Fatalf("Fig8 rendering broken:\n%s", out8)
+	}
+}
+
+func TestRunFig9Small(t *testing.T) {
+	cfg := Fig9Config{SF: 0.002, Streams: 4, MaxConcurrent: 4, Seed: 1}
+	res, err := RunFig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != 4*6 {
+		t.Fatalf("events = %d, want 24", len(res.Events))
+	}
+	// Speculation is on: every query either materializes or reuses
+	// something (final results are always candidates); allow a small
+	// number of exceptions for rejected admissions.
+	neither := 0
+	for _, e := range res.Events {
+		if !e.Outcome.Reused && !e.Outcome.Materialized {
+			neither++
+		}
+	}
+	if neither > len(res.Events)/3 {
+		t.Errorf("%d of %d events neither materialize nor reuse", neither, len(res.Events))
+	}
+	out := res.String()
+	if !strings.Contains(out, "legend") || !strings.Contains(out, "summary") {
+		t.Fatal("Fig9 rendering broken")
+	}
+}
+
+func TestRunFig10Small(t *testing.T) {
+	cfg := Fig10Config{SF: 0.002, Streams: 6, MaxConcurrent: 4, Seed: 1, Windows: 4}
+	res, err := RunFig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MatchCosts) != 6*22 {
+		t.Fatalf("match costs = %d, want 132", len(res.MatchCosts))
+	}
+	if res.GraphNodes == 0 {
+		t.Fatal("graph did not grow")
+	}
+	// The paper's headline property: matching stays bounded (max ~2 ms
+	// there) and far below the cost of evaluating a query from scratch.
+	// With recycling on, the *average* execution time at toy scale can
+	// approach matching cost (reused queries are nearly free), so the
+	// bound is checked against an absolute ceiling here; the full-size
+	// comparison lives in EXPERIMENTS.md.
+	if res.Max() > 50*time.Millisecond {
+		t.Errorf("max match cost %v is implausibly high", res.Max())
+	}
+	if res.ExecAvg <= 0 {
+		t.Error("exec average missing")
+	}
+	if len(res.WindowAvgs()) == 0 {
+		t.Fatal("no window averages")
+	}
+	if !strings.Contains(res.String(), "matching cost") {
+		t.Fatal("Fig10 rendering broken")
+	}
+}

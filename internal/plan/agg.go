@@ -1,0 +1,77 @@
+package plan
+
+import (
+	"recycledb/internal/expr"
+)
+
+// Aggregate decomposition implements the "standard aggregate calculation
+// decomposition rules" of §IV-B: rewriting γFα(X) as γFα″(γ∪cFα′(X)). It
+// powers both the proactive cube-caching rules and tuple subsumption
+// (re-aggregating a cached finer-grained aggregate).
+
+// DecomposeAggs returns the finer-granularity aggregate list (lower) and the
+// re-aggregation list (upper) such that applying upper over the result of
+// lower grouped more finely equals the original aggregates. needProject
+// reports whether a final projection (see FinalProjection) is required to
+// restore the original output (true when avg is present). ok is false if
+// any aggregate is not decomposable.
+func DecomposeAggs(aggs []AggSpec) (lower, upper []AggSpec, needProject, ok bool) {
+	for _, a := range aggs {
+		switch a.Func {
+		case Sum:
+			lower = append(lower, AggSpec{Func: Sum, Arg: cloneArg(a.Arg), As: a.As})
+			upper = append(upper, AggSpec{Func: Sum, Arg: expr.C(a.As), As: a.As})
+		case Count:
+			lower = append(lower, AggSpec{Func: Count, Arg: cloneArg(a.Arg), As: a.As})
+			upper = append(upper, AggSpec{Func: Sum, Arg: expr.C(a.As), As: a.As})
+		case Min:
+			lower = append(lower, AggSpec{Func: Min, Arg: cloneArg(a.Arg), As: a.As})
+			upper = append(upper, AggSpec{Func: Min, Arg: expr.C(a.As), As: a.As})
+		case Max:
+			lower = append(lower, AggSpec{Func: Max, Arg: cloneArg(a.Arg), As: a.As})
+			upper = append(upper, AggSpec{Func: Max, Arg: expr.C(a.As), As: a.As})
+		case Avg:
+			// avg decomposes to sum and count; a final projection
+			// divides them.
+			s, c := a.As+"#s", a.As+"#c"
+			lower = append(lower,
+				AggSpec{Func: Sum, Arg: cloneArg(a.Arg), As: s},
+				AggSpec{Func: Count, Arg: cloneArg(a.Arg), As: c})
+			upper = append(upper,
+				AggSpec{Func: Sum, Arg: expr.C(s), As: s},
+				AggSpec{Func: Sum, Arg: expr.C(c), As: c})
+			needProject = true
+		default:
+			return nil, nil, false, false
+		}
+	}
+	return lower, upper, needProject, true
+}
+
+func cloneArg(e expr.Expr) expr.Expr {
+	if e == nil {
+		return nil
+	}
+	return e.Clone()
+}
+
+// FinalProjection returns the projection that restores the original output
+// schema (group-by columns followed by aggregate outputs) on top of the
+// re-aggregation produced by DecomposeAggs.
+func FinalProjection(groupBy []string, aggs []AggSpec) []NamedExpr {
+	out := make([]NamedExpr, 0, len(groupBy)+len(aggs))
+	for _, g := range groupBy {
+		out = append(out, NamedExpr{E: expr.C(g), As: g})
+	}
+	for _, a := range aggs {
+		if a.Func == Avg {
+			out = append(out, NamedExpr{
+				E:  expr.Div(expr.C(a.As+"#s"), expr.C(a.As+"#c")),
+				As: a.As,
+			})
+		} else {
+			out = append(out, NamedExpr{E: expr.C(a.As), As: a.As})
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package plan
+
+import (
+	"recycledb/internal/catalog"
+	"recycledb/internal/vector"
+)
+
+// Clone deep-copies the plan tree, including expressions, so rewrites can
+// restructure a copy without mutating the original.
+func (n *Node) Clone() *Node {
+	c := &Node{
+		Op:    n.Op,
+		Table: n.Table,
+		Fn:    n.Fn,
+		JT:    n.JT,
+		N:     n.N,
+	}
+	if n.Children != nil {
+		c.Children = make([]*Node, len(n.Children))
+		for i, ch := range n.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	c.Cols = append([]string(nil), n.Cols...)
+	c.Args = append([]vector.Datum(nil), n.Args...)
+	if n.Pred != nil {
+		c.Pred = n.Pred.Clone()
+	}
+	if n.Projs != nil {
+		c.Projs = make([]NamedExpr, len(n.Projs))
+		for i, p := range n.Projs {
+			c.Projs[i] = NamedExpr{E: p.E.Clone(), As: p.As}
+		}
+	}
+	c.GroupBy = append([]string(nil), n.GroupBy...)
+	if n.Aggs != nil {
+		c.Aggs = make([]AggSpec, len(n.Aggs))
+		for i, a := range n.Aggs {
+			na := AggSpec{Func: a.Func, As: a.As}
+			if a.Arg != nil {
+				na.Arg = a.Arg.Clone()
+			}
+			c.Aggs[i] = na
+		}
+	}
+	c.LeftKeys = append([]string(nil), n.LeftKeys...)
+	c.RightKeys = append([]string(nil), n.RightKeys...)
+	c.Keys = append([]SortKey(nil), n.Keys...)
+	c.schema = append(catalog.Schema(nil), n.schema...)
+	return c
+}

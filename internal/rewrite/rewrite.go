@@ -1,0 +1,533 @@
+// Package rewrite implements the paper's rewriter rules (Fig. 1):
+//
+//  1. a bottom-up rule matches the optimized query tree against the recycler
+//     graph, inserting unmatched nodes (delegated to core.MatchInsert);
+//  2. a top-down rule substitutes cached results (exact matches first, then
+//     subsumption derivations, §IV-A) and plans stalls on results being
+//     materialized by concurrent queries;
+//  3. a final rule injects store operators: pre-decided for results seen
+//     before whose benefit warrants materialization (history mode), and
+//     speculative stores over expensive-looking, small-looking new results
+//     (final result, aggregations, top-N; §III-D);
+//
+// plus the proactive rules of §IV-B (see proactive.go).
+package rewrite
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/core"
+	"recycledb/internal/exec"
+	"recycledb/internal/plan"
+	"recycledb/internal/vector"
+)
+
+// Mode selects the recycler's execution mode (§V).
+type Mode int
+
+// Execution modes, in increasing capability order.
+const (
+	// Off disables recycling entirely (the naive baseline).
+	Off Mode = iota
+	// History materializes only results seen before (no buffering).
+	History
+	// Speculative adds run-time speculation on new results.
+	Speculative
+	// Proactive adds the proactive query rewrites (top-N widening, cube
+	// caching with selections and with binning).
+	Proactive
+)
+
+// String returns the mode name as used in the paper's figures.
+func (m Mode) String() string {
+	return [...]string{"OFF", "HIST", "SPEC", "PA"}[m]
+}
+
+// Rewriter applies the recycling rules for one engine.
+type Rewriter struct {
+	Rec  *core.Recycler
+	Cat  *catalog.Catalog
+	Mode Mode
+	// MaxHistoryStores caps pre-decided stores per query.
+	MaxHistoryStores int
+	// MinHistoryHR is the minimum (aged) importance factor for a
+	// history-mode store decision; results must have been seen before.
+	MinHistoryHR float64
+	// ProactiveDistinctLimit is the GROUP BY extension threshold of the
+	// cube-caching heuristic.
+	ProactiveDistinctLimit int64
+}
+
+// NewRewriter returns a rewriter with the defaults used in the evaluation.
+func NewRewriter(rec *core.Recycler, cat *catalog.Catalog, mode Mode) *Rewriter {
+	return &Rewriter{
+		Rec:                    rec,
+		Cat:                    cat,
+		Mode:                   mode,
+		MaxHistoryStores:       4,
+		MinHistoryHR:           0.5,
+		ProactiveDistinctLimit: 64,
+	}
+}
+
+// Result carries everything the engine needs to execute and then annotate a
+// rewritten query.
+type Result struct {
+	// Exec is the tree to execute: the original tree, possibly with
+	// subsumption-derived or proactive replacements.
+	Exec  *plan.Node
+	Decor exec.Decorations
+	Match *core.MatchResult
+
+	// subst maps a decorated node to the graph node whose cached result
+	// replaced that subtree (bcost accounting for Eq. 2 consistency).
+	subst map[*plan.Node]*core.Node
+	// waitReused records the runtime outcome of Wait decorations.
+	waitReused map[*plan.Node]*bool
+	// producing is the set of graph nodes this query registered as the
+	// in-flight producer of. A second occurrence of the same subtree in
+	// the same query (intra-query sharing, e.g. TPC-H Q15) must not
+	// stall on it: within one pipeline that wait can deadlock against
+	// its own store.
+	producing map[*core.Node]bool
+	// committed counts store operators that actually admitted a result
+	// during execution (speculation may cancel; admission may reject).
+	committed int32
+
+	// Reuses counts exact cache hits planned; SubsumptionReuses counts
+	// derived hits; Stores counts history stores; SpecStores speculative
+	// ones; Waits planned stalls. ProactiveApplied marks a §IV-B rewrite.
+	Reuses            int
+	SubsumptionReuses int
+	Stores            int
+	SpecStores        int
+	Waits             int
+	ProactiveApplied  bool
+}
+
+// Rewrite runs the full pipeline on a resolved query tree and returns the
+// execution decorations. In Off mode it returns the tree untouched.
+func (rw *Rewriter) Rewrite(root *plan.Node) (*Result, error) {
+	res := &Result{
+		Exec:       root,
+		Decor:      make(exec.Decorations),
+		subst:      make(map[*plan.Node]*core.Node),
+		waitReused: make(map[*plan.Node]*bool),
+		producing:  make(map[*core.Node]bool),
+	}
+	if rw.Mode == Off {
+		return res, nil
+	}
+	rw.Rec.BeginQuery()
+	if rw.Mode >= Proactive {
+		if pa, err := rw.applyProactive(root); err != nil {
+			return nil, err
+		} else if pa != nil {
+			res.Exec = pa
+			res.ProactiveApplied = true
+		}
+	}
+	res.Match = rw.Rec.MatchInsert(res.Exec)
+	rw.Rec.AddRefs(res.Exec, res.Match)
+	rw.substitute(res.Exec, res)
+	rw.injectStores(res.Exec, res, false)
+	rw.dropStoresUnderWaits(res.Exec, res, false)
+	return res, nil
+}
+
+// dropStoresUnderWaits removes store decorations that ended up inside a wait
+// fallback (a wait planned for an ancestor after the store was attached):
+// if the wait succeeds the fallback never runs, so such a store would leave
+// its in-flight registration dangling and force concurrent queries into the
+// stall timeout.
+func (rw *Rewriter) dropStoresUnderWaits(n *plan.Node, res *Result, underWait bool) {
+	d := res.Decor[n]
+	if d != nil {
+		if underWait && d.Store != nil {
+			if g := nodeGraph(res, n); g != nil {
+				rw.Rec.FinishInflight(g, false)
+			}
+			if d.Store.Speculative {
+				res.SpecStores--
+			} else {
+				res.Stores--
+			}
+			d.Store = nil
+			if d.Reuse == nil && d.Wait == nil {
+				delete(res.Decor, n)
+			}
+		}
+		if d.Reuse != nil {
+			return
+		}
+		if d.Wait != nil {
+			underWait = true
+		}
+	}
+	for _, c := range n.Children {
+		rw.dropStoresUnderWaits(c, res, underWait)
+	}
+}
+
+// substitute is the top-down reuse rule.
+func (rw *Rewriter) substitute(n *plan.Node, res *Result) {
+	nm := res.Match.ByNode[n]
+	if nm != nil {
+		// Exact cached result.
+		if e := rw.Rec.Cached(nm.G); e != nil {
+			res.Decor[n] = &exec.Decor{Reuse: rw.reuseSpec(e, identityIdx(len(nm.G.OutCols)))}
+			res.subst[n] = nm.G
+			res.Reuses++
+			return
+		}
+		// In-flight materialization by a concurrent query: stall.
+		if nm.Existed && rw.Rec.Inflight(nm.G) {
+			g := nm.G
+			reused := new(bool)
+			res.waitReused[n] = reused
+			res.subst[n] = g
+			res.Decor[n] = &exec.Decor{Wait: &exec.WaitSpec{
+				Timeout: rw.Rec.StallTimeoutFor(g),
+				Wait: func(timeout time.Duration) ([]*vector.Batch, []int, func(), bool) {
+					e, ok := rw.Rec.WaitInflight(g, timeout)
+					if !ok {
+						return nil, nil, nil, false
+					}
+					entry := e
+					return e.Batches, identityIdx(len(g.OutCols)),
+						func() { rw.Rec.Release(entry) }, true
+				},
+				OnOutcome: func(ok bool, stalled time.Duration) {
+					*reused = ok
+					rw.Rec.CountStall(ok)
+				},
+			}}
+			res.Waits++
+			// The fallback subtree may still reuse deeper results.
+			for _, c := range n.Children {
+				rw.substitute(c, res)
+			}
+			return
+		}
+		// Subsumption: a cached result that subsumes this node (§IV-A).
+		// This applies in particular to nodes with no exact match in
+		// the graph (freshly inserted), exactly the case the paper
+		// motivates subsumption with.
+		if rw.Rec.Config().Subsumption {
+			for _, s := range nm.G.Subsumers() {
+				if e := rw.Rec.Cached(s); e != nil {
+					if rw.applySubsumption(n, nm, s, e, res) {
+						res.SubsumptionReuses++
+						rw.Rec.CountSubsumptionReuse()
+						return
+					}
+					rw.Rec.Release(e)
+				}
+			}
+		}
+	}
+	for _, c := range n.Children {
+		rw.substitute(c, res)
+	}
+}
+
+// reuseSpec wraps a pinned cache entry for the executor.
+func (rw *Rewriter) reuseSpec(e *core.Entry, outIdx []int) *exec.ReuseSpec {
+	return &exec.ReuseSpec{
+		Batches: e.Batches,
+		OutIdx:  outIdx,
+		Release: func() { rw.Rec.Release(e) },
+	}
+}
+
+func identityIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// injectStores is the final rewriting rule: store operators over results
+// worth materializing.
+func (rw *Rewriter) injectStores(root *plan.Node, res *Result, insideWait bool) {
+	type candidate struct {
+		n       *plan.Node
+		g       *core.Node
+		benefit float64
+		size    int64
+	}
+	var hist []candidate
+	var spec []*struct {
+		n *plan.Node
+		g *core.Node
+	}
+	var walk func(n *plan.Node, inWait bool)
+	walk = func(n *plan.Node, inWait bool) {
+		d := res.Decor[n]
+		if d != nil && d.Reuse != nil {
+			return // replayed subtrees compute nothing to store
+		}
+		if d != nil && d.Wait != nil {
+			// Stores inside a wait fallback would register in-flight
+			// producers that never run if the wait succeeds; skip the
+			// whole fallback (see DESIGN.md).
+			return
+		}
+		nm := res.Match.ByNode[n]
+		if nm != nil && !inWait && rw.storable(n) {
+			g := nm.G
+			_, known, card, estBytes := rw.Rec.NodeStats(g)
+			if nm.Existed && known {
+				hr := rw.Rec.HR(g)
+				if hr >= rw.MinHistoryHR {
+					size := estBytes
+					if size <= 0 {
+						size = core.EstimateResultBytes(g, card)
+					}
+					// Expected savings (references x true cost) must
+					// beat the one-time materialization cost.
+					if size > 0 {
+						saved := time.Duration(hr * float64(rw.Rec.TrueCost(g)))
+						if saved > rw.Rec.Config().CopyCost(size) {
+							b := rw.Rec.Benefit(g)
+							hist = append(hist, candidate{n: n, g: g, benefit: b, size: size})
+						}
+					}
+				}
+			} else if rw.Mode >= Speculative && rw.speculative(n, root) {
+				spec = append(spec, &struct {
+					n *plan.Node
+					g *core.Node
+				}{n, g})
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, inWait)
+		}
+	}
+	walk(root, insideWait)
+
+	// History stores: highest benefit first, capped, admission-checked.
+	// Registration runs in ascending graph-node-ID order: a deterministic
+	// global order makes crossed in-flight ownership between concurrent
+	// queries (the stall-deadlock precondition) much rarer.
+	sort.SliceStable(hist, func(a, b int) bool { return hist[a].benefit > hist[b].benefit })
+	var selected []candidate
+	for _, c := range hist {
+		if len(selected) >= rw.MaxHistoryStores {
+			break
+		}
+		if !rw.Rec.WouldAdmit(c.benefit, c.size) {
+			continue
+		}
+		selected = append(selected, c)
+	}
+	sort.SliceStable(selected, func(a, b int) bool { return selected[a].g.ID < selected[b].g.ID })
+	for _, c := range selected {
+		if !rw.Rec.BeginInflight(c.g) {
+			// Stall — unless this query itself is the producer (an
+			// intra-query duplicate subtree): waiting on ourselves
+			// would deadlock, so the duplicate just recomputes.
+			if !res.producing[c.g] {
+				rw.planWait(c.n, c.g, res)
+			}
+			continue
+		}
+		rw.attachStore(c.n, c.g, res, false)
+		res.producing[c.g] = true
+	}
+	// Speculative stores on new expensive-looking results.
+	for _, s := range spec {
+		if d := res.Decor[s.n]; d != nil {
+			continue // already decided above
+		}
+		if !rw.Rec.BeginInflight(s.g) {
+			if !res.producing[s.g] {
+				rw.planWait(s.n, s.g, res)
+			}
+			continue
+		}
+		rw.attachStore(s.n, s.g, res, true)
+		res.producing[s.g] = true
+	}
+}
+
+// storable excludes operators whose materialization can never pay off.
+func (rw *Rewriter) storable(n *plan.Node) bool {
+	switch n.Op {
+	case plan.Scan, plan.Cached:
+		// Replaying a base-table scan costs as much as the scan.
+		return false
+	}
+	return true
+}
+
+// speculative reports whether a never-seen node warrants a speculative
+// store: the final result of the query, aggregations and top-Ns — operators
+// expected to be computationally expensive with small results (§III-D).
+func (rw *Rewriter) speculative(n, root *plan.Node) bool {
+	if n == root {
+		return true
+	}
+	switch n.Op {
+	case plan.Aggregate, plan.TopN:
+		return true
+	}
+	return false
+}
+
+// planWait decorates node n to stall on g's in-flight materialization.
+func (rw *Rewriter) planWait(n *plan.Node, g *core.Node, res *Result) {
+	if d := res.Decor[n]; d != nil {
+		return
+	}
+	reused := new(bool)
+	res.waitReused[n] = reused
+	res.subst[n] = g
+	res.Decor[n] = &exec.Decor{Wait: &exec.WaitSpec{
+		Timeout: rw.Rec.StallTimeoutFor(g),
+		Wait: func(timeout time.Duration) ([]*vector.Batch, []int, func(), bool) {
+			e, ok := rw.Rec.WaitInflight(g, timeout)
+			if !ok {
+				return nil, nil, nil, false
+			}
+			return e.Batches, identityIdx(len(g.OutCols)),
+				func() { rw.Rec.Release(e) }, true
+		},
+		OnOutcome: func(ok bool, stalled time.Duration) {
+			*reused = ok
+			rw.Rec.CountStall(ok)
+		},
+	}}
+	res.Waits++
+}
+
+// attachStore decorates node n with a store operator for graph node g.
+func (rw *Rewriter) attachStore(n *plan.Node, g *core.Node, res *Result, speculativeStore bool) {
+	cfg := rw.Rec.Config()
+	specSpec := exec.StoreSpec{
+		Speculative: speculativeStore,
+		OnComplete: func(batches []*vector.Batch, rows, bytes int64, elapsed time.Duration) {
+			hrOverride := -1.0
+			if speculativeStore {
+				hrOverride = cfg.SpeculationHR
+			}
+			ok := rw.Rec.Admit(g, batches, rows, bytes, elapsed, hrOverride)
+			if ok {
+				atomic.AddInt32(&res.committed, 1)
+				if speculativeStore {
+					rw.Rec.CountSpecCommit()
+				}
+			}
+			rw.Rec.FinishInflight(g, ok)
+		},
+		OnCancel: func() {
+			if speculativeStore {
+				rw.Rec.CountSpecCancel()
+			}
+			rw.Rec.FinishInflight(g, false)
+		},
+	}
+	if speculativeStore {
+		specSpec.OnBatch = func(progress float64, elapsed time.Duration, buffered int64) bool {
+			if cfg.MaxSpeculateBytes > 0 && buffered > cfg.MaxSpeculateBytes {
+				return false
+			}
+			if progress < cfg.MinProgress {
+				return true // not enough information yet; keep buffering
+			}
+			estCost := time.Duration(float64(elapsed) / progress)
+			estSize := int64(float64(buffered) / progress)
+			// "Computationally expensive and likely small" (§III-D),
+			// quantified: the result must cost more to recompute than
+			// to materialize, or speculation is a net loss.
+			if estCost < cfg.CopyCost(estSize) {
+				return false
+			}
+			b := core.BenefitValue(estCost, cfg.SpeculationHR, estSize)
+			return rw.Rec.WouldAdmit(b, estSize)
+		}
+		res.SpecStores++
+	} else {
+		res.Stores++
+	}
+	if d := res.Decor[n]; d != nil {
+		d.Store = &specSpec
+	} else {
+		res.Decor[n] = &exec.Decor{Store: &specSpec}
+	}
+}
+
+// Annotate walks the executed tree after completion and writes measured
+// statistics back to the recycler graph: each node's base cost is its
+// operator's inclusive wall time plus the stored base costs of any reused
+// (substituted) subtrees below it, keeping Eq. 2 consistent (§III-C).
+func (rw *Rewriter) Annotate(res *Result, opmap map[*plan.Node]exec.Operator) {
+	if res.Match == nil {
+		return
+	}
+	var walk func(n *plan.Node) time.Duration
+	walk = func(n *plan.Node) time.Duration {
+		d := res.Decor[n]
+		if d != nil && d.Reuse != nil {
+			if g := res.subst[n]; g != nil {
+				cost, _, _, _ := rw.Rec.NodeStats(g)
+				return cost
+			}
+			return 0
+		}
+		if d != nil && d.Wait != nil {
+			if r := res.waitReused[n]; r != nil && *r {
+				if g := res.subst[n]; g != nil {
+					cost, _, _, _ := rw.Rec.NodeStats(g)
+					return cost
+				}
+				return 0
+			}
+			// Fallback executed: annotate the real subtree below.
+		}
+		var childSubst time.Duration
+		for _, c := range n.Children {
+			childSubst += walk(c)
+		}
+		nm := res.Match.ByNode[n]
+		op := opmap[n]
+		if nm != nil && op != nil {
+			bcost := op.Cost() + childSubst
+			rows := op.RowsOut()
+			rw.Rec.UpdateStats(nm.G, bcost, rows, core.EstimateResultBytes(nm.G, rows))
+		}
+		return childSubst
+	}
+	walk(res.Exec)
+}
+
+// Committed returns the number of results this query actually materialized
+// into the cache (valid after execution completes).
+func (r *Result) Committed() int { return int(atomic.LoadInt32(&r.committed)) }
+
+// Abort releases any in-flight registrations this rewrite created, for error
+// paths where the operators never ran (build failures).
+func (rw *Rewriter) Abort(res *Result) {
+	for n, d := range res.Decor {
+		if d.Store != nil {
+			if g := nodeGraph(res, n); g != nil {
+				rw.Rec.FinishInflight(g, false)
+			}
+		}
+	}
+}
+
+func nodeGraph(res *Result, n *plan.Node) *core.Node {
+	if res.Match == nil {
+		return nil
+	}
+	if nm := res.Match.ByNode[n]; nm != nil {
+		return nm.G
+	}
+	return nil
+}

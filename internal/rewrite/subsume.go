@@ -1,0 +1,202 @@
+package rewrite
+
+import (
+	"recycledb/internal/catalog"
+	"recycledb/internal/core"
+	"recycledb/internal/exec"
+	"recycledb/internal/expr"
+	"recycledb/internal/plan"
+)
+
+// applySubsumption derives node n's result from the cached result of
+// subsumer s (§IV-A). It returns true on success with the entry e consumed
+// (released via the replay operator); on false the caller releases e.
+//
+// Derivations:
+//   - Select:  replay s (a looser selection over the same child) in place
+//     of n's child and re-apply n's predicate (tuple subsumption);
+//   - TopN:    replay s (a larger top-N) in place of n's child and re-apply
+//     the smaller top-N (prefix subsumption);
+//   - Aggregate, same grouping:   project n's aggregates out of s (column
+//     subsumption);
+//   - Aggregate, coarser grouping: re-aggregate s's finer groups with the
+//     decomposed aggregate functions (tuple subsumption).
+func (rw *Rewriter) applySubsumption(n *plan.Node, nm *core.NodeMatch, s *core.Node, e *core.Entry, res *Result) bool {
+	switch n.Op {
+	case plan.Select, plan.TopN:
+		return rw.childReplaySubsumption(n, s, e, res)
+	case plan.Aggregate:
+		sameGrouping := equalSorted(nm.G.Meta(), s.Meta())
+		if sameGrouping {
+			return rw.columnSubsumption(n, nm, s, e, res)
+		}
+		return rw.tupleSubsumption(n, nm, s, e, res)
+	}
+	return false
+}
+
+func equalSorted(a, b *core.SubMeta) bool {
+	if a == nil || b == nil || len(a.GroupBy) != len(b.GroupBy) {
+		return false
+	}
+	for i := range a.GroupBy {
+		if a.GroupBy[i] != b.GroupBy[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// childReplaySubsumption replaces n's child subtree with a replay of s's
+// cached result; n's own operator re-derives the exact answer on top.
+func (rw *Rewriter) childReplaySubsumption(n *plan.Node, s *core.Node, e *core.Entry, res *Result) bool {
+	child := n.Children[0]
+	cm := res.Match.ByNode[child]
+	if cm == nil {
+		return false
+	}
+	// Select and TopN pass their child's columns through, so s's output
+	// columns are the child's columns in the graph namespace. Map each
+	// query-side child column to its position in s's cached result.
+	outIdx := make([]int, len(child.Schema()))
+	for i, name := range child.Schema().Names() {
+		gname, ok := cm.OutMap[name]
+		if !ok {
+			return false
+		}
+		j := indexOf(s.OutCols, gname)
+		if j < 0 {
+			return false
+		}
+		outIdx[i] = j
+	}
+	res.Decor[child] = &exec.Decor{Reuse: rw.reuseSpec(e, outIdx)}
+	res.subst[child] = cm.G
+	return true
+}
+
+// columnSubsumption replays s directly as n's result, projecting n's subset
+// of aggregate columns.
+func (rw *Rewriter) columnSubsumption(n *plan.Node, nm *core.NodeMatch, s *core.Node, e *core.Entry, res *Result) bool {
+	nMeta, sMeta := nm.G.Meta(), s.Meta()
+	if nMeta == nil || sMeta == nil {
+		return false
+	}
+	nG := len(n.GroupBy)
+	sG := len(sMeta.GroupBy)
+	outIdx := make([]int, len(nm.G.OutCols))
+	for i := range outIdx {
+		if i < nG {
+			j := indexOf(s.OutCols, nm.G.OutCols[i])
+			if j < 0 {
+				return false
+			}
+			outIdx[i] = j
+			continue
+		}
+		sig := nMeta.AggSigs[i-nG]
+		k := indexOfStr(sMeta.AggSigs, sig)
+		if k < 0 {
+			return false
+		}
+		outIdx[i] = sG + k
+	}
+	res.Decor[n] = &exec.Decor{Reuse: rw.reuseSpec(e, outIdx)}
+	res.subst[n] = nm.G
+	return true
+}
+
+// tupleSubsumption rewrites n in place into a re-aggregation of s's cached,
+// finer-grained result: γ_g F_upper(Cached(s)) (§IV-A example: deriving
+// age F sum(slry) from age,dno F sum(slry)).
+func (rw *Rewriter) tupleSubsumption(n *plan.Node, nm *core.NodeMatch, s *core.Node, e *core.Entry, res *Result) bool {
+	nMeta, sMeta := nm.G.Meta(), s.Meta()
+	if nMeta == nil || sMeta == nil || !nMeta.Decompose {
+		return false
+	}
+	cm := res.Match.ByNode[n.Children[0]]
+	if cm == nil {
+		return false
+	}
+	// Reverse name mapping graph->query for the child's columns, so the
+	// replayed schema exposes the query-side names the re-aggregation's
+	// group-by refers to.
+	rev := make(map[string]string, len(cm.OutMap))
+	for q, g := range cm.OutMap {
+		rev[g] = q
+	}
+	sG := len(sMeta.GroupBy)
+	cachedSchema := make(catalog.Schema, len(s.OutCols))
+	seen := make(map[string]struct{}, len(s.OutCols))
+	for i, gname := range s.OutCols {
+		name := gname
+		if q, ok := rev[gname]; ok {
+			name = q
+		}
+		if _, dup := seen[name]; dup {
+			return false
+		}
+		seen[name] = struct{}{}
+		cachedSchema[i] = catalog.Column{Name: name, Typ: s.OutTypes[i]}
+	}
+	// Upper aggregate specs: re-aggregate s's aggregate outputs under n's
+	// original output names (count re-aggregates as sum).
+	upper := make([]plan.AggSpec, len(n.Aggs))
+	for i, a := range n.Aggs {
+		sig := nMeta.AggSigs[i]
+		k := indexOfStr(sMeta.AggSigs, sig)
+		if k < 0 {
+			return false
+		}
+		srcCol := cachedSchema[sG+k].Name
+		f := a.Func
+		if f == plan.Count {
+			f = plan.Sum
+		}
+		upper[i] = plan.AggSpec{Func: f, Arg: expr.C(srcCol), As: a.As}
+	}
+	// Verify every group-by column of n is visible in the cached schema.
+	for _, g := range n.GroupBy {
+		if cachedSchema.ColIndex(g) < 0 {
+			return false
+		}
+	}
+	cached := plan.NewCached(cachedSchema)
+	oldSchema := n.Schema()
+	// Mutate n in place into the re-aggregation; the parent's bindings
+	// stay valid because the output schema is unchanged.
+	n.Children = []*plan.Node{cached}
+	n.Aggs = upper
+	if err := n.Resolve(rw.Cat); err != nil {
+		return false
+	}
+	if !schemasEqual(oldSchema, n.Schema()) {
+		return false
+	}
+	res.Decor[cached] = &exec.Decor{Reuse: rw.reuseSpec(e, identityIdx(len(s.OutCols)))}
+	res.subst[cached] = cm.G
+	return true
+}
+
+func indexOf(ss []string, s string) int {
+	for i, v := range ss {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func indexOfStr(ss []string, s string) int { return indexOf(ss, s) }
+
+func schemasEqual(a, b catalog.Schema) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package skyserver
+
+import (
+	"testing"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/exec"
+	"recycledb/internal/vector"
+)
+
+func testSky(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	Load(cat, 20000, 1)
+	return cat
+}
+
+func TestLoadShape(t *testing.T) {
+	cat := testSky(t)
+	tbl, err := cat.Table("PhotoPrimary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 20000 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	if _, err := cat.Func("fGetNearbyObjEq"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConeSearchFindsClusteredObjects(t *testing.T) {
+	cat := testSky(t)
+	fn, _ := cat.Func("fGetNearbyObjEq")
+	res, err := fn.Invoke(cat, []vector.Datum{
+		vector.NewFloat64Datum(195), vector.NewFloat64Datum(2.5), vector.NewFloat64Datum(0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() == 0 {
+		t.Fatal("the (195, 2.5) cluster must yield matches")
+	}
+	// Distances must be within the radius.
+	for _, b := range res.Batches {
+		for _, d := range b.Vecs[1].F64 {
+			if d > 0.5 {
+				t.Fatalf("distance %v exceeds the radius", d)
+			}
+		}
+	}
+}
+
+func TestConeSearchEmptyRegion(t *testing.T) {
+	cat := testSky(t)
+	fn, _ := cat.Func("fGetNearbyObjEq")
+	res, err := fn.Invoke(cat, []vector.Datum{
+		vector.NewFloat64Datum(10), vector.NewFloat64Datum(-55), vector.NewFloat64Datum(0.01),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() > 3 {
+		t.Fatalf("sparse region returned %d objects", res.Rows())
+	}
+}
+
+func TestWorkloadSharingStructure(t *testing.T) {
+	qs := Workload(100, 1)
+	if len(qs) != 100 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	counts := make(map[string]int)
+	for _, q := range qs {
+		counts[q.Pattern]++
+	}
+	if counts["cone-join-dominant"] < 40 {
+		t.Fatalf("dominant pattern underrepresented: %v", counts)
+	}
+	if len(counts) < 3 {
+		t.Fatalf("expected several patterns, got %v", counts)
+	}
+}
+
+func TestWorkloadQueriesRun(t *testing.T) {
+	cat := testSky(t)
+	ctx := exec.NewCtx(cat)
+	for i, q := range Workload(20, 2) {
+		if err := q.Plan.Resolve(cat); err != nil {
+			t.Fatalf("query %d (%s): %v", i, q.Pattern, err)
+		}
+		op, err := exec.Build(ctx, q.Plan, nil, nil)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if _, err := exec.Run(ctx, op); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	a := Workload(30, 7)
+	b := Workload(30, 7)
+	for i := range a {
+		if a[i].Pattern != b[i].Pattern {
+			t.Fatal("workload not deterministic")
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package sql implements a small SQL front-end over the plan algebra:
+// single-block SELECT queries with WHERE (including implicit equi-joins),
+// GROUP BY, HAVING, ORDER BY and LIMIT. It completes the paper's Fig. 1
+// architecture (Parser → Rewriter → Builder → Execution engine); the
+// evaluation workloads construct plans directly, as an optimizer would.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a SQL string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.ident()
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.number()
+		case c == '\'':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.symbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentPart(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if !unicode.IsDigit(rune(c)) {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) str() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string literal at %d", start)
+}
+
+var twoCharSymbols = map[string]bool{"<=": true, ">=": true, "<>": true, "!=": true}
+
+func (l *lexer) symbol() error {
+	start := l.pos
+	if l.pos+1 < len(l.src) && twoCharSymbols[l.src[l.pos:l.pos+2]] {
+		l.pos += 2
+		l.toks = append(l.toks, token{kind: tokSymbol, text: l.src[start:l.pos], pos: start})
+		return nil
+	}
+	switch l.src[l.pos] {
+	case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/', '.', ';':
+		l.pos++
+		l.toks = append(l.toks, token{kind: tokSymbol, text: l.src[start:l.pos], pos: start})
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at %d", l.src[l.pos], l.pos)
+}

@@ -1,0 +1,356 @@
+// Package tpch provides a scaled-down TPC-H substrate: a dbgen-style data
+// generator with the spec's key relationships and value domains (so that
+// query parameter selectivities behave like the benchmark's), plan builders
+// for all 22 query patterns, and a qgen-style stream/parameter generator.
+// The paper's throughput experiments (Figs. 7-10) run on it.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/vector"
+)
+
+// Value domains from the TPC-H specification (abbreviated comments; the
+// domains drive parameter sharing, which drives recycling potential).
+var (
+	Regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+	// Nations with their region index, in nationkey order.
+	Nations = []struct {
+		Name   string
+		Region int
+	}{
+		{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+		{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+		{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+		{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+		{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+		{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+		{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+	}
+
+	Segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	Priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	ShipModes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	Instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+
+	TypeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	TypeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	TypeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+	ContainerSyl1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	ContainerSyl2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+
+	Colors = []string{
+		"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+		"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+		"chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+		"dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+		"frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+		"hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+		"lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+		"midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+		"orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+		"puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+		"sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+		"steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white",
+		"yellow",
+	}
+
+	CommentWords1 = []string{"special", "pending", "unusual", "express"}
+	CommentWords2 = []string{"packages", "requests", "accounts", "deposits"}
+)
+
+// Row-count bases at scale factor 1, per the specification.
+const (
+	baseSupplier = 10000
+	baseCustomer = 150000
+	basePart     = 200000
+	baseOrders   = 1500000
+)
+
+// Dates used throughout the generator (days since epoch).
+var (
+	startDate = vector.MustParseDate("1992-01-01")
+	endDate   = vector.MustParseDate("1998-08-02") // last o_orderdate
+	// CurrentDate is the spec's 1995-06-17 used for l_linestatus.
+	currentDate = vector.MustParseDate("1995-06-17")
+)
+
+// Generate populates cat with a TPC-H database at the given scale factor
+// (1.0 = the spec's 1 GB shape; 0.01 is plenty for shape reproduction).
+// Generation is deterministic for a given (sf, seed).
+func Generate(cat *catalog.Catalog, sf float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	nSupp := scaled(baseSupplier, sf)
+	nCust := scaled(baseCustomer, sf)
+	nPart := scaled(basePart, sf)
+	nOrd := scaled(baseOrders, sf)
+
+	genRegion(cat)
+	genNation(cat)
+	genSupplier(cat, rng, nSupp)
+	genCustomer(cat, rng, nCust)
+	genPart(cat, rng, nPart)
+	genPartsupp(cat, rng, nPart, nSupp)
+	genOrdersAndLineitem(cat, rng, nOrd, nCust, nPart, nSupp)
+}
+
+func scaled(base int, sf float64) int {
+	n := int(float64(base) * sf)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+func genRegion(cat *catalog.Catalog) {
+	t := catalog.NewTable("region", catalog.Schema{
+		{Name: "r_regionkey", Typ: vector.Int64},
+		{Name: "r_name", Typ: vector.String},
+	})
+	ap := t.Appender()
+	for i, r := range Regions {
+		ap.Int64(0, int64(i))
+		ap.String(1, r)
+		ap.FinishRow()
+	}
+	cat.AddTable(t)
+}
+
+func genNation(cat *catalog.Catalog) {
+	t := catalog.NewTable("nation", catalog.Schema{
+		{Name: "n_nationkey", Typ: vector.Int64},
+		{Name: "n_name", Typ: vector.String},
+		{Name: "n_regionkey", Typ: vector.Int64},
+	})
+	ap := t.Appender()
+	for i, n := range Nations {
+		ap.Int64(0, int64(i))
+		ap.String(1, n.Name)
+		ap.Int64(2, int64(n.Region))
+		ap.FinishRow()
+	}
+	cat.AddTable(t)
+}
+
+func genSupplier(cat *catalog.Catalog, rng *rand.Rand, n int) {
+	t := catalog.NewTable("supplier", catalog.Schema{
+		{Name: "s_suppkey", Typ: vector.Int64},
+		{Name: "s_name", Typ: vector.String},
+		{Name: "s_nationkey", Typ: vector.Int64},
+		{Name: "s_acctbal", Typ: vector.Float64},
+		{Name: "s_comment", Typ: vector.String},
+	})
+	ap := t.Appender()
+	for i := 1; i <= n; i++ {
+		ap.Int64(0, int64(i))
+		ap.String(1, fmt.Sprintf("Supplier#%09d", i))
+		ap.Int64(2, int64(rng.Intn(len(Nations))))
+		ap.Float64(3, float64(rng.Intn(1099801)-99999)/100) // [-999.99, 9999.99]
+		// ~0.05% of suppliers carry the Q16 complaint marker (5 per
+		// 10k at SF1 per spec).
+		comment := "carefully packed deposits"
+		if rng.Intn(2000) == 0 {
+			comment = "slow Customer some Complaints haggle"
+		}
+		ap.String(4, comment)
+		ap.FinishRow()
+	}
+	cat.AddTable(t)
+}
+
+func genCustomer(cat *catalog.Catalog, rng *rand.Rand, n int) {
+	t := catalog.NewTable("customer", catalog.Schema{
+		{Name: "c_custkey", Typ: vector.Int64},
+		{Name: "c_name", Typ: vector.String},
+		{Name: "c_nationkey", Typ: vector.Int64},
+		{Name: "c_phone", Typ: vector.String},
+		{Name: "c_acctbal", Typ: vector.Float64},
+		{Name: "c_mktsegment", Typ: vector.String},
+	})
+	ap := t.Appender()
+	for i := 1; i <= n; i++ {
+		nat := rng.Intn(len(Nations))
+		ap.Int64(0, int64(i))
+		ap.String(1, fmt.Sprintf("Customer#%09d", i))
+		ap.Int64(2, int64(nat))
+		// Phone country code = nationkey + 10, per the specification.
+		ap.String(3, fmt.Sprintf("%d-%03d-%03d-%04d", nat+10,
+			rng.Intn(900)+100, rng.Intn(900)+100, rng.Intn(9000)+1000))
+		ap.Float64(4, float64(rng.Intn(1099801)-99999)/100)
+		ap.String(5, Segments[rng.Intn(len(Segments))])
+		ap.FinishRow()
+	}
+	cat.AddTable(t)
+}
+
+func genPart(cat *catalog.Catalog, rng *rand.Rand, n int) {
+	t := catalog.NewTable("part", catalog.Schema{
+		{Name: "p_partkey", Typ: vector.Int64},
+		{Name: "p_name", Typ: vector.String},
+		{Name: "p_brand", Typ: vector.String},
+		{Name: "p_type", Typ: vector.String},
+		{Name: "p_size", Typ: vector.Int64},
+		{Name: "p_container", Typ: vector.String},
+		{Name: "p_retailprice", Typ: vector.Float64},
+	})
+	ap := t.Appender()
+	for i := 1; i <= n; i++ {
+		ap.Int64(0, int64(i))
+		// p_name: five color words; Q9/Q20 filter on LIKE '%color%'.
+		name := Colors[rng.Intn(len(Colors))]
+		for w := 0; w < 4; w++ {
+			name += " " + Colors[rng.Intn(len(Colors))]
+		}
+		ap.String(1, name)
+		ap.String(2, fmt.Sprintf("Brand#%d%d", rng.Intn(5)+1, rng.Intn(5)+1))
+		ap.String(3, TypeSyl1[rng.Intn(6)]+" "+TypeSyl2[rng.Intn(5)]+" "+TypeSyl3[rng.Intn(5)])
+		ap.Int64(4, int64(rng.Intn(50)+1))
+		ap.String(5, ContainerSyl1[rng.Intn(5)]+" "+ContainerSyl2[rng.Intn(8)])
+		ap.Float64(6, float64(90000+((i/10)%20001)+100*(i%1000))/100)
+		ap.FinishRow()
+	}
+	cat.AddTable(t)
+}
+
+func genPartsupp(cat *catalog.Catalog, rng *rand.Rand, nPart, nSupp int) {
+	t := catalog.NewTable("partsupp", catalog.Schema{
+		{Name: "ps_partkey", Typ: vector.Int64},
+		{Name: "ps_suppkey", Typ: vector.Int64},
+		{Name: "ps_availqty", Typ: vector.Int64},
+		{Name: "ps_supplycost", Typ: vector.Float64},
+	})
+	ap := t.Appender()
+	for p := 1; p <= nPart; p++ {
+		for s := 0; s < 4; s++ {
+			supp := psSupplier(p, s, nSupp)
+			ap.Int64(0, int64(p))
+			ap.Int64(1, int64(supp))
+			ap.Int64(2, int64(rng.Intn(9999)+1))
+			ap.Float64(3, float64(rng.Intn(100000)+100)/100)
+			ap.FinishRow()
+		}
+	}
+	cat.AddTable(t)
+}
+
+// psSupplier maps (part, slot) to one of the part's four suppliers, in the
+// spirit of the spec's distribution formula but collision-free at tiny scale
+// factors: the four slots are spread a quarter of the supplier space apart,
+// with a per-part rotation.
+func psSupplier(p, s, nSupp int) int {
+	quarter := nSupp / 4
+	if quarter == 0 {
+		quarter = 1
+	}
+	return (p+s*quarter+(p-1)/nSupp)%nSupp + 1
+}
+
+func genOrdersAndLineitem(cat *catalog.Catalog, rng *rand.Rand, nOrd, nCust, nPart, nSupp int) {
+	orders := catalog.NewTable("orders", catalog.Schema{
+		{Name: "o_orderkey", Typ: vector.Int64},
+		{Name: "o_custkey", Typ: vector.Int64},
+		{Name: "o_orderstatus", Typ: vector.String},
+		{Name: "o_totalprice", Typ: vector.Float64},
+		{Name: "o_orderdate", Typ: vector.Date},
+		{Name: "o_orderpriority", Typ: vector.String},
+		{Name: "o_shippriority", Typ: vector.Int64},
+		{Name: "o_comment", Typ: vector.String},
+	})
+	lineitem := catalog.NewTable("lineitem", catalog.Schema{
+		{Name: "l_orderkey", Typ: vector.Int64},
+		{Name: "l_partkey", Typ: vector.Int64},
+		{Name: "l_suppkey", Typ: vector.Int64},
+		{Name: "l_linenumber", Typ: vector.Int64},
+		{Name: "l_quantity", Typ: vector.Int64},
+		{Name: "l_extendedprice", Typ: vector.Float64},
+		{Name: "l_discount", Typ: vector.Float64},
+		{Name: "l_tax", Typ: vector.Float64},
+		{Name: "l_returnflag", Typ: vector.String},
+		{Name: "l_linestatus", Typ: vector.String},
+		{Name: "l_shipdate", Typ: vector.Date},
+		{Name: "l_commitdate", Typ: vector.Date},
+		{Name: "l_receiptdate", Typ: vector.Date},
+		{Name: "l_shipinstruct", Typ: vector.String},
+		{Name: "l_shipmode", Typ: vector.String},
+	})
+	oap := orders.Appender()
+	lap := lineitem.Appender()
+	dateRange := int(endDate - startDate)
+	for o := 1; o <= nOrd; o++ {
+		odate := startDate + int64(rng.Intn(dateRange+1))
+		lines := rng.Intn(7) + 1
+		var total float64
+		status := map[bool]string{true: "F", false: "O"}
+		allShipped, anyShipped := true, false
+		comment := "quick final deposits"
+		if rng.Intn(100) == 0 {
+			comment = "blithely special packed requests integrate"
+		}
+		for l := 1; l <= lines; l++ {
+			qty := rng.Intn(50) + 1
+			part := rng.Intn(nPart) + 1
+			// One of the part's four suppliers.
+			supp := psSupplier(part, rng.Intn(4), nSupp)
+			price := float64(90000+((part/10)%20001)+100*(part%1000)) / 100 * float64(qty)
+			disc := float64(rng.Intn(11)) / 100
+			tax := float64(rng.Intn(9)) / 100
+			ship := odate + int64(rng.Intn(121)+1)
+			commit := odate + int64(rng.Intn(61)+30)
+			receipt := ship + int64(rng.Intn(30)+1)
+			rf := "N"
+			if receipt <= currentDate {
+				if rng.Intn(2) == 0 {
+					rf = "R"
+				} else {
+					rf = "A"
+				}
+			}
+			ls := "O"
+			if ship <= currentDate {
+				ls = "F"
+			}
+			if ls == "F" {
+				anyShipped = true
+			} else {
+				allShipped = false
+			}
+			total += price * (1 - disc) * (1 + tax)
+			lap.Int64(0, int64(o))
+			lap.Int64(1, int64(part))
+			lap.Int64(2, int64(supp))
+			lap.Int64(3, int64(l))
+			lap.Int64(4, int64(qty))
+			lap.Float64(5, price)
+			lap.Float64(6, disc)
+			lap.Float64(7, tax)
+			lap.String(8, rf)
+			lap.String(9, ls)
+			lap.Int64(10, ship)
+			lap.Int64(11, commit)
+			lap.Int64(12, receipt)
+			lap.String(13, Instructs[rng.Intn(len(Instructs))])
+			lap.String(14, ShipModes[rng.Intn(len(ShipModes))])
+			lap.FinishRow()
+		}
+		st := status[allShipped]
+		if anyShipped && !allShipped {
+			st = "P"
+		}
+		oap.Int64(0, int64(o))
+		oap.Int64(1, int64(rng.Intn(nCust)+1))
+		oap.String(2, st)
+		oap.Float64(3, total)
+		oap.Int64(4, odate)
+		oap.String(5, Priorities[rng.Intn(len(Priorities))])
+		oap.Int64(6, 0)
+		oap.String(7, comment)
+		oap.FinishRow()
+	}
+	cat.AddTable(orders)
+	cat.AddTable(lineitem)
+}

@@ -1,0 +1,177 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"recycledb/internal/vector"
+)
+
+// Params holds the substitution parameters of one query instance. Fields are
+// reused across query patterns; only the ones a pattern reads are set. The
+// deliberately small parameter domains (per the TPC-H specification) are
+// what creates sharing potential across streams (§V).
+type Params struct {
+	Q int // query pattern 1..22
+
+	Date   int64 // a date parameter (days since epoch)
+	Date2  int64
+	Int1   int64
+	Int2   int64
+	Float1 float64
+	Str1   string
+	Str2   string
+	Str3   string
+	Strs   []string
+	Ints   []int64
+	Floats []float64
+	Quants []int64
+	Brands []string
+}
+
+// String renders a compact description, useful in traces.
+func (p Params) String() string {
+	return fmt.Sprintf("Q%d(%s)", p.Q, p.key())
+}
+
+func (p Params) key() string {
+	return fmt.Sprintf("%d|%d|%d|%d|%.3f|%s|%s|%s|%v|%v|%v|%v|%v",
+		p.Date, p.Date2, p.Int1, p.Int2, p.Float1, p.Str1, p.Str2, p.Str3,
+		p.Strs, p.Ints, p.Floats, p.Quants, p.Brands)
+}
+
+// NewParams draws parameters for query pattern q from the spec's domains.
+func NewParams(q int, rng *rand.Rand) Params {
+	p := Params{Q: q}
+	switch q {
+	case 1:
+		// DELTA in [60, 120] days before 1998-12-01.
+		p.Date = vector.MustParseDate("1998-12-01") - int64(60+rng.Intn(61))
+	case 2:
+		p.Int1 = int64(rng.Intn(50) + 1)           // SIZE
+		p.Str1 = TypeSyl3[rng.Intn(len(TypeSyl3))] // TYPE suffix
+		p.Str2 = Regions[rng.Intn(len(Regions))]   // REGION
+	case 3:
+		p.Str1 = Segments[rng.Intn(len(Segments))]
+		p.Date = vector.MustParseDate("1995-03-01") + int64(rng.Intn(31))
+	case 4:
+		// First day of a month between 1993-01 and 1997-10.
+		y := 1993 + rng.Intn(5)
+		m := 1 + rng.Intn(12)
+		if y == 1997 && m > 10 {
+			m = 10
+		}
+		p.Date = vector.DaysFromDate(y, m, 1)
+	case 5:
+		p.Str1 = Regions[rng.Intn(len(Regions))]
+		p.Date = vector.DaysFromDate(1993+rng.Intn(5), 1, 1)
+	case 6:
+		p.Date = vector.DaysFromDate(1993+rng.Intn(5), 1, 1)
+		p.Float1 = float64(2+rng.Intn(8)) / 100 // DISCOUNT
+		p.Int1 = int64(24 + rng.Intn(2))        // QUANTITY
+	case 7, 8:
+		i := rng.Intn(len(Nations))
+		j := rng.Intn(len(Nations))
+		for j == i {
+			j = rng.Intn(len(Nations))
+		}
+		p.Str1 = Nations[i].Name
+		p.Str2 = Nations[j].Name
+		if q == 8 {
+			p.Str2 = Regions[Nations[i].Region]
+			p.Str3 = TypeSyl1[rng.Intn(6)] + " " + TypeSyl2[rng.Intn(5)] + " " + TypeSyl3[rng.Intn(5)]
+		}
+	case 9:
+		p.Str1 = Colors[rng.Intn(len(Colors))]
+	case 10:
+		y := 1993 + rng.Intn(2)
+		m := 1 + rng.Intn(12)
+		if y == 1993 && m == 1 {
+			m = 2
+		}
+		p.Date = vector.DaysFromDate(y, m, 1)
+	case 11:
+		p.Str1 = Nations[rng.Intn(len(Nations))].Name
+		p.Float1 = 0.0001
+	case 12:
+		i := rng.Intn(len(ShipModes))
+		j := rng.Intn(len(ShipModes))
+		for j == i {
+			j = rng.Intn(len(ShipModes))
+		}
+		p.Strs = []string{ShipModes[i], ShipModes[j]}
+		p.Date = vector.DaysFromDate(1993+rng.Intn(5), 1, 1)
+	case 13:
+		p.Str1 = CommentWords1[rng.Intn(len(CommentWords1))]
+		p.Str2 = CommentWords2[rng.Intn(len(CommentWords2))]
+	case 14:
+		y := 1993 + rng.Intn(5)
+		m := 1 + rng.Intn(12)
+		p.Date = vector.DaysFromDate(y, m, 1)
+	case 15:
+		y := 1993 + rng.Intn(5)
+		m := 1 + rng.Intn(10)
+		p.Date = vector.DaysFromDate(y, m, 1)
+	case 16:
+		p.Str1 = fmt.Sprintf("Brand#%d%d", rng.Intn(5)+1, rng.Intn(5)+1)
+		p.Str2 = TypeSyl1[rng.Intn(6)] + " " + TypeSyl2[rng.Intn(5)]
+		sizes := rng.Perm(50)[:8]
+		p.Ints = make([]int64, 8)
+		for i, s := range sizes {
+			p.Ints[i] = int64(s + 1)
+		}
+	case 17:
+		p.Str1 = fmt.Sprintf("Brand#%d%d", rng.Intn(5)+1, rng.Intn(5)+1)
+		p.Str2 = ContainerSyl1[rng.Intn(5)] + " " + ContainerSyl2[rng.Intn(8)]
+	case 18:
+		p.Int1 = int64(312 + rng.Intn(4))
+	case 19:
+		p.Quants = []int64{int64(1 + rng.Intn(10)), int64(10 + rng.Intn(11)), int64(20 + rng.Intn(11))}
+		p.Brands = []string{
+			fmt.Sprintf("Brand#%d%d", rng.Intn(5)+1, rng.Intn(5)+1),
+			fmt.Sprintf("Brand#%d%d", rng.Intn(5)+1, rng.Intn(5)+1),
+			fmt.Sprintf("Brand#%d%d", rng.Intn(5)+1, rng.Intn(5)+1),
+		}
+	case 20:
+		p.Str1 = Colors[rng.Intn(len(Colors))]
+		p.Date = vector.DaysFromDate(1993+rng.Intn(5), 1, 1)
+		p.Str2 = Nations[rng.Intn(len(Nations))].Name
+	case 21:
+		p.Str1 = Nations[rng.Intn(len(Nations))].Name
+	case 22:
+		codes := rng.Perm(25)[:7]
+		p.Strs = make([]string, 7)
+		for i, c := range codes {
+			p.Strs[i] = fmt.Sprintf("%d", c+10)
+		}
+	}
+	return p
+}
+
+// Stream is one TPC-H throughput stream: the 22 patterns in a per-stream
+// order with per-instance parameters, as produced by QGEN.
+type Stream struct {
+	ID      int
+	Queries []Params
+}
+
+// NewStream builds stream id: a seeded permutation of the 22 patterns with
+// parameters drawn from the shared parameter RNG domains.
+func NewStream(id int, seed int64) Stream {
+	rng := rand.New(rand.NewSource(seed + int64(id)*7919))
+	perm := rng.Perm(22)
+	s := Stream{ID: id}
+	for _, qi := range perm {
+		s.Queries = append(s.Queries, NewParams(qi+1, rng))
+	}
+	return s
+}
+
+// Streams builds n streams.
+func Streams(n int, seed int64) []Stream {
+	out := make([]Stream, n)
+	for i := range out {
+		out[i] = NewStream(i, seed)
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/exec"
+	"recycledb/internal/plan"
+	"recycledb/internal/vector"
+)
+
+// testDB generates a tiny database once for the package tests.
+var testDB = func() *catalog.Catalog {
+	cat := catalog.New()
+	Generate(cat, 0.002, 1)
+	return cat
+}()
+
+func TestGenerateRowCounts(t *testing.T) {
+	for _, tc := range []struct {
+		table string
+		min   int
+	}{
+		{"region", 5}, {"nation", 25}, {"supplier", 8}, {"customer", 100},
+		{"part", 100}, {"partsupp", 400}, {"orders", 1000}, {"lineitem", 1000},
+	} {
+		tbl, err := testDB.Table(tc.table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.Rows() < tc.min {
+			t.Errorf("%s has %d rows, want >= %d", tc.table, tbl.Rows(), tc.min)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c1 := catalog.New()
+	Generate(c1, 0.001, 7)
+	c2 := catalog.New()
+	Generate(c2, 0.001, 7)
+	t1, _ := c1.Table("lineitem")
+	t2, _ := c2.Table("lineitem")
+	if t1.Rows() != t2.Rows() {
+		t.Fatalf("row counts differ: %d vs %d", t1.Rows(), t2.Rows())
+	}
+	for i := 0; i < t1.Rows(); i += 97 {
+		if t1.Col(4).I64[i] != t2.Col(4).I64[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestGenerateKeyIntegrity(t *testing.T) {
+	li, _ := testDB.Table("lineitem")
+	ord, _ := testDB.Table("orders")
+	ps, _ := testDB.Table("partsupp")
+
+	// Every l_orderkey exists in orders.
+	okeys := make(map[int64]struct{})
+	for _, k := range ord.Col(0).I64 {
+		okeys[k] = struct{}{}
+	}
+	for _, k := range li.Col(0).I64 {
+		if _, ok := okeys[k]; !ok {
+			t.Fatalf("lineitem references missing order %d", k)
+		}
+	}
+	// Every (l_partkey, l_suppkey) exists in partsupp.
+	pskeys := make(map[[2]int64]struct{})
+	for i := 0; i < ps.Rows(); i++ {
+		pskeys[[2]int64{ps.Col(0).I64[i], ps.Col(1).I64[i]}] = struct{}{}
+	}
+	for i := 0; i < li.Rows(); i++ {
+		k := [2]int64{li.Col(1).I64[i], li.Col(2).I64[i]}
+		if _, ok := pskeys[k]; !ok {
+			t.Fatalf("lineitem row %d references missing partsupp %v", i, k)
+		}
+	}
+	// partsupp pairs are unique.
+	if len(pskeys) != ps.Rows() {
+		t.Fatalf("partsupp has duplicate pairs: %d distinct of %d", len(pskeys), ps.Rows())
+	}
+}
+
+func TestGenerateDomains(t *testing.T) {
+	part, _ := testDB.Table("part")
+	if d := part.DistinctCount("p_brand"); d > 25 {
+		t.Errorf("p_brand distinct = %d, want <= 25", d)
+	}
+	if d := part.DistinctCount("p_type"); d > 150 {
+		t.Errorf("p_type distinct = %d, want <= 150", d)
+	}
+	if d := part.DistinctCount("p_container"); d > 40 {
+		t.Errorf("p_container distinct = %d, want <= 40", d)
+	}
+	li, _ := testDB.Table("lineitem")
+	if d := li.DistinctCount("l_quantity"); d > 50 {
+		t.Errorf("l_quantity distinct = %d, want <= 50", d)
+	}
+	if d := li.DistinctCount("l_shipmode"); d != 7 {
+		t.Errorf("l_shipmode distinct = %d, want 7", d)
+	}
+	for _, s := range li.Col(8).Str { // l_returnflag
+		if s != "R" && s != "A" && s != "N" {
+			t.Fatalf("bad returnflag %q", s)
+		}
+	}
+}
+
+func TestAllQueriesResolveAndRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ctx := exec.NewCtx(testDB)
+	for q := 1; q <= 22; q++ {
+		p := NewParams(q, rng)
+		n := Build(p)
+		if err := n.Resolve(testDB); err != nil {
+			t.Fatalf("Q%d resolve: %v", q, err)
+		}
+		op, err := exec.Build(ctx, n, nil, nil)
+		if err != nil {
+			t.Fatalf("Q%d build: %v", q, err)
+		}
+		res, err := exec.Run(ctx, op)
+		if err != nil {
+			t.Fatalf("Q%d run: %v", q, err)
+		}
+		_ = res
+	}
+}
+
+func TestQ1Shape(t *testing.T) {
+	p := Params{Q: 1, Date: vector.MustParseDate("1998-09-02")}
+	n := Q1(p)
+	if err := n.Resolve(testDB); err != nil {
+		t.Fatal(err)
+	}
+	ctx := exec.NewCtx(testDB)
+	op, _ := exec.Build(ctx, n, nil, nil)
+	res, err := exec.Run(ctx, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At most 4 groups (R/F, A/F, N/F, N/O) and at least 3.
+	if res.Rows() < 3 || res.Rows() > 4 {
+		t.Fatalf("Q1 groups = %d", res.Rows())
+	}
+	b := res.Batches[0]
+	// count_order is the last column; sums must be positive.
+	last := len(b.Vecs) - 1
+	for i := 0; i < b.Len(); i++ {
+		if b.Vecs[last].I64[i] <= 0 {
+			t.Fatalf("empty group emitted")
+		}
+		// avg_qty between 1 and 50 by construction.
+		avg := b.Vecs[6].F64[i]
+		if avg < 1 || avg > 50 {
+			t.Fatalf("avg_qty = %v", avg)
+		}
+	}
+}
+
+func TestQ6ManualCheck(t *testing.T) {
+	p := Params{Q: 6, Date: vector.DaysFromDate(1994, 1, 1), Float1: 0.06, Int1: 24}
+	n := Q6(p)
+	if err := n.Resolve(testDB); err != nil {
+		t.Fatal(err)
+	}
+	ctx := exec.NewCtx(testDB)
+	op, _ := exec.Build(ctx, n, nil, nil)
+	res, err := exec.Run(ctx, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Batches[0].Vecs[0].F64[0]
+	// Manual recomputation over raw storage.
+	li, _ := testDB.Table("lineitem")
+	lo, hi := vector.DaysFromDate(1994, 1, 1), vector.DaysFromDate(1995, 1, 1)
+	var want float64
+	for i := 0; i < li.Rows(); i++ {
+		ship := li.Col(10).I64[i]
+		disc := li.Col(6).F64[i]
+		qty := li.Col(4).I64[i]
+		if ship >= lo && ship < hi && disc >= 0.049 && disc <= 0.071 && qty < 24 {
+			want += li.Col(5).F64[i] * disc
+		}
+	}
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("Q6 = %v, manual = %v", got, want)
+	}
+}
+
+func TestQ13CountsAllCustomers(t *testing.T) {
+	p := Params{Q: 13, Str1: "special", Str2: "requests"}
+	n := Q13(p)
+	if err := n.Resolve(testDB); err != nil {
+		t.Fatal(err)
+	}
+	ctx := exec.NewCtx(testDB)
+	op, _ := exec.Build(ctx, n, nil, nil)
+	res, err := exec.Run(ctx, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cust, _ := testDB.Table("customer")
+	var totalCust int64
+	for _, b := range res.Batches {
+		for i := 0; i < b.Len(); i++ {
+			totalCust += b.Vecs[1].I64[i] // custdist
+		}
+	}
+	if totalCust != int64(cust.Rows()) {
+		t.Fatalf("distribution covers %d customers, want %d", totalCust, cust.Rows())
+	}
+}
+
+func TestQ16PAMatchesQ16(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := NewParams(16, rng)
+	run := func(n *plan.Node) map[string]int64 {
+		if err := n.Resolve(testDB); err != nil {
+			t.Fatal(err)
+		}
+		ctx := exec.NewCtx(testDB)
+		op, _ := exec.Build(ctx, n, nil, nil)
+		res, err := exec.Run(ctx, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Schema: p_brand, p_type, p_size, supplier_cnt.
+		out := make(map[string]int64)
+		for _, b := range res.Batches {
+			for i := 0; i < b.Len(); i++ {
+				key := fmt.Sprintf("%s|%s|%d",
+					b.Vecs[0].Str[i], b.Vecs[1].Str[i], b.Vecs[2].I64[i])
+				out[key] = b.Vecs[3].I64[i]
+			}
+		}
+		return out
+	}
+	a := run(Q16(p))
+	b := run(Q16PA(p))
+	if len(a) != len(b) {
+		t.Fatalf("group counts differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("group %s: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+func TestStreamsDeterministicAndComplete(t *testing.T) {
+	s1 := NewStream(3, 42)
+	s2 := NewStream(3, 42)
+	if len(s1.Queries) != 22 {
+		t.Fatalf("stream has %d queries", len(s1.Queries))
+	}
+	seen := make(map[int]bool)
+	for i, q := range s1.Queries {
+		if q.Q != s2.Queries[i].Q || q.key() != s2.Queries[i].key() {
+			t.Fatal("streams not deterministic")
+		}
+		if seen[q.Q] {
+			t.Fatalf("pattern Q%d repeated", q.Q)
+		}
+		seen[q.Q] = true
+	}
+	if len(seen) != 22 {
+		t.Fatalf("stream covers %d patterns", len(seen))
+	}
+	// Different stream ids get different orders (almost surely).
+	s3 := NewStream(4, 42)
+	same := true
+	for i := range s1.Queries {
+		if s1.Queries[i].Q != s3.Queries[i].Q {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different streams have identical permutations")
+	}
+}
+
+func TestParamsShareValues(t *testing.T) {
+	// With limited domains, 64 draws of Q6 parameters must collide.
+	rng := rand.New(rand.NewSource(1))
+	seen := make(map[string]int)
+	for i := 0; i < 64; i++ {
+		p := NewParams(6, rng)
+		seen[p.key()]++
+	}
+	max := 0
+	for _, c := range seen {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 2 {
+		t.Fatal("no parameter collisions in 64 draws; sharing potential is broken")
+	}
+}
+
+func TestBuildPAUsesVariantOnlyForQ16(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p16 := NewParams(16, rng)
+	if BuildPA(p16).String() == Build(p16).String() {
+		t.Fatal("Q16 PA variant should differ")
+	}
+	p3 := NewParams(3, rng)
+	if BuildPA(p3).String() != Build(p3).String() {
+		t.Fatal("non-PA queries must be unchanged")
+	}
+}

@@ -1,0 +1,77 @@
+package vector
+
+// Batch is a horizontal slice of rows stored column-wise. All vectors in a
+// batch have the same length.
+type Batch struct {
+	Vecs []*Vector
+}
+
+// NewBatch returns a batch with one empty vector per type in types.
+func NewBatch(types []Type, capacity int) *Batch {
+	b := &Batch{Vecs: make([]*Vector, len(types))}
+	for i, t := range types {
+		b.Vecs[i] = New(t, capacity)
+	}
+	return b
+}
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int {
+	if len(b.Vecs) == 0 {
+		return 0
+	}
+	return b.Vecs[0].Len()
+}
+
+// Width returns the number of columns.
+func (b *Batch) Width() int { return len(b.Vecs) }
+
+// Reset truncates all vectors to zero rows.
+func (b *Batch) Reset() {
+	for _, v := range b.Vecs {
+		v.Reset()
+	}
+}
+
+// AppendRow appends row i of src to b. Schemas must match.
+func (b *Batch) AppendRow(src *Batch, i int) {
+	for c, v := range b.Vecs {
+		v.AppendFrom(src.Vecs[c], i)
+	}
+}
+
+// Row returns row i as a slice of datums (for tests and result rendering).
+func (b *Batch) Row(i int) []Datum {
+	out := make([]Datum, len(b.Vecs))
+	for c, v := range b.Vecs {
+		out[c] = v.Datum(i)
+	}
+	return out
+}
+
+// Bytes returns the approximate memory footprint of the batch.
+func (b *Batch) Bytes() int64 {
+	var n int64
+	for _, v := range b.Vecs {
+		n += v.Bytes()
+	}
+	return n
+}
+
+// Clone deep-copies the batch.
+func (b *Batch) Clone() *Batch {
+	c := &Batch{Vecs: make([]*Vector, len(b.Vecs))}
+	for i, v := range b.Vecs {
+		c.Vecs[i] = v.Clone()
+	}
+	return c
+}
+
+// Types returns the vector types of the batch columns.
+func (b *Batch) Types() []Type {
+	ts := make([]Type, len(b.Vecs))
+	for i, v := range b.Vecs {
+		ts[i] = v.Typ
+	}
+	return ts
+}

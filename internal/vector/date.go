@@ -1,0 +1,38 @@
+package vector
+
+import (
+	"fmt"
+	"time"
+)
+
+// DaysFromDate converts a calendar date to days since 1970-01-01, the
+// physical representation of the Date type.
+func DaysFromDate(year, month, day int) int64 {
+	t := time.Date(year, time.Month(month), day, 0, 0, 0, 0, time.UTC)
+	return t.Unix() / 86400
+}
+
+// MustParseDate converts "YYYY-MM-DD" to days since the epoch and panics on
+// malformed input. It is intended for literals in query builders and tests.
+func MustParseDate(s string) int64 {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		panic(fmt.Sprintf("vector: bad date literal %q: %v", s, err))
+	}
+	return t.Unix() / 86400
+}
+
+// DateString renders days since the epoch as "YYYY-MM-DD".
+func DateString(days int64) string {
+	return time.Unix(days*86400, 0).UTC().Format("2006-01-02")
+}
+
+// YearOf returns the calendar year of a Date value.
+func YearOf(days int64) int64 {
+	return int64(time.Unix(days*86400, 0).UTC().Year())
+}
+
+// MonthOf returns the calendar month (1-12) of a Date value.
+func MonthOf(days int64) int64 {
+	return int64(time.Unix(days*86400, 0).UTC().Month())
+}

@@ -1,0 +1,227 @@
+// Package recycledb is a vectorized, pipelined, in-memory analytical query
+// engine with recycling: automatic, workload-adaptive materialization and
+// reuse of intermediate and final query results.
+//
+// It reproduces the system described in
+//
+//	F. Nagel, P. Boncz, S. D. Viglas:
+//	"Recycling in Pipelined Query Evaluation", ICDE 2013.
+//
+// The engine executes query plans vector-at-a-time (Vectorwise-style). A
+// recycler observes every optimized plan, indexes the workload's operators
+// in a recycler graph, and uses a cost/reuse/size benefit metric to decide
+// which intermediate results are worth the materialization overhead that
+// pipelined execution otherwise avoids. Modes:
+//
+//	OFF  - no recycling (naive baseline)
+//	HIST - materialize results seen before (history-based decisions)
+//	SPEC - additionally speculate on new results with run-time estimates
+//	PA   - additionally apply proactive rewrites (top-N widening, cube
+//	       caching with selections / with binning)
+//
+// Quick start:
+//
+//	eng := recycledb.New(recycledb.Config{Mode: recycledb.Speculative})
+//	eng.Catalog().AddTable(tbl)
+//	q := recycledb.Aggregate(
+//	        recycledb.Select(recycledb.Scan("sales", "region", "amount"),
+//	                recycledb.Gt(recycledb.Col("amount"), recycledb.Float(100))),
+//	        recycledb.GroupBy("region"),
+//	        recycledb.Sum(recycledb.Col("amount"), "total"))
+//	res, err := eng.Execute(q)
+package recycledb
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/core"
+	"recycledb/internal/exec"
+	"recycledb/internal/plan"
+	"recycledb/internal/rewrite"
+)
+
+// Mode selects the recycling mode.
+type Mode = rewrite.Mode
+
+// Recycling modes (§V of the paper).
+const (
+	Off         = rewrite.Off
+	History     = rewrite.History
+	Speculative = rewrite.Speculative
+	Proactive   = rewrite.Proactive
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Mode is the recycling mode (default Off).
+	Mode Mode
+	// CacheBytes bounds the recycler cache; 0 uses the default
+	// (256 MiB), negative means unlimited.
+	CacheBytes int64
+	// Alpha is the aging factor per query (default 0.995; 1 disables).
+	Alpha float64
+	// VectorSize overrides the batch size (default 1024).
+	VectorSize int
+	// MaxSpeculateBytes caps speculative buffering (default 64 MiB).
+	MaxSpeculateBytes int64
+	// StallTimeout bounds waiting on concurrent materializations.
+	StallTimeout time.Duration
+	// DisableSubsumption turns off subsumption matching (§IV-A).
+	DisableSubsumption bool
+	// CopyBytesPerSec models materialization (deep copy) cost in the
+	// store decision: results qualify only if recomputing costs more
+	// than copying. Default 32 MiB/s.
+	CopyBytesPerSec int64
+}
+
+// Engine is a recycling query engine over an in-memory catalog. It is safe
+// for concurrent use; concurrent queries coordinate through the recycler.
+type Engine struct {
+	cat  *catalog.Catalog
+	rec  *core.Recycler
+	mode atomic.Int32
+	vsz  int
+}
+
+// NewWithCatalog creates an engine over an existing catalog, so multiple
+// engines (e.g. one per recycling mode in an experiment) can share one
+// loaded dataset.
+func NewWithCatalog(cfg Config, cat *catalog.Catalog) *Engine {
+	e := New(cfg)
+	e.cat = cat
+	return e
+}
+
+// New creates an engine with an empty catalog.
+func New(cfg Config) *Engine {
+	ccfg := core.DefaultConfig()
+	switch {
+	case cfg.CacheBytes < 0:
+		ccfg.CacheBytes = 0 // unlimited
+	case cfg.CacheBytes > 0:
+		ccfg.CacheBytes = cfg.CacheBytes
+	}
+	if cfg.Alpha > 0 {
+		ccfg.Alpha = cfg.Alpha
+	}
+	if cfg.MaxSpeculateBytes > 0 {
+		ccfg.MaxSpeculateBytes = cfg.MaxSpeculateBytes
+	}
+	if cfg.StallTimeout > 0 {
+		ccfg.StallTimeout = cfg.StallTimeout
+	}
+	if cfg.CopyBytesPerSec != 0 {
+		ccfg.CopyBytesPerSec = cfg.CopyBytesPerSec
+	}
+	ccfg.Subsumption = !cfg.DisableSubsumption
+	e := &Engine{
+		cat: catalog.New(),
+		rec: core.New(ccfg),
+		vsz: cfg.VectorSize,
+	}
+	e.mode.Store(int32(cfg.Mode))
+	return e
+}
+
+// Catalog returns the engine's catalog for loading tables and functions.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Recycler exposes the recycler for introspection (statistics, cache state).
+func (e *Engine) Recycler() *core.Recycler { return e.rec }
+
+// Mode returns the active recycling mode.
+func (e *Engine) Mode() Mode { return Mode(e.mode.Load()) }
+
+// SetMode switches the recycling mode; in-flight queries finish under the
+// mode they started with.
+func (e *Engine) SetMode(m Mode) { e.mode.Store(int32(m)) }
+
+// FlushCache evicts all cached results (simulates update invalidation, as in
+// the paper's Fig. 6 protocol).
+func (e *Engine) FlushCache() { e.rec.FlushCache() }
+
+// QueryStats reports what the recycler did for one query.
+type QueryStats struct {
+	// Total is end-to-end time; Matching the recycler-graph match/insert
+	// time (Fig. 10); Execution the plan run time.
+	Total, Matching, Execution time.Duration
+	// Reused counts exact cached-result substitutions; SubsumptionReused
+	// derived ones; Stores history-mode stores; SpecStores speculative
+	// stores; Waits stalls on concurrent materializations; Materialized
+	// is the number of results actually admitted to the cache.
+	Reused, SubsumptionReused, Stores, SpecStores, Waits, Materialized int
+	// ProactiveApplied reports that a §IV-B rewrite was executed.
+	ProactiveApplied bool
+	// Rows is the result cardinality.
+	Rows int
+}
+
+// Result is a fully materialized query result plus recycler statistics.
+type Result struct {
+	Schema  catalog.Schema
+	Batches []vectorBatch
+	Stats   QueryStats
+	res     *catalog.Result
+}
+
+type vectorBatch = batchAlias
+
+// Rows returns the total number of result rows.
+func (r *Result) Rows() int { return r.res.Rows() }
+
+// Raw returns the underlying materialized result.
+func (r *Result) Raw() *catalog.Result { return r.res }
+
+// Execute runs a query plan through the full recycling pipeline: proactive
+// rewriting, graph matching/insertion, reuse substitution, store injection,
+// vectorized execution, and post-execution annotation of the recycler graph.
+func (e *Engine) Execute(q *plan.Node) (*Result, error) {
+	start := time.Now()
+	p := q.Clone()
+	if err := p.Resolve(e.cat); err != nil {
+		return nil, fmt.Errorf("recycledb: resolve: %w", err)
+	}
+	rw := rewrite.NewRewriter(e.rec, e.cat, e.Mode())
+	rres, err := rw.Rewrite(p)
+	if err != nil {
+		return nil, fmt.Errorf("recycledb: rewrite: %w", err)
+	}
+	ctx := &exec.Ctx{Cat: e.cat, VectorSize: e.vsz}
+	opmap := make(map[*plan.Node]exec.Operator)
+	op, err := exec.Build(ctx, rres.Exec, rres.Decor, opmap)
+	if err != nil {
+		rw.Abort(rres)
+		return nil, fmt.Errorf("recycledb: build: %w", err)
+	}
+	execStart := time.Now()
+	out, err := exec.Run(ctx, op)
+	if err != nil {
+		return nil, fmt.Errorf("recycledb: run: %w", err)
+	}
+	execTime := time.Since(execStart)
+	rw.Annotate(rres, opmap)
+
+	res := &Result{Schema: out.Schema, res: out}
+	res.Stats = QueryStats{
+		Total:             time.Since(start),
+		Execution:         execTime,
+		Reused:            rres.Reuses,
+		SubsumptionReused: rres.SubsumptionReuses,
+		Stores:            rres.Stores,
+		SpecStores:        rres.SpecStores,
+		Waits:             rres.Waits,
+		Materialized:      rres.Committed(),
+		ProactiveApplied:  rres.ProactiveApplied,
+		Rows:              out.Rows(),
+	}
+	if rres.Match != nil {
+		res.Stats.Matching = rres.Match.Cost
+	}
+	for _, b := range out.Batches {
+		res.Batches = append(res.Batches, b)
+	}
+	return res, nil
+}
