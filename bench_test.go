@@ -9,8 +9,10 @@ package recycledb_test
 // the reproduction target (EXPERIMENTS.md records both).
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"recycledb"
 
@@ -371,4 +373,60 @@ func mustDate(s string) int64 {
 	_ = q
 	d := recycledb.DateDatum(s)
 	return d.I64
+}
+
+// streamBenchQuery is a wide pipelined selection: enough rows that full
+// materialization dominates, so the streaming first-batch win is visible.
+const streamBenchQuery = `SELECT l_orderkey, l_extendedprice, l_quantity
+                          FROM lineitem WHERE l_quantity > 2.0`
+
+// BenchmarkQueryStreaming measures the streaming API: latency to the first
+// batch (what an interactive consumer feels) is reported alongside the
+// full-drain time. Recycling is off so every iteration pays the pipeline.
+func BenchmarkQueryStreaming(b *testing.B) {
+	eng := recycledb.New(recycledb.Config{Mode: recycledb.Off})
+	tpch.Generate(eng.Catalog(), 0.05, 1)
+	ctx := context.Background()
+	var firstBatch time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		rows, err := eng.Query(ctx, streamBenchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bt, err := rows.Next(ctx)
+		if err != nil || bt == nil {
+			b.Fatalf("first batch: %v %v", bt, err)
+		}
+		firstBatch += time.Since(start)
+		for bt != nil {
+			if bt, err = rows.Next(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(firstBatch.Nanoseconds())/float64(b.N), "ns/first-batch")
+}
+
+// BenchmarkQueryCollect is the same query fully materialized: the first row
+// is only available after the entire result is collected.
+func BenchmarkQueryCollect(b *testing.B) {
+	eng := recycledb.New(recycledb.Config{Mode: recycledb.Off})
+	tpch.Generate(eng.Catalog(), 0.05, 1)
+	ctx := context.Background()
+	var firstRow time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res, err := eng.QueryCollect(ctx, streamBenchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		firstRow += time.Since(start) // rows usable only now
+		if res.Rows() == 0 {
+			b.Fatal("empty result")
+		}
+	}
+	b.ReportMetric(float64(firstRow.Nanoseconds())/float64(b.N), "ns/first-batch")
 }

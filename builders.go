@@ -15,8 +15,9 @@ type Plan = plan.Node
 // Expr is a scalar expression.
 type Expr = expr.Expr
 
-// batchAlias keeps Result.Batches typed without exporting internal names.
-type batchAlias = *vector.Batch
+// Batch is one result unit of the vectorized pipeline: a set of equal-length
+// column vectors. Rows.Next yields one Batch at a time.
+type Batch = vector.Batch
 
 // Datum is a single typed value (table-function arguments, IN lists).
 type Datum = vector.Datum

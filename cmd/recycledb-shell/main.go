@@ -1,20 +1,24 @@
 // Command recycledb-shell is an interactive SQL shell over the recycling
 // engine, loaded with a generated TPC-H database. It demonstrates recycling
 // live: repeat a query (or a near-variant) and watch the recycler statistics
-// line under each result.
+// line under each result. Results stream: rows print as the pipeline
+// produces them, and Ctrl-C cancels the running statement (not the shell).
 //
-// Shell commands: \mode off|hist|spec|pa, \stats, \flush, \tables, \q.
+// Shell commands: \mode off|hist|spec|pa, \stats (toggle per-query stats),
+// \rstats (recycler totals), \flush, \tables, \q.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"recycledb"
-	"recycledb/internal/sql"
 	"recycledb/internal/tpch"
 	"recycledb/internal/vector"
 )
@@ -30,8 +34,9 @@ func main() {
 	fmt.Printf("loading TPC-H sf=%g ...\n", *sf)
 	tpch.Generate(eng.Catalog(), *sf, 1)
 	fmt.Printf("tables: %s\n", strings.Join(eng.Catalog().TableNames(), ", "))
-	fmt.Println(`type SQL, or \mode, \stats, \flush, \tables, \q`)
+	fmt.Println(`type SQL, or \mode, \stats, \rstats, \flush, \tables, \q (Ctrl-C cancels the running statement)`)
 
+	showStats := false
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -46,6 +51,10 @@ func main() {
 		case line == `\q`:
 			return
 		case line == `\stats`:
+			showStats = !showStats
+			fmt.Printf("per-query stats: %v\n", map[bool]string{true: "on", false: "off"}[showStats])
+			continue
+		case line == `\rstats`:
 			fmt.Printf("%+v\n", eng.Recycler().Stats())
 			continue
 		case line == `\flush`:
@@ -65,22 +74,71 @@ func main() {
 			}
 			continue
 		}
-		q, err := sql.Compile(line, eng.Catalog())
+		runStatement(eng, line, showStats)
+	}
+}
+
+// runStatement streams one query; SIGINT cancels the statement and returns
+// control to the prompt instead of killing the shell.
+func runStatement(eng *recycledb.Engine, line string, showStats bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rows, err := eng.Query(ctx, line)
+	if err != nil {
+		printErr(err)
+		return
+	}
+	const max = 20
+	names := make([]string, len(rows.Schema()))
+	for i, c := range rows.Schema() {
+		names[i] = c.Name
+	}
+	fmt.Println(strings.Join(names, " | "))
+	printed, total := 0, 0
+	for b, err := range rows.All(ctx) {
 		if err != nil {
-			fmt.Println("error:", err)
-			continue
+			printErr(err)
+			return
 		}
-		res, err := eng.Execute(q)
-		if err != nil {
-			fmt.Println("error:", err)
-			continue
+		total += b.Len()
+		for i := 0; i < b.Len() && printed < max; i++ {
+			cells := make([]string, b.Width())
+			for c, v := range b.Row(i) {
+				cells[c] = datumString(v)
+			}
+			fmt.Println(strings.Join(cells, " | "))
+			printed++
 		}
-		printResult(res, 20)
-		s := res.Stats
-		fmt.Printf("-- %d rows in %v (match %v, exec %v; reused=%d subsumed=%d stored=%d stalled=%d%s)\n",
-			res.Rows(), s.Total.Round(10e3), s.Matching.Round(10e3), s.Execution.Round(10e3),
-			s.Reused, s.SubsumptionReused, s.Materialized, s.Waits,
-			map[bool]string{true: ", proactive", false: ""}[s.ProactiveApplied])
+	}
+	if total > max {
+		fmt.Printf("... (%d more rows)\n", total-max)
+	}
+	s := rows.Stats()
+	fmt.Printf("-- %d rows in %v (match %v, exec %v; reused=%d subsumed=%d stored=%d stalled=%d%s)\n",
+		total, s.Total.Round(10e3), s.Matching.Round(10e3), s.Execution.Round(10e3),
+		s.Reused, s.SubsumptionReused, s.Materialized, s.Waits,
+		map[bool]string{true: ", proactive", false: ""}[s.ProactiveApplied])
+	if showStats {
+		fmt.Printf("-- %+v\n", s)
+	}
+}
+
+func printErr(err error) {
+	switch {
+	case errors.Is(err, recycledb.ErrCanceled):
+		fmt.Println("canceled")
+	case errors.Is(err, recycledb.ErrParse):
+		var pe *recycledb.ParseError
+		if errors.As(err, &pe) {
+			fmt.Printf("syntax error at offset %d: %s\n", pe.Pos, pe.Msg)
+			return
+		}
+		fmt.Println("error:", err)
+	case errors.Is(err, recycledb.ErrUnknownTable):
+		fmt.Println("error:", err)
+	default:
+		fmt.Println("error:", err)
 	}
 }
 
@@ -94,31 +152,6 @@ func parseMode(s string) recycledb.Mode {
 		return recycledb.Proactive
 	default:
 		return recycledb.Off
-	}
-}
-
-func printResult(res *recycledb.Result, max int) {
-	names := make([]string, len(res.Schema))
-	for i, c := range res.Schema {
-		names[i] = c.Name
-	}
-	fmt.Println(strings.Join(names, " | "))
-	printed := 0
-	for _, b := range res.Batches {
-		for i := 0; i < b.Len() && printed < max; i++ {
-			cells := make([]string, b.Width())
-			for c, v := range b.Row(i) {
-				cells[c] = datumString(v)
-			}
-			fmt.Println(strings.Join(cells, " | "))
-			printed++
-		}
-		if printed >= max {
-			break
-		}
-	}
-	if res.Rows() > max {
-		fmt.Printf("... (%d more rows)\n", res.Rows()-max)
 	}
 }
 

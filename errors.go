@@ -1,0 +1,67 @@
+package recycledb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/sql"
+)
+
+// Typed errors for the query API. All are matched with errors.Is / errors.As
+// through whatever wrapping the pipeline adds.
+var (
+	// ErrUnknownTable reports a query against a table (or table function)
+	// the catalog does not know.
+	ErrUnknownTable = catalog.ErrUnknownTable
+	// ErrParse reports a SQL syntax error; errors.As against *ParseError
+	// recovers the offset.
+	ErrParse = errors.New("recycledb: parse error")
+	// ErrCanceled reports a query stopped by context cancellation or
+	// deadline; the context's own error remains in the chain, so
+	// errors.Is(err, context.Canceled) keeps working too.
+	ErrCanceled = errors.New("recycledb: query canceled")
+)
+
+// ParseError is a SQL syntax error with the byte offset of the offending
+// token in the statement text. It wraps ErrParse.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("recycledb: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Unwrap makes errors.Is(err, ErrParse) succeed.
+func (e *ParseError) Unwrap() error { return ErrParse }
+
+// wrapSQLError converts front-end syntax errors into *ParseError; other
+// compile errors (unknown tables, semantic checks) pass through with their
+// chains intact.
+func wrapSQLError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *sql.Error
+	if errors.As(err, &se) {
+		return &ParseError{Pos: se.Pos, Msg: se.Msg}
+	}
+	return err
+}
+
+// wrapRunError classifies execution errors: context cancellation and
+// deadline expiry become ErrCanceled (keeping the cause in the chain),
+// everything else is reported as a run failure.
+func wrapRunError(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return fmt.Errorf("recycledb: run: %w", err)
+}

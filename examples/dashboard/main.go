@@ -1,18 +1,19 @@
 // Dashboard: the paper's motivating scenario — an interactive analytics
 // session where successive queries refine the previous one's parameters
 // (intro, §I: "successive queries are often based on the previous result by
-// refining some of its parameters"). The recycler turns the drill-down into
-// cache hits without any DBA-defined materialized views.
+// refining some of its parameters"). The widget is one prepared statement;
+// the analyst only changes the binding, and the recycler turns the
+// drill-down into cache hits without any DBA-defined materialized views.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"recycledb"
 	"recycledb/internal/tpch"
-	"recycledb/internal/vector"
 )
 
 func main() {
@@ -26,20 +27,19 @@ func main() {
 // session simulates an analyst drilling into shipping volumes: same
 // dashboard widget, refined date cutoffs (the paper's Q1-style roll-up).
 func session(mode recycledb.Mode) {
+	ctx := context.Background()
 	eng := recycledb.New(recycledb.Config{Mode: mode})
 	tpch.Generate(eng.Catalog(), 0.02, 7)
 
-	widget := func(cutoff string) *recycledb.Plan {
-		return recycledb.Aggregate(
-			recycledb.Select(
-				recycledb.Scan("lineitem", "l_returnflag", "l_linestatus",
-					"l_quantity", "l_extendedprice", "l_shipdate"),
-				recycledb.Le(recycledb.Col("l_shipdate"), recycledb.Date(cutoff))),
-			recycledb.GroupBy("l_returnflag", "l_linestatus"),
-			recycledb.Sum(recycledb.Col("l_quantity"), "sum_qty"),
-			recycledb.Avg(recycledb.Col("l_extendedprice"), "avg_price"),
-			recycledb.CountAll("orders"),
-		)
+	widget, err := eng.Prepare(`
+		SELECT l_returnflag, l_linestatus,
+		       sum(l_quantity) AS sum_qty,
+		       avg(l_extendedprice) AS avg_price,
+		       count(*) AS orders
+		FROM lineitem WHERE l_shipdate <= ?
+		GROUP BY l_returnflag, l_linestatus`)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// The analyst nudges the cutoff date around, then returns to an
@@ -51,7 +51,7 @@ func session(mode recycledb.Mode) {
 	}
 	var total time.Duration
 	for step, c := range cutoffs {
-		res, err := eng.Execute(widget(c))
+		res, err := widget.Exec(ctx, recycledb.DateDatum(c))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,5 +67,4 @@ func session(mode recycledb.Mode) {
 	}
 	fmt.Printf("session total: %v; recycler reuses: %d\n",
 		total.Round(time.Millisecond), eng.Recycler().Stats().Reuses)
-	_ = vector.DaysFromDate // keep the import for doc reference
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -23,6 +24,7 @@ func main() {
 		cutoffs = append(cutoffs, vector.DateString(base-int64(60+7*i)))
 	}
 
+	ctx := context.Background()
 	for _, mode := range []recycledb.Mode{recycledb.Speculative, recycledb.Proactive} {
 		eng := recycledb.New(recycledb.Config{Mode: mode})
 		tpch.Generate(eng.Catalog(), 0.02, 3)
@@ -41,7 +43,7 @@ func main() {
 				recycledb.Avg(recycledb.Col("l_quantity"), "avg_qty"),
 				recycledb.CountAll("count_order"),
 			)
-			res, err := eng.Execute(q)
+			res, err := eng.ExecuteContext(ctx, q)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,8 +1,10 @@
-// Quickstart: build a table, run an aggregation twice, and watch the
-// recycler serve the second execution from its cache.
+// Quickstart: build a table, run a parameterized SQL aggregation through
+// the streaming API, and watch the recycler serve the repeat execution from
+// its cache.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -13,6 +15,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// An engine with speculative recycling: new results that look
 	// expensive and small (aggregates, final results) are materialized.
 	eng := recycledb.New(recycledb.Config{Mode: recycledb.Speculative})
@@ -34,31 +38,36 @@ func main() {
 	}
 	eng.Catalog().AddTable(sales)
 
-	// Revenue per region over large sales.
-	query := recycledb.Aggregate(
-		recycledb.Select(
-			recycledb.Scan("sales", "region", "amount", "qty"),
-			recycledb.Gt(recycledb.Col("amount"), recycledb.Float(50))),
-		recycledb.GroupBy("region"),
-		recycledb.Sum(recycledb.Mul(recycledb.Col("amount"), recycledb.Col("qty")), "revenue"),
-		recycledb.CountAll("orders"),
-	)
+	// Revenue per region over large sales, prepared once and executed
+	// with a bound threshold. Identical bindings hit the recycler cache.
+	stmt, err := eng.Prepare(`
+		SELECT region, sum(amount * qty) AS revenue, count(*) AS orders
+		FROM sales WHERE amount > ? GROUP BY region`)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	for run := 1; run <= 2; run++ {
-		res, err := eng.Execute(query)
+		rows, err := stmt.Query(ctx, 50.0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("run %d: %d groups in %v (reused=%d, materialized=%d)\n",
-			run, res.Rows(), res.Stats.Total.Round(10e3),
-			res.Stats.Reused, res.Stats.Materialized)
-		for _, b := range res.Batches {
+		// Stream the result: batches arrive as the pipeline produces
+		// them; nothing is materialized on our behalf.
+		groups := 0
+		for b, err := range rows.All(ctx) {
+			if err != nil {
+				log.Fatal(err)
+			}
 			for i := 0; i < b.Len(); i++ {
 				row := b.Row(i)
 				fmt.Printf("  %-6s revenue=%12.2f orders=%d\n",
 					row[0].Str, row[1].F64, row[2].I64)
+				groups++
 			}
 		}
+		s := rows.Stats()
+		fmt.Printf("run %d: %d groups in %v (reused=%d, materialized=%d)\n",
+			run, groups, s.Total.Round(10e3), s.Reused, s.Materialized)
 	}
-	fmt.Printf("\nrecycler: %+v\n", eng.Recycler().Stats())
 }

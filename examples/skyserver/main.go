@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -60,9 +61,23 @@ func run(name string, f func() error) time.Duration {
 }
 
 func execAll(eng *recycledb.Engine, queries []skyserver.Query) error {
+	// Stream each query and drain it batch-by-batch: the engine never
+	// materializes on the caller's behalf, only where the recycler's
+	// benefit metric placed store operators.
+	ctx := context.Background()
 	for _, q := range queries {
-		if _, err := eng.Execute(q.Plan); err != nil {
+		rows, err := eng.Stream(ctx, q.Plan)
+		if err != nil {
 			return err
+		}
+		for {
+			b, err := rows.Next(ctx)
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
 		}
 	}
 	return nil

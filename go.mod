@@ -1,0 +1,3 @@
+module recycledb
+
+go 1.24

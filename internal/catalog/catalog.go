@@ -5,9 +5,11 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"recycledb/internal/vector"
 )
@@ -214,9 +216,10 @@ func (r *Result) Bytes() int64 {
 // Catalog is a named collection of tables and table functions. It is safe
 // for concurrent readers; registration is expected at load time.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	funcs  map[string]*TableFunc
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	funcs   map[string]*TableFunc
+	version atomic.Int64
 }
 
 // New returns an empty catalog.
@@ -227,12 +230,22 @@ func New() *Catalog {
 	}
 }
 
+// Version counts schema changes (tables or functions added/replaced).
+// Compiled-plan caches compare it to reject plans built against an older
+// schema snapshot.
+func (c *Catalog) Version() int64 { return c.version.Load() }
+
 // AddTable registers a table, replacing any previous table of the same name.
 func (c *Catalog) AddTable(t *Table) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tables[t.Name] = t
+	c.version.Add(1)
 }
+
+// ErrUnknownTable is wrapped by lookups of tables (and table functions)
+// that do not exist, for errors.Is matching at the API boundary.
+var ErrUnknownTable = errors.New("catalog: unknown table")
 
 // Table returns the named table.
 func (c *Catalog) Table(name string) (*Table, error) {
@@ -240,7 +253,7 @@ func (c *Catalog) Table(name string) (*Table, error) {
 	defer c.mu.RUnlock()
 	t, ok := c.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("catalog: unknown table %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownTable, name)
 	}
 	return t, nil
 }
@@ -262,6 +275,7 @@ func (c *Catalog) AddFunc(f *TableFunc) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.funcs[f.Name] = f
+	c.version.Add(1)
 }
 
 // Func returns the named table function.
@@ -270,7 +284,7 @@ func (c *Catalog) Func(name string) (*TableFunc, error) {
 	defer c.mu.RUnlock()
 	f, ok := c.funcs[name]
 	if !ok {
-		return nil, fmt.Errorf("catalog: unknown table function %q", name)
+		return nil, fmt.Errorf("%w function %q", ErrUnknownTable, name)
 	}
 	return f, nil
 }

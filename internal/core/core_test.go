@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -543,6 +544,30 @@ func TestInflightTimeout(t *testing.T) {
 	}
 	if time.Since(start) < 15*time.Millisecond {
 		t.Fatal("wait returned too early")
+	}
+	r.FinishInflight(g, false)
+}
+
+func TestInflightContextCancel(t *testing.T) {
+	cat := testCatalog()
+	r := New(DefaultConfig())
+	p := selPlan(t, cat, 5)
+	r.BeginQuery()
+	m := r.MatchInsert(p)
+	g := m.ByNode[p].G
+	r.BeginInflight(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, ok := r.WaitInflightCtx(ctx, g, time.Minute)
+	if ok {
+		t.Fatal("ctx-canceled wait must fail")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("cancellation did not cut the stall short")
 	}
 	r.FinishInflight(g, false)
 }

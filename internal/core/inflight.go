@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync/atomic"
@@ -65,6 +66,14 @@ func (r *Recycler) FinishInflight(n *Node, success bool) {
 // timeout elapses, then returns the (pinned) cache entry if the result is
 // available. ok=false means the waiter should recompute.
 func (r *Recycler) WaitInflight(n *Node, timeout time.Duration) (*Entry, bool) {
+	return r.WaitInflightCtx(context.Background(), n, timeout)
+}
+
+// WaitInflightCtx is WaitInflight bounded additionally by ctx: a canceled
+// or expired context wakes the stalled query immediately (ok=false; the
+// caller's recompute fallback then aborts on the same context at its first
+// batch boundary).
+func (r *Recycler) WaitInflightCtx(ctx context.Context, n *Node, timeout time.Duration) (*Entry, bool) {
 	var ch chan struct{}
 	r.graph.RLocked(func() {
 		if n.inflight != nil {
@@ -72,9 +81,13 @@ func (r *Recycler) WaitInflight(n *Node, timeout time.Duration) (*Entry, bool) {
 		}
 	})
 	if ch != nil {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
 		select {
 		case <-ch:
-		case <-time.After(timeout):
+		case <-ctx.Done():
+			return nil, false
+		case <-t.C:
 			if DebugInflight {
 				fmt.Fprintf(os.Stderr, "TIMEOUT waiting on %s\n", n.Describe())
 			}

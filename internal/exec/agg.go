@@ -179,6 +179,9 @@ func updateMinMax(a *acc, arg *vector.Vector, i int, min bool) {
 
 // Next implements Operator.
 func (h *HashAgg) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	defer h.timed()()
 	if !h.built {
 		if err := h.build(ctx); err != nil {

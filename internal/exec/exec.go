@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"context"
 	"time"
 
 	"recycledb/internal/catalog"
@@ -20,6 +21,10 @@ const DefaultVectorSize = 1024
 type Ctx struct {
 	Cat        *catalog.Catalog
 	VectorSize int
+	// Context carries the query's cancellation signal and deadline. Every
+	// operator checks it at batch boundaries, so a canceled query stops
+	// within one vector of work. Nil means no cancellation (background).
+	Context context.Context
 }
 
 // NewCtx returns an execution context with the default vector size.
@@ -32,6 +37,25 @@ func (c *Ctx) vecSize() int {
 		return DefaultVectorSize
 	}
 	return c.VectorSize
+}
+
+// Interrupted returns the context's error once the query is canceled or
+// past its deadline, nil otherwise. Operators call it on entry to Next, so
+// pipelines — including the drain loops inside blocking operators, which
+// pull batches through child Next calls — abort at batch granularity.
+func (c *Ctx) Interrupted() error {
+	if c.Context == nil {
+		return nil
+	}
+	return c.Context.Err()
+}
+
+// goCtx returns the query's context, never nil.
+func (c *Ctx) goCtx() context.Context {
+	if c.Context == nil {
+		return context.Background()
+	}
+	return c.Context
 }
 
 // Operator is a pipelined physical operator. The contract is:

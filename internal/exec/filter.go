@@ -31,6 +31,9 @@ func (f *Filter) Open(ctx *Ctx) error {
 
 // Next implements Operator.
 func (f *Filter) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	defer f.timed()()
 	for {
 		in, err := f.Child.Next(ctx)
@@ -85,6 +88,9 @@ func (p *Project) Open(ctx *Ctx) error {
 
 // Next implements Operator.
 func (p *Project) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	defer p.timed()()
 	in, err := p.Child.Next(ctx)
 	if err != nil || in == nil {
@@ -132,6 +138,9 @@ func (l *LimitOp) Open(ctx *Ctx) error {
 
 // Next implements Operator.
 func (l *LimitOp) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	defer l.timed()()
 	if l.done || l.seen >= l.N {
 		return nil, nil
@@ -194,6 +203,9 @@ func (u *UnionOp) Open(ctx *Ctx) error {
 
 // Next implements Operator.
 func (u *UnionOp) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	defer u.timed()()
 	if !u.onRight {
 		b, err := u.Left.Next(ctx)

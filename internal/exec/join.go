@@ -125,6 +125,9 @@ func (j *HashJoin) appendJoined(b *vector.Batch, i int, r int32) {
 
 // Next implements Operator.
 func (j *HashJoin) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	defer j.timed()()
 	if !j.built {
 		if err := j.build(ctx); err != nil {

@@ -33,6 +33,9 @@ func (s *TableScan) Open(ctx *Ctx) error {
 
 // Next implements Operator.
 func (s *TableScan) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	defer s.timed()()
 	n := s.Table.Rows()
 	if s.pos >= n {
@@ -103,6 +106,9 @@ func (s *TableFnScan) Open(ctx *Ctx) error {
 
 // Next implements Operator.
 func (s *TableFnScan) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	defer s.timed()()
 	if s.res == nil || s.idx >= len(s.res.Batches) {
 		return nil, nil
@@ -157,6 +163,9 @@ func (s *CacheScan) Open(ctx *Ctx) error {
 
 // Next implements Operator.
 func (s *CacheScan) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	defer s.timed()()
 	if s.idx >= len(s.Batches) {
 		return nil, nil

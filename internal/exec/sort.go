@@ -84,6 +84,9 @@ func (s *SortOp) build(ctx *Ctx) error {
 
 // Next implements Operator.
 func (s *SortOp) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	defer s.timed()()
 	if !s.built {
 		if err := s.build(ctx); err != nil {
@@ -257,6 +260,9 @@ func truncateBatch(b *vector.Batch, r int) {
 
 // Next implements Operator.
 func (t *TopNOp) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	defer t.timed()()
 	if !t.built {
 		if err := t.build(ctx); err != nil {

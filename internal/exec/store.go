@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"time"
 
 	"recycledb/internal/vector"
@@ -63,6 +64,9 @@ func (s *Store) Open(ctx *Ctx) error {
 
 // Next implements Operator.
 func (s *Store) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	defer s.timed()()
 	b, err := s.Child.Next(ctx)
 	if err != nil {
@@ -122,10 +126,10 @@ func (s *Store) Progress() float64 { return s.Child.Progress() }
 // reuse it, or fall back to recomputation after Timeout (bounded stalling
 // prevents cross-query deadlock; see DESIGN.md).
 type WaitSpec struct {
-	// Wait blocks until the in-flight materialization completes or the
-	// timeout elapses. It returns replay batches and a column mapping on
-	// success, or ok=false to trigger the fallback.
-	Wait func(timeout time.Duration) (batches []*vector.Batch, outIdx []int, release func(), ok bool)
+	// Wait blocks until the in-flight materialization completes, the
+	// timeout elapses, or ctx is canceled. It returns replay batches and a
+	// column mapping on success, or ok=false to trigger the fallback.
+	Wait func(ctx context.Context, timeout time.Duration) (batches []*vector.Batch, outIdx []int, release func(), ok bool)
 	// Timeout bounds the stall.
 	Timeout time.Duration
 	// OnOutcome, if set, observes whether the wait ended in reuse.
@@ -166,7 +170,7 @@ func (w *WaitReuse) Open(ctx *Ctx) error {
 // pollute the base-cost statistics in the recycler graph.
 func (w *WaitReuse) resolve(ctx *Ctx) error {
 	start := time.Now()
-	batches, outIdx, release, ok := w.Spec.Wait(w.Spec.Timeout)
+	batches, outIdx, release, ok := w.Spec.Wait(ctx.goCtx(), w.Spec.Timeout)
 	stalled := time.Since(start)
 	if ok {
 		w.inner = NewCacheScan(w.schema, batches, outIdx, release)
@@ -182,6 +186,9 @@ func (w *WaitReuse) resolve(ctx *Ctx) error {
 
 // Next implements Operator.
 func (w *WaitReuse) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	if w.inner == nil {
 		if err := w.resolve(ctx); err != nil {
 			return nil, err

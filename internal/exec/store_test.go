@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -199,7 +200,7 @@ func TestWaitReuseSuccess(t *testing.T) {
 	b.Vecs[0].AppendInt64(7)
 	spec := WaitSpec{
 		Timeout: time.Second,
-		Wait: func(timeout time.Duration) ([]*vector.Batch, []int, func(), bool) {
+		Wait: func(ctx context.Context, timeout time.Duration) ([]*vector.Batch, []int, func(), bool) {
 			return []*vector.Batch{b}, []int{0}, nil, true
 		},
 	}
@@ -230,7 +231,7 @@ func TestWaitReuseFallback(t *testing.T) {
 	var sawReuse *bool
 	spec := WaitSpec{
 		Timeout: time.Millisecond,
-		Wait: func(timeout time.Duration) ([]*vector.Batch, []int, func(), bool) {
+		Wait: func(ctx context.Context, timeout time.Duration) ([]*vector.Batch, []int, func(), bool) {
 			return nil, nil, nil, false
 		},
 		OnOutcome: func(reused bool, stalled time.Duration) { sawReuse = &reused },

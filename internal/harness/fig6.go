@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -123,7 +124,7 @@ func runPipelined(cat *catalog.Catalog, queries []skyserver.Query, mode recycled
 		if i > 0 && i%per == 0 {
 			eng.FlushCache()
 		}
-		if _, err := eng.Execute(q.Plan); err != nil {
+		if _, err := eng.ExecuteContext(context.Background(), q.Plan); err != nil {
 			return 0, fmt.Errorf("query %d (%s): %w", i, q.Pattern, err)
 		}
 	}

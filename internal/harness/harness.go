@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -63,7 +64,7 @@ func NewEngine(cat *catalog.Catalog, mode recycledb.Mode, cacheBytes int64) *rec
 // EngineExec adapts an engine to the workload driver.
 func EngineExec(e *recycledb.Engine) workload.ExecFunc {
 	return func(stream int, q workload.Query) (workload.Outcome, error) {
-		r, err := e.Execute(q.Plan)
+		r, err := e.ExecuteContext(context.Background(), q.Plan)
 		if err != nil {
 			return workload.Outcome{}, err
 		}

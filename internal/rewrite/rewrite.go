@@ -14,6 +14,7 @@
 package rewrite
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -191,8 +192,8 @@ func (rw *Rewriter) substitute(n *plan.Node, res *Result) {
 			res.subst[n] = g
 			res.Decor[n] = &exec.Decor{Wait: &exec.WaitSpec{
 				Timeout: rw.Rec.StallTimeoutFor(g),
-				Wait: func(timeout time.Duration) ([]*vector.Batch, []int, func(), bool) {
-					e, ok := rw.Rec.WaitInflight(g, timeout)
+				Wait: func(ctx context.Context, timeout time.Duration) ([]*vector.Batch, []int, func(), bool) {
+					e, ok := rw.Rec.WaitInflightCtx(ctx, g, timeout)
 					if !ok {
 						return nil, nil, nil, false
 					}
@@ -390,8 +391,8 @@ func (rw *Rewriter) planWait(n *plan.Node, g *core.Node, res *Result) {
 	res.subst[n] = g
 	res.Decor[n] = &exec.Decor{Wait: &exec.WaitSpec{
 		Timeout: rw.Rec.StallTimeoutFor(g),
-		Wait: func(timeout time.Duration) ([]*vector.Batch, []int, func(), bool) {
-			e, ok := rw.Rec.WaitInflight(g, timeout)
+		Wait: func(ctx context.Context, timeout time.Duration) ([]*vector.Batch, []int, func(), bool) {
+			e, ok := rw.Rec.WaitInflightCtx(ctx, g, timeout)
 			if !ok {
 				return nil, nil, nil, false
 			}

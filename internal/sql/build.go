@@ -2,22 +2,109 @@ package sql
 
 import (
 	"fmt"
+	"strings"
 
 	"recycledb/internal/catalog"
 	"recycledb/internal/expr"
 	"recycledb/internal/plan"
+	"recycledb/internal/vector"
 )
 
 // Compile parses src and builds a logical plan against cat. The generated
 // plan is the "optimized tree" handed to the recycler: single-table
 // predicates are pushed below joins, equality predicates across tables
 // become hash-join keys, and ORDER BY + LIMIT fuses into a top-N.
+// Statements with ? placeholders are rejected; use CompileTemplate.
 func Compile(src string, cat *catalog.Catalog) (*plan.Node, error) {
+	t, err := CompileTemplate(src, cat)
+	if err != nil {
+		return nil, err
+	}
+	if t.NumParams > 0 {
+		return nil, fmt.Errorf("sql: statement has %d unbound parameters", t.NumParams)
+	}
+	return t.Plan, nil
+}
+
+// Template is a compiled statement that may contain ? placeholders. A
+// zero-parameter template's plan is fully resolved; a parameterized one
+// resolves after Bind substitutes literals.
+type Template struct {
+	Plan      *plan.Node
+	NumParams int
+}
+
+// CompileTemplate parses src and builds a (possibly parameterized) plan
+// template against cat.
+func CompileTemplate(src string, cat *catalog.Catalog) (*Template, error) {
 	st, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return build(st, cat)
+	p, err := build(st, cat)
+	if err != nil {
+		return nil, err
+	}
+	return &Template{Plan: p, NumParams: st.nparams}, nil
+}
+
+// Bind clones the template plan and substitutes args (one per placeholder,
+// in order). The bound plan is unresolved; the engine resolves it as it
+// does every user plan. Identical bindings yield canonically identical
+// plans, so recycler matching works across executions of a prepared
+// statement.
+func (t *Template) Bind(args []vector.Datum) (*plan.Node, error) {
+	if len(args) != t.NumParams {
+		return nil, fmt.Errorf("sql: statement wants %d parameters, got %d",
+			t.NumParams, len(args))
+	}
+	p := t.Plan.Clone()
+	if t.NumParams == 0 {
+		return p, nil
+	}
+	lits := make([]*expr.Lit, len(args))
+	for i, d := range args {
+		lits[i] = &expr.Lit{D: d}
+	}
+	if err := p.BindParams(lits); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Normalize renders src in a canonical textual form for plan-cache keying:
+// tokens separated by single spaces, keywords and aggregate names
+// lowercased, string literals requoted, statement terminators dropped.
+// Texts that lex differently stay distinct (a miss, never a wrong hit); on
+// a lex error src is returned unchanged.
+func Normalize(src string) string {
+	toks, err := lex(src)
+	if err != nil {
+		return src
+	}
+	var b strings.Builder
+	for _, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind == tokSymbol && t.text == ";" {
+			continue
+		}
+		txt := t.text
+		switch t.kind {
+		case tokIdent:
+			if lower := strings.ToLower(txt); keywords[lower] || aggFns[lower] {
+				txt = lower
+			}
+		case tokString:
+			txt = "'" + strings.ReplaceAll(txt, "'", "''") + "'"
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(txt)
+	}
+	return b.String()
 }
 
 func build(st *selectStmt, cat *catalog.Catalog) (*plan.Node, error) {
@@ -289,8 +376,12 @@ func build(st *selectStmt, cat *catalog.Catalog) (*plan.Node, error) {
 	case st.limit >= 0:
 		cur = plan.NewLimit(cur, st.limit)
 	}
-	if err := cur.Resolve(cat); err != nil {
-		return nil, fmt.Errorf("sql: %w", err)
+	// Parameterized templates resolve after binding; placeholders cannot
+	// type-check yet.
+	if st.nparams == 0 {
+		if err := cur.Resolve(cat); err != nil {
+			return nil, fmt.Errorf("sql: %w", err)
+		}
 	}
 	return cur, nil
 }

@@ -1,0 +1,21 @@
+package sql
+
+import "fmt"
+
+// Error is a positioned front-end error: Pos is a byte offset into the
+// statement text where lexing or parsing failed. Compilation errors that
+// are not syntax errors (unknown tables, semantic checks) stay plain.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("sql: %s (at offset %d)", e.Msg, e.Pos)
+}
+
+// errAt builds a positioned error.
+func errAt(pos int, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

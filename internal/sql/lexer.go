@@ -6,7 +6,6 @@
 package sql
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -119,7 +118,7 @@ func (l *lexer) str() error {
 		b.WriteByte(c)
 		l.pos++
 	}
-	return fmt.Errorf("sql: unterminated string literal at %d", start)
+	return errAt(start, "unterminated string literal")
 }
 
 var twoCharSymbols = map[string]bool{"<=": true, ">=": true, "<>": true, "!=": true}
@@ -132,10 +131,10 @@ func (l *lexer) symbol() error {
 		return nil
 	}
 	switch l.src[l.pos] {
-	case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/', '.', ';':
+	case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/', '.', ';', '?':
 		l.pos++
 		l.toks = append(l.toks, token{kind: tokSymbol, text: l.src[start:l.pos], pos: start})
 		return nil
 	}
-	return fmt.Errorf("sql: unexpected character %q at %d", l.src[l.pos], l.pos)
+	return errAt(l.pos, "unexpected character %q", l.src[l.pos])
 }

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -20,6 +21,7 @@ type selectStmt struct {
 	having  expr.Expr
 	orderBy []orderItem
 	limit   int // -1 if absent
+	nparams int // number of ? placeholders
 }
 
 type selectItem struct {
@@ -48,11 +50,13 @@ type orderItem struct {
 
 // parser is a recursive-descent parser over the token stream.
 type parser struct {
-	toks []token
-	pos  int
+	toks    []token
+	pos     int
+	nparams int
 }
 
-// Parse parses a single SELECT statement.
+// Parse parses a single SELECT statement. Syntax errors come back as *Error
+// with the byte offset of the offending token.
 func Parse(src string) (*selectStmt, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -61,13 +65,24 @@ func Parse(src string) (*selectStmt, error) {
 	p := &parser{toks: toks}
 	st, err := p.selectStmt()
 	if err != nil {
-		return nil, err
+		return nil, p.positioned(err)
 	}
 	p.acceptSym(";")
 	if !p.atEOF() {
-		return nil, fmt.Errorf("sql: trailing input at %q", p.cur().text)
+		return nil, errAt(p.cur().pos, "trailing input at %q", p.cur().text)
 	}
+	st.nparams = p.nparams
 	return st, nil
+}
+
+// positioned attaches the current token's offset to err unless it already
+// carries one.
+func (p *parser) positioned(err error) error {
+	var se *Error
+	if errors.As(err, &se) {
+		return err
+	}
+	return &Error{Pos: p.cur().pos, Msg: strings.TrimPrefix(err.Error(), "sql: ")}
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
@@ -544,6 +559,9 @@ func (p *parser) mulExpr() (expr.Expr, error) {
 func (p *parser) primary() (expr.Expr, error) {
 	t := p.cur()
 	switch {
+	case p.acceptSym("?"):
+		p.nparams++
+		return expr.Par(p.nparams - 1), nil
 	case p.acceptSym("("):
 		e, err := p.orExpr()
 		if err != nil {

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -271,5 +272,79 @@ func TestCrossJoinWithoutPredicate(t *testing.T) {
 	res := runSQL(t, "SELECT count(*) AS n FROM products, series(3)")
 	if res.Batches[0].Vecs[0].I64[0] != 30 {
 		t.Fatalf("cross join count = %d", res.Batches[0].Vecs[0].I64[0])
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := [][2]string{
+		{"SELECT  region\nFROM sales;", "select region from sales"},
+		{"select region from sales", "select region from sales"},
+	}
+	// Keyword case folds, identifier case does not; whitespace and the
+	// trailing terminator never matter.
+	if Normalize(cases[0][0]) != Normalize(cases[1][0]) {
+		t.Fatalf("whitespace/terminator variants must normalize equal:\n%q\n%q",
+			Normalize(cases[0][0]), Normalize(cases[1][0]))
+	}
+	if Normalize("SELECT T FROM sales") == Normalize("SELECT t FROM sales") {
+		t.Fatal("identifier case must stay significant")
+	}
+	if Normalize("SELECT x FROM t WHERE a > ?") != "select x from t where a > ?" {
+		t.Fatalf("unexpected normal form %q", Normalize("SELECT x FROM t WHERE a > ?"))
+	}
+}
+
+func TestCompileTemplateAndBind(t *testing.T) {
+	cat := testCatalog()
+	tmpl, err := CompileTemplate("SELECT region FROM sales WHERE amount > ? AND product < ?", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmpl.NumParams != 2 {
+		t.Fatalf("NumParams = %d, want 2", tmpl.NumParams)
+	}
+	if _, err := tmpl.Bind([]vector.Datum{vector.NewFloat64Datum(1)}); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+	p, err := tmpl.Bind([]vector.Datum{
+		vector.NewFloat64Datum(10), vector.NewInt64Datum(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Resolve(cat); err != nil {
+		t.Fatalf("bound plan must resolve: %v", err)
+	}
+	// The template itself stays parameterized: binding again with other
+	// values yields an independent plan.
+	p2, err := tmpl.Bind([]vector.Datum{
+		vector.NewFloat64Datum(99), vector.NewInt64Datum(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Resolve(cat); err != nil {
+		t.Fatal(err)
+	}
+	// Compile refuses unbound parameters.
+	if _, err := Compile("SELECT region FROM sales WHERE amount > ?", cat); err == nil {
+		t.Fatal("Compile must reject parameterized statements")
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("SELECT region FROM sales WHERE amount >")
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+	var se *Error
+	if !errors.As(err, &se) {
+		t.Fatalf("want *Error, got %T: %v", err, err)
+	}
+	if se.Pos <= 0 {
+		t.Fatalf("position missing: %+v", se)
+	}
+	if _, err := lex("SELECT 'oops"); err == nil {
+		t.Fatal("unterminated string must fail lexing")
 	}
 }

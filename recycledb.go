@@ -19,19 +19,39 @@
 //	PA   - additionally apply proactive rewrites (top-N widening, cube
 //	       caching with selections / with binning)
 //
-// Quick start:
+// # Querying
+//
+// The primary API is SQL in, streamed batches out, with full context
+// support — cancellation and deadlines take effect at batch boundaries in
+// every operator:
 //
 //	eng := recycledb.New(recycledb.Config{Mode: recycledb.Speculative})
 //	eng.Catalog().AddTable(tbl)
-//	q := recycledb.Aggregate(
-//	        recycledb.Select(recycledb.Scan("sales", "region", "amount"),
-//	                recycledb.Gt(recycledb.Col("amount"), recycledb.Float(100))),
-//	        recycledb.GroupBy("region"),
-//	        recycledb.Sum(recycledb.Col("amount"), "total"))
-//	res, err := eng.Execute(q)
+//	rows, err := eng.Query(ctx,
+//	        `SELECT region, sum(amount) AS total
+//	         FROM sales WHERE amount > ? GROUP BY region`, 100.0)
+//	if err != nil { ... }
+//	for b, err := range rows.All(ctx) {
+//	        if err != nil { ... }
+//	        use(b) // one column-vector batch, valid for this iteration
+//	}
+//
+// Statements are compiled once and cached in a bounded LRU keyed by
+// normalized text; Prepare returns an explicit handle for hot statements:
+//
+//	stmt, err := eng.Prepare(`SELECT count(*) AS n FROM sales WHERE qty > ?`)
+//	res, err := stmt.Exec(ctx, 10) // materialized; stmt.Query streams
+//
+// Plans built with the builder DSL (Scan, Select, Aggregate, ...) run
+// through the same pipeline via Stream (incremental) or ExecuteContext
+// (materialized). Rows.Collect materializes any stream. Failures are
+// classified: errors.Is(err, ErrUnknownTable), errors.Is(err, ErrParse)
+// (with errors.As to *ParseError for the offset), and
+// errors.Is(err, ErrCanceled) for context cancellation.
 package recycledb
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -75,15 +95,24 @@ type Config struct {
 	// store decision: results qualify only if recomputing costs more
 	// than copying. Default 32 MiB/s.
 	CopyBytesPerSec int64
+	// PlanCacheSize bounds the LRU of compiled statement plans keyed by
+	// normalized SQL text; 0 uses the default (128), negative disables
+	// plan caching.
+	PlanCacheSize int
 }
+
+// DefaultPlanCacheSize is the compiled-plan LRU capacity when
+// Config.PlanCacheSize is zero.
+const DefaultPlanCacheSize = 128
 
 // Engine is a recycling query engine over an in-memory catalog. It is safe
 // for concurrent use; concurrent queries coordinate through the recycler.
 type Engine struct {
-	cat  *catalog.Catalog
-	rec  *core.Recycler
-	mode atomic.Int32
-	vsz  int
+	cat   *catalog.Catalog
+	rec   *core.Recycler
+	plans *planCache
+	mode  atomic.Int32
+	vsz   int
 }
 
 // NewWithCatalog creates an engine over an existing catalog, so multiple
@@ -117,10 +146,15 @@ func New(cfg Config) *Engine {
 		ccfg.CopyBytesPerSec = cfg.CopyBytesPerSec
 	}
 	ccfg.Subsumption = !cfg.DisableSubsumption
+	planCap := cfg.PlanCacheSize
+	if planCap == 0 {
+		planCap = DefaultPlanCacheSize
+	}
 	e := &Engine{
-		cat: catalog.New(),
-		rec: core.New(ccfg),
-		vsz: cfg.VectorSize,
+		cat:   catalog.New(),
+		rec:   core.New(ccfg),
+		plans: newPlanCache(planCap),
+		vsz:   cfg.VectorSize,
 	}
 	e.mode.Store(int32(cfg.Mode))
 	return e
@@ -162,12 +196,10 @@ type QueryStats struct {
 // Result is a fully materialized query result plus recycler statistics.
 type Result struct {
 	Schema  catalog.Schema
-	Batches []vectorBatch
+	Batches []*Batch
 	Stats   QueryStats
 	res     *catalog.Result
 }
-
-type vectorBatch = batchAlias
 
 // Rows returns the total number of result rows.
 func (r *Result) Rows() int { return r.res.Rows() }
@@ -175,12 +207,62 @@ func (r *Result) Rows() int { return r.res.Rows() }
 // Raw returns the underlying materialized result.
 func (r *Result) Raw() *catalog.Result { return r.res }
 
-// Execute runs a query plan through the full recycling pipeline: proactive
-// rewriting, graph matching/insertion, reuse substitution, store injection,
-// vectorized execution, and post-execution annotation of the recycler graph.
+// Query compiles sql (through the plan cache), binds args to its ?
+// placeholders, and streams the result. The context governs the whole
+// query: every operator observes it at batch boundaries, and stalls on
+// concurrent materializations abort with it.
+func (e *Engine) Query(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	stmt, err := e.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.Query(ctx, args...)
+}
+
+// QueryCollect is Query followed by Collect: the full result, materialized.
+func (e *Engine) QueryCollect(ctx context.Context, sql string, args ...any) (*Result, error) {
+	rows, err := e.Query(ctx, sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows.Collect()
+}
+
+// Stream runs a built query plan through the full recycling pipeline —
+// proactive rewriting, graph matching/insertion, reuse substitution, store
+// injection — and returns the executing pipeline as an incremental stream.
+// The recycler graph is annotated with measured costs when the stream
+// completes. q is not mutated.
+func (e *Engine) Stream(ctx context.Context, q *plan.Node) (*Rows, error) {
+	return e.stream(ctx, q.Clone())
+}
+
+// ExecuteContext runs a built query plan to completion under ctx and
+// returns the materialized result.
+func (e *Engine) ExecuteContext(ctx context.Context, q *plan.Node) (*Result, error) {
+	rows, err := e.Stream(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return rows.Collect()
+}
+
+// Execute runs a query plan to completion without cancellation support.
+//
+// Deprecated: Execute is the pre-streaming entry point, kept for
+// compatibility. Use ExecuteContext (materialized), Stream (incremental),
+// or Query / Prepare (SQL) instead.
 func (e *Engine) Execute(q *plan.Node) (*Result, error) {
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// stream owns p (already cloned). It resolves, rewrites, builds, and opens
+// the pipeline, returning a Rows positioned before the first batch.
+func (e *Engine) stream(ctx context.Context, p *plan.Node) (*Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
-	p := q.Clone()
 	if err := p.Resolve(e.cat); err != nil {
 		return nil, fmt.Errorf("recycledb: resolve: %w", err)
 	}
@@ -189,39 +271,39 @@ func (e *Engine) Execute(q *plan.Node) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("recycledb: rewrite: %w", err)
 	}
-	ctx := &exec.Ctx{Cat: e.cat, VectorSize: e.vsz}
+	ectx := &exec.Ctx{Cat: e.cat, VectorSize: e.vsz, Context: ctx}
 	opmap := make(map[*plan.Node]exec.Operator)
-	op, err := exec.Build(ctx, rres.Exec, rres.Decor, opmap)
+	op, err := exec.Build(ectx, rres.Exec, rres.Decor, opmap)
 	if err != nil {
 		rw.Abort(rres)
 		return nil, fmt.Errorf("recycledb: build: %w", err)
 	}
-	execStart := time.Now()
-	out, err := exec.Run(ctx, op)
-	if err != nil {
-		return nil, fmt.Errorf("recycledb: run: %w", err)
+	r := &Rows{
+		eng:       e,
+		qctx:      ctx,
+		schema:    op.Schema(),
+		ectx:      ectx,
+		op:        op,
+		rw:        rw,
+		rres:      rres,
+		opmap:     opmap,
+		start:     start,
+		execStart: time.Now(),
 	}
-	execTime := time.Since(execStart)
-	rw.Annotate(rres, opmap)
-
-	res := &Result{Schema: out.Schema, res: out}
-	res.Stats = QueryStats{
-		Total:             time.Since(start),
-		Execution:         execTime,
+	r.stats = QueryStats{
 		Reused:            rres.Reuses,
 		SubsumptionReused: rres.SubsumptionReuses,
 		Stores:            rres.Stores,
 		SpecStores:        rres.SpecStores,
 		Waits:             rres.Waits,
-		Materialized:      rres.Committed(),
 		ProactiveApplied:  rres.ProactiveApplied,
-		Rows:              out.Rows(),
 	}
 	if rres.Match != nil {
-		res.Stats.Matching = rres.Match.Cost
+		r.stats.Matching = rres.Match.Cost
 	}
-	for _, b := range out.Batches {
-		res.Batches = append(res.Batches, b)
+	if err := op.Open(ectx); err != nil {
+		op.Close(ectx)
+		return nil, wrapRunError(err)
 	}
-	return res, nil
+	return r, nil
 }

@@ -1,0 +1,167 @@
+package recycledb
+
+import (
+	"context"
+	"iter"
+	"time"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/exec"
+	"recycledb/internal/plan"
+	"recycledb/internal/rewrite"
+)
+
+// Rows streams a query's result incrementally, one column-vector batch at a
+// time, as the pipeline produces it. Nothing is materialized on the
+// caller's behalf — only the intermediates the recycler's benefit metric
+// selected are copied, inside the pipeline's store operators.
+//
+// A Rows must be fully drained (Next until nil) or Closed; otherwise pinned
+// cache entries and in-flight registrations leak until GC. Recycler-graph
+// annotation (measured costs and cardinalities feeding future store
+// decisions) happens when the stream completes; a canceled or abandoned
+// query contributes no measurements.
+type Rows struct {
+	eng    *Engine
+	qctx   context.Context
+	schema catalog.Schema
+	ectx   *exec.Ctx
+	op     exec.Operator
+	rw     *rewrite.Rewriter
+	rres   *rewrite.Result
+	opmap  map[*plan.Node]exec.Operator
+
+	start     time.Time
+	execStart time.Time
+	stats     QueryStats
+	rows      int
+	err       error
+	done      bool // end of stream reached (operator closed, graph annotated)
+	closed    bool // Close called before end of stream (operator closed)
+}
+
+// Schema returns the result schema.
+func (r *Rows) Schema() catalog.Schema { return r.schema }
+
+// Next returns the next batch, or (nil, nil) at end of stream. The batch is
+// only valid until the following Next call; callers that retain batches
+// must Clone them (Collect does). ctx is checked at every batch boundary in
+// every operator of the pipeline, so cancellation stops even a
+// multi-million-row scan within one vector; nil ctx falls back to the
+// context the query started with.
+func (r *Rows) Next(ctx context.Context) (*Batch, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.done || r.closed {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = r.qctx
+	}
+	r.ectx.Context = ctx
+	b, err := r.op.Next(r.ectx)
+	if err != nil {
+		r.fail(wrapRunError(err))
+		return nil, r.err
+	}
+	if b == nil {
+		return nil, r.finish()
+	}
+	r.rows += b.Len()
+	return b, nil
+}
+
+// fail records err and releases the pipeline (store cancellations and cache
+// unpins fire inside the operators' Close).
+func (r *Rows) fail(err error) {
+	r.err = err
+	r.closed = true
+	r.op.Close(r.ectx)
+}
+
+// finish completes the stream: the recycler graph is annotated with the
+// measured operator costs and cardinalities, the statistics are finalized,
+// and the operator tree is closed.
+func (r *Rows) finish() error {
+	r.done = true
+	execTime := time.Since(r.execStart)
+	if err := r.op.Close(r.ectx); err != nil {
+		r.err = wrapRunError(err)
+		return r.err
+	}
+	r.rw.Annotate(r.rres, r.opmap)
+	r.stats.Execution = execTime
+	r.stats.Total = time.Since(r.start)
+	r.stats.Materialized = r.rres.Committed()
+	r.stats.Rows = r.rows
+	return nil
+}
+
+// Close releases the query without draining it. Abandoning a stream mid-way
+// cancels any in-progress materializations and skips graph annotation; it
+// is a no-op after end of stream. Close is idempotent.
+func (r *Rows) Close() error {
+	if r.done || r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.op.Close(r.ectx)
+}
+
+// Err returns the first error hit by Next, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Stats reports what the recycler planned for this query immediately, and
+// the measured times, row count, and materialization count once the stream
+// has completed.
+func (r *Rows) Stats() QueryStats { return r.stats }
+
+// All adapts the stream to a Go 1.23 range-over-func iterator:
+//
+//	for b, err := range rows.All(ctx) {
+//	        if err != nil { ... }
+//	        use(b) // valid for this iteration only
+//	}
+//
+// Breaking out of the loop closes the query.
+func (r *Rows) All(ctx context.Context) iter.Seq2[*Batch, error] {
+	return func(yield func(*Batch, error) bool) {
+		for {
+			b, err := r.Next(ctx)
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if b == nil {
+				return
+			}
+			if !yield(b, nil) {
+				r.Close()
+				return
+			}
+		}
+	}
+}
+
+// Collect drains the stream into a fully materialized Result, reproducing
+// the pre-streaming Execute contract (batches are deep-copied, statistics
+// attached).
+func (r *Rows) Collect() (*Result, error) {
+	out := &catalog.Result{Schema: r.schema}
+	for {
+		b, err := r.Next(nil)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() > 0 {
+			out.Batches = append(out.Batches, b.Clone())
+		}
+	}
+	res := &Result{Schema: r.schema, Stats: r.Stats(), res: out}
+	res.Batches = append(res.Batches, out.Batches...)
+	return res, nil
+}

@@ -1,0 +1,177 @@
+package recycledb
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"recycledb/internal/sql"
+	"recycledb/internal/vector"
+)
+
+// Stmt is a prepared statement: a plan template compiled once and executed
+// many times with different ? bindings. Identical bindings canonicalize to
+// the same recycler-graph shape, so recycling keeps matching across
+// executions of a prepared statement exactly as it does for repeated
+// ad-hoc queries.
+type Stmt struct {
+	eng  *Engine
+	text string // normalized statement text (the plan-cache key)
+	tmpl *sql.Template
+}
+
+// Prepare compiles query into a reusable statement. Compiled plans are
+// cached in the engine's bounded LRU keyed by normalized statement text, so
+// preparing (or Querying) the same text repeatedly skips the front-end.
+// Cached plans are versioned against the catalog: a schema change
+// (AddTable replacing a table, a new function) invalidates them, so a
+// statement never executes against a stale schema snapshot.
+func (e *Engine) Prepare(query string) (*Stmt, error) {
+	key := sql.Normalize(query)
+	ver := e.cat.Version()
+	if tmpl := e.plans.get(key, ver); tmpl != nil {
+		return &Stmt{eng: e, text: key, tmpl: tmpl}, nil
+	}
+	tmpl, err := sql.CompileTemplate(query, e.cat)
+	if err != nil {
+		return nil, wrapSQLError(err)
+	}
+	e.plans.put(key, tmpl, ver)
+	return &Stmt{eng: e, text: key, tmpl: tmpl}, nil
+}
+
+// Query executes the statement with the given parameter bindings and
+// streams the result. Supported binding types: int, int32, int64, float32,
+// float64, string, bool, time.Time (as a date), and Datum.
+func (s *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
+	ds, err := toDatums(args)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.tmpl.Bind(ds)
+	if err != nil {
+		return nil, fmt.Errorf("recycledb: bind: %w", err)
+	}
+	return s.eng.stream(ctx, p)
+}
+
+// Exec executes the statement and materializes the full result.
+func (s *Stmt) Exec(ctx context.Context, args ...any) (*Result, error) {
+	rows, err := s.Query(ctx, args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows.Collect()
+}
+
+// NumParams returns the number of ? placeholders in the statement.
+func (s *Stmt) NumParams() int { return s.tmpl.NumParams }
+
+// Text returns the normalized statement text.
+func (s *Stmt) Text() string { return s.text }
+
+// toDatums converts Go values to engine datums.
+func toDatums(args []any) ([]vector.Datum, error) {
+	out := make([]vector.Datum, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case vector.Datum:
+			out[i] = v
+		case int:
+			out[i] = vector.NewInt64Datum(int64(v))
+		case int32:
+			out[i] = vector.NewInt64Datum(int64(v))
+		case int64:
+			out[i] = vector.NewInt64Datum(v)
+		case float32:
+			out[i] = vector.NewFloat64Datum(float64(v))
+		case float64:
+			out[i] = vector.NewFloat64Datum(v)
+		case string:
+			out[i] = vector.NewStringDatum(v)
+		case bool:
+			out[i] = vector.NewBoolDatum(v)
+		case time.Time:
+			out[i] = vector.NewDateDatum(vector.MustParseDate(v.Format("2006-01-02")))
+		default:
+			return nil, fmt.Errorf("recycledb: unsupported parameter %d type %T", i+1, a)
+		}
+	}
+	return out, nil
+}
+
+// planCache is a mutex-guarded LRU of compiled statement templates keyed by
+// normalized SQL text. Entries remember the catalog version they compiled
+// against and are dropped when it moves on. A zero or negative capacity
+// disables caching.
+type planCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type planEntry struct {
+	key  string
+	tmpl *sql.Template
+	ver  int64
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *planCache) get(key string, ver int64) *sql.Template {
+	if c.max <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil
+	}
+	pe := el.Value.(*planEntry)
+	if pe.ver != ver {
+		c.ll.Remove(el)
+		delete(c.m, key)
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return pe.tmpl
+}
+
+func (c *planCache) put(key string, tmpl *sql.Template, ver int64) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		pe := el.Value.(*planEntry)
+		pe.tmpl, pe.ver = tmpl, ver
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&planEntry{key: key, tmpl: tmpl, ver: ver})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*planEntry).key)
+	}
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *planCache) contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[key]
+	return ok
+}
