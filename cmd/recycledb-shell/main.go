@@ -6,6 +6,12 @@
 //
 // Shell commands: \mode off|hist|spec|pa, \stats (toggle per-query stats),
 // \rstats (recycler totals), \flush, \tables, \q.
+//
+// With -clients N the shell runs non-interactively: N concurrent client
+// goroutines issue a mixed TPC-H workload against the engine for -duration,
+// then a throughput/latency report and the recycler totals print. This is
+// the quickest way to see concurrent recycling (stalls, in-flight sharing,
+// reuse) live.
 package main
 
 import (
@@ -17,22 +23,31 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"recycledb"
+	"recycledb/internal/harness"
 	"recycledb/internal/tpch"
 	"recycledb/internal/vector"
+	"recycledb/internal/workload"
 )
 
 func main() {
 	var (
-		sf   = flag.Float64("sf", 0.01, "TPC-H scale factor to load")
-		mode = flag.String("mode", "spec", "recycling mode: off, hist, spec, pa")
+		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor to load")
+		mode     = flag.String("mode", "spec", "recycling mode: off, hist, spec, pa")
+		clients  = flag.Int("clients", 0, "run a non-interactive multi-client benchmark with this many concurrent clients")
+		duration = flag.Duration("duration", 5*time.Second, "duration of the -clients benchmark")
 	)
 	flag.Parse()
 
 	eng := recycledb.New(recycledb.Config{Mode: parseMode(*mode)})
 	fmt.Printf("loading TPC-H sf=%g ...\n", *sf)
 	tpch.Generate(eng.Catalog(), *sf, 1)
+	if *clients > 0 {
+		runClients(eng, *clients, *duration)
+		return
+	}
 	fmt.Printf("tables: %s\n", strings.Join(eng.Catalog().TableNames(), ", "))
 	fmt.Println(`type SQL, or \mode, \stats, \rstats, \flush, \tables, \q (Ctrl-C cancels the running statement)`)
 
@@ -76,6 +91,19 @@ func main() {
 		}
 		runStatement(eng, line, showStats)
 	}
+}
+
+// runClients drives the multi-client workload driver against the engine and
+// prints the throughput report (the -clients flag).
+func runClients(eng *recycledb.Engine, clients int, duration time.Duration) {
+	fmt.Printf("running %d clients for %v in mode %v ...\n", clients, duration, eng.Mode())
+	res := workload.RunClients(workload.ClientsConfig{
+		Clients:  clients,
+		Duration: duration,
+		Seed:     1,
+	}, harness.TPCHMix(4, 1), harness.EngineExec(eng))
+	fmt.Print(harness.ClientsReport(res))
+	fmt.Printf("recycler: %+v\n", eng.Recycler().Stats())
 }
 
 // runStatement streams one query; SIGINT cancels the statement and returns

@@ -1,0 +1,155 @@
+package recycledb_test
+
+// Race-hardened stress tests for the concurrent query path: many client
+// goroutines hammer one shared engine with a mixed TPC-H + SkyServer
+// workload while control operations (SetMode, FlushCache) fire at random,
+// and every single result is checked against a single-threaded ModeOff
+// baseline. Run under -race this exercises the sharded cache, the striped
+// statistics, graph matching under contention, and the in-flight
+// producer/waiter handoff all at once.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"recycledb"
+
+	"recycledb/internal/harness"
+	"recycledb/internal/workload"
+)
+
+func TestConcurrentStress32Clients(t *testing.T) {
+	cat := harness.MixedCatalog(0.002, 4000, 1)
+	mix := harness.MixedMix(2, 1)
+
+	// A fixed pool of query instances; concurrent clients re-issue the
+	// same instances, which is what makes sharing (reuse, stalls,
+	// handoff) actually happen.
+	rng := rand.New(rand.NewSource(99))
+	var instances []workload.Query
+	for i := 0; i < 24; i++ {
+		q := mix.Pick(rng)
+		if q.Plan == nil {
+			t.Fatal("mix produced an empty query")
+		}
+		instances = append(instances, q)
+	}
+
+	// Single-threaded ModeOff baselines.
+	base := recycledb.NewWithCatalog(recycledb.Config{Mode: recycledb.Off}, cat)
+	want := make([]map[string]*canonRow, len(instances))
+	for i, q := range instances {
+		r, err := base.ExecuteContext(context.Background(), q.Plan)
+		if err != nil {
+			t.Fatalf("baseline %s: %v", q.Label, err)
+		}
+		want[i] = canonResult(r)
+	}
+
+	eng := recycledb.NewWithCatalog(recycledb.Config{
+		Mode:       recycledb.Speculative,
+		CacheBytes: 8 << 20,
+	}, cat)
+	modes := []recycledb.Mode{
+		recycledb.Off, recycledb.History, recycledb.Speculative, recycledb.Proactive,
+	}
+
+	const clients = 32
+	iters := 25
+	if testing.Short() {
+		iters = 6
+	}
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)*6151 + 7))
+			for i := 0; i < iters; i++ {
+				// Interleave control-plane churn with the queries.
+				switch rng.Intn(10) {
+				case 0:
+					eng.SetMode(modes[rng.Intn(len(modes))])
+				case 1:
+					eng.FlushCache()
+				}
+				qi := rng.Intn(len(instances))
+				q := instances[qi]
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				r, err := eng.ExecuteContext(ctx, q.Plan)
+				cancel()
+				if err != nil {
+					errs <- fmt.Errorf("client %d iter %d %s: %w", c, i, q.Label, err)
+					return
+				}
+				if d := canonDiff(want[qi], canonResult(r)); d != "" {
+					errs <- fmt.Errorf("client %d iter %d %s (mode %v): %s",
+						c, i, q.Label, eng.Mode(), d)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := eng.Recycler().Stats()
+	if st.CacheBytes < 0 || (8<<20) < st.CacheBytes {
+		t.Fatalf("cache accounting out of bounds after stress: %d", st.CacheBytes)
+	}
+	t.Logf("stress totals: %+v", st)
+}
+
+// TestConcurrentIdenticalQuerySharing drives K identical expensive queries
+// simultaneously and checks the §V contract end to end: results all match
+// the baseline, and the recycler shows sharing (reuses, stalls, or direct
+// in-flight handoffs) rather than K independent computations.
+func TestConcurrentIdenticalQuerySharing(t *testing.T) {
+	cat := harness.MixedCatalog(0.004, 2000, 1)
+	mix := harness.TPCHMix(1, 3)
+	rng := rand.New(rand.NewSource(5))
+	q := mix.Pick(rng)
+
+	base := recycledb.NewWithCatalog(recycledb.Config{Mode: recycledb.Off}, cat)
+	br, err := base.ExecuteContext(context.Background(), q.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonResult(br)
+
+	eng := recycledb.NewWithCatalog(recycledb.Config{Mode: recycledb.Speculative}, cat)
+	const k = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := eng.ExecuteContext(context.Background(), q.Plan)
+			if err != nil {
+				errs <- fmt.Errorf("worker %d: %w", i, err)
+				return
+			}
+			if d := canonDiff(want, canonResult(r)); d != "" {
+				errs <- fmt.Errorf("worker %d: %s", i, d)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := eng.Recycler().Stats()
+	shared := st.Reuses + st.StallReuses + st.InflightShared
+	if shared == 0 {
+		t.Fatalf("no sharing among %d identical queries: %+v", k, st)
+	}
+}

@@ -11,12 +11,17 @@ import (
 //	cost(R) = bcost(R) - Σ_{j in DMDs(R)} bcost(Rj)   (Eq. 2)
 //
 // importance-factor maintenance on materialization/eviction (Eq. 3-4,
-// Algorithm 2) and lazy exponential aging (Eq. 5). All functions here assume
-// the graph write lock is held.
+// Algorithm 2) and lazy exponential aging (Eq. 5).
+//
+// Locking: the *Locked suffix means the caller holds the node's mutex; all
+// other functions lock the node mutexes they touch, one node at a time
+// (node mutexes are leaf locks, so the DAG walks here cannot deadlock, at
+// the price of slight interleaving drift between concurrent walks — hR is
+// a heuristic, not an invariant).
 
-// foldAge lazily applies aging to n up to the global sequence seq:
-// h_t = h_{t-1} * alpha per query (Eq. 5), folded in one step.
-func foldAge(n *Node, seq uint64, alpha float64) {
+// foldAgeLocked lazily applies aging to n up to the global sequence seq:
+// h_t = h_{t-1} * alpha per query (Eq. 5), folded in one step. n.mu held.
+func foldAgeLocked(n *Node, seq uint64, alpha float64) {
 	if n.ageSeq >= seq || alpha >= 1 {
 		n.ageSeq = seq
 		return
@@ -27,17 +32,26 @@ func foldAge(n *Node, seq uint64, alpha float64) {
 
 // addRef increments the node's importance factor by one reference.
 func addRef(n *Node, seq uint64, alpha float64) {
-	foldAge(n, seq, alpha)
+	n.mu.Lock()
+	foldAgeLocked(n, seq, alpha)
 	n.hr++
+	n.mu.Unlock()
 }
 
-// HR returns the node's current (aged) importance factor.
-func (n *Node) hrAt(seq uint64, alpha float64) float64 {
-	foldAge(n, seq, alpha)
+// hrAtLocked returns the node's current (aged) importance factor. n.mu held.
+func (n *Node) hrAtLocked(seq uint64, alpha float64) float64 {
+	foldAgeLocked(n, seq, alpha)
 	if n.hr < 0 {
 		return 0
 	}
 	return n.hr
+}
+
+// hrAt is hrAtLocked with internal locking.
+func (n *Node) hrAt(seq uint64, alpha float64) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hrAtLocked(seq, alpha)
 }
 
 // dmdBaseCost sums the base costs of the direct materialized descendants of
@@ -52,8 +66,10 @@ func dmdBaseCost(n *Node) time.Duration {
 			return
 		}
 		seen[m] = struct{}{}
-		if m.cached != nil {
+		if m.cached.Load() != nil {
+			m.mu.Lock()
 			total += m.baseCost
+			m.mu.Unlock()
 			return
 		}
 		for _, c := range m.Children {
@@ -70,7 +86,10 @@ func dmdBaseCost(n *Node) time.Duration {
 // stored base costs rather than stored, as the paper prescribes (cheap, and
 // avoids graph-wide updates when cache contents change).
 func trueCost(n *Node) time.Duration {
-	c := n.baseCost - dmdBaseCost(n)
+	n.mu.Lock()
+	bc := n.baseCost
+	n.mu.Unlock()
+	c := bc - dmdBaseCost(n)
 	if c < 0 {
 		c = 0
 	}
@@ -96,8 +115,10 @@ func BenefitValue(cost time.Duration, hr float64, size int64) float64 {
 // added to the cache, every DMD and potential DMD below it loses the
 // references that will now be served by n.
 func updateHROnAdd(n *Node, seq uint64, alpha float64) {
-	foldAge(n, seq, alpha)
+	n.mu.Lock()
+	foldAgeLocked(n, seq, alpha)
 	delta := n.hr
+	n.mu.Unlock()
 	for _, c := range n.Children {
 		updateHR(c, -delta, seq, alpha, make(map[*Node]struct{}))
 	}
@@ -106,8 +127,10 @@ func updateHROnAdd(n *Node, seq uint64, alpha float64) {
 // updateHROnEvict implements Eq. 4: when node n's result is evicted, its
 // DMDs and potential DMDs regain those references.
 func updateHROnEvict(n *Node, seq uint64, alpha float64) {
-	foldAge(n, seq, alpha)
+	n.mu.Lock()
+	foldAgeLocked(n, seq, alpha)
 	delta := n.hr
+	n.mu.Unlock()
 	for _, c := range n.Children {
 		updateHR(c, delta, seq, alpha, make(map[*Node]struct{}))
 	}
@@ -120,12 +143,14 @@ func updateHR(m *Node, delta float64, seq uint64, alpha float64, seen map[*Node]
 		return
 	}
 	seen[m] = struct{}{}
-	foldAge(m, seq, alpha)
+	m.mu.Lock()
+	foldAgeLocked(m, seq, alpha)
 	m.hr += delta
 	if m.hr < 0 {
 		m.hr = 0
 	}
-	if m.cached != nil {
+	m.mu.Unlock()
+	if m.cached.Load() != nil {
 		return
 	}
 	for _, c := range m.Children {

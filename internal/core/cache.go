@@ -3,12 +3,17 @@ package core
 import (
 	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"recycledb/internal/vector"
 )
 
 // Entry is a cached materialized result. Pins prevent eviction while a
 // running query replays the result.
+//
+// Node, Batches, Size and Rows are immutable. pins and benefit are guarded
+// by the entry's home shard lock (the shard Entry.Node hashes to).
 type Entry struct {
 	Node    *Node
 	Batches []*vector.Batch
@@ -22,39 +27,112 @@ type Entry struct {
 	benefit float64
 }
 
-// Pins returns the current pin count (for tests).
+// Pins returns the current pin count (for tests; callers must be
+// single-threaded with respect to the cache).
 func (e *Entry) Pins() int { return e.pins }
+
+// DefaultCacheShards is the lock-stripe count used when Config.CacheShards
+// is zero. Sixteen shards keep admission/eviction of unrelated results from
+// serializing on one mutex up to fairly large client counts, while staying
+// cheap to sweep for small caches.
+const DefaultCacheShards = 16
 
 // Cache is the recycler cache (§III-E): a finite in-memory store of
 // materialized results managed as a knapsack via Dantzig's greedy algorithm,
 // with results classified into logarithmic size groups and scanned in
-// increasing benefit order. All methods assume the recycler/graph lock is
-// held.
+// increasing benefit order.
+//
+// The cache is lock-striped: entries hash by their node's plan signature
+// into one of N shards, each with its own mutex and size-group lists, so
+// concurrent admission and eviction of unrelated results proceed in
+// parallel. Byte accounting is global and atomic — the configured capacity
+// bounds the sum over all shards, reserved with compare-and-swap before an
+// entry is linked, so the total can never exceed capacity or go negative.
+// Under capacity pressure the knapsack scan starts in the incoming entry's
+// home shard and spills over to the other shards, so the policy still sees
+// every unpinned candidate of the size group.
 type Cache struct {
-	capacity int64
-	used     int64
-	groups   map[int][]*Entry
-	count    int
+	capacity int64 // <= 0 means unlimited
+	shards   []cacheShard
+	mask     uint64
 
-	admissions int64
-	evictions  int64
-	rejected   int64
+	used  atomic.Int64
+	count atomic.Int64
+
+	admissions atomic.Int64
+	evictions  atomic.Int64
+	rejected   atomic.Int64
 }
 
-// NewCache returns a cache bounded to capacity bytes; capacity <= 0 means
-// unlimited.
-func NewCache(capacity int64) *Cache {
-	return &Cache{capacity: capacity, groups: make(map[int][]*Entry)}
+// cacheShard is one lock stripe. The mutex guards groups plus the pins and
+// benefit fields of every entry stored here. Padded to its own cache lines
+// so neighbouring shard locks do not false-share.
+type cacheShard struct {
+	mu     sync.Mutex
+	groups map[int][]*Entry
+	_      [104]byte
+}
+
+// NewCache returns a cache bounded to capacity bytes striped over the given
+// number of shards; capacity <= 0 means unlimited, shards <= 0 uses
+// DefaultCacheShards. The shard count is rounded up to a power of two.
+func NewCache(capacity int64, shards int) *Cache {
+	if shards <= 0 {
+		shards = DefaultCacheShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &Cache{capacity: capacity, shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].groups = make(map[int][]*Entry)
+	}
+	return c
 }
 
 // Used returns the bytes currently cached.
-func (c *Cache) Used() int64 { return c.used }
+func (c *Cache) Used() int64 { return c.used.Load() }
 
 // Count returns the number of cached results.
-func (c *Cache) Count() int { return c.count }
+func (c *Cache) Count() int { return int(c.count.Load()) }
 
-// Capacity returns the configured capacity (0 = unlimited).
+// Capacity returns the configured capacity (<= 0 = unlimited).
 func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Shards returns the number of lock stripes.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// shardIndex maps a node to its home stripe by plan signature.
+func (c *Cache) shardIndex(n *Node) uint64 {
+	// Fibonacci scrambling: Sig values are already hashes, but cheap
+	// avalanche keeps near-miss signatures from clustering in one stripe.
+	return (n.Sig * 0x9E3779B97F4A7C15) >> 32 & c.mask
+}
+
+// shardOf returns the node's home stripe.
+func (c *Cache) shardOf(n *Node) *cacheShard { return &c.shards[c.shardIndex(n)] }
+
+// reserve atomically charges size bytes against the capacity. It fails —
+// without over-charging — if the cache is bounded and full.
+func (c *Cache) reserve(size int64) bool {
+	if c.capacity <= 0 {
+		c.used.Add(size)
+		return true
+	}
+	for {
+		cur := c.used.Load()
+		if cur+size > c.capacity {
+			return false
+		}
+		if c.used.CompareAndSwap(cur, cur+size) {
+			return true
+		}
+	}
+}
+
+// release returns reserved bytes.
+func (c *Cache) release(size int64) { c.used.Add(-size) }
 
 // sizeGroup classifies a result by the logarithm of its size (§III-E).
 func sizeGroup(size int64) int {
@@ -64,142 +142,59 @@ func sizeGroup(size int64) int {
 	return bits.Len64(uint64(size))
 }
 
-// refreshGroup recomputes benefits and re-sorts a group ascending.
-func (c *Cache) refreshGroup(g int, benefit func(*Node) float64) {
-	es := c.groups[g]
+// refreshGroupLocked recomputes benefits and re-sorts shard s's group g
+// ascending. s.mu held; benefit must not acquire any shard lock.
+func refreshGroupLocked(s *cacheShard, g int, benefit func(*Node) float64) {
+	es := s.groups[g]
 	for _, e := range es {
 		e.benefit = benefit(e.Node)
 	}
 	sort.SliceStable(es, func(a, b int) bool { return es[a].benefit < es[b].benefit })
 }
 
-// wouldAdmit reports whether a result of the given size and benefit would be
-// admitted right now, without mutating anything. It mirrors admit below and
-// drives speculation decisions (§III-D).
-func (c *Cache) wouldAdmit(benefit float64, size int64, benefitFn func(*Node) float64) bool {
-	if size <= 0 {
-		return false
-	}
-	if c.capacity <= 0 || c.used+size <= c.capacity {
-		return true
-	}
-	if size > c.capacity {
-		return false
-	}
-	g := sizeGroup(size)
-	c.refreshGroup(g, benefitFn)
-	free := c.capacity - c.used
-	var sumSize int64
-	var sumBenefit float64
-	n := 0
-	for _, e := range c.groups[g] {
-		if e.pins > 0 {
-			continue
-		}
-		if (sumBenefit+e.benefit)/float64(n+1) >= benefit {
-			return false
-		}
-		sumBenefit += e.benefit
-		sumSize += e.Size
-		n++
-		if free+sumSize >= size {
-			return true
-		}
-	}
-	return false
-}
-
-// admit inserts a result, evicting a lower-average-benefit set from the same
-// size group if needed (§III-E). Returns the evicted entries (the caller
-// updates hR per Eq. 4) and whether admission happened.
-func (c *Cache) admit(e *Entry, benefitFn func(*Node) float64) (evicted []*Entry, ok bool) {
-	if e.Size <= 0 {
-		e.Size = 1
-	}
-	if c.capacity > 0 && e.Size > c.capacity {
-		c.rejected++
-		return nil, false
-	}
-	if c.capacity > 0 && c.used+e.Size > c.capacity {
-		g := sizeGroup(e.Size)
-		c.refreshGroup(g, benefitFn)
-		free := c.capacity - c.used
-		var sumSize int64
-		var sumBenefit float64
-		var set []*Entry
-		for _, cand := range c.groups[g] {
-			if cand.pins > 0 {
-				continue
-			}
-			if (sumBenefit+cand.benefit)/float64(len(set)+1) >= e.benefit {
-				break
-			}
-			sumBenefit += cand.benefit
-			sumSize += cand.Size
-			set = append(set, cand)
-			if free+sumSize >= e.Size {
-				break
-			}
-		}
-		if free+sumSize < e.Size {
-			c.rejected++
-			return nil, false
-		}
-		for _, v := range set {
-			c.remove(v)
-			evicted = append(evicted, v)
-		}
-	}
+// unlinkLocked removes e from its group in shard s (s.mu held) without
+// touching the byte accounting: callers settle used themselves (plain
+// eviction refunds the bytes; replacement transfers them straight into the
+// incoming result's reservation).
+func (c *Cache) unlinkLocked(s *cacheShard, e *Entry) {
 	g := sizeGroup(e.Size)
-	c.groups[g] = append(c.groups[g], e)
-	c.used += e.Size
-	c.count++
-	c.admissions++
-	return evicted, true
-}
-
-// remove unlinks an entry from its group.
-func (c *Cache) remove(e *Entry) {
-	g := sizeGroup(e.Size)
-	es := c.groups[g]
+	es := s.groups[g]
 	for i, v := range es {
 		if v == e {
-			c.groups[g] = append(es[:i], es[i+1:]...)
+			s.groups[g] = append(es[:i], es[i+1:]...)
 			break
 		}
 	}
-	c.used -= e.Size
-	c.count--
-	c.evictions++
+	c.count.Add(-1)
+	c.evictions.Add(1)
 }
 
-// evictAll removes every unpinned entry (cache flush between batches in the
-// Fig. 6 protocol, simulating update invalidation). It returns the evicted
-// entries so the caller can run Eq. 4 updates.
-func (c *Cache) evictAll() []*Entry {
-	var out []*Entry
-	for g, es := range c.groups {
-		keep := es[:0]
-		for _, e := range es {
-			if e.pins > 0 {
-				keep = append(keep, e)
-				continue
-			}
-			c.used -= e.Size
-			c.count--
-			c.evictions++
-			out = append(out, e)
-		}
-		c.groups[g] = keep
-	}
-	return out
+// removeLocked unlinks e from its group in shard s (s.mu held) and returns
+// its bytes to the pool.
+func (c *Cache) removeLocked(s *cacheShard, e *Entry) {
+	c.unlinkLocked(s, e)
+	c.used.Add(-e.Size)
+}
+
+// insertLocked links e into shard s (s.mu held). The caller has already
+// reserved e.Size bytes.
+func (c *Cache) insertLocked(s *cacheShard, e *Entry) {
+	g := sizeGroup(e.Size)
+	s.groups[g] = append(s.groups[g], e)
+	c.count.Add(1)
+	c.admissions.Add(1)
 }
 
 // entries returns all cached entries (for tests and introspection).
 func (c *Cache) entries() []*Entry {
 	var out []*Entry
-	for _, es := range c.groups {
-		out = append(out, es...)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, es := range s.groups {
+			out = append(out, es...)
+		}
+		s.mu.Unlock()
 	}
 	return out
 }

@@ -445,16 +445,19 @@ func TestPinPreventsEviction(t *testing.T) {
 }
 
 func TestWouldAdmit(t *testing.T) {
+	cat := testCatalog()
 	cfg := DefaultConfig()
 	cfg.CacheBytes = 100
 	r := New(cfg)
-	if !r.WouldAdmit(0.5, 40) {
+	p := selPlan(t, cat, 5)
+	g := r.MatchInsert(p).ByNode[p].G
+	if !r.WouldAdmit(g, 0.5, 40) {
 		t.Fatal("empty cache must admit")
 	}
-	if r.WouldAdmit(0.5, 200) {
+	if r.WouldAdmit(g, 0.5, 200) {
 		t.Fatal("oversized must not admit")
 	}
-	if r.WouldAdmit(0.5, 0) {
+	if r.WouldAdmit(g, 0.5, 0) {
 		t.Fatal("zero size is invalid")
 	}
 }
@@ -522,7 +525,7 @@ func TestInflightProducerAndWaiter(t *testing.T) {
 	if !r.Admit(g, []*vector.Batch{b}, 1, 8, time.Millisecond, 1) {
 		t.Fatal("admit failed")
 	}
-	r.FinishInflight(g, true)
+	r.FinishInflight(g)
 	<-done
 	if r.Inflight(g) {
 		t.Fatal("inflight must be cleared")
@@ -545,7 +548,7 @@ func TestInflightTimeout(t *testing.T) {
 	if time.Since(start) < 15*time.Millisecond {
 		t.Fatal("wait returned too early")
 	}
-	r.FinishInflight(g, false)
+	r.FinishInflight(g)
 }
 
 func TestInflightContextCancel(t *testing.T) {
@@ -569,7 +572,7 @@ func TestInflightContextCancel(t *testing.T) {
 	if time.Since(start) > 10*time.Second {
 		t.Fatal("cancellation did not cut the stall short")
 	}
-	r.FinishInflight(g, false)
+	r.FinishInflight(g)
 }
 
 func TestFinishInflightWithoutSuccess(t *testing.T) {
@@ -582,7 +585,7 @@ func TestFinishInflightWithoutSuccess(t *testing.T) {
 	r.BeginInflight(g)
 	go func() {
 		time.Sleep(5 * time.Millisecond)
-		r.FinishInflight(g, false)
+		r.FinishInflight(g)
 	}()
 	if _, ok := r.WaitInflight(g, time.Second); ok {
 		t.Fatal("cancelled materialization must not be reusable")

@@ -5,12 +5,38 @@
 // factors and aging (§III-C), the recycler cache with its knapsack-style
 // admission and replacement policies (§III-E), speculation support (§III-D),
 // and subsumption edges (§IV-A).
+//
+// # Concurrency
+//
+// The recycler serves many queries at once, so its state is split into
+// independent lock domains instead of one global mutex:
+//
+//   - Graph.mu (RWMutex) guards graph *structure* only: the leaf hash
+//     table, per-node parent indexes, child links, subsumption edges, and
+//     node counts. Matching runs almost entirely under the read lock; the
+//     write lock is taken only to insert genuinely new nodes (with
+//     backwards validation against concurrent inserts of the same node).
+//   - Node.mu (per node) guards that node's mutable statistics: importance
+//     factor, aging clock, base cost, cardinality, size estimate, and the
+//     in-flight registration. Node mutexes are leaf locks: code never
+//     acquires a second node mutex, a shard lock, or the graph lock while
+//     holding one, so statistic updates from concurrent queries interleave
+//     freely without deadlock.
+//   - Cache shard mutexes (see cache.go) guard cache membership: each node
+//     hashes (by plan signature) to one shard, and that shard's lock
+//     covers the node's cached-entry publication and pin counts. At most
+//     one shard lock is held at a time.
+//
+// Lock order is strictly graph -> shard -> node (any prefix may be
+// skipped); Node.cached is additionally an atomic pointer so heuristic
+// readers (benefit accounting, reference propagation) need no lock at all.
 package core
 
 import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"recycledb/internal/plan"
@@ -19,8 +45,12 @@ import (
 
 // Node is a recycler graph node: one relational operator with its parameters
 // in the graph's own column namespace. Exactly matching subtrees are unified,
-// so a node can have many parents. All mutable fields are guarded by the
-// owning Graph's lock.
+// so a node can have many parents.
+//
+// Field guards: ID through Children and meta are immutable once the node is
+// published by MatchInsert. parents and the subsumption edges are guarded by
+// the owning Graph's lock. The statistics block is guarded by mu. cached is
+// written only under the node's cache-shard lock and read atomically.
 type Node struct {
 	ID       uint64
 	Op       plan.Op
@@ -32,16 +62,20 @@ type Node struct {
 	Children []*Node
 
 	// parents is the per-node hash index used to find matching
-	// candidates one level up (§III-A).
+	// candidates one level up (§III-A). Guarded by the graph lock.
 	parents map[uint64][]*Node
 
 	// subsumers are nodes whose result subsumes this node's result
-	// (specialized OR-edges, §IV-A); subsumees is the inverse.
+	// (specialized OR-edges, §IV-A); subsumees is the inverse. Guarded by
+	// the graph lock.
 	subsumers []*Node
 	subsumees []*Node
 	meta      *SubMeta
 
-	// Statistics (§III-C).
+	// mu guards the statistics below (§III-C) and the in-flight
+	// registration. It is a leaf lock: never acquire any other lock while
+	// holding it.
+	mu        sync.Mutex
 	hr        float64 // importance factor (aged lazily)
 	ageSeq    uint64  // last aging fold
 	baseCost  time.Duration
@@ -49,23 +83,41 @@ type Node struct {
 	card      int64
 	estBytes  int64
 	execCount int64
+	inflight  *inflight
 
-	cached   *Entry
-	inflight *inflight
+	// cached points to this node's recycler-cache entry, or nil. Written
+	// only under the node's cache-shard lock; read lock-free.
+	cached atomic.Pointer[Entry]
 }
 
 // BaseCost returns the node's last measured base cost (cost from base
 // tables, Eq. 2).
-func (n *Node) BaseCost() time.Duration { return n.baseCost }
+func (n *Node) BaseCost() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.baseCost
+}
 
 // CostKnown reports whether the node has ever been executed and measured.
-func (n *Node) CostKnown() bool { return n.costKnown }
+func (n *Node) CostKnown() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.costKnown
+}
 
 // Card returns the last measured output cardinality.
-func (n *Node) Card() int64 { return n.card }
+func (n *Node) Card() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.card
+}
 
 // EstBytes returns the last measured or estimated result size in bytes.
-func (n *Node) EstBytes() int64 { return n.estBytes }
+func (n *Node) EstBytes() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.estBytes
+}
 
 // Graph is the recycler graph. Matching runs under a read lock; insertion
 // takes the write lock and re-validates its candidates first (backwards
@@ -274,7 +326,9 @@ func (g *Graph) insert(n *plan.Node, hk, sig uint64, params string, rename func(
 // (§II: "the graph can, e.g., be truncated by periodically removing subtrees
 // that have not been accessed for some time"). It returns the number of
 // nodes removed. Removal proceeds top-down so shared subtrees survive while
-// any referencing parent survives.
+// any referencing parent survives. Truncation of a node races benignly with
+// a concurrent admission publishing a result for it: the entry stays
+// replayable and is reclaimed by the next flush.
 func (g *Graph) Truncate(cutoffSeq uint64) int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -306,7 +360,10 @@ func (g *Graph) collectVictims(cutoffSeq uint64) []*Node {
 		for _, ps := range n.parents {
 			parents += len(ps)
 		}
-		if parents == 0 && n.ageSeq < cutoffSeq && n.cached == nil && n.inflight == nil {
+		n.mu.Lock()
+		stale := n.ageSeq < cutoffSeq && n.inflight == nil
+		n.mu.Unlock()
+		if parents == 0 && stale && n.cached.Load() == nil {
 			out = append(out, n)
 		}
 		for _, p := range n.parents {
@@ -362,17 +419,8 @@ func removeFrom(ns []*Node, x *Node) []*Node {
 	return ns
 }
 
-// Locked runs f under the graph's write lock. Recycler state transitions
-// (statistics, cache admission/eviction, hR maintenance) run inside it so
-// that graph structure, node statistics and cache membership stay mutually
-// consistent.
-func (g *Graph) Locked(f func()) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	f()
-}
-
-// RLocked runs f under the graph's read lock.
+// RLocked runs f under the graph's read lock (structure snapshots:
+// subsumption-edge traversal, introspection).
 func (g *Graph) RLocked(f func()) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()

@@ -6,6 +6,8 @@ import (
 	"os"
 	"sync/atomic"
 	"time"
+
+	"recycledb/internal/vector"
 )
 
 // In-flight coordination: when multiple concurrently executing queries share
@@ -14,52 +16,81 @@ import (
 // to materialize" (§V). The wait is bounded (Config.StallTimeout) to break
 // the cross-query deadlock the unbounded rule admits; on timeout the waiter
 // recomputes (see DESIGN.md).
+//
+// Beyond the paper, the producer hands its materialized batches to the
+// waiters directly through the inflight record: when K identical queries
+// arrive concurrently, one computes and K-1 replay the producer's result
+// even if the cache declined to admit it (admission is a policy decision
+// about the future; the waiters' demand already happened). The handoff is
+// cancellation-safe: a canceled producer closes its pipeline, which fires
+// the store's cancel callback, which wakes every waiter empty-handed so
+// each falls back to recomputation (and one of them becomes the next
+// producer).
 
-// inflight tracks one in-progress materialization.
+// inflight tracks one in-progress materialization. The registration itself
+// (Node.inflight) is guarded by the node mutex; the result fields are
+// written before done is closed and read only after it closes.
 type inflight struct {
-	done    chan struct{}
-	success bool
+	done chan struct{}
+	// The produced result, for direct handoff to waiters. nil batches
+	// means the producer finished without a shareable result (canceled,
+	// speculation aborted, build failed).
+	batches []*vector.Batch
+	rows    int64
+	size    int64
 }
 
 // BeginInflight registers the calling query as the producer of node n's
 // materialization. It returns true if the caller is the producer, false if
 // another query already is (the caller should stall-and-reuse instead).
 func (r *Recycler) BeginInflight(n *Node) bool {
-	var producer bool
-	r.graph.Locked(func() {
-		if n.inflight != nil {
-			return
-		}
-		n.inflight = &inflight{done: make(chan struct{})}
-		producer = true
-		if DebugInflight {
-			DebugBegin.Add(1)
-		}
-	})
-	return producer
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.inflight != nil {
+		return false
+	}
+	n.inflight = &inflight{done: make(chan struct{})}
+	if DebugInflight {
+		DebugBegin.Add(1)
+	}
+	return true
 }
 
 // Inflight reports whether node n currently has an in-flight producer.
 func (r *Recycler) Inflight(n *Node) bool {
-	var f bool
-	r.graph.RLocked(func() { f = n.inflight != nil })
-	return f
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inflight != nil
 }
 
-// FinishInflight marks the materialization finished (success = result is now
-// in the cache) and wakes all waiters.
-func (r *Recycler) FinishInflight(n *Node, success bool) {
-	r.graph.Locked(func() {
-		if n.inflight == nil {
-			return
-		}
-		n.inflight.success = success
-		close(n.inflight.done)
-		n.inflight = nil
-		if DebugInflight {
-			DebugFinish.Add(1)
-		}
-	})
+// FinishInflight marks the materialization finished with no shareable
+// result (canceled, speculation aborted, build failed) and wakes all
+// waiters; each falls back to the cache lookup and then recomputation.
+func (r *Recycler) FinishInflight(n *Node) {
+	r.finishInflight(n, nil, 0, 0)
+}
+
+// FinishInflightShared marks the materialization finished and hands the
+// materialized batches to the waiters directly, whether or not the cache
+// admitted them. The batches must not be mutated afterwards.
+func (r *Recycler) FinishInflightShared(n *Node, batches []*vector.Batch, rows, size int64) {
+	r.finishInflight(n, batches, rows, size)
+}
+
+func (r *Recycler) finishInflight(n *Node, batches []*vector.Batch, rows, size int64) {
+	n.mu.Lock()
+	infl := n.inflight
+	if infl == nil {
+		n.mu.Unlock()
+		return
+	}
+	infl.batches, infl.rows, infl.size = batches, rows, size
+	close(infl.done)
+	n.inflight = nil
+	if DebugInflight {
+		DebugFinish.Add(1)
+	}
+	n.mu.Unlock()
 }
 
 // WaitInflight blocks until n's in-flight materialization completes or the
@@ -72,19 +103,19 @@ func (r *Recycler) WaitInflight(n *Node, timeout time.Duration) (*Entry, bool) {
 // WaitInflightCtx is WaitInflight bounded additionally by ctx: a canceled
 // or expired context wakes the stalled query immediately (ok=false; the
 // caller's recompute fallback then aborts on the same context at its first
-// batch boundary).
+// batch boundary). If the producer's result did not reach the cache but was
+// published through the direct handoff, the returned entry is an ephemeral
+// (unpinned, uncached) wrapper around the shared batches; Release on it is
+// a no-op.
 func (r *Recycler) WaitInflightCtx(ctx context.Context, n *Node, timeout time.Duration) (*Entry, bool) {
-	var ch chan struct{}
-	r.graph.RLocked(func() {
-		if n.inflight != nil {
-			ch = n.inflight.done
-		}
-	})
-	if ch != nil {
+	n.mu.Lock()
+	infl := n.inflight
+	n.mu.Unlock()
+	if infl != nil {
 		t := time.NewTimer(timeout)
 		defer t.Stop()
 		select {
-		case <-ch:
+		case <-infl.done:
 		case <-ctx.Done():
 			return nil, false
 		case <-t.C:
@@ -94,11 +125,14 @@ func (r *Recycler) WaitInflightCtx(ctx context.Context, n *Node, timeout time.Du
 			return nil, false
 		}
 	}
-	e := r.Cached(n)
-	if e == nil {
-		return nil, false
+	if e := r.Cached(n); e != nil {
+		return e, true
 	}
-	return e, true
+	if infl != nil && infl.batches != nil {
+		r.stats.inflightShared.Add(1)
+		return &Entry{Node: n, Batches: infl.batches, Size: infl.size, Rows: infl.rows}, true
+	}
+	return nil, false
 }
 
 // Debug instrumentation (used by development tests only).

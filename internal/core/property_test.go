@@ -2,6 +2,8 @@ package core
 
 import (
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -51,14 +53,14 @@ func TestCacheInvariantsUnderRandomOps(t *testing.T) {
 			used += e.Size
 			count++
 		}
-		if used != r.cache.used {
-			t.Fatalf("step %d: used %d != sum %d", step, r.cache.used, used)
+		if used != r.cache.Used() {
+			t.Fatalf("step %d: used %d != sum %d", step, r.cache.Used(), used)
 		}
-		if r.cache.count != count {
-			t.Fatalf("step %d: count %d != entries %d", step, r.cache.count, count)
+		if r.cache.Count() != count {
+			t.Fatalf("step %d: count %d != entries %d", step, r.cache.Count(), count)
 		}
-		if r.cache.capacity > 0 && r.cache.used > r.cache.capacity {
-			t.Fatalf("step %d: used %d exceeds capacity", step, r.cache.used)
+		if r.cache.capacity > 0 && r.cache.Used() > r.cache.capacity {
+			t.Fatalf("step %d: used %d exceeds capacity", step, r.cache.Used())
 		}
 		for _, n := range nodes {
 			if hr := r.HR(n); hr < 0 {
@@ -220,7 +222,9 @@ func TestAgingNeverIncreasesHR(t *testing.T) {
 	f := func(h uint16, gap uint8) bool {
 		n := &Node{hr: float64(h), ageSeq: 0}
 		before := n.hr
-		foldAge(n, uint64(gap), 0.9)
+		n.mu.Lock()
+		foldAgeLocked(n, uint64(gap), 0.9)
+		n.mu.Unlock()
 		return n.hr <= before
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -245,5 +249,206 @@ func TestTrueCostNeverNegative(t *testing.T) {
 	r.Admit(scan, mkBatch(4), 10, 80, 10*time.Second, 1)
 	if tc := r.TrueCost(sel); tc < 0 {
 		t.Fatalf("true cost went negative: %v", tc)
+	}
+}
+
+// TestConcurrentCacheAccounting hammers the sharded cache from many
+// goroutines with admissions, evictions, flushes, pins, and reference
+// traffic while a monitor continuously observes the global byte accounting.
+// The invariants: used bytes never exceed CacheBytes, never go negative,
+// and once the storm quiesces the counters reconcile exactly — used equals
+// the sum of entry sizes, the entry count matches, and admissions minus
+// evictions equals the live entry count.
+func TestConcurrentCacheAccounting(t *testing.T) {
+	cat := testCatalog()
+	cfg := DefaultConfig()
+	cfg.Alpha = 1
+	cfg.CacheBytes = 1 << 14
+	cfg.CacheShards = 4
+	r := New(cfg)
+
+	var nodes []*Node
+	for i := 0; i < 48; i++ {
+		p := selPlan(t, cat, int64(i))
+		r.BeginQuery()
+		m := r.MatchInsert(p)
+		r.AddRefs(p, m)
+		g := m.ByNode[p].G
+		r.UpdateStats(g, time.Duration(1+i)*time.Millisecond, 10, int64(100+40*i))
+		nodes = append(nodes, g)
+	}
+
+	const workers = 8
+	iters := 2500
+	if testing.Short() {
+		iters = 500
+	}
+	var badUsed atomic.Int64 // snapshot of a violating used value, 0 = none
+	stop := make(chan struct{})
+	var monWg sync.WaitGroup
+	monWg.Add(1)
+	go func() {
+		defer monWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			used := r.cache.Used()
+			if used < 0 || used > cfg.CacheBytes {
+				badUsed.Store(used)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 13))
+			var pinned []*Entry
+			for i := 0; i < iters; i++ {
+				n := nodes[rng.Intn(len(nodes))]
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // admit
+					size := int64(50 + rng.Intn(2000))
+					r.Admit(n, mkBatch(4), 4, size, time.Duration(1+rng.Intn(5))*time.Millisecond, -1)
+				case 4, 5: // evict
+					r.Evict(n)
+				case 6: // pin, sometimes holding across iterations
+					if e := r.Cached(n); e != nil {
+						if rng.Intn(2) == 0 && len(pinned) < 4 {
+							pinned = append(pinned, e)
+						} else {
+							r.Release(e)
+						}
+					}
+				case 7: // release a held pin
+					if len(pinned) > 0 {
+						r.Release(pinned[len(pinned)-1])
+						pinned = pinned[:len(pinned)-1]
+					}
+				case 8: // flush
+					if rng.Intn(8) == 0 {
+						r.FlushCache()
+					}
+				case 9: // reference traffic (aging + hR churn)
+					p := selPlan(t, cat, int64(rng.Intn(len(nodes))))
+					r.BeginQuery()
+					m := r.MatchInsert(p)
+					r.AddRefs(p, m)
+				}
+			}
+			for _, e := range pinned {
+				r.Release(e)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	monWg.Wait()
+
+	if v := badUsed.Load(); v != 0 {
+		t.Fatalf("byte accounting out of bounds during run: used=%d capacity=%d", v, cfg.CacheBytes)
+	}
+	// Quiesced reconciliation.
+	var sum int64
+	entries := r.cache.entries()
+	for _, e := range entries {
+		sum += e.Size
+		if e.Node.cached.Load() != e {
+			t.Fatalf("entry for %s linked in cache but not published on its node", e.Node.Describe())
+		}
+	}
+	if got := r.cache.Used(); got != sum {
+		t.Fatalf("used %d != sum of entry sizes %d", got, sum)
+	}
+	if got := r.cache.Count(); got != len(entries) {
+		t.Fatalf("count %d != entries %d", got, len(entries))
+	}
+	st := r.Stats()
+	if st.CacheBytes < 0 || st.CacheBytes > cfg.CacheBytes {
+		t.Fatalf("final cache bytes %d outside [0, %d]", st.CacheBytes, cfg.CacheBytes)
+	}
+	if st.Admissions-st.Evictions != int64(st.CacheEntries) {
+		t.Fatalf("admissions %d - evictions %d != entries %d",
+			st.Admissions, st.Evictions, st.CacheEntries)
+	}
+	if st.Admissions < 0 || st.Evictions < 0 || st.Rejected < 0 {
+		t.Fatalf("negative counters: %+v", st)
+	}
+	// Importance factors survived the churn without going negative.
+	for _, n := range nodes {
+		if hr := r.HR(n); hr < 0 {
+			t.Fatalf("negative hr %v on %s", hr, n.Describe())
+		}
+	}
+}
+
+// TestConcurrentInflightHandoff checks the K-identical-queries contract at
+// the recycler level: one producer registers, K-1 waiters stall, and the
+// stalled waiters obtain the producer's batches even when the cache refuses
+// the result (direct handoff), with no waiter left hanging. A waiter that
+// is scheduled too late to observe the registration legitimately falls back
+// to recomputation, so the test requires sharing rather than unanimity.
+func TestConcurrentInflightHandoff(t *testing.T) {
+	cat := testCatalog()
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 1 // nothing fits: forces the handoff path
+	r := New(cfg)
+	p := selPlan(t, cat, 5)
+	r.BeginQuery()
+	g := r.MatchInsert(p).ByNode[p].G
+
+	if !r.BeginInflight(g) {
+		t.Fatal("producer registration failed")
+	}
+	const waiters = 8
+	got := make(chan int64, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, ok := r.WaitInflight(g, 5*time.Second)
+			if !ok || e == nil {
+				got <- -1
+				return
+			}
+			got <- e.Rows
+			r.Release(e)
+		}()
+	}
+	// Give the waiters time to observe the registration before producing
+	// (the handoff only reaches queries that stalled while the producer
+	// ran; latecomers recompute, which is the correct fallback).
+	time.Sleep(200 * time.Millisecond)
+	// Produce: admission will reject (capacity 1), but the batches are
+	// published to the waiters anyway.
+	batches := mkBatch(4)
+	if r.Admit(g, batches, 4, 999, time.Millisecond, -1) {
+		t.Fatal("admission should fail with capacity 1")
+	}
+	r.FinishInflightShared(g, batches, 4, 999)
+	wg.Wait()
+	close(got)
+	handoffs := int64(0)
+	for rows := range got {
+		switch rows {
+		case 4:
+			handoffs++
+		case -1: // latecomer fallback: recompute
+		default:
+			t.Fatalf("waiter got rows=%d, want 4 (handoff) or -1 (fallback)", rows)
+		}
+	}
+	if handoffs == 0 {
+		t.Fatal("no waiter received the direct handoff")
+	}
+	if got := r.Stats().InflightShared; got != handoffs {
+		t.Fatalf("InflightShared = %d, want %d", got, handoffs)
 	}
 }

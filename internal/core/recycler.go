@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -13,6 +12,9 @@ import (
 type Config struct {
 	// CacheBytes bounds the recycler cache; <= 0 means unlimited.
 	CacheBytes int64
+	// CacheShards is the number of lock stripes of the recycler cache
+	// (rounded up to a power of two); <= 0 uses DefaultCacheShards.
+	CacheShards int
 	// Alpha is the per-query aging factor (Eq. 5); 1 disables aging.
 	Alpha float64
 	// SpeculationHR is the constant importance factor used when deciding
@@ -52,6 +54,7 @@ func (c Config) CopyCost(size int64) time.Duration {
 func DefaultConfig() Config {
 	return Config{
 		CacheBytes:        256 << 20,
+		CacheShards:       DefaultCacheShards,
 		Alpha:             0.995,
 		SpeculationHR:     0.001,
 		MaxSpeculateBytes: 64 << 20,
@@ -74,27 +77,48 @@ type Stats struct {
 	SpecCommits      int64
 	Stalls           int64
 	StallReuses      int64
-	Admissions       int64
-	Evictions        int64
-	Rejected         int64
-	GraphNodes       int
-	CacheBytes       int64
-	CacheEntries     int
-	MatchTime        time.Duration
-	InsertConflicts  int64
+	// InflightShared counts stalled queries that received the producer's
+	// result through the direct in-flight handoff (including results the
+	// cache declined to admit).
+	InflightShared  int64
+	Admissions      int64
+	Evictions       int64
+	Rejected        int64
+	GraphNodes      int
+	CacheBytes      int64
+	CacheEntries    int
+	MatchTime       time.Duration
+	InsertConflicts int64
+}
+
+// recStats is the internal, contention-free form of Stats: independent
+// atomic counters bumped on the query hot path without any shared lock.
+type recStats struct {
+	queries          atomic.Int64
+	nodesMatched     atomic.Int64
+	nodesInserted    atomic.Int64
+	reuses           atomic.Int64
+	subsumptionReuse atomic.Int64
+	materializations atomic.Int64
+	specCancels      atomic.Int64
+	specCommits      atomic.Int64
+	stalls           atomic.Int64
+	stallReuses      atomic.Int64
+	inflightShared   atomic.Int64
+	matchNanos       atomic.Int64
 }
 
 // Recycler combines the recycler graph and the recycler cache and implements
-// the decision procedures the rewriter and the store operators consult.
+// the decision procedures the rewriter and the store operators consult. It
+// is safe for concurrent use by any number of queries; see the package
+// comment for the lock architecture.
 type Recycler struct {
 	cfg   Config
 	graph *Graph
 	cache *Cache
 
-	seq uint64 // query sequence for aging (atomic)
-
-	statMu sync.Mutex
-	stats  Stats
+	seq   atomic.Uint64 // query sequence for aging
+	stats recStats
 }
 
 // New returns a recycler with the given configuration.
@@ -111,7 +135,7 @@ func New(cfg Config) *Recycler {
 	if cfg.StallTimeout <= 0 {
 		cfg.StallTimeout = 2 * time.Second
 	}
-	return &Recycler{cfg: cfg, graph: NewGraph(), cache: NewCache(cfg.CacheBytes)}
+	return &Recycler{cfg: cfg, graph: NewGraph(), cache: NewCache(cfg.CacheBytes, cfg.CacheShards)}
 }
 
 // Config returns the active configuration.
@@ -122,23 +146,19 @@ func (r *Recycler) Graph() *Graph { return r.graph }
 
 // BeginQuery advances the aging clock and returns the query sequence number.
 func (r *Recycler) BeginQuery() uint64 {
-	r.statMu.Lock()
-	r.stats.Queries++
-	r.statMu.Unlock()
-	return atomic.AddUint64(&r.seq, 1)
+	r.stats.queries.Add(1)
+	return r.seq.Add(1)
 }
 
-func (r *Recycler) curSeq() uint64 { return atomic.LoadUint64(&r.seq) }
+func (r *Recycler) curSeq() uint64 { return r.seq.Load() }
 
 // MatchInsert matches the query tree against the recycler graph, inserting
 // missing nodes, and records matching-cost statistics.
 func (r *Recycler) MatchInsert(root *plan.Node) *MatchResult {
 	res := r.graph.MatchInsert(root)
-	r.statMu.Lock()
-	r.stats.NodesMatched += int64(res.Matched)
-	r.stats.NodesInserted += int64(res.Inserted)
-	r.stats.MatchTime += res.Cost
-	r.statMu.Unlock()
+	r.stats.nodesMatched.Add(int64(res.Matched))
+	r.stats.nodesInserted.Add(int64(res.Inserted))
+	r.stats.matchNanos.Add(res.Cost.Nanoseconds())
 	return res
 }
 
@@ -148,62 +168,64 @@ func (r *Recycler) MatchInsert(root *plan.Node) *MatchResult {
 // matched ancestor — gains one reference.
 func (r *Recycler) AddRefs(root *plan.Node, m *MatchResult) {
 	seq := r.curSeq()
-	r.graph.Locked(func() {
-		var walk func(n *plan.Node, covered bool)
-		walk = func(n *plan.Node, covered bool) {
-			nm := m.ByNode[n]
-			if nm == nil {
-				return
+	var walk func(n *plan.Node, covered bool)
+	walk = func(n *plan.Node, covered bool) {
+		nm := m.ByNode[n]
+		if nm == nil {
+			return
+		}
+		if nm.Existed {
+			if !covered {
+				addRef(nm.G, seq, r.cfg.Alpha)
 			}
-			if nm.Existed {
-				if !covered {
-					addRef(nm.G, seq, r.cfg.Alpha)
-				}
-				if nm.G.cached != nil {
-					covered = true
-				}
-			}
-			for _, c := range n.Children {
-				walk(c, covered)
+			if nm.G.cached.Load() != nil {
+				covered = true
 			}
 		}
-		walk(root, false)
-	})
+		for _, c := range n.Children {
+			walk(c, covered)
+		}
+	}
+	walk(root, false)
 }
 
 // AddRefTo bumps a single node's importance factor. The proactive rules use
 // it: each time a rule triggers and matches the proactive variant, the
 // common parts of the proactive plan obtain a higher benefit score (§IV-B).
 func (r *Recycler) AddRefTo(n *Node) {
-	seq := r.curSeq()
-	r.graph.Locked(func() { addRef(n, seq, r.cfg.Alpha) })
+	addRef(n, r.curSeq(), r.cfg.Alpha)
 }
 
 // HR returns the node's aged importance factor.
 func (r *Recycler) HR(n *Node) float64 {
-	var h float64
-	r.graph.Locked(func() { h = n.hrAt(r.curSeq(), r.cfg.Alpha) })
-	return h
+	return n.hrAt(r.curSeq(), r.cfg.Alpha)
 }
 
 // Benefit computes Eq. 1 for a node from its recorded statistics.
 func (r *Recycler) Benefit(n *Node) float64 {
-	var b float64
-	r.graph.Locked(func() { b = r.benefitLocked(n) })
-	return b
-}
-
-func (r *Recycler) benefitLocked(n *Node) float64 {
-	hr := n.hrAt(r.curSeq(), r.cfg.Alpha)
-	return benefitOf(trueCost(n), hr, n.estBytes)
+	seq := r.curSeq()
+	n.mu.Lock()
+	hr := n.hrAtLocked(seq, r.cfg.Alpha)
+	est := n.estBytes
+	n.mu.Unlock()
+	return benefitOf(trueCost(n), hr, est)
 }
 
 // NodeStats returns a consistent snapshot of a node's execution statistics.
 func (r *Recycler) NodeStats(n *Node) (cost time.Duration, known bool, card, estBytes int64) {
-	r.graph.RLocked(func() {
-		cost, known, card, estBytes = n.baseCost, n.costKnown, n.card, n.estBytes
-	})
+	n.mu.Lock()
+	cost, known, card, estBytes = n.baseCost, n.costKnown, n.card, n.estBytes
+	n.mu.Unlock()
 	return
+}
+
+// Subsumers returns the nodes whose results subsume n's result, nearest
+// first, as a snapshot taken under the graph lock (subsumption edges grow
+// while concurrent queries insert siblings).
+func (r *Recycler) Subsumers(n *Node) []*Node {
+	var out []*Node
+	r.graph.RLocked(func() { out = n.Subsumers() })
+	return out
 }
 
 // StallTimeoutFor adapts the stall bound to the producer's expected cost: a
@@ -229,9 +251,7 @@ func (r *Recycler) StallTimeoutFor(n *Node) time.Duration {
 
 // TrueCost returns Eq. 2 for the node.
 func (r *Recycler) TrueCost(n *Node) time.Duration {
-	var c time.Duration
-	r.graph.Locked(func() { c = trueCost(n) })
-	return c
+	return trueCost(n)
 }
 
 // UpdateStats records post-execution measurements for a node: base cost
@@ -239,171 +259,312 @@ func (r *Recycler) TrueCost(n *Node) time.Duration {
 // this plan), cardinality and result size estimate. The stored bcost is
 // refreshed on every recomputation, as the paper prescribes.
 func (r *Recycler) UpdateStats(n *Node, baseCost time.Duration, card, estBytes int64) {
-	r.graph.Locked(func() {
-		n.baseCost = baseCost
-		n.costKnown = true
-		n.execCount++
-		if card >= 0 {
-			n.card = card
-		}
-		if estBytes > 0 {
-			n.estBytes = estBytes
-		}
-	})
+	n.mu.Lock()
+	n.baseCost = baseCost
+	n.costKnown = true
+	n.execCount++
+	if card >= 0 {
+		n.card = card
+	}
+	if estBytes > 0 {
+		n.estBytes = estBytes
+	}
+	n.mu.Unlock()
 }
 
 // Cached returns the node's cache entry, pinned, or nil. The caller must
 // Release the returned entry once done replaying it.
 func (r *Recycler) Cached(n *Node) *Entry {
-	var e *Entry
-	r.graph.Locked(func() {
-		if n.cached != nil {
-			e = n.cached
-			e.pins++
-		}
-	})
+	if n.cached.Load() == nil {
+		return nil // lock-free miss
+	}
+	s := r.cache.shardOf(n)
+	s.mu.Lock()
+	e := n.cached.Load()
 	if e != nil {
-		r.statMu.Lock()
-		r.stats.Reuses++
-		r.statMu.Unlock()
+		e.pins++
+	}
+	s.mu.Unlock()
+	if e != nil {
+		r.stats.reuses.Add(1)
 	}
 	return e
 }
 
-// Release unpins a cache entry.
+// Release unpins a cache entry. It is a no-op for unpinned entries, so the
+// ephemeral entries the in-flight handoff fabricates release safely too.
 func (r *Recycler) Release(e *Entry) {
-	r.graph.Locked(func() {
-		if e.pins > 0 {
-			e.pins--
-		}
-	})
+	s := r.cache.shardOf(e.Node)
+	s.mu.Lock()
+	if e.pins > 0 {
+		e.pins--
+	}
+	s.mu.Unlock()
 }
 
-// WouldAdmit reports whether a result with the given benefit and size would
-// currently be admitted (used by store-injection and speculation decisions).
-func (r *Recycler) WouldAdmit(benefit float64, size int64) bool {
-	var ok bool
-	r.graph.Locked(func() {
-		ok = r.cache.wouldAdmit(benefit, size, r.benefitLocked)
-	})
-	return ok
+// benefitNow recomputes Eq. 1 for a cached node (policy refresh callback).
+// It takes only node mutexes, so it is safe under any shard lock.
+func (r *Recycler) benefitNow(n *Node) float64 {
+	return r.Benefit(n)
+}
+
+// WouldAdmit reports whether a result for node n with the given benefit and
+// size would currently be admitted (used by store-injection and speculation
+// decisions). It mirrors Admit without mutating anything; under concurrency
+// the answer is advisory — the authoritative decision happens at Admit.
+func (r *Recycler) WouldAdmit(n *Node, benefit float64, size int64) bool {
+	c := r.cache
+	if size <= 0 {
+		return false
+	}
+	if c.capacity <= 0 || c.used.Load()+size <= c.capacity {
+		return true
+	}
+	if size > c.capacity {
+		return false
+	}
+	return r.groupScan(c.shardIndex(n), benefit, size, r.curSeq(), false)
 }
 
 // Admit offers a fully materialized result for node n to the cache, running
 // admission/replacement (§III-E) and the hR updates of Eq. 3/4. hrOverride
 // < 0 means "use the node's aged hR"; speculation passes its constant.
 func (r *Recycler) Admit(n *Node, batches []*vector.Batch, rows, size int64, cost time.Duration, hrOverride float64) bool {
-	var admitted bool
-	r.graph.Locked(func() {
-		if n.cached != nil {
-			admitted = true // already cached by a concurrent query
-			return
-		}
-		hr := n.hrAt(r.curSeq(), r.cfg.Alpha)
-		if hrOverride >= 0 && hr < hrOverride {
-			hr = hrOverride
-		}
-		// Never-measured nodes (speculation) get their first base-cost
-		// sample from the store operator's measurement.
-		if !n.costKnown && cost > 0 {
-			n.baseCost = cost
-			n.costKnown = true
-		}
-		e := &Entry{Node: n, Batches: batches, Size: size, Rows: rows}
-		e.benefit = benefitOf(trueCost(n), hr, size)
-		evicted, ok := r.cache.admit(e, r.benefitLocked)
-		if !ok {
-			return
-		}
-		for _, ev := range evicted {
-			ev.Node.cached = nil
-			updateHROnEvict(ev.Node, r.curSeq(), r.cfg.Alpha)
-		}
-		n.cached = e
-		n.estBytes = size
-		n.card = rows
-		updateHROnAdd(n, r.curSeq(), r.cfg.Alpha)
-		admitted = true
-	})
-	r.statMu.Lock()
-	if admitted {
-		r.stats.Materializations++
-		r.stats.Admissions++
-	} else {
-		r.stats.Rejected++
+	if size <= 0 {
+		size = 1
 	}
-	r.statMu.Unlock()
-	return admitted
+	if n.cached.Load() != nil {
+		// Already cached by a concurrent query.
+		r.stats.materializations.Add(1)
+		return true
+	}
+	c := r.cache
+	if c.capacity > 0 && size > c.capacity {
+		c.rejected.Add(1)
+		return false
+	}
+	seq := r.curSeq()
+	n.mu.Lock()
+	// Never-measured nodes (speculation) get their first base-cost
+	// sample from the store operator's measurement.
+	if !n.costKnown && cost > 0 {
+		n.baseCost = cost
+		n.costKnown = true
+	}
+	hr := n.hrAtLocked(seq, r.cfg.Alpha)
+	n.mu.Unlock()
+	if hrOverride >= 0 && hr < hrOverride {
+		hr = hrOverride
+	}
+	e := &Entry{Node: n, Batches: batches, Size: size, Rows: rows}
+	e.benefit = benefitOf(trueCost(n), hr, size)
+
+	if !c.reserve(size) {
+		// Replacement is all-or-nothing in the common case: a feasibility
+		// pass (no mutation) first proves the knapsack scan can free
+		// enough, then the evict pass commits it. A concurrent admission
+		// can still consume the planned space between the passes; the
+		// evict pass then stops short having removed only entries the
+		// policy ranked below this result.
+		home := c.shardIndex(n)
+		if !r.groupScan(home, e.benefit, size, seq, false) ||
+			!r.groupScan(home, e.benefit, size, seq, true) {
+			c.rejected.Add(1)
+			return false
+		}
+	}
+	// Bytes reserved; link the entry into the home shard.
+	s := c.shardOf(n)
+	s.mu.Lock()
+	if n.cached.Load() != nil {
+		s.mu.Unlock()
+		c.release(size)
+		r.stats.materializations.Add(1)
+		return true // a concurrent producer published first
+	}
+	c.insertLocked(s, e)
+	n.cached.Store(e)
+	s.mu.Unlock()
+	n.mu.Lock()
+	n.estBytes = size
+	n.card = rows
+	n.mu.Unlock()
+	updateHROnAdd(n, seq, r.cfg.Alpha)
+	r.stats.materializations.Add(1)
+	return true
+}
+
+// groupScan runs the knapsack replacement scan (§III-E) for a result of
+// the given size and benefit over its size group: candidates accumulate in
+// ascending benefit order, per shard, while the selected set's average
+// benefit stays below the incoming benefit. The scan starts at the home
+// shard and spills to the others, one shard lock at a time.
+//
+// With evict=false it only answers feasibility (nothing is touched),
+// refreshing and re-sorting each visited group's benefits. With evict=true
+// it removes the selected victims as it goes — applying Eq. 4 — and
+// transfers their bytes directly into the incoming result's reservation
+// (never through the free pool, so a concurrent admission cannot steal
+// replacement space); it returns once size bytes are reserved. The evict
+// pass reuses the benefit ordering the immediately preceding feasibility
+// pass computed rather than refreshing again under the shard lock.
+func (r *Recycler) groupScan(home uint64, benefit float64, size int64, seq uint64, evict bool) bool {
+	c := r.cache
+	gi := sizeGroup(size)
+	var sumBenefit float64
+	var pending int64  // selected but not-yet-claimed bytes (this pass)
+	var reserved int64 // bytes already claimed for the incoming result
+	nv := 0
+	for i := 0; i < len(c.shards); i++ {
+		s := &c.shards[(home+uint64(i))&c.mask]
+		s.mu.Lock()
+		if !evict {
+			refreshGroupLocked(s, gi, r.benefitNow)
+		}
+		var victims []*Entry
+		enough := false
+		for _, cand := range s.groups[gi] {
+			if cand.pins > 0 {
+				continue
+			}
+			if (sumBenefit+cand.benefit)/float64(nv+1) >= benefit {
+				break // rest of this shard's group is at least as good
+			}
+			sumBenefit += cand.benefit
+			pending += cand.Size
+			nv++
+			if evict {
+				victims = append(victims, cand)
+			}
+			if c.capacity-c.used.Load()+pending+reserved >= size {
+				enough = true
+				break
+			}
+		}
+		if evict {
+			for _, v := range victims {
+				c.unlinkLocked(s, v)
+				v.Node.cached.Store(nil)
+				updateHROnEvict(v.Node, seq, r.cfg.Alpha)
+				transfer := v.Size
+				if transfer > size-reserved {
+					transfer = size - reserved
+				}
+				reserved += transfer
+				if refund := v.Size - transfer; refund > 0 {
+					c.used.Add(-refund)
+				}
+			}
+			pending = 0
+		}
+		s.mu.Unlock()
+		if evict {
+			if reserved >= size {
+				return true
+			}
+			if c.reserve(size - reserved) {
+				return true
+			}
+		} else if enough {
+			return true
+		}
+	}
+	if reserved > 0 {
+		c.release(reserved)
+	}
+	return false
 }
 
 // Evict removes a node's cached result (if any), applying Eq. 4.
 func (r *Recycler) Evict(n *Node) {
-	r.graph.Locked(func() {
-		if n.cached == nil {
-			return
-		}
-		r.cache.remove(n.cached)
-		n.cached = nil
-		updateHROnEvict(n, r.curSeq(), r.cfg.Alpha)
-	})
+	s := r.cache.shardOf(n)
+	s.mu.Lock()
+	e := n.cached.Load()
+	if e == nil {
+		s.mu.Unlock()
+		return
+	}
+	r.cache.removeLocked(s, e)
+	n.cached.Store(nil)
+	s.mu.Unlock()
+	updateHROnEvict(n, r.curSeq(), r.cfg.Alpha)
 }
 
 // FlushCache evicts every unpinned result (the Fig. 6 invalidation
-// protocol).
+// protocol), one shard at a time.
 func (r *Recycler) FlushCache() {
-	r.graph.Locked(func() {
-		for _, e := range r.cache.evictAll() {
-			e.Node.cached = nil
-			updateHROnEvict(e.Node, r.curSeq(), r.cfg.Alpha)
+	seq := r.curSeq()
+	c := r.cache
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		var flushed []*Entry
+		for g, es := range s.groups {
+			keep := es[:0]
+			for _, e := range es {
+				if e.pins > 0 {
+					keep = append(keep, e)
+					continue
+				}
+				c.used.Add(-e.Size)
+				c.count.Add(-1)
+				c.evictions.Add(1)
+				e.Node.cached.Store(nil)
+				flushed = append(flushed, e)
+			}
+			s.groups[g] = keep
 		}
-	})
+		for _, e := range flushed {
+			updateHROnEvict(e.Node, seq, r.cfg.Alpha)
+		}
+		s.mu.Unlock()
+	}
 }
 
-// Stats returns a snapshot of activity counters.
+// Stats returns a snapshot of activity counters. Counters are read
+// individually without a global lock, so a snapshot taken while queries run
+// is approximate (each counter is itself exact).
 func (r *Recycler) Stats() Stats {
-	r.statMu.Lock()
-	s := r.stats
-	r.statMu.Unlock()
-	r.graph.RLocked(func() {
-		s.CacheBytes = r.cache.used
-		s.CacheEntries = r.cache.count
-		s.Evictions = r.cache.evictions
-	})
+	s := Stats{
+		Queries:          r.stats.queries.Load(),
+		NodesMatched:     r.stats.nodesMatched.Load(),
+		NodesInserted:    r.stats.nodesInserted.Load(),
+		Reuses:           r.stats.reuses.Load(),
+		SubsumptionReuse: r.stats.subsumptionReuse.Load(),
+		Materializations: r.stats.materializations.Load(),
+		SpecCancels:      r.stats.specCancels.Load(),
+		SpecCommits:      r.stats.specCommits.Load(),
+		Stalls:           r.stats.stalls.Load(),
+		StallReuses:      r.stats.stallReuses.Load(),
+		InflightShared:   r.stats.inflightShared.Load(),
+		MatchTime:        time.Duration(r.stats.matchNanos.Load()),
+		Admissions:       r.cache.admissions.Load(),
+		Evictions:        r.cache.evictions.Load(),
+		Rejected:         r.cache.rejected.Load(),
+		CacheBytes:       r.cache.used.Load(),
+		CacheEntries:     int(r.cache.count.Load()),
+	}
 	s.GraphNodes = r.graph.Size()
 	s.InsertConflicts = r.graph.Conflicts()
 	return s
 }
 
 // CountSpecCancel bumps the speculation-cancel counter.
-func (r *Recycler) CountSpecCancel() {
-	r.statMu.Lock()
-	r.stats.SpecCancels++
-	r.statMu.Unlock()
-}
+func (r *Recycler) CountSpecCancel() { r.stats.specCancels.Add(1) }
 
 // CountSpecCommit bumps the speculation-commit counter.
-func (r *Recycler) CountSpecCommit() {
-	r.statMu.Lock()
-	r.stats.SpecCommits++
-	r.statMu.Unlock()
-}
+func (r *Recycler) CountSpecCommit() { r.stats.specCommits.Add(1) }
 
 // CountStall records a stall on an in-flight materialization.
 func (r *Recycler) CountStall(reused bool) {
-	r.statMu.Lock()
-	r.stats.Stalls++
+	r.stats.stalls.Add(1)
 	if reused {
-		r.stats.StallReuses++
+		r.stats.stallReuses.Add(1)
 	}
-	r.statMu.Unlock()
 }
 
 // CountSubsumptionReuse records a reuse through a subsumption edge.
-func (r *Recycler) CountSubsumptionReuse() {
-	r.statMu.Lock()
-	r.stats.SubsumptionReuse++
-	r.statMu.Unlock()
-}
+func (r *Recycler) CountSubsumptionReuse() { r.stats.subsumptionReuse.Add(1) }
 
 // EstimateResultBytes estimates a node's result size from its measured
 // cardinality and output types (used before a result was ever materialized;

@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/plan"
+	"recycledb/internal/skyserver"
+	"recycledb/internal/tpch"
+	"recycledb/internal/workload"
+)
+
+// This file builds query mixes for the multi-client driver
+// (workload.RunClients): an online serving tier issuing TPC-H dashboard
+// refreshes and SkyServer cone searches against one shared engine. Each
+// pattern draws from a small pool of fixed parameter variants — exactly the
+// repetition structure (identical and near-identical queries from many
+// clients) that gives the recycler sharing potential.
+
+// MixedCatalog loads TPC-H at the given scale factor and a synthetic
+// SkyServer sky of skyObjects objects into one catalog.
+func MixedCatalog(sf float64, skyObjects int, seed int64) *catalog.Catalog {
+	cat := catalog.New()
+	tpch.Generate(cat, sf, seed)
+	skyserver.Load(cat, skyObjects, seed)
+	return cat
+}
+
+// TPCHMix returns a weighted client mix over a subset of TPC-H patterns,
+// each with a pool of `variants` fixed parameter draws. Small pools model
+// the dashboard case: many clients asking the same few questions.
+func TPCHMix(variants int, seed int64) workload.Mix {
+	if variants <= 0 {
+		variants = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	patterns := []struct {
+		q      int
+		weight int
+	}{
+		{1, 4}, {3, 3}, {6, 4}, {12, 2}, {14, 2},
+	}
+	var mix workload.Mix
+	for _, pat := range patterns {
+		pool := make([]tpch.Params, variants)
+		for i := range pool {
+			pool[i] = tpch.NewParams(pat.q, rng)
+		}
+		mix = append(mix, workload.MixEntry{
+			Label:  fmt.Sprintf("Q%d", pat.q),
+			Weight: pat.weight,
+			Make: func(rng *rand.Rand) *plan.Node {
+				return tpch.Build(pool[rng.Intn(len(pool))])
+			},
+		})
+	}
+	return mix
+}
+
+// SkyServerMix returns a client mix over the SkyServer workload patterns
+// (dominant cone search, narrow projections, aggregations, other cones),
+// weighted like the paper's log sample.
+func SkyServerMix(seed int64) workload.Mix {
+	pool := skyserver.Workload(64, seed)
+	byPattern := make(map[string][]*plan.Node)
+	var order []string
+	for _, q := range pool {
+		if _, ok := byPattern[q.Pattern]; !ok {
+			order = append(order, q.Pattern)
+		}
+		byPattern[q.Pattern] = append(byPattern[q.Pattern], q.Plan)
+	}
+	var mix workload.Mix
+	for _, pat := range order {
+		plans := byPattern[pat]
+		mix = append(mix, workload.MixEntry{
+			Label:  pat,
+			Weight: len(plans),
+			Make: func(rng *rand.Rand) *plan.Node {
+				return plans[rng.Intn(len(plans))]
+			},
+		})
+	}
+	return mix
+}
+
+// MixedMix combines the TPC-H and SkyServer mixes into one client workload.
+func MixedMix(variants int, seed int64) workload.Mix {
+	return append(TPCHMix(variants, seed), SkyServerMix(seed)...)
+}
+
+// ClientsReport renders a multi-client run for terminals (the shell's
+// -clients mode).
+func ClientsReport(res *workload.ClientsResult) string {
+	rows := [][]string{
+		{"clients", fmt.Sprintf("%d", res.Clients)},
+		{"elapsed", fmtDur(res.Elapsed)},
+		{"queries", fmt.Sprintf("%d", res.Queries)},
+		{"errors", fmt.Sprintf("%d", res.Errs)},
+		{"throughput", fmt.Sprintf("%.0f queries/sec", res.QPS())},
+		{"latency p50", fmtDur(res.Percentile(50))},
+		{"latency p95", fmtDur(res.Percentile(95))},
+		{"latency p99", fmtDur(res.Percentile(99))},
+	}
+	labels := make([]string, 0, len(res.PerLabel))
+	for label := range res.PerLabel {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		rows = append(rows, []string{"  " + label, fmt.Sprintf("%d", res.PerLabel[label])})
+	}
+	return table([]string{"metric", "value"}, rows)
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -121,10 +122,14 @@ func TestRunFig10Small(t *testing.T) {
 	// With recycling on, the *average* execution time at toy scale can
 	// approach matching cost (reused queries are nearly free), so the
 	// bound is checked against an absolute ceiling here; the full-size
-	// comparison lives in EXPERIMENTS.md. The wall-clock ceiling only
-	// holds without instrumentation overhead and scheduler contention,
-	// so short runs and shared CI runners skip it.
-	if !testing.Short() && os.Getenv("CI") == "" && res.Max() > 50*time.Millisecond {
+	// comparison lives in EXPERIMENTS.md. The ceiling measures wall time
+	// inside MatchInsert, so it only holds when the concurrent queries
+	// actually run in parallel — on fewer cores than MaxConcurrent a
+	// matcher gets descheduled mid-measurement and the reading inflates
+	// by whole query executions; instrumented (race) builds, short runs,
+	// and shared CI runners skip it for the same reason.
+	parallel := runtime.NumCPU() >= cfg.MaxConcurrent
+	if !testing.Short() && !raceEnabled && parallel && os.Getenv("CI") == "" && res.Max() > 50*time.Millisecond {
 		t.Errorf("max match cost %v is implausibly high", res.Max())
 	}
 	if res.ExecAvg <= 0 {

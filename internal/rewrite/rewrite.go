@@ -149,7 +149,7 @@ func (rw *Rewriter) dropStoresUnderWaits(n *plan.Node, res *Result, underWait bo
 	if d != nil {
 		if underWait && d.Store != nil {
 			if g := nodeGraph(res, n); g != nil {
-				rw.Rec.FinishInflight(g, false)
+				rw.Rec.FinishInflight(g)
 			}
 			if d.Store.Speculative {
 				res.SpecStores--
@@ -218,7 +218,7 @@ func (rw *Rewriter) substitute(n *plan.Node, res *Result) {
 		// the graph (freshly inserted), exactly the case the paper
 		// motivates subsumption with.
 		if rw.Rec.Config().Subsumption {
-			for _, s := range nm.G.Subsumers() {
+			for _, s := range rw.Rec.Subsumers(nm.G) {
 				if e := rw.Rec.Cached(s); e != nil {
 					if rw.applySubsumption(n, nm, s, e, res) {
 						res.SubsumptionReuses++
@@ -322,7 +322,7 @@ func (rw *Rewriter) injectStores(root *plan.Node, res *Result, insideWait bool) 
 		if len(selected) >= rw.MaxHistoryStores {
 			break
 		}
-		if !rw.Rec.WouldAdmit(c.benefit, c.size) {
+		if !rw.Rec.WouldAdmit(c.g, c.benefit, c.size) {
 			continue
 		}
 		selected = append(selected, c)
@@ -424,13 +424,15 @@ func (rw *Rewriter) attachStore(n *plan.Node, g *core.Node, res *Result, specula
 					rw.Rec.CountSpecCommit()
 				}
 			}
-			rw.Rec.FinishInflight(g, ok)
+			// Hand the batches to concurrent waiters directly, whether
+			// or not admission kept them: their demand is already here.
+			rw.Rec.FinishInflightShared(g, batches, rows, bytes)
 		},
 		OnCancel: func() {
 			if speculativeStore {
 				rw.Rec.CountSpecCancel()
 			}
-			rw.Rec.FinishInflight(g, false)
+			rw.Rec.FinishInflight(g)
 		},
 	}
 	if speculativeStore {
@@ -450,7 +452,7 @@ func (rw *Rewriter) attachStore(n *plan.Node, g *core.Node, res *Result, specula
 				return false
 			}
 			b := core.BenefitValue(estCost, cfg.SpeculationHR, estSize)
-			return rw.Rec.WouldAdmit(b, estSize)
+			return rw.Rec.WouldAdmit(g, b, estSize)
 		}
 		res.SpecStores++
 	} else {
@@ -517,7 +519,7 @@ func (rw *Rewriter) Abort(res *Result) {
 	for n, d := range res.Decor {
 		if d.Store != nil {
 			if g := nodeGraph(res, n); g != nil {
-				rw.Rec.FinishInflight(g, false)
+				rw.Rec.FinishInflight(g)
 			}
 		}
 	}

@@ -231,7 +231,7 @@ func TestStallPlansWaitWhenInflight(t *testing.T) {
 		b.Vecs[0].AppendString("a")
 		b.Vecs[1].AppendFloat64(1)
 		rw.Rec.Admit(g, []*vector.Batch{b}, 1, 24, time.Millisecond, -1)
-		rw.Rec.FinishInflight(g, true)
+		rw.Rec.FinishInflight(g)
 	}()
 	rows := run(t, rw, r2)
 	if rows != 1 {
@@ -262,7 +262,7 @@ func TestStallTimeoutFallsBack(t *testing.T) {
 	if rows != 3 {
 		t.Fatalf("fallback rows = %d", rows)
 	}
-	rw.Rec.FinishInflight(g, false)
+	rw.Rec.FinishInflight(g)
 }
 
 func TestProactiveTopNWideningPlan(t *testing.T) {

@@ -1,0 +1,110 @@
+package sql
+
+import (
+	"errors"
+	"testing"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/vector"
+)
+
+// fuzzSeeds is the seed corpus: the shapes of the TPC-H and SkyServer
+// workloads as SQL text (aggregation-heavy dashboards, joins with pushed
+// predicates, top-Ns, parameterized templates, table functions) plus a few
+// deliberately malformed texts so the fuzzer starts near error paths too.
+var fuzzSeeds = []string{
+	// TPC-H flavored.
+	`SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty,
+	        sum(l_extendedprice) AS sum_base, avg(l_discount) AS avg_disc,
+	        count(*) AS count_order
+	 FROM lineitem WHERE l_shipdate <= '1998-09-02'
+	 GROUP BY l_returnflag, l_linestatus`,
+	`SELECT l_orderkey, sum(l_extendedprice * (1 - l_discount)) AS revenue
+	 FROM customer, orders, lineitem
+	 WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+	   AND l_orderkey = o_orderkey AND o_orderdate < '1995-03-15'
+	 GROUP BY l_orderkey ORDER BY revenue DESC LIMIT 10`,
+	`SELECT sum(l_extendedprice * l_discount) AS revenue FROM lineitem
+	 WHERE l_shipdate >= '1994-01-01' AND l_discount > 0.05
+	   AND l_discount < 0.07 AND l_quantity < 24`,
+	`SELECT o_orderpriority, count(*) AS order_count FROM orders
+	 WHERE o_orderdate >= ? AND o_orderdate < ? GROUP BY o_orderpriority`,
+	`SELECT n_name, count(*) AS suppliers FROM supplier, nation
+	 WHERE s_nationkey = n_nationkey GROUP BY n_name ORDER BY suppliers DESC LIMIT 5`,
+	// SkyServer flavored.
+	`SELECT objID, ra, dec, r_mag FROM PhotoPrimary
+	 WHERE ra > 194.5 AND ra < 195.5 AND dec > 2.0 AND dec < 3.0
+	 ORDER BY r_mag LIMIT 10`,
+	`SELECT type, count(*) AS n, avg(r_mag) AS mean_mag FROM PhotoPrimary
+	 WHERE r_mag < 22.5 GROUP BY type`,
+	// Expression and syntax corners.
+	`SELECT CASE WHEN amount > 10 THEN 1 ELSE 0 END AS flag FROM sales`,
+	`SELECT a + b * -c / 2 - (d % 3) AS x FROM t WHERE NOT (a = 1 OR b <> 2)`,
+	`SELECT * FROM t WHERE s LIKE 'a%b_c' AND u IN (1, 2, 3)`,
+	"SELECT 'it''s' AS q, \"quoted ident\" FROM t",
+	`select distinct x from t where x between 1 and 2;`,
+	// Malformed.
+	`SELECT`,
+	`SELECT FROM WHERE`,
+	`SELECT ((((1`,
+	`SELECT * FROM t WHERE a = '`,
+	`SELECT sum( FROM t`,
+	"SELECT \x00\xff FROM t",
+}
+
+// fuzzCatalog gives CompileTemplate something to resolve against so the
+// fuzzer reaches the plan builder, not just the parser.
+var fuzzCatalog = func() *catalog.Catalog {
+	cat := catalog.New()
+	t := catalog.NewTable("t", catalog.Schema{
+		{Name: "a", Typ: vector.Int64},
+		{Name: "b", Typ: vector.Float64},
+		{Name: "c", Typ: vector.Int64},
+		{Name: "d", Typ: vector.Int64},
+		{Name: "s", Typ: vector.String},
+		{Name: "u", Typ: vector.Int64},
+		{Name: "x", Typ: vector.Int64},
+	})
+	cat.AddTable(t)
+	sales := catalog.NewTable("sales", catalog.Schema{
+		{Name: "region", Typ: vector.String},
+		{Name: "product", Typ: vector.Int64},
+		{Name: "amount", Typ: vector.Float64},
+		{Name: "qty", Typ: vector.Int64},
+		{Name: "day", Typ: vector.Date},
+	})
+	cat.AddTable(sales)
+	return cat
+}()
+
+// FuzzParse fuzzes the whole SQL front end: lexing, parsing, normalization,
+// and plan building must return errors, never panic, and positioned errors
+// must point inside (or just past) the input.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			var pe *Error
+			if errors.As(err, &pe) {
+				if pe.Pos < 0 || pe.Pos > len(src) {
+					t.Fatalf("error position %d outside input of length %d", pe.Pos, len(src))
+				}
+			}
+		} else if st == nil {
+			t.Fatal("nil statement without error")
+		}
+		// Normalization must be total (it falls back to src on lex errors)
+		// and idempotent: normalizing a normalized text is a fixpoint,
+		// or the plan cache would miss its own keys.
+		n1 := Normalize(src)
+		if n2 := Normalize(n1); n2 != n1 {
+			t.Fatalf("Normalize not idempotent:\n  once:  %q\n  twice: %q", n1, n2)
+		}
+		// The builder must turn any parsed statement into a plan or an
+		// error, never a panic.
+		_, _ = CompileTemplate(src, fuzzCatalog)
+	})
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recycledb/internal/plan"
+)
+
+// This file implements the multi-client driver: unlike Run, which replays
+// fixed per-stream query lists (the paper's throughput protocol), RunClients
+// models an online serving tier — N client goroutines issue queries drawn
+// from a weighted mix as fast as the engine answers them, for a fixed
+// duration or query budget. It is the measurement harness for concurrent
+// scaling (BenchmarkConcurrentClients, the shell's -clients mode, and the
+// race-hardened stress tests).
+
+// MixEntry is one weighted query pattern of a client mix. Make returns the
+// plan for one query instance, drawing any parameters only from the
+// supplied RNG so runs are reproducible. The driver and the engine treat
+// returned plans as read-only (execution clones before resolving), so Make
+// may hand out the same plan instance repeatedly — that sharing is what
+// lets concurrent clients collide on identical queries.
+type MixEntry struct {
+	Label  string
+	Weight int
+	Make   func(rng *rand.Rand) *plan.Node
+}
+
+// Mix is a weighted set of query patterns (e.g. TPC-H refresh dashboards
+// mixed with SkyServer cone searches).
+type Mix []MixEntry
+
+// Pick draws one query from the mix.
+func (m Mix) Pick(rng *rand.Rand) Query {
+	total := 0
+	for _, e := range m {
+		total += e.Weight
+	}
+	if total <= 0 {
+		return Query{}
+	}
+	v := rng.Intn(total)
+	for _, e := range m {
+		if v < e.Weight {
+			return Query{Label: e.Label, Plan: e.Make(rng)}
+		}
+		v -= e.Weight
+	}
+	return Query{}
+}
+
+// ClientsConfig configures a multi-client run.
+type ClientsConfig struct {
+	// Clients is the number of concurrent client goroutines.
+	Clients int
+	// Duration bounds the run in wall time (0 = no time bound).
+	Duration time.Duration
+	// MaxQueries bounds the total queries issued across all clients
+	// (0 = no query bound). At least one bound must be set.
+	MaxQueries int64
+	// Seed makes the per-client query sequences reproducible.
+	Seed int64
+}
+
+// ClientsResult aggregates a multi-client run.
+type ClientsResult struct {
+	Clients   int
+	Elapsed   time.Duration
+	Queries   int64
+	Errs      int64
+	PerClient []int64
+	PerLabel  map[string]int64
+	// Latencies of successful queries, sorted ascending.
+	Latencies []time.Duration
+}
+
+// QPS returns the aggregate throughput in queries per second.
+func (r *ClientsResult) QPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Queries) / r.Elapsed.Seconds()
+}
+
+// Percentile returns the p-th latency percentile (p in [0,100]).
+func (r *ClientsResult) Percentile(p float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(r.Latencies)-1))
+	return r.Latencies[i]
+}
+
+// RunClients drives cfg.Clients goroutines, each issuing queries drawn from
+// mix through exec, until the duration elapses or the query budget is
+// spent. Latency bookkeeping is accumulated client-locally and merged after
+// the run, so the driver adds no shared-lock contention to the measurement.
+func RunClients(cfg ClientsConfig, mix Mix, exec ExecFunc) *ClientsResult {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Duration <= 0 && cfg.MaxQueries <= 0 {
+		cfg.Duration = time.Second
+	}
+	var deadline time.Time
+	if cfg.Duration > 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+	var issued atomic.Int64
+	var errs atomic.Int64
+
+	type clientTally struct {
+		queries   int64
+		perLabel  map[string]int64
+		latencies []time.Duration
+	}
+	tallies := make([]clientTally, cfg.Clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*104729))
+			tally := &tallies[ci]
+			tally.perLabel = make(map[string]int64)
+			for {
+				if cfg.MaxQueries > 0 && issued.Add(1) > cfg.MaxQueries {
+					return
+				}
+				if !deadline.IsZero() && !time.Now().Before(deadline) {
+					return
+				}
+				q := mix.Pick(rng)
+				if q.Plan == nil {
+					return
+				}
+				qs := time.Now()
+				_, err := exec(ci, q)
+				if err != nil {
+					errs.Add(1)
+				} else {
+					tally.latencies = append(tally.latencies, time.Since(qs))
+					tally.perLabel[q.Label]++
+				}
+				tally.queries++
+			}
+		}(ci)
+	}
+	wg.Wait()
+	res := &ClientsResult{
+		Clients:   cfg.Clients,
+		Elapsed:   time.Since(start),
+		Errs:      errs.Load(),
+		PerClient: make([]int64, cfg.Clients),
+		PerLabel:  make(map[string]int64),
+	}
+	for ci := range tallies {
+		res.PerClient[ci] = tallies[ci].queries
+		res.Queries += tallies[ci].queries
+		for l, n := range tallies[ci].perLabel {
+			res.PerLabel[l] += n
+		}
+		res.Latencies = append(res.Latencies, tallies[ci].latencies...)
+	}
+	sort.Slice(res.Latencies, func(a, b int) bool { return res.Latencies[a] < res.Latencies[b] })
+	return res
+}

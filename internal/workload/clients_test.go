@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"recycledb/internal/plan"
+)
+
+func testMix() Mix {
+	mk := func(rng *rand.Rand) *plan.Node { return plan.NewScan("t", "a") }
+	return Mix{
+		{Label: "hot", Weight: 3, Make: mk},
+		{Label: "cold", Weight: 1, Make: mk},
+	}
+}
+
+func TestRunClientsQueryBudget(t *testing.T) {
+	var count int64
+	res := RunClients(ClientsConfig{Clients: 4, MaxQueries: 100, Seed: 1}, testMix(),
+		func(client int, q Query) (Outcome, error) {
+			atomic.AddInt64(&count, 1)
+			return Outcome{}, nil
+		})
+	if count != 100 || res.Queries != 100 {
+		t.Fatalf("executed %d (reported %d), want exactly 100", count, res.Queries)
+	}
+	if got := res.PerLabel["hot"] + res.PerLabel["cold"]; got != 100 {
+		t.Fatalf("per-label totals = %d, want 100", got)
+	}
+	if res.PerLabel["hot"] <= res.PerLabel["cold"] {
+		t.Fatalf("weights ignored: hot=%d cold=%d", res.PerLabel["hot"], res.PerLabel["cold"])
+	}
+	var perClient int64
+	for _, n := range res.PerClient {
+		perClient += n
+	}
+	if perClient != 100 {
+		t.Fatalf("per-client totals = %d, want 100", perClient)
+	}
+	if len(res.Latencies) != 100 {
+		t.Fatalf("latencies = %d, want 100", len(res.Latencies))
+	}
+	if res.QPS() <= 0 {
+		t.Fatal("throughput not reported")
+	}
+	if res.Percentile(0) > res.Percentile(100) {
+		t.Fatal("latencies not sorted")
+	}
+}
+
+func TestRunClientsDeadline(t *testing.T) {
+	start := time.Now()
+	res := RunClients(ClientsConfig{Clients: 2, Duration: 50 * time.Millisecond, Seed: 1},
+		testMix(), func(client int, q Query) (Outcome, error) {
+			time.Sleep(time.Millisecond)
+			return Outcome{}, nil
+		})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run overshot its deadline wildly: %v", elapsed)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no queries completed within the window")
+	}
+}
+
+func TestRunClientsCountsErrors(t *testing.T) {
+	boom := errors.New("boom")
+	res := RunClients(ClientsConfig{Clients: 3, MaxQueries: 60, Seed: 1}, testMix(),
+		func(client int, q Query) (Outcome, error) {
+			if q.Label == "cold" {
+				return Outcome{}, boom
+			}
+			return Outcome{}, nil
+		})
+	if res.Errs == 0 {
+		t.Fatal("errors not counted")
+	}
+	// Latencies cover successful queries only.
+	if int64(len(res.Latencies))+res.Errs != res.Queries {
+		t.Fatalf("latencies %d + errs %d != queries %d",
+			len(res.Latencies), res.Errs, res.Queries)
+	}
+}

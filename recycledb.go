@@ -81,6 +81,11 @@ type Config struct {
 	// CacheBytes bounds the recycler cache; 0 uses the default
 	// (256 MiB), negative means unlimited.
 	CacheBytes int64
+	// CacheShards is the number of lock stripes of the recycler cache
+	// (rounded up to a power of two); 0 uses the default. More shards
+	// let more concurrent clients admit/evict without contending on one
+	// mutex.
+	CacheShards int
 	// Alpha is the aging factor per query (default 0.995; 1 disables).
 	Alpha float64
 	// VectorSize overrides the batch size (default 1024).
@@ -106,7 +111,12 @@ type Config struct {
 const DefaultPlanCacheSize = 128
 
 // Engine is a recycling query engine over an in-memory catalog. It is safe
-// for concurrent use; concurrent queries coordinate through the recycler.
+// for concurrent use by any number of goroutines: matching runs under a
+// read-lock fast path, per-node statistics sit behind leaf mutexes, the
+// recycler cache is lock-striped (Config.CacheShards), and concurrent
+// identical queries share one in-flight materialization (one computes,
+// the rest stall briefly and replay the handed-off result). Returned Rows
+// cursors are single-goroutine; see Rows.
 type Engine struct {
 	cat   *catalog.Catalog
 	rec   *core.Recycler
@@ -132,6 +142,9 @@ func New(cfg Config) *Engine {
 		ccfg.CacheBytes = 0 // unlimited
 	case cfg.CacheBytes > 0:
 		ccfg.CacheBytes = cfg.CacheBytes
+	}
+	if cfg.CacheShards > 0 {
+		ccfg.CacheShards = cfg.CacheShards
 	}
 	if cfg.Alpha > 0 {
 		ccfg.Alpha = cfg.Alpha

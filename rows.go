@@ -21,6 +21,9 @@ import (
 // annotation (measured costs and cardinalities feeding future store
 // decisions) happens when the stream completes; a canceled or abandoned
 // query contributes no measurements.
+//
+// A Rows is a cursor owned by one goroutine, like database/sql.Rows: it is
+// not safe for concurrent use. The Engine and Stmt that produced it are.
 type Rows struct {
 	eng    *Engine
 	qctx   context.Context

@@ -16,6 +16,9 @@ import (
 // the same recycler-graph shape, so recycling keeps matching across
 // executions of a prepared statement exactly as it does for repeated
 // ad-hoc queries.
+//
+// A Stmt is safe for concurrent use: every execution binds into its own
+// clone of the compiled template.
 type Stmt struct {
 	eng  *Engine
 	text string // normalized statement text (the plan-cache key)
