@@ -10,16 +10,28 @@
 //	recycledb-bench -fig 9 [-sf 0.01]
 //	recycledb-bench -fig 10 [-sf 0.01 -streams256 256]
 //	recycledb-bench -fig all
+//
+// The -json mode instead records the serving-tier perf trajectory: it drives
+// the multi-client TPC-H mix against one engine per recycling mode and
+// writes a machine-readable BENCH_<date>.json with queries/sec, latency
+// percentiles, and allocations per query:
+//
+//	recycledb-bench -json [-out bench/BENCH_2026-07-30.json] \
+//	        [-clients 8 -bqueries 2000 -sf 0.01 -seed 1]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"recycledb/internal/harness"
+	"recycledb/internal/workload"
 )
 
 func main() {
@@ -32,8 +44,20 @@ func main() {
 		queries  = flag.Int("queries", 100, "SkyServer workload length for fig 6")
 		maxConc  = flag.Int("concurrent", 12, "query admission limit")
 		seed     = flag.Int64("seed", 1, "generator seed")
+
+		jsonMode = flag.Bool("json", false, "run the multi-client benchmark and write BENCH_<date>.json")
+		jsonOut  = flag.String("out", "", "output path for -json (default BENCH_<date>.json)")
+		clients  = flag.Int("clients", 8, "client goroutines for -json")
+		bqueries = flag.Int64("bqueries", 2000, "query budget per mode for -json")
 	)
 	flag.Parse()
+
+	if *jsonMode {
+		if err := runJSON(*jsonOut, *clients, *bqueries, *sf, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	counts, err := parseStreams(*streams)
 	if err != nil {
@@ -110,6 +134,98 @@ func main() {
 			return nil
 		})
 	}
+}
+
+// benchMode is one mode's row in the JSON benchmark report.
+type benchMode struct {
+	Mode           string  `json:"mode"`
+	Queries        int64   `json:"queries"`
+	Errors         int64   `json:"errors"`
+	QueriesPerSec  float64 `json:"queries_per_sec"`
+	P50Micros      int64   `json:"p50_us"`
+	P95Micros      int64   `json:"p95_us"`
+	P99Micros      int64   `json:"p99_us"`
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+	BytesPerQuery  float64 `json:"bytes_per_query"`
+}
+
+// benchReport is the top-level BENCH_<date>.json document.
+type benchReport struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Clients    int         `json:"clients"`
+	Queries    int64       `json:"queries_per_mode"`
+	SF         float64     `json:"sf"`
+	Seed       int64       `json:"seed"`
+	Modes      []benchMode `json:"modes"`
+}
+
+// runJSON drives the TPC-H client mix against one engine per recycling mode
+// and writes the machine-readable report. Allocations are measured as the
+// runtime.MemStats delta across the timed run divided by completed queries,
+// so the number covers the whole serving path (parse-free: plans come from
+// the mix, so this isolates rewrite+execute).
+func runJSON(out string, clients int, queries int64, sf float64, seed int64) error {
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+	cfg := harness.DefaultTPCH()
+	cfg.SF = sf
+	cfg.Seed = seed
+	cat := harness.LoadTPCH(cfg)
+	rep := benchReport{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Clients:    clients,
+		Queries:    queries,
+		SF:         sf,
+		Seed:       seed,
+	}
+	for _, mode := range harness.Modes {
+		eng := harness.NewEngine(cat, mode, cfg.CacheBytes)
+		mix := harness.TPCHMix(4, 1)
+		exec := harness.EngineExec(eng)
+		// Warm plan pools and (in recycling modes) the cache so the timed
+		// run measures the steady serving state.
+		workload.RunClients(workload.ClientsConfig{
+			Clients: clients, MaxQueries: int64(clients) * 16, Seed: seed + 7,
+		}, mix, exec)
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		res := workload.RunClients(workload.ClientsConfig{
+			Clients: clients, MaxQueries: queries, Seed: seed,
+		}, mix, exec)
+		runtime.ReadMemStats(&after)
+		row := benchMode{
+			Mode:          fmt.Sprintf("%v", mode),
+			Queries:       res.Queries,
+			Errors:        res.Errs,
+			QueriesPerSec: res.QPS(),
+			P50Micros:     res.Percentile(50).Microseconds(),
+			P95Micros:     res.Percentile(95).Microseconds(),
+			P99Micros:     res.Percentile(99).Microseconds(),
+		}
+		if res.Queries > 0 {
+			row.AllocsPerQuery = float64(after.Mallocs-before.Mallocs) / float64(res.Queries)
+			row.BytesPerQuery = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Queries)
+		}
+		rep.Modes = append(rep.Modes, row)
+		fmt.Printf("%-12s %8.0f q/s  p95 %6dus  %8.0f allocs/q\n",
+			row.Mode, row.QueriesPerSec, row.P95Micros, row.AllocsPerQuery)
+	}
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }
 
 func parseStreams(s string) ([]int, error) {

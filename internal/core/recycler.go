@@ -37,7 +37,10 @@ type Config struct {
 	// cost — the quantified form of the paper's "computationally
 	// expensive and likely to have a small result size" criterion
 	// (§III-D), which matters at in-memory scales where copying can be
-	// as expensive as computing.
+	// as expensive as computing. The default tracks the engine's
+	// vectorized clone path (columnar bulk slice copies run at memory
+	// bandwidth; 256 MiB/s is a conservative floor that keeps the model
+	// honest after the row-at-a-time copy loops were replaced).
 	CopyBytesPerSec int64
 }
 
@@ -45,7 +48,7 @@ type Config struct {
 func (c Config) CopyCost(size int64) time.Duration {
 	bps := c.CopyBytesPerSec
 	if bps <= 0 {
-		bps = 32 << 20
+		bps = 256 << 20
 	}
 	return time.Duration(float64(size) / float64(bps) * float64(time.Second))
 }
@@ -61,7 +64,7 @@ func DefaultConfig() Config {
 		MinProgress:       0.05,
 		StallTimeout:      2 * time.Second,
 		Subsumption:       true,
-		CopyBytesPerSec:   32 << 20,
+		CopyBytesPerSec:   256 << 20,
 	}
 }
 

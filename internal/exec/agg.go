@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"time"
+
 	"recycledb/internal/catalog"
 	"recycledb/internal/expr"
 	"recycledb/internal/plan"
@@ -17,19 +19,32 @@ type AggExpr struct {
 // HashAgg is a blocking grouped aggregation. With no group columns it
 // produces exactly one row (the scalar-aggregate convention used by the
 // decorrelated TPC-H plans).
+//
+// Grouping is vectorized: each input batch's group columns are hashed
+// whole-column-at-a-time, then every row resolves to a group id through a
+// linear-probing open-addressing table (slot -> group id, verified against
+// the stored per-group hash and the group's key row with typed column
+// comparators). No per-row key bytes are encoded or allocated; the old
+// byte-string path survives only as the reference slow path in key.go.
 type HashAgg struct {
 	base
 	Child     Operator
 	GroupCols []int // group-by column indexes in the child schema
 	Aggs      []AggExpr
 
-	built   bool
-	groups  map[string]int
-	keyRows *vector.Batch // one row per group: the group-by column values
-	accs    [][]acc       // accs[agg][group]
-	emit    int           // next group to emit
-	nGroups int
-	out     *vector.Batch
+	built     bool
+	table     oaTable
+	groupHash []uint64      // per group
+	keyRows   *vector.Batch // one row per group: the group-by column values
+	keyCols   []int         // 0..len(GroupCols)-1, the keyRows columns
+	accs      [][]acc       // accs[agg][group]
+	emit      int           // next group to emit
+	nGroups   int
+	out       *vector.Batch // pooled
+
+	rowH   []uint64         // per-batch scratch: group hashes
+	argVec []*vector.Vector // per-batch scratch: evaluated aggregate args
+	argTmp *vector.Vector   // coercion scratch for EvalAsScratch
 }
 
 // acc is a single aggregate accumulator.
@@ -48,25 +63,79 @@ func NewHashAgg(child Operator, groupCols []int, aggs []AggExpr, schema catalog.
 
 // Open implements Operator.
 func (h *HashAgg) Open(ctx *Ctx) error {
-	defer h.timed()()
+	defer h.addCost(time.Now())
 	h.built = false
 	h.emit = 0
 	h.nGroups = 0
-	h.groups = make(map[string]int)
+	h.groupHash = h.groupHash[:0]
 	h.accs = make([][]acc, len(h.Aggs))
 	keyTypes := make([]vector.Type, len(h.GroupCols))
+	h.keyCols = make([]int, len(h.GroupCols))
 	for i, c := range h.GroupCols {
 		keyTypes[i] = h.Child.Schema()[c].Typ
+		h.keyCols[i] = i
 	}
-	h.keyRows = vector.NewBatch(keyTypes, 64)
-	h.out = vector.NewBatch(h.schema.Types(), ctx.vecSize())
+	h.keyRows = ctx.pool().GetBatch(keyTypes, 64)
+	h.out = ctx.pool().GetBatch(h.schema.Types(), ctx.vecSize())
+	h.table.init(64)
+	if h.argVec == nil {
+		h.argVec = make([]*vector.Vector, len(h.Aggs))
+	}
+	for a, ag := range h.Aggs {
+		if ag.Arg != nil {
+			h.argVec[a] = ctx.pool().Get(argType(ag), ctx.vecSize())
+		}
+	}
+	h.argTmp = ctx.pool().Get(vector.Float64, ctx.vecSize())
 	return h.Child.Open(ctx)
 }
 
+// lookupGroup resolves the group id for physical row r of in (whose group
+// hash is gh), inserting a new group if needed.
+func (h *HashAgg) lookupGroup(gh uint64, in *vector.Batch, r int) int {
+	s := h.table.slot(gh)
+	for {
+		g := h.table.buckets[s]
+		if g < 0 {
+			break
+		}
+		if h.groupHash[g] == gh &&
+			keyRowsEqual(h.keyRows, int(g), h.keyCols, in, r, h.GroupCols) {
+			return int(g)
+		}
+		s = (s + 1) & h.table.mask
+	}
+	// New group: record its key row, hash, and fresh accumulators.
+	g := h.nGroups
+	h.nGroups++
+	h.groupHash = append(h.groupHash, gh)
+	for k, c := range h.GroupCols {
+		h.keyRows.Vecs[k].AppendFrom(in.Vecs[c], r)
+	}
+	for a := range h.Aggs {
+		h.accs[a] = append(h.accs[a], acc{})
+	}
+	h.table.buckets[s] = int32(g)
+	if h.nGroups*4 >= len(h.table.buckets)*3 {
+		h.grow()
+	}
+	return g
+}
+
+// grow doubles the directory and reinserts every group by its stored hash.
+func (h *HashAgg) grow() {
+	h.table.init(len(h.table.buckets)) // init sizes to 2x entries
+	for g, gh := range h.groupHash {
+		s := h.table.slot(gh)
+		for h.table.buckets[s] >= 0 {
+			s = (s + 1) & h.table.mask
+		}
+		h.table.buckets[s] = int32(g)
+	}
+}
+
 func (h *HashAgg) build(ctx *Ctx) error {
-	coerce := make([]bool, len(h.GroupCols))
-	var key []byte
-	argVec := make([]*vector.Vector, len(h.Aggs))
+	scalar := len(h.GroupCols) == 0
 	for {
 		in, err := h.Child.Next(ctx)
 		if err != nil {
@@ -75,41 +144,56 @@ func (h *HashAgg) build(ctx *Ctx) error {
 		if in == nil {
 			break
 		}
-		// Evaluate aggregate arguments once per batch, coercing to the
-		// accumulator's type (avg over an int column accumulates floats).
+		n := in.Len()
+		if n == 0 {
+			continue
+		}
+		// Evaluate aggregate arguments once per batch (selection-aware),
+		// coercing to the accumulator's type (avg over an int column
+		// accumulates floats).
 		for a, ag := range h.Aggs {
 			if ag.Arg == nil {
-				argVec[a] = nil
 				continue
 			}
-			v := vector.New(argType(ag), in.Len())
-			if err := expr.EvalAs(ag.Arg, in, v, argType(ag)); err != nil {
+			h.argVec[a].Reset()
+			if err := expr.EvalAsScratch(ag.Arg, in, h.argVec[a], argType(ag), h.argTmp); err != nil {
 				return err
 			}
-			argVec[a] = v
 		}
-		n := in.Len()
-		for i := 0; i < n; i++ {
-			key = encodeRowKey(key, in, h.GroupCols, coerce, i)
-			g, ok := h.groups[string(key)]
-			if !ok {
-				g = h.nGroups
-				h.nGroups++
-				h.groups[string(key)] = g
-				for k, c := range h.GroupCols {
-					h.keyRows.Vecs[k].AppendFrom(in.Vecs[c], i)
-				}
+		if scalar {
+			if h.nGroups == 0 {
+				h.nGroups = 1
 				for a := range h.Aggs {
 					h.accs[a] = append(h.accs[a], acc{})
 				}
 			}
 			for a, ag := range h.Aggs {
-				update(&h.accs[a][g], ag, argVec[a], i)
+				accs := h.accs[a]
+				for i := 0; i < n; i++ {
+					update(&accs[0], ag, h.argVec[a], i)
+				}
+			}
+			continue
+		}
+		if cap(h.rowH) < n {
+			h.rowH = make([]uint64, n)
+		}
+		h.rowH = h.rowH[:n]
+		hashColumns(in, h.GroupCols, h.rowH)
+		sel := in.Sel
+		for i := 0; i < n; i++ {
+			r := i
+			if sel != nil {
+				r = int(sel[i])
+			}
+			g := h.lookupGroup(h.rowH[i], in, r)
+			for a, ag := range h.Aggs {
+				update(&h.accs[a][g], ag, h.argVec[a], i)
 			}
 		}
 	}
 	// Scalar aggregation over empty input still yields one row.
-	if len(h.GroupCols) == 0 && h.nGroups == 0 {
+	if scalar && h.nGroups == 0 {
 		h.nGroups = 1
 		for a := range h.Aggs {
 			h.accs[a] = append(h.accs[a], acc{})
@@ -182,7 +266,7 @@ func (h *HashAgg) Next(ctx *Ctx) (*vector.Batch, error) {
 	if err := ctx.Interrupted(); err != nil {
 		return nil, err
 	}
-	defer h.timed()()
+	defer h.addCost(time.Now())
 	if !h.built {
 		if err := h.build(ctx); err != nil {
 			return nil, err
@@ -198,12 +282,15 @@ func (h *HashAgg) Next(ctx *Ctx) (*vector.Batch, error) {
 		hi = h.nGroups
 	}
 	nk := len(h.GroupCols)
-	for g := lo; g < hi; g++ {
-		for k := 0; k < nk; k++ {
-			h.out.Vecs[k].AppendFrom(h.keyRows.Vecs[k], g)
-		}
-		for a, ag := range h.Aggs {
-			emitAcc(h.out.Vecs[nk+a], &h.accs[a][g], ag)
+	// Group keys copy out column-wise; accumulators finalize row-wise.
+	for k := 0; k < nk; k++ {
+		h.out.Vecs[k].AppendRange(h.keyRows.Vecs[k], lo, hi)
+	}
+	for a, ag := range h.Aggs {
+		outV := h.out.Vecs[nk+a]
+		accs := h.accs[a]
+		for g := lo; g < hi; g++ {
+			emitAcc(outV, &accs[g], ag)
 		}
 	}
 	h.emit = hi
@@ -241,8 +328,28 @@ func emitAcc(out *vector.Vector, a *acc, ag AggExpr) {
 
 // Close implements Operator.
 func (h *HashAgg) Close(ctx *Ctx) error {
-	h.groups = nil
+	pool := ctx.pool()
+	if h.out != nil {
+		pool.PutBatch(h.out)
+		h.out = nil
+	}
+	if h.keyRows != nil {
+		pool.PutBatch(h.keyRows)
+		h.keyRows = nil
+	}
+	for a, v := range h.argVec {
+		if v != nil {
+			pool.Put(v)
+			h.argVec[a] = nil
+		}
+	}
+	if h.argTmp != nil {
+		pool.Put(h.argTmp)
+		h.argTmp = nil
+	}
 	h.accs = nil
+	h.table.buckets = nil
+	h.groupHash = nil
 	return h.Child.Close(ctx)
 }
 

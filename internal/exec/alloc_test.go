@@ -1,0 +1,133 @@
+package exec
+
+// Steady-state allocation contract: once an operator pipeline is warmed up
+// (scratch batches drawn from the pool, capacities grown), Next must not
+// touch the heap. testing.AllocsPerRun holds the pooled paths to exactly
+// zero; regressions here are what the batch pool and the selection-vector
+// design exist to prevent.
+
+import (
+	"testing"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/expr"
+	"recycledb/internal/plan"
+	"recycledb/internal/vector"
+)
+
+// assertZeroAllocs pulls `warm` batches from op, then asserts the next
+// `runs` Next calls allocate nothing.
+func assertZeroAllocs(t *testing.T, ctx *Ctx, op Operator, warm, runs int) {
+	t.Helper()
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer op.Close(ctx)
+	for i := 0; i < warm; i++ {
+		if _, err := op.Next(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var err error
+	avg := testing.AllocsPerRun(runs, func() {
+		var b *vector.Batch
+		b, err = op.Next(ctx)
+		if err != nil {
+			return
+		}
+		if b == nil {
+			t.Fatal("stream ended during the measured window; grow the input")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Fatalf("steady-state Next allocates %.1f objects/call, want 0", avg)
+	}
+}
+
+func TestFilterNextZeroAlloc(t *testing.T) {
+	tab := benchTable(benchRows)
+	scan, _ := benchScan(tab)
+	// Selective predicate with an arithmetic comparison, exercising the
+	// expression scratch reuse as well as the selection build.
+	pred := expr.Lt(expr.C("id"), expr.Int(benchRows/2))
+	f := NewFilter(scan, pred)
+	if _, err := pred.Bind(f.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	assertZeroAllocs(t, NewCtx(catalog.New()), f, 4, 100)
+}
+
+func TestJoinProbeNextZeroAlloc(t *testing.T) {
+	tab := benchTable(benchRows)
+	left, lschema := benchScan(tab)
+	right, rschema := benchScan(tab)
+	out := append(append(catalog.Schema{}, lschema...), rschema...)
+	// Self-join on the unique id: every probe row matches exactly once,
+	// so each Next emits a full output batch from the probe loop.
+	j := NewHashJoin(plan.Inner, left, right, []int{0}, []int{0}, out)
+	assertZeroAllocs(t, NewCtx(catalog.New()), j, 8, 100)
+}
+
+func TestHashAggEmitNextZeroAlloc(t *testing.T) {
+	tab := benchTable(benchRows)
+	scan, _ := benchScan(tab)
+	// One group per row: emission spans hundreds of batches.
+	h := NewHashAgg(scan, []int{0}, []AggExpr{
+		{Func: plan.Count, Typ: vector.Int64},
+	}, catalog.Schema{
+		{Name: "id", Typ: vector.Int64},
+		{Name: "n", Typ: vector.Int64},
+	})
+	assertZeroAllocs(t, NewCtx(catalog.New()), h, 4, 100)
+}
+
+func TestSortEmitNextZeroAlloc(t *testing.T) {
+	tab := benchTable(benchRows)
+	scan, _ := benchScan(tab)
+	s := NewSort(scan, []plan.SortKey{{Col: "v"}})
+	assertZeroAllocs(t, NewCtx(catalog.New()), s, 4, 100)
+}
+
+func TestProjectNextZeroAlloc(t *testing.T) {
+	tab := benchTable(benchRows)
+	scan, schema := benchScan(tab)
+	exprs := []expr.Expr{expr.C("id"), expr.Mul(expr.C("v"), expr.Flt(2))}
+	outSchema := catalog.Schema{
+		{Name: "id", Typ: vector.Int64},
+		{Name: "v2", Typ: vector.Float64},
+	}
+	for _, e := range exprs {
+		if _, err := e.Bind(schema); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := NewProject(scan, exprs, outSchema)
+	assertZeroAllocs(t, NewCtx(catalog.New()), p, 4, 100)
+}
+
+// The selective pipeline scan -> filter -> project must stay allocation-free
+// too: the projection gathers through the selection vector.
+func TestFilterProjectPipelineZeroAlloc(t *testing.T) {
+	tab := benchTable(benchRows)
+	scan, schema := benchScan(tab)
+	pred := expr.Lt(expr.C("k"), expr.Int(32)) // ~50% selectivity
+	f := NewFilter(scan, pred)
+	if _, err := pred.Bind(schema); err != nil {
+		t.Fatal(err)
+	}
+	exprs := []expr.Expr{expr.C("id"), expr.C("s")}
+	outSchema := catalog.Schema{
+		{Name: "id", Typ: vector.Int64},
+		{Name: "s", Typ: vector.String},
+	}
+	for _, e := range exprs {
+		if _, err := e.Bind(schema); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := NewProject(f, exprs, outSchema)
+	assertZeroAllocs(t, NewCtx(catalog.New()), p, 4, 100)
+}

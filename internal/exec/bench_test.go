@@ -1,0 +1,208 @@
+package exec
+
+// Per-operator microbenchmarks for the execution hot paths: selective
+// filtering, hash-join build+probe, grouped hash aggregation, and full sort.
+// Each iteration runs one operator pipeline over a pre-generated table, so
+// ns/op tracks per-tuple interpretation overhead and -benchmem tracks the
+// steady-state allocation behaviour the pooled paths are required to keep at
+// zero. Compare runs with benchstat (see README "Performance").
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/expr"
+	"recycledb/internal/plan"
+	"recycledb/internal/vector"
+)
+
+// benchRows is the per-iteration input size for the pipelined operators.
+const benchRows = 1 << 18 // 256Ki
+
+var benchTables = map[int]*catalog.Table{}
+
+// benchTable returns a cached table with columns
+// id int64 (0..rows), k int64 (64 distinct), v float64, s string (8 distinct).
+func benchTable(rows int) *catalog.Table {
+	if t, ok := benchTables[rows]; ok {
+		return t
+	}
+	t := catalog.NewTable("bench", catalog.Schema{
+		{Name: "id", Typ: vector.Int64},
+		{Name: "k", Typ: vector.Int64},
+		{Name: "v", Typ: vector.Float64},
+		{Name: "s", Typ: vector.String},
+	})
+	rng := rand.New(rand.NewSource(42))
+	app := t.Appender()
+	for i := 0; i < rows; i++ {
+		app.Int64(0, int64(i))
+		app.Int64(1, rng.Int63n(64))
+		app.Float64(2, rng.Float64()*1000)
+		app.String(3, fmt.Sprintf("tag-%d", rng.Int63n(8)))
+		app.FinishRow()
+	}
+	benchTables[rows] = t
+	return t
+}
+
+// benchScan builds a fresh scan of all columns of t.
+func benchScan(t *catalog.Table) (*TableScan, catalog.Schema) {
+	schema := t.Schema
+	cols := make([]int, len(schema))
+	for i := range cols {
+		cols[i] = i
+	}
+	return NewTableScan(t, cols, schema), schema
+}
+
+// drain pulls op to completion and returns the row count.
+func drain(b *testing.B, ctx *Ctx, op Operator) int64 {
+	if err := op.Open(ctx); err != nil {
+		b.Fatal(err)
+	}
+	var rows int64
+	for {
+		batch, err := op.Next(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if batch == nil {
+			break
+		}
+		rows += int64(batch.Len())
+	}
+	if err := op.Close(ctx); err != nil {
+		b.Fatal(err)
+	}
+	return rows
+}
+
+// BenchmarkFilter measures scan -> filter at two selectivities. The
+// selective case is where selection vectors pay: almost every input row is
+// dropped, so per-survivor copying must not dominate.
+func BenchmarkFilter(b *testing.B) {
+	t := benchTable(benchRows)
+	for _, tc := range []struct {
+		name string
+		pct  int64
+	}{
+		{"2pct", 2},
+		{"50pct", 50},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			ctx := NewCtx(catalog.New())
+			cutoff := int64(benchRows) * tc.pct / 100
+			b.SetBytes(int64(benchRows) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scan, _ := benchScan(t)
+				pred := expr.Lt(expr.C("id"), expr.Int(cutoff))
+				f := NewFilter(scan, pred)
+				if _, err := pred.Bind(f.Schema()); err != nil {
+					b.Fatal(err)
+				}
+				rows := drain(b, ctx, f)
+				if rows != cutoff {
+					b.Fatalf("got %d rows, want %d", rows, cutoff)
+				}
+			}
+			b.ReportMetric(float64(benchRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+		})
+	}
+}
+
+// BenchmarkJoin measures an inner hash join: 16Ki-row build side, 256Ki-row
+// probe side, int64 key, ~1 match per probe row.
+func BenchmarkJoin(b *testing.B) {
+	probe := benchTable(benchRows)
+	build := benchTable(1 << 14)
+	ctx := NewCtx(catalog.New())
+	b.SetBytes(int64(benchRows) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		left, lschema := benchScan(probe)
+		right, rschema := benchScan(build)
+		out := append(append(catalog.Schema{}, lschema...), rschema...)
+		// Probe ids 0..256Ki against build ids 0..16Ki: every probe row is
+		// hashed and probed, the first 16Ki match exactly once.
+		j := NewHashJoin(plan.Inner, left, right, []int{0}, []int{0}, out)
+		rows := drain(b, ctx, j)
+		if rows != 1<<14 {
+			b.Fatalf("got %d rows, want %d", rows, 1<<14)
+		}
+	}
+	b.ReportMetric(float64(benchRows)*float64(b.N)/b.Elapsed().Seconds(), "probe-rows/sec")
+}
+
+// BenchmarkHashAgg measures grouped aggregation: 64 groups, sum+count over
+// 256Ki rows.
+func BenchmarkHashAgg(b *testing.B) {
+	t := benchTable(benchRows)
+	ctx := NewCtx(catalog.New())
+	b.SetBytes(int64(benchRows) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan, _ := benchScan(t)
+		agg := expr.C("v")
+		outSchema := catalog.Schema{
+			{Name: "k", Typ: vector.Int64},
+			{Name: "sum_v", Typ: vector.Float64},
+			{Name: "n", Typ: vector.Int64},
+		}
+		h := NewHashAgg(scan, []int{1}, []AggExpr{
+			{Func: plan.Sum, Arg: agg, Typ: vector.Float64},
+			{Func: plan.Count, Typ: vector.Int64},
+		}, outSchema)
+		if _, err := agg.Bind(t.Schema); err != nil {
+			b.Fatal(err)
+		}
+		rows := drain(b, ctx, h)
+		if rows != 64 {
+			b.Fatalf("got %d groups, want 64", rows)
+		}
+	}
+	b.ReportMetric(float64(benchRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+}
+
+// BenchmarkHashAggManyGroups stresses the table itself: ~64Ki groups.
+func BenchmarkHashAggManyGroups(b *testing.B) {
+	t := benchTable(benchRows)
+	ctx := NewCtx(catalog.New())
+	b.SetBytes(int64(benchRows) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan, _ := benchScan(t)
+		outSchema := catalog.Schema{
+			{Name: "id", Typ: vector.Int64},
+			{Name: "n", Typ: vector.Int64},
+		}
+		h := NewHashAgg(scan, []int{0}, []AggExpr{
+			{Func: plan.Count, Typ: vector.Int64},
+		}, outSchema)
+		rows := drain(b, ctx, h)
+		if rows != benchRows {
+			b.Fatalf("got %d groups, want %d", rows, benchRows)
+		}
+	}
+	b.ReportMetric(float64(benchRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+}
+
+// BenchmarkSort measures a full blocking sort of 256Ki rows by float64 key.
+func BenchmarkSort(b *testing.B) {
+	t := benchTable(benchRows)
+	ctx := NewCtx(catalog.New())
+	b.SetBytes(int64(benchRows) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan, _ := benchScan(t)
+		s := NewSort(scan, []plan.SortKey{{Col: "v"}})
+		rows := drain(b, ctx, s)
+		if rows != benchRows {
+			b.Fatalf("got %d rows, want %d", rows, benchRows)
+		}
+	}
+	b.ReportMetric(float64(benchRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+}

@@ -158,8 +158,16 @@ func TestKeyEncodingCoercesNumerics(t *testing.T) {
 	if ki != kf {
 		t.Fatal("coerced int and float keys must match")
 	}
-	if string(appendKey(nil, iv, 0, false)) == kf {
-		t.Fatal("uncoerced int key must differ from float key")
+	// Without coercion a float keeps its IEEE encoding: 7.0 is a float
+	// key, distinct from the int64 key 7.
+	if string(appendKey(nil, fv, 0, false)) == ki {
+		t.Fatal("uncoerced float key must differ from int key")
+	}
+	// Non-integral floats never canonicalize onto ints, coerced or not.
+	fv2 := vector.New(vector.Float64, 1)
+	fv2.AppendFloat64(7.5)
+	if string(appendKey(nil, fv2, 0, true)) == ki {
+		t.Fatal("non-integral float key must differ from int key")
 	}
 }
 

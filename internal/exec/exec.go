@@ -25,6 +25,22 @@ type Ctx struct {
 	// operator checks it at batch boundaries, so a canceled query stops
 	// within one vector of work. Nil means no cancellation (background).
 	Context context.Context
+	// Pool recycles operator scratch batches across queries. Operators
+	// draw batches in Open (or lazily in Next) and return them in Close.
+	// Nil falls back to a process-wide shared pool.
+	Pool *vector.Pool
+}
+
+// sharedPool serves executions whose Ctx carries no engine pool (tests,
+// direct operator use).
+var sharedPool vector.Pool
+
+// pool returns the batch pool for this execution, never nil.
+func (c *Ctx) pool() *vector.Pool {
+	if c.Pool != nil {
+		return c.Pool
+	}
+	return &sharedPool
 }
 
 // NewCtx returns an execution context with the default vector size.
@@ -93,15 +109,15 @@ func (b *base) Schema() catalog.Schema { return b.schema }
 func (b *base) Cost() time.Duration    { return b.cost }
 func (b *base) RowsOut() int64         { return b.rows }
 
-// timer measures one Open/Next invocation; use as:
+// addCost accumulates one Open/Next invocation's wall time; use as:
 //
-//	defer b.timed()()
-type timed struct{ start time.Time }
-
-func (b *base) timed() func() {
-	t := time.Now()
-	return func() { b.cost += time.Since(t) }
-}
+//	defer b.addCost(time.Now())
+//
+// The argument is evaluated when the defer statement runs, so start is the
+// entry timestamp. Unlike deferring a returned closure, this open-codes and
+// performs no heap allocation — a requirement for the zero-allocs-per-Next
+// contract of the pooled operator paths.
+func (b *base) addCost(start time.Time) { b.cost += time.Since(start) }
 
 // Run opens op, drains it into a materialized result, and closes it.
 func Run(ctx *Ctx, op Operator) (*catalog.Result, error) {

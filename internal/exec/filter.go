@@ -1,19 +1,27 @@
 package exec
 
 import (
+	"time"
+
 	"recycledb/internal/catalog"
 	"recycledb/internal/expr"
 	"recycledb/internal/vector"
 )
 
-// Filter emits the input rows satisfying a boolean predicate, compacting
-// survivors into dense output batches.
+// Filter emits the input rows satisfying a boolean predicate. Instead of
+// compacting survivors row by row it attaches an X100-style selection
+// vector to the child's batch: the output aliases the input's column
+// vectors and carries the surviving physical row indexes, so filtering is
+// near-zero-copy regardless of selectivity. Consumers either iterate the
+// selection or compact it away with the columnar gather kernels.
 type Filter struct {
 	base
 	Child Operator
 	Pred  expr.Expr
-	sel   *vector.Vector
-	out   *vector.Batch
+
+	flags  *vector.Vector // pooled bool scratch: predicate output
+	selBuf []int32        // selection build buffer
+	view   vector.Batch   // output: aliases input vectors + selection
 }
 
 // NewFilter builds a filter over child.
@@ -23,9 +31,11 @@ func NewFilter(child Operator, pred expr.Expr) *Filter {
 
 // Open implements Operator.
 func (f *Filter) Open(ctx *Ctx) error {
-	defer f.timed()()
-	f.sel = vector.New(vector.Bool, ctx.vecSize())
-	f.out = vector.NewBatch(f.schema.Types(), ctx.vecSize())
+	defer f.addCost(time.Now())
+	f.flags = ctx.pool().Get(vector.Bool, ctx.vecSize())
+	if f.selBuf == nil {
+		f.selBuf = make([]int32, 0, ctx.vecSize())
+	}
 	return f.Child.Open(ctx)
 }
 
@@ -34,43 +44,69 @@ func (f *Filter) Next(ctx *Ctx) (*vector.Batch, error) {
 	if err := ctx.Interrupted(); err != nil {
 		return nil, err
 	}
-	defer f.timed()()
+	defer f.addCost(time.Now())
 	for {
 		in, err := f.Child.Next(ctx)
 		if err != nil || in == nil {
 			return nil, err
 		}
-		f.sel.Reset()
-		if err := f.Pred.Eval(in, f.sel); err != nil {
+		f.flags.Reset()
+		if err := f.Pred.Eval(in, f.flags); err != nil {
 			return nil, err
 		}
-		f.out.Reset()
 		n := in.Len()
-		for i := 0; i < n; i++ {
-			if f.sel.B[i] {
-				f.out.AppendRow(in, i)
+		sel := f.selBuf[:0]
+		if in.Sel != nil {
+			// Refine the incoming selection: flags[i] judges logical row i.
+			for i, ok := range f.flags.B[:n] {
+				if ok {
+					sel = append(sel, in.Sel[i])
+				}
+			}
+		} else {
+			for i, ok := range f.flags.B[:n] {
+				if ok {
+					sel = append(sel, int32(i))
+				}
 			}
 		}
-		if f.out.Len() > 0 {
-			f.rows += int64(f.out.Len())
-			return f.out, nil
+		f.selBuf = sel
+		if len(sel) == 0 {
+			continue // all rows filtered out; pull the next input batch
 		}
-		// All rows filtered out; pull the next input batch.
+		f.rows += int64(len(sel))
+		if len(sel) == n && in.Sel == nil {
+			return in, nil // everything passed: input flows through untouched
+		}
+		f.view.Vecs = in.Vecs
+		f.view.Sel = sel
+		return &f.view, nil
 	}
 }
 
 // Close implements Operator.
-func (f *Filter) Close(ctx *Ctx) error { return f.Child.Close(ctx) }
+func (f *Filter) Close(ctx *Ctx) error {
+	if f.flags != nil {
+		ctx.pool().Put(f.flags)
+		f.flags = nil
+	}
+	f.view.Vecs = nil
+	f.view.Sel = nil
+	return f.Child.Close(ctx)
+}
 
 // Progress implements Operator.
 func (f *Filter) Progress() float64 { return f.Child.Progress() }
 
-// Project computes one output column per expression.
+// Project computes one output column per expression. Expression evaluation
+// is selection-aware (column references gather through the input's
+// selection vector), so a filtered batch is compacted at most once, column
+// by column, on its way through the projection.
 type Project struct {
 	base
 	Child Operator
 	Exprs []expr.Expr
-	out   *vector.Batch
+	out   *vector.Batch // pooled
 }
 
 // NewProject builds a projection over child. schema gives the output
@@ -81,8 +117,10 @@ func NewProject(child Operator, exprs []expr.Expr, schema catalog.Schema) *Proje
 
 // Open implements Operator.
 func (p *Project) Open(ctx *Ctx) error {
-	defer p.timed()()
-	p.out = vector.NewBatch(p.schema.Types(), ctx.vecSize())
+	defer p.addCost(time.Now())
+	if p.out == nil {
+		p.out = ctx.pool().GetBatch(p.schema.Types(), ctx.vecSize())
+	}
 	return p.Child.Open(ctx)
 }
 
@@ -91,7 +129,7 @@ func (p *Project) Next(ctx *Ctx) (*vector.Batch, error) {
 	if err := ctx.Interrupted(); err != nil {
 		return nil, err
 	}
-	defer p.timed()()
+	defer p.addCost(time.Now())
 	in, err := p.Child.Next(ctx)
 	if err != nil || in == nil {
 		return nil, err
@@ -107,7 +145,13 @@ func (p *Project) Next(ctx *Ctx) (*vector.Batch, error) {
 }
 
 // Close implements Operator.
-func (p *Project) Close(ctx *Ctx) error { return p.Child.Close(ctx) }
+func (p *Project) Close(ctx *Ctx) error {
+	if p.out != nil {
+		ctx.pool().PutBatch(p.out)
+		p.out = nil
+	}
+	return p.Child.Close(ctx)
+}
 
 // Progress implements Operator.
 func (p *Project) Progress() float64 { return p.Child.Progress() }
@@ -119,7 +163,7 @@ type LimitOp struct {
 	N     int
 	seen  int
 	done  bool
-	out   *vector.Batch
+	out   *vector.Batch // pooled; used only for the final partial batch
 }
 
 // NewLimit builds a limit over child.
@@ -129,10 +173,12 @@ func NewLimit(child Operator, n int) *LimitOp {
 
 // Open implements Operator.
 func (l *LimitOp) Open(ctx *Ctx) error {
-	defer l.timed()()
+	defer l.addCost(time.Now())
 	l.seen = 0
 	l.done = false
-	l.out = vector.NewBatch(l.Schema().Types(), ctx.vecSize())
+	if l.out == nil {
+		l.out = ctx.pool().GetBatch(l.Schema().Types(), ctx.vecSize())
+	}
 	return l.Child.Open(ctx)
 }
 
@@ -141,7 +187,7 @@ func (l *LimitOp) Next(ctx *Ctx) (*vector.Batch, error) {
 	if err := ctx.Interrupted(); err != nil {
 		return nil, err
 	}
-	defer l.timed()()
+	defer l.addCost(time.Now())
 	if l.done || l.seen >= l.N {
 		return nil, nil
 	}
@@ -156,16 +202,20 @@ func (l *LimitOp) Next(ctx *Ctx) (*vector.Batch, error) {
 		return in, nil
 	}
 	l.out.Reset()
-	for i := 0; l.seen < l.N; i++ {
-		l.out.AppendRow(in, i)
-		l.seen++
-	}
+	l.out.AppendBatchRange(in, 0, l.N-l.seen)
+	l.seen = l.N
 	l.rows += int64(l.out.Len())
 	return l.out, nil
 }
 
 // Close implements Operator.
-func (l *LimitOp) Close(ctx *Ctx) error { return l.Child.Close(ctx) }
+func (l *LimitOp) Close(ctx *Ctx) error {
+	if l.out != nil {
+		ctx.pool().PutBatch(l.out)
+		l.out = nil
+	}
+	return l.Child.Close(ctx)
+}
 
 // Progress implements Operator.
 func (l *LimitOp) Progress() float64 {
@@ -193,7 +243,7 @@ func NewUnion(left, right Operator) *UnionOp {
 
 // Open implements Operator.
 func (u *UnionOp) Open(ctx *Ctx) error {
-	defer u.timed()()
+	defer u.addCost(time.Now())
 	u.onRight = false
 	if err := u.Left.Open(ctx); err != nil {
 		return err
@@ -206,7 +256,7 @@ func (u *UnionOp) Next(ctx *Ctx) (*vector.Batch, error) {
 	if err := ctx.Interrupted(); err != nil {
 		return nil, err
 	}
-	defer u.timed()()
+	defer u.addCost(time.Now())
 	if !u.onRight {
 		b, err := u.Left.Next(ctx)
 		if err != nil {

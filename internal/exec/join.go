@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"time"
+
 	"recycledb/internal/catalog"
 	"recycledb/internal/plan"
 	"recycledb/internal/vector"
@@ -10,21 +12,38 @@ import (
 // (probe) input, supporting inner, left-semi, left-anti and left-outer
 // semantics. The engine has no NULLs: left-outer zero-fills unmatched right
 // columns and appends a 0/1 match column (plan.MatchCol).
+//
+// The build side is a dense columnar arena plus a chained open-addressing
+// table: bucket heads index build rows, a parallel next array links rows
+// with the same home bucket. Both sides are hashed whole-column-at-a-time
+// (hashColumns); probing walks the chain comparing stored hashes first and
+// verifying with typed column comparators — no per-row key encoding or
+// allocation anywhere on the probe path. Matches accumulate as
+// (probe, build) index pairs and are materialized column-wise with gather
+// kernels once per output batch.
 type HashJoin struct {
 	base
-	Left, Right          Operator
-	JT                   plan.JoinType
-	LeftCols, RightCols  []int // key column indexes
-	built                bool
-	table                map[string][]int32
-	rightRows            *vector.Batch
-	coerce               []bool
-	out                  *vector.Batch
-	cur                  *vector.Batch // current probe batch
-	curRow               int
-	curMatches           []int32
-	curMatchIdx          int
-	key                  []byte
+	Left, Right         Operator
+	JT                  plan.JoinType
+	LeftCols, RightCols []int
+
+	built     bool
+	rightRows *vector.Batch // dense build arena (pooled)
+	buildHash []uint64      // per build row
+	next      []int32       // chain links per build row
+	table     oaTable
+
+	out    *vector.Batch // pooled output batch
+	probeH []uint64      // per-probe-batch hashes (logical rows)
+	lIdx   []int32       // pending probe-side physical rows
+	rIdx   []int32       // pending build-side rows (-1 = zero-fill)
+
+	cur       *vector.Batch // current probe batch
+	curRow    int           // logical position in cur
+	rowActive bool          // mid-chain state for resumption
+	cand      int32         // next chain candidate
+	matched   bool          // current probe row matched anything
+
 	leftWidth, rightVecs int
 }
 
@@ -38,30 +57,29 @@ func NewHashJoin(jt plan.JoinType, left, right Operator, leftCols, rightCols []i
 
 // Open implements Operator.
 func (j *HashJoin) Open(ctx *Ctx) error {
-	defer j.timed()()
+	defer j.addCost(time.Now())
 	j.built = false
 	j.cur = nil
 	j.curRow = 0
-	j.curMatches = nil
-	j.table = make(map[string][]int32)
+	j.rowActive = false
 	j.leftWidth = len(j.Left.Schema())
 	j.rightVecs = len(j.Right.Schema())
-	j.coerce = make([]bool, len(j.LeftCols))
-	for k := range j.LeftCols {
-		lt := j.Left.Schema()[j.LeftCols[k]].Typ
-		rt := j.Right.Schema()[j.RightCols[k]].Typ
-		j.coerce[k] = lt == vector.Float64 || rt == vector.Float64
+	j.out = ctx.pool().GetBatch(j.schema.Types(), ctx.vecSize())
+	if j.lIdx == nil {
+		j.lIdx = make([]int32, 0, ctx.vecSize())
+		j.rIdx = make([]int32, 0, ctx.vecSize())
 	}
-	j.out = vector.NewBatch(j.schema.Types(), ctx.vecSize())
 	if err := j.Left.Open(ctx); err != nil {
 		return err
 	}
 	return j.Right.Open(ctx)
 }
 
+// build drains the right input into the arena and chains the rows.
 func (j *HashJoin) build(ctx *Ctx) error {
-	j.rightRows = vector.NewBatch(j.Right.Schema().Types(), ctx.vecSize())
-	var key []byte
+	j.rightRows = ctx.pool().GetBatch(j.Right.Schema().Types(), ctx.vecSize())
+	j.buildHash = j.buildHash[:0]
+	var hs []uint64
 	for {
 		b, err := j.Right.Next(ctx)
 		if err != nil {
@@ -71,12 +89,29 @@ func (j *HashJoin) build(ctx *Ctx) error {
 			break
 		}
 		n := b.Len()
-		for i := 0; i < n; i++ {
-			key = encodeRowKey(key, b, j.RightCols, j.coerce, i)
-			row := int32(j.rightRows.Len())
-			j.rightRows.AppendRow(b, i)
-			j.table[string(key)] = append(j.table[string(key)], row)
+		if n == 0 {
+			continue
 		}
+		j.rightRows.AppendBatch(b)
+		if cap(hs) < n {
+			hs = make([]uint64, n)
+		}
+		hs = hs[:n]
+		hashColumns(b, j.RightCols, hs)
+		j.buildHash = append(j.buildHash, hs...)
+	}
+	rows := len(j.buildHash)
+	j.table.init(rows)
+	if cap(j.next) < rows {
+		j.next = make([]int32, rows)
+	}
+	j.next = j.next[:rows]
+	// Insert in reverse so each chain lists build rows in arrival order,
+	// preserving the match emission order of the map-based implementation.
+	for r := rows - 1; r >= 0; r-- {
+		s := j.table.slot(j.buildHash[r])
+		j.next[r] = j.table.buckets[s]
+		j.table.buckets[s] = int32(r)
 	}
 	j.built = true
 	return nil
@@ -87,40 +122,102 @@ func (j *HashJoin) emitsRight() bool {
 	return j.JT == plan.Inner || j.JT == plan.LeftOuter
 }
 
-// appendJoined appends the combination of left row (b,i) and right row r
-// (r < 0 means unmatched outer row).
-func (j *HashJoin) appendJoined(b *vector.Batch, i int, r int32) {
-	for c := 0; c < j.leftWidth; c++ {
-		j.out.Vecs[c].AppendFrom(b.Vecs[c], i)
-	}
-	if !j.emitsRight() {
+// flushPairs materializes the pending match pairs into the output batch,
+// column-wise. All pending probe indexes refer to j.cur, so it must run
+// before the probe batch advances.
+func (j *HashJoin) flushPairs() {
+	if len(j.lIdx) == 0 {
 		return
 	}
-	for c := 0; c < j.rightVecs; c++ {
-		out := j.out.Vecs[j.leftWidth+c]
-		if r >= 0 {
-			out.AppendFrom(j.rightRows.Vecs[c], int(r))
-			continue
+	for c := 0; c < j.leftWidth; c++ {
+		j.out.Vecs[c].AppendGather(j.cur.Vecs[c], j.lIdx)
+	}
+	if j.emitsRight() {
+		for c := 0; c < j.rightVecs; c++ {
+			if j.JT == plan.Inner {
+				// Inner joins never queue unmatched rows: take the
+				// branch-free gather kernel.
+				j.out.Vecs[j.leftWidth+c].AppendGather(j.rightRows.Vecs[c], j.rIdx)
+			} else {
+				appendGatherOrZero(j.out.Vecs[j.leftWidth+c], j.rightRows.Vecs[c], j.rIdx)
+			}
 		}
-		// Zero-fill unmatched outer rows.
-		switch out.Typ {
-		case vector.Int64, vector.Date:
-			out.AppendInt64(0)
-		case vector.Float64:
-			out.AppendFloat64(0)
-		case vector.String:
-			out.AppendString("")
-		case vector.Bool:
-			out.AppendBool(false)
+		if j.JT == plan.LeftOuter {
+			mv := j.out.Vecs[len(j.out.Vecs)-1]
+			for _, r := range j.rIdx {
+				if r >= 0 {
+					mv.AppendInt64(1)
+				} else {
+					mv.AppendInt64(0)
+				}
+			}
 		}
 	}
-	if j.JT == plan.LeftOuter {
-		m := int64(1)
-		if r < 0 {
-			m = 0
+	j.lIdx = j.lIdx[:0]
+	j.rIdx = j.rIdx[:0]
+}
+
+// appendGatherOrZero gathers src rows by index, zero-filling where the
+// index is negative (unmatched outer rows).
+func appendGatherOrZero(v, src *vector.Vector, idx []int32) {
+	switch v.Typ {
+	case vector.Int64, vector.Date:
+		out := v.I64
+		for _, r := range idx {
+			if r >= 0 {
+				out = append(out, src.I64[r])
+			} else {
+				out = append(out, 0)
+			}
 		}
-		j.out.Vecs[len(j.out.Vecs)-1].AppendInt64(m)
+		v.I64 = out
+	case vector.Float64:
+		out := v.F64
+		for _, r := range idx {
+			if r >= 0 {
+				out = append(out, src.F64[r])
+			} else {
+				out = append(out, 0)
+			}
+		}
+		v.F64 = out
+	case vector.String:
+		out := v.Str
+		for _, r := range idx {
+			if r >= 0 {
+				out = append(out, src.Str[r])
+			} else {
+				out = append(out, "")
+			}
+		}
+		v.Str = out
+	case vector.Bool:
+		out := v.B
+		for _, r := range idx {
+			if r >= 0 {
+				out = append(out, src.B[r])
+			} else {
+				out = append(out, false)
+			}
+		}
+		v.B = out
 	}
+}
+
+// pending returns the output rows produced so far for this batch.
+func (j *HashJoin) pending() int { return j.out.Len() + len(j.lIdx) }
+
+// emit queues one output pair; build row -1 means left-only/zero-fill.
+func (j *HashJoin) emit(probePhys int, buildRow int32) {
+	j.lIdx = append(j.lIdx, int32(probePhys))
+	j.rIdx = append(j.rIdx, buildRow)
+}
+
+// yield finalizes and returns the current output batch.
+func (j *HashJoin) yield() *vector.Batch {
+	j.flushPairs()
+	j.rows += int64(j.out.Len())
+	return j.out
 }
 
 // Next implements Operator.
@@ -128,7 +225,7 @@ func (j *HashJoin) Next(ctx *Ctx) (*vector.Batch, error) {
 	if err := ctx.Interrupted(); err != nil {
 		return nil, err
 	}
-	defer j.timed()()
+	defer j.addCost(time.Now())
 	if !j.built {
 		if err := j.build(ctx); err != nil {
 			return nil, err
@@ -137,17 +234,6 @@ func (j *HashJoin) Next(ctx *Ctx) (*vector.Batch, error) {
 	j.out.Reset()
 	limit := ctx.vecSize()
 	for {
-		// Continue emitting pending matches for the current probe row.
-		for j.curMatches != nil && j.curMatchIdx < len(j.curMatches) {
-			j.appendJoined(j.cur, j.curRow, j.curMatches[j.curMatchIdx])
-			j.curMatchIdx++
-			if j.out.Len() >= limit {
-				j.advanceIfDone()
-				j.rows += int64(j.out.Len())
-				return j.out, nil
-			}
-		}
-		j.advanceIfDone()
 		// Fetch a probe batch if needed.
 		if j.cur == nil {
 			b, err := j.Left.Next(ctx)
@@ -155,84 +241,97 @@ func (j *HashJoin) Next(ctx *Ctx) (*vector.Batch, error) {
 				return nil, err
 			}
 			if b == nil {
-				if j.out.Len() > 0 {
-					j.rows += int64(j.out.Len())
-					return j.out, nil
+				if j.pending() > 0 {
+					return j.yield(), nil
 				}
 				return nil, nil
 			}
+			n := b.Len()
+			if n == 0 {
+				continue
+			}
 			j.cur = b
 			j.curRow = 0
+			j.rowActive = false
+			if cap(j.probeH) < n {
+				j.probeH = make([]uint64, n)
+			}
+			j.probeH = j.probeH[:n]
+			hashColumns(b, j.LeftCols, j.probeH)
 		}
-		// Probe rows until the output batch fills.
 		n := j.cur.Len()
 		for j.curRow < n {
-			j.key = encodeRowKey(j.key, j.cur, j.LeftCols, j.coerce, j.curRow)
-			matches := j.table[string(j.key)]
+			r := j.cur.RowIdx(j.curRow)
+			h := j.probeH[j.curRow]
+			if !j.rowActive {
+				j.cand = j.table.buckets[j.table.slot(h)]
+				j.matched = false
+				j.rowActive = true
+			}
+			for j.cand >= 0 {
+				c := j.cand
+				j.cand = j.next[c]
+				if j.buildHash[c] != h ||
+					!keyRowsEqual(j.cur, r, j.LeftCols, j.rightRows, int(c), j.RightCols) {
+					continue
+				}
+				switch j.JT {
+				case plan.Inner, plan.LeftOuter:
+					j.matched = true
+					j.emit(r, c)
+					if j.pending() >= limit && j.cand >= 0 {
+						// Batch full mid-chain: resume here next call.
+						return j.yield(), nil
+					}
+				case plan.LeftSemi, plan.LeftAnti:
+					j.matched = true
+					j.cand = -1 // one match decides; skip the rest
+				}
+			}
+			// Chain exhausted: settle the row.
 			switch j.JT {
 			case plan.LeftSemi:
-				if len(matches) > 0 {
-					j.appendJoined(j.cur, j.curRow, -1)
+				if j.matched {
+					j.emit(r, -1)
 				}
 			case plan.LeftAnti:
-				if len(matches) == 0 {
-					j.appendJoined(j.cur, j.curRow, -1)
+				if !j.matched {
+					j.emit(r, -1)
 				}
 			case plan.LeftOuter:
-				if len(matches) == 0 {
-					j.appendJoined(j.cur, j.curRow, -1)
-				} else {
-					j.curMatches = matches
-					j.curMatchIdx = 0
-				}
-			case plan.Inner:
-				if len(matches) > 0 {
-					j.curMatches = matches
-					j.curMatchIdx = 0
+				if !j.matched {
+					j.emit(r, -1)
 				}
 			}
-			if j.curMatches != nil {
-				// Emit matches via the loop top (may span batches).
-				for j.curMatchIdx < len(j.curMatches) && j.out.Len() < limit {
-					j.appendJoined(j.cur, j.curRow, j.curMatches[j.curMatchIdx])
-					j.curMatchIdx++
-				}
-				if j.curMatchIdx < len(j.curMatches) {
-					j.rows += int64(j.out.Len())
-					return j.out, nil
-				}
-				j.curMatches = nil
-				j.curRow++
-			} else {
-				j.curRow++
-			}
-			if j.out.Len() >= limit {
+			j.rowActive = false
+			j.curRow++
+			if j.pending() >= limit {
 				if j.curRow >= n {
+					j.flushPairs()
 					j.cur = nil
 				}
-				j.rows += int64(j.out.Len())
-				return j.out, nil
+				return j.yield(), nil
 			}
 		}
+		j.flushPairs()
 		j.cur = nil
-	}
-}
-
-// advanceIfDone moves to the next probe row once its match list is drained.
-func (j *HashJoin) advanceIfDone() {
-	if j.curMatches != nil && j.curMatchIdx >= len(j.curMatches) {
-		j.curMatches = nil
-		j.curRow++
-		if j.cur != nil && j.curRow >= j.cur.Len() {
-			j.cur = nil
-		}
 	}
 }
 
 // Close implements Operator.
 func (j *HashJoin) Close(ctx *Ctx) error {
-	j.table = nil
-	j.rightRows = nil
+	if j.out != nil {
+		ctx.pool().PutBatch(j.out)
+		j.out = nil
+	}
+	if j.rightRows != nil {
+		ctx.pool().PutBatch(j.rightRows)
+		j.rightRows = nil
+	}
+	j.table.buckets = nil
+	j.next = nil
+	j.buildHash = nil
+	j.cur = nil
 	err1 := j.Left.Close(ctx)
 	err2 := j.Right.Close(ctx)
 	if err1 != nil {

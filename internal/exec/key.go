@@ -7,23 +7,38 @@ import (
 	"recycledb/internal/vector"
 )
 
-// appendKey appends a type-tagged encoding of row i of v to buf, so that
-// multi-column group/join keys can be compared as byte strings. Numeric
-// columns (int64/date/float64) are encoded as float64 bits when mixed-type
-// joins require it (coerce=true), keeping 1 = 1.0.
+// Byte-string key encoding. This is the reference slow path for group/join
+// keys: the hot paths hash key columns vectorized (hash.go) and verify with
+// typed comparators, but the byte encoding remains the executable
+// specification of key equality — the property tests in key_test.go hold
+// the two in lockstep — and the fallback for any future mixed-type
+// coercion the columnar kernels do not cover.
+
+// appendKey appends a type-tagged encoding of physical row i of v to buf,
+// so that multi-column group/join keys can be compared as byte strings.
+//
+// Mixed-type (coerce=true) numeric keys encode through an
+// exactness-preserving canonical form: any value exactly representable as
+// int64 — every int64, and every float64 that is integral and in range —
+// encodes as tag 'i' plus its int64 bits; every other float64 encodes as
+// tag 'f' plus its IEEE bits. 1 and 1.0 still collide (intended for
+// coerced joins), but an int64 above 2^53 is never narrowed through
+// float64, so e.g. 2^53 and 2^53+1 stay distinct keys (they used to
+// collapse onto the same float encoding).
 func appendKey(buf []byte, v *vector.Vector, i int, coerce bool) []byte {
 	switch v.Typ {
 	case vector.Int64, vector.Date:
-		if coerce {
-			buf = append(buf, 'f')
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(float64(v.I64[i])))
-		} else {
-			buf = append(buf, 'i')
-			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.I64[i]))
-		}
+		buf = append(buf, 'i')
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.I64[i]))
 	case vector.Float64:
-		buf = append(buf, 'f')
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F64[i]))
+		f := v.F64[i]
+		if coerce && f == math.Trunc(f) && f >= minExactI64 && f < maxExactI64 {
+			buf = append(buf, 'i')
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(f)))
+		} else {
+			buf = append(buf, 'f')
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
 	case vector.String:
 		buf = append(buf, 's')
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Str[i])))
@@ -39,7 +54,8 @@ func appendKey(buf []byte, v *vector.Vector, i int, coerce bool) []byte {
 	return buf
 }
 
-// encodeRowKey encodes the given columns of row i as a byte-string key.
+// encodeRowKey encodes the given columns of physical row i as a
+// byte-string key.
 func encodeRowKey(buf []byte, b *vector.Batch, cols []int, coerce []bool, i int) []byte {
 	buf = buf[:0]
 	for k, c := range cols {

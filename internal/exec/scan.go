@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"recycledb/internal/catalog"
 	"recycledb/internal/vector"
@@ -25,9 +26,16 @@ func NewTableScan(t *catalog.Table, cols []int, schema catalog.Schema) *TableSca
 
 // Open implements Operator.
 func (s *TableScan) Open(ctx *Ctx) error {
-	defer s.timed()()
+	defer s.addCost(time.Now())
 	s.pos = 0
-	s.out = &vector.Batch{Vecs: make([]*vector.Vector, len(s.Cols))}
+	if s.out == nil {
+		// The vector structs are allocated once and re-sliced over table
+		// storage every Next, so the steady-state scan never allocates.
+		s.out = &vector.Batch{Vecs: make([]*vector.Vector, len(s.Cols))}
+		for i, c := range s.Cols {
+			s.out.Vecs[i] = &vector.Vector{Typ: s.Table.Col(c).Typ}
+		}
+	}
 	return nil
 }
 
@@ -36,7 +44,7 @@ func (s *TableScan) Next(ctx *Ctx) (*vector.Batch, error) {
 	if err := ctx.Interrupted(); err != nil {
 		return nil, err
 	}
-	defer s.timed()()
+	defer s.addCost(time.Now())
 	n := s.Table.Rows()
 	if s.pos >= n {
 		return nil, nil
@@ -47,7 +55,7 @@ func (s *TableScan) Next(ctx *Ctx) (*vector.Batch, error) {
 	}
 	for i, c := range s.Cols {
 		col := s.Table.Col(c)
-		v := &vector.Vector{Typ: col.Typ}
+		v := s.out.Vecs[i]
 		switch col.Typ {
 		case vector.Int64, vector.Date:
 			v.I64 = col.I64[s.pos:hi]
@@ -58,7 +66,6 @@ func (s *TableScan) Next(ctx *Ctx) (*vector.Batch, error) {
 		case vector.Bool:
 			v.B = col.B[s.pos:hi]
 		}
-		s.out.Vecs[i] = v
 	}
 	s.rows += int64(hi - s.pos)
 	s.pos = hi
@@ -94,7 +101,7 @@ func NewTableFnScan(fn *catalog.TableFunc, args []vector.Datum) *TableFnScan {
 // Open implements Operator; the function is evaluated here so its cost is
 // attributed to this leaf.
 func (s *TableFnScan) Open(ctx *Ctx) error {
-	defer s.timed()()
+	defer s.addCost(time.Now())
 	res, err := s.Fn.Invoke(ctx.Cat, s.Args)
 	if err != nil {
 		return fmt.Errorf("exec: table function %s: %w", s.Fn.Name, err)
@@ -109,7 +116,7 @@ func (s *TableFnScan) Next(ctx *Ctx) (*vector.Batch, error) {
 	if err := ctx.Interrupted(); err != nil {
 		return nil, err
 	}
-	defer s.timed()()
+	defer s.addCost(time.Now())
 	if s.res == nil || s.idx >= len(s.res.Batches) {
 		return nil, nil
 	}
@@ -166,7 +173,7 @@ func (s *CacheScan) Next(ctx *Ctx) (*vector.Batch, error) {
 	if err := ctx.Interrupted(); err != nil {
 		return nil, err
 	}
-	defer s.timed()()
+	defer s.addCost(time.Now())
 	if s.idx >= len(s.Batches) {
 		return nil, nil
 	}

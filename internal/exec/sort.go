@@ -3,16 +3,18 @@ package exec
 import (
 	"container/heap"
 	"sort"
+	"time"
 
 	"recycledb/internal/plan"
 	"recycledb/internal/vector"
 )
 
-// rowCompare compares rows a and b of batch rows under keys; returns true if
-// a orders before b.
+// rowLess compares rows a and b of batch rows under keys; returns true if
+// a orders before b. Comparison is typed per column — no Datum boxing in
+// the sort's O(M log M) comparator.
 func rowLess(rows *vector.Batch, keys []plan.SortKey, keyIdx []int, a, b int) bool {
 	for k, idx := range keyIdx {
-		c := rows.Vecs[idx].Datum(a).Compare(rows.Vecs[idx].Datum(b))
+		c := colCompare(rows.Vecs[idx], a, b)
 		if c == 0 {
 			continue
 		}
@@ -22,6 +24,45 @@ func rowLess(rows *vector.Batch, keys []plan.SortKey, keyIdx []int, a, b int) bo
 		return c < 0
 	}
 	return false
+}
+
+// colCompare orders physical rows a and b of one column vector.
+func colCompare(v *vector.Vector, a, b int) int {
+	switch v.Typ {
+	case vector.Int64, vector.Date:
+		x, y := v.I64[a], v.I64[b]
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+	case vector.Float64:
+		x, y := v.F64[a], v.F64[b]
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+	case vector.String:
+		x, y := v.Str[a], v.Str[b]
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+	case vector.Bool:
+		x, y := v.B[a], v.B[b]
+		switch {
+		case !x && y:
+			return -1
+		case x && !y:
+			return 1
+		}
+	}
+	return 0
 }
 
 // SortOp fully sorts its input (blocking).
@@ -49,15 +90,15 @@ func NewSort(child Operator, keys []plan.SortKey) *SortOp {
 
 // Open implements Operator.
 func (s *SortOp) Open(ctx *Ctx) error {
-	defer s.timed()()
+	defer s.addCost(time.Now())
 	s.built = false
 	s.emit = 0
-	s.out = vector.NewBatch(s.schema.Types(), ctx.vecSize())
+	s.out = ctx.pool().GetBatch(s.schema.Types(), ctx.vecSize())
 	return s.Child.Open(ctx)
 }
 
 func (s *SortOp) build(ctx *Ctx) error {
-	s.rowsIn = vector.NewBatch(s.schema.Types(), ctx.vecSize())
+	s.rowsIn = ctx.pool().GetBatch(s.schema.Types(), ctx.vecSize())
 	for {
 		b, err := s.Child.Next(ctx)
 		if err != nil {
@@ -66,10 +107,8 @@ func (s *SortOp) build(ctx *Ctx) error {
 		if b == nil {
 			break
 		}
-		n := b.Len()
-		for i := 0; i < n; i++ {
-			s.rowsIn.AppendRow(b, i)
-		}
+		// Columnar, selection-aware bulk append into the sort arena.
+		s.rowsIn.AppendBatch(b)
 	}
 	s.order = make([]int, s.rowsIn.Len())
 	for i := range s.order {
@@ -87,7 +126,7 @@ func (s *SortOp) Next(ctx *Ctx) (*vector.Batch, error) {
 	if err := ctx.Interrupted(); err != nil {
 		return nil, err
 	}
-	defer s.timed()()
+	defer s.addCost(time.Now())
 	if !s.built {
 		if err := s.build(ctx); err != nil {
 			return nil, err
@@ -101,9 +140,7 @@ func (s *SortOp) Next(ctx *Ctx) (*vector.Batch, error) {
 	if hi > len(s.order) {
 		hi = len(s.order)
 	}
-	for _, r := range s.order[s.emit:hi] {
-		s.out.AppendRow(s.rowsIn, r)
-	}
+	s.out.AppendBatchIndex(s.rowsIn, s.order[s.emit:hi])
 	s.rows += int64(hi - s.emit)
 	s.emit = hi
 	return s.out, nil
@@ -111,7 +148,15 @@ func (s *SortOp) Next(ctx *Ctx) (*vector.Batch, error) {
 
 // Close implements Operator.
 func (s *SortOp) Close(ctx *Ctx) error {
-	s.rowsIn = nil
+	pool := ctx.pool()
+	if s.out != nil {
+		pool.PutBatch(s.out)
+		s.out = nil
+	}
+	if s.rowsIn != nil {
+		pool.PutBatch(s.rowsIn)
+		s.rowsIn = nil
+	}
 	s.order = nil
 	return s.Child.Close(ctx)
 }
@@ -180,10 +225,10 @@ func (h *topHeap) Pop() interface{} {
 
 // Open implements Operator.
 func (t *TopNOp) Open(ctx *Ctx) error {
-	defer t.timed()()
+	defer t.addCost(time.Now())
 	t.built = false
 	t.emit = 0
-	t.out = vector.NewBatch(t.schema.Types(), ctx.vecSize())
+	t.out = ctx.pool().GetBatch(t.schema.Types(), ctx.vecSize())
 	return t.Child.Open(ctx)
 }
 
@@ -263,7 +308,7 @@ func (t *TopNOp) Next(ctx *Ctx) (*vector.Batch, error) {
 	if err := ctx.Interrupted(); err != nil {
 		return nil, err
 	}
-	defer t.timed()()
+	defer t.addCost(time.Now())
 	if !t.built {
 		if err := t.build(ctx); err != nil {
 			return nil, err
@@ -277,9 +322,7 @@ func (t *TopNOp) Next(ctx *Ctx) (*vector.Batch, error) {
 	if hi > len(t.order) {
 		hi = len(t.order)
 	}
-	for _, r := range t.order[t.emit:hi] {
-		t.out.AppendRow(t.rowsIn, r)
-	}
+	t.out.AppendBatchIndex(t.rowsIn, t.order[t.emit:hi])
 	t.rows += int64(hi - t.emit)
 	t.emit = hi
 	return t.out, nil
@@ -287,6 +330,10 @@ func (t *TopNOp) Next(ctx *Ctx) (*vector.Batch, error) {
 
 // Close implements Operator.
 func (t *TopNOp) Close(ctx *Ctx) error {
+	if t.out != nil {
+		ctx.pool().PutBatch(t.out)
+		t.out = nil
+	}
 	t.rowsIn = nil
 	t.h = nil
 	t.order = nil

@@ -52,7 +52,7 @@ func NewStore(child Operator, spec StoreSpec) *Store {
 
 // Open implements Operator.
 func (s *Store) Open(ctx *Ctx) error {
-	defer s.timed()()
+	defer s.addCost(time.Now())
 	s.buffering = true
 	s.buf = nil
 	s.bufBytes = 0
@@ -67,7 +67,7 @@ func (s *Store) Next(ctx *Ctx) (*vector.Batch, error) {
 	if err := ctx.Interrupted(); err != nil {
 		return nil, err
 	}
-	defer s.timed()()
+	defer s.addCost(time.Now())
 	b, err := s.Child.Next(ctx)
 	if err != nil {
 		return nil, err
@@ -180,7 +180,7 @@ func (w *WaitReuse) resolve(ctx *Ctx) error {
 	if w.Spec.OnOutcome != nil {
 		w.Spec.OnOutcome(ok, stalled)
 	}
-	defer w.timed()()
+	defer w.addCost(time.Now())
 	return w.inner.Open(ctx)
 }
 
@@ -194,7 +194,7 @@ func (w *WaitReuse) Next(ctx *Ctx) (*vector.Batch, error) {
 			return nil, err
 		}
 	}
-	defer w.timed()()
+	defer w.addCost(time.Now())
 	b, err := w.inner.Next(ctx)
 	if b != nil {
 		w.rows += int64(b.Len())

@@ -26,6 +26,8 @@ type Arith struct {
 	Op   ArithOp
 	L, R Expr
 	typ  vector.Type
+
+	lv, rv, tmp *vector.Vector // eval scratch; see scratchVec
 }
 
 // Add builds L + R.
@@ -66,12 +68,12 @@ func (a *Arith) Bind(s catalog.Schema) (vector.Type, error) {
 
 // Eval implements Expr.
 func (a *Arith) Eval(b *vector.Batch, out *vector.Vector) error {
-	lv := vector.New(a.typ, b.Len())
-	rv := vector.New(a.typ, b.Len())
-	if err := EvalAs(a.L, b, lv, a.typ); err != nil {
+	lv := scratchVec(&a.lv, a.typ, b.Len())
+	rv := scratchVec(&a.rv, a.typ, b.Len())
+	if err := EvalAsScratch(a.L, b, lv, a.typ, scratchVec(&a.tmp, a.typ, 0)); err != nil {
 		return err
 	}
-	if err := EvalAs(a.R, b, rv, a.typ); err != nil {
+	if err := EvalAsScratch(a.R, b, rv, a.typ, scratchVec(&a.tmp, a.typ, 0)); err != nil {
 		return err
 	}
 	n := b.Len()
@@ -138,6 +140,9 @@ type Case struct {
 	Whens []WhenClause
 	Else  Expr
 	typ   vector.Type
+
+	conds, thens []*vector.Vector // eval scratch; see scratchVec
+	els, tmp     *vector.Vector
 }
 
 // CaseWhen builds CASE WHEN cond THEN then ELSE els END.
@@ -184,20 +189,23 @@ func mergeType(a, b vector.Type) vector.Type {
 // Eval implements Expr.
 func (c *Case) Eval(b *vector.Batch, out *vector.Vector) error {
 	n := b.Len()
-	conds := make([]*vector.Vector, len(c.Whens))
-	thens := make([]*vector.Vector, len(c.Whens))
+	if c.conds == nil {
+		c.conds = make([]*vector.Vector, len(c.Whens))
+		c.thens = make([]*vector.Vector, len(c.Whens))
+	}
+	conds, thens := c.conds, c.thens
 	for i, w := range c.Whens {
-		conds[i] = vector.New(vector.Bool, n)
-		if err := w.Cond.Eval(b, conds[i]); err != nil {
+		cv := scratchVec(&conds[i], vector.Bool, n)
+		if err := w.Cond.Eval(b, cv); err != nil {
 			return err
 		}
-		thens[i] = vector.New(c.typ, n)
-		if err := EvalAs(w.Then, b, thens[i], c.typ); err != nil {
+		tv := scratchVec(&thens[i], c.typ, n)
+		if err := EvalAsScratch(w.Then, b, tv, c.typ, scratchVec(&c.tmp, c.typ, 0)); err != nil {
 			return err
 		}
 	}
-	els := vector.New(c.typ, n)
-	if err := EvalAs(c.Else, b, els, c.typ); err != nil {
+	els := scratchVec(&c.els, c.typ, n)
+	if err := EvalAsScratch(c.Else, b, els, c.typ, scratchVec(&c.tmp, c.typ, 0)); err != nil {
 		return err
 	}
 	for i := 0; i < n; i++ {

@@ -24,8 +24,10 @@ type Expr interface {
 	// returns the result type. Bind may be called repeatedly (rewrites
 	// re-bind expressions against new child schemas).
 	Bind(s catalog.Schema) (vector.Type, error)
-	// Eval appends one value per input row to out. The expression must
-	// have been bound against the batch's schema.
+	// Eval appends one value per logical input row to out. The expression
+	// must have been bound against the batch's schema. Evaluation is
+	// selection-aware: column references gather through the batch's
+	// selection vector, so a filtered batch evaluates without compaction.
 	Eval(b *vector.Batch, out *vector.Vector) error
 	// Canon renders a canonical string with column names mapped through
 	// rename. Two expressions are the same operation iff their Canon
@@ -76,21 +78,16 @@ func (c *Col) Bind(s catalog.Schema) (vector.Type, error) {
 	return c.typ, nil
 }
 
-// Eval implements Expr.
+// Eval implements Expr: a capacity-reusing bulk append of the referenced
+// column — dense inputs copy whole slices, selective inputs gather through
+// the selection vector in one typed loop.
 func (c *Col) Eval(b *vector.Batch, out *vector.Vector) error {
 	src := b.Vecs[c.idx]
-	n := src.Len()
-	switch src.Typ {
-	case vector.Int64, vector.Date:
-		out.I64 = append(out.I64, src.I64...)
-	case vector.Float64:
-		out.F64 = append(out.F64, src.F64...)
-	case vector.String:
-		out.Str = append(out.Str, src.Str...)
-	case vector.Bool:
-		out.B = append(out.B, src.B...)
+	if b.Sel != nil {
+		out.AppendGather(src, b.Sel)
+		return nil
 	}
-	_ = n
+	out.AppendAll(src)
 	return nil
 }
 
@@ -188,6 +185,8 @@ type Cmp struct {
 	Op   CmpOp
 	L, R Expr
 	lt   vector.Type
+
+	lv, rv, tmp *vector.Vector // eval scratch; see scratchVec
 }
 
 // Eq builds L = R.
@@ -247,12 +246,12 @@ func promote(a, b vector.Type) vector.Type {
 
 // Eval implements Expr.
 func (c *Cmp) Eval(b *vector.Batch, out *vector.Vector) error {
-	lv := vector.New(c.lt, b.Len())
-	rv := vector.New(c.lt, b.Len())
-	if err := EvalAs(c.L, b, lv, c.lt); err != nil {
+	lv := scratchVec(&c.lv, c.lt, b.Len())
+	rv := scratchVec(&c.rv, c.lt, b.Len())
+	if err := EvalAsScratch(c.L, b, lv, c.lt, scratchVec(&c.tmp, c.lt, 0)); err != nil {
 		return err
 	}
-	if err := EvalAs(c.R, b, rv, c.lt); err != nil {
+	if err := EvalAsScratch(c.R, b, rv, c.lt, scratchVec(&c.tmp, c.lt, 0)); err != nil {
 		return err
 	}
 	n := b.Len()
@@ -327,10 +326,13 @@ func cmpMatch(op CmpOp, c int) bool {
 
 // EvalAs evaluates e into out, coercing numeric results to type t.
 func EvalAs(e Expr, b *vector.Batch, out *vector.Vector, t vector.Type) error {
-	tmp := vector.New(vector.Unknown, 0)
-	// Determine e's own type by evaluating into a scratch of its bound
-	// type; since Bind already ran, evaluate into a vector of matching
-	// type and convert when needed.
+	return EvalAsScratch(e, b, out, t, nil)
+}
+
+// EvalAsScratch is EvalAs with a caller-supplied coercion buffer, so hot
+// loops (predicates, aggregate arguments) coerce without allocating. tmp
+// may be nil (one is allocated if coercion is needed) and is clobbered.
+func EvalAsScratch(e Expr, b *vector.Batch, out *vector.Vector, t vector.Type, tmp *vector.Vector) error {
 	// Fast path: evaluate directly if types match.
 	etype := exprType(e)
 	if etype == t || (t == vector.Int64 && etype == vector.Date) ||
@@ -338,7 +340,12 @@ func EvalAs(e Expr, b *vector.Batch, out *vector.Vector, t vector.Type) error {
 		out.Typ = t
 		return e.Eval(b, out)
 	}
-	tmp.Typ = etype
+	if tmp == nil {
+		tmp = vector.New(etype, b.Len())
+	} else {
+		tmp.Typ = etype
+		tmp.Reset()
+	}
 	if err := e.Eval(b, tmp); err != nil {
 		return err
 	}
@@ -355,6 +362,22 @@ func EvalAs(e Expr, b *vector.Batch, out *vector.Vector, t vector.Type) error {
 		return fmt.Errorf("expr: cannot coerce %v to %v", etype, t)
 	}
 	return nil
+}
+
+// scratchVec lazily (re)initializes a node's reusable eval buffer: typed t,
+// emptied, with capacity retained across calls. Scratch lives on the
+// expression instance — plans are cloned per execution and Clone starts
+// with nil scratch, so buffers are never shared between executions.
+func scratchVec(p **vector.Vector, t vector.Type, capacity int) *vector.Vector {
+	v := *p
+	if v == nil {
+		v = vector.New(t, capacity)
+		*p = v
+		return v
+	}
+	v.Typ = t
+	v.Reset()
+	return v
 }
 
 // exprType returns the type an already-bound expression produces. It uses a

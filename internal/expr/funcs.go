@@ -12,6 +12,8 @@ import (
 // (year(shipdate), Fig. 5 right).
 type Year struct {
 	E Expr
+
+	tmp *vector.Vector // eval scratch; see scratchVec
 }
 
 // YearOf builds year(e).
@@ -31,7 +33,7 @@ func (y *Year) Bind(s catalog.Schema) (vector.Type, error) {
 
 // Eval implements Expr.
 func (y *Year) Eval(b *vector.Batch, out *vector.Vector) error {
-	tmp := vector.New(vector.Date, b.Len())
+	tmp := scratchVec(&y.tmp, vector.Date, b.Len())
 	if err := y.E.Eval(b, tmp); err != nil {
 		return err
 	}
@@ -55,6 +57,8 @@ func (y *Year) Clone() Expr { return &Year{E: y.E.Clone()} }
 // Month extracts the calendar month (1-12) of a Date operand.
 type Month struct {
 	E Expr
+
+	tmp *vector.Vector // eval scratch; see scratchVec
 }
 
 // MonthOf builds month(e).
@@ -74,7 +78,7 @@ func (m *Month) Bind(s catalog.Schema) (vector.Type, error) {
 
 // Eval implements Expr.
 func (m *Month) Eval(b *vector.Batch, out *vector.Vector) error {
-	tmp := vector.New(vector.Date, b.Len())
+	tmp := scratchVec(&m.tmp, vector.Date, b.Len())
 	if err := m.E.Eval(b, tmp); err != nil {
 		return err
 	}
@@ -101,6 +105,8 @@ type Substr struct {
 	E    Expr
 	From int
 	Len  int
+
+	tmp *vector.Vector // eval scratch; see scratchVec
 }
 
 // SubstrOf builds substring(e from f for l).
@@ -122,7 +128,7 @@ func (s *Substr) Bind(sc catalog.Schema) (vector.Type, error) {
 
 // Eval implements Expr.
 func (s *Substr) Eval(b *vector.Batch, out *vector.Vector) error {
-	tmp := vector.New(vector.String, b.Len())
+	tmp := scratchVec(&s.tmp, vector.String, b.Len())
 	if err := s.E.Eval(b, tmp); err != nil {
 		return err
 	}
@@ -160,6 +166,8 @@ func (s *Substr) Clone() Expr { return &Substr{E: s.E.Clone(), From: s.From, Len
 type IntDiv struct {
 	E Expr
 	K int64
+
+	tmp *vector.Vector // eval scratch; see scratchVec
 }
 
 // BinBy builds e / k (integer division binning).
@@ -183,7 +191,7 @@ func (d *IntDiv) Bind(s catalog.Schema) (vector.Type, error) {
 // Eval implements Expr.
 func (d *IntDiv) Eval(b *vector.Batch, out *vector.Vector) error {
 	t := exprType(d.E)
-	tmp := vector.New(t, b.Len())
+	tmp := scratchVec(&d.tmp, t, b.Len())
 	if err := d.E.Eval(b, tmp); err != nil {
 		return err
 	}

@@ -13,6 +13,8 @@ import (
 // And is the conjunction of its operands.
 type And struct {
 	Es []Expr
+
+	tmp *vector.Vector // eval scratch; see scratchVec
 }
 
 // AndOf builds a conjunction; a single operand is returned unchanged.
@@ -44,7 +46,7 @@ func (a *And) Eval(b *vector.Batch, out *vector.Vector) error {
 	for i := 0; i < n; i++ {
 		out.B = append(out.B, true)
 	}
-	tmp := vector.New(vector.Bool, n)
+	tmp := scratchVec(&a.tmp, vector.Bool, n)
 	for _, e := range a.Es {
 		tmp.Reset()
 		if err := e.Eval(b, tmp); err != nil {
@@ -85,6 +87,8 @@ func (a *And) Clone() Expr {
 // Or is the disjunction of its operands.
 type Or struct {
 	Es []Expr
+
+	tmp *vector.Vector // eval scratch; see scratchVec
 }
 
 // OrOf builds a disjunction; a single operand is returned unchanged.
@@ -116,7 +120,7 @@ func (o *Or) Eval(b *vector.Batch, out *vector.Vector) error {
 	for i := 0; i < n; i++ {
 		out.B = append(out.B, false)
 	}
-	tmp := vector.New(vector.Bool, n)
+	tmp := scratchVec(&o.tmp, vector.Bool, n)
 	for _, e := range o.Es {
 		tmp.Reset()
 		if err := e.Eval(b, tmp); err != nil {
@@ -157,6 +161,8 @@ func (o *Or) Clone() Expr {
 // Not negates a boolean operand.
 type Not struct {
 	E Expr
+
+	tmp *vector.Vector // eval scratch; see scratchVec
 }
 
 // NotOf builds NOT e.
@@ -176,7 +182,7 @@ func (n *Not) Bind(s catalog.Schema) (vector.Type, error) {
 
 // Eval implements Expr.
 func (n *Not) Eval(b *vector.Batch, out *vector.Vector) error {
-	tmp := vector.New(vector.Bool, b.Len())
+	tmp := scratchVec(&n.tmp, vector.Bool, b.Len())
 	if err := n.E.Eval(b, tmp); err != nil {
 		return err
 	}
@@ -205,6 +211,8 @@ type Like struct {
 	E       Expr
 	Pattern string
 	Negate  bool
+
+	tmp *vector.Vector // eval scratch; see scratchVec
 }
 
 // LikeOf builds E LIKE pattern.
@@ -229,7 +237,7 @@ func (l *Like) Bind(s catalog.Schema) (vector.Type, error) {
 
 // Eval implements Expr.
 func (l *Like) Eval(b *vector.Batch, out *vector.Vector) error {
-	tmp := vector.New(vector.String, b.Len())
+	tmp := scratchVec(&l.tmp, vector.String, b.Len())
 	if err := l.E.Eval(b, tmp); err != nil {
 		return err
 	}
@@ -295,6 +303,8 @@ type InList struct {
 	E      Expr
 	Vals   []vector.Datum
 	Negate bool
+
+	tmp *vector.Vector // eval scratch; see scratchVec
 }
 
 // In builds E IN (vals...).
@@ -331,7 +341,7 @@ func (l *InList) Bind(s catalog.Schema) (vector.Type, error) {
 // Eval implements Expr.
 func (l *InList) Eval(b *vector.Batch, out *vector.Vector) error {
 	t := exprType(l.E)
-	tmp := vector.New(t, b.Len())
+	tmp := scratchVec(&l.tmp, t, b.Len())
 	if err := l.E.Eval(b, tmp); err != nil {
 		return err
 	}

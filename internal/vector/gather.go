@@ -1,0 +1,139 @@
+package vector
+
+// Vectorized copy kernels. These replace the engine's row-at-a-time
+// AppendRow loops: the per-row type dispatch of AppendFrom is hoisted out so
+// each column is copied (or gathered through a selection) in one tight typed
+// loop. They are the compaction half of the selection-vector design —
+// consumers that cannot iterate a selection gather it away column-wise.
+
+// AppendAll bulk-appends every row of src to v. Types must match.
+func (v *Vector) AppendAll(src *Vector) {
+	switch v.Typ {
+	case Int64, Date:
+		v.I64 = append(v.I64, src.I64...)
+	case Float64:
+		v.F64 = append(v.F64, src.F64...)
+	case String:
+		v.Str = append(v.Str, src.Str...)
+	case Bool:
+		v.B = append(v.B, src.B...)
+	}
+}
+
+// AppendRange bulk-appends physical rows [lo, hi) of src to v.
+func (v *Vector) AppendRange(src *Vector, lo, hi int) {
+	switch v.Typ {
+	case Int64, Date:
+		v.I64 = append(v.I64, src.I64[lo:hi]...)
+	case Float64:
+		v.F64 = append(v.F64, src.F64[lo:hi]...)
+	case String:
+		v.Str = append(v.Str, src.Str[lo:hi]...)
+	case Bool:
+		v.B = append(v.B, src.B[lo:hi]...)
+	}
+}
+
+// AppendGather appends the physical src rows listed in sel to v.
+func (v *Vector) AppendGather(src *Vector, sel []int32) {
+	switch v.Typ {
+	case Int64, Date:
+		out := v.I64
+		for _, r := range sel {
+			out = append(out, src.I64[r])
+		}
+		v.I64 = out
+	case Float64:
+		out := v.F64
+		for _, r := range sel {
+			out = append(out, src.F64[r])
+		}
+		v.F64 = out
+	case String:
+		out := v.Str
+		for _, r := range sel {
+			out = append(out, src.Str[r])
+		}
+		v.Str = out
+	case Bool:
+		out := v.B
+		for _, r := range sel {
+			out = append(out, src.B[r])
+		}
+		v.B = out
+	}
+}
+
+// AppendIndex appends the physical src rows listed in idx to v (the []int
+// twin of AppendGather, used with sort order arrays).
+func (v *Vector) AppendIndex(src *Vector, idx []int) {
+	switch v.Typ {
+	case Int64, Date:
+		out := v.I64
+		for _, r := range idx {
+			out = append(out, src.I64[r])
+		}
+		v.I64 = out
+	case Float64:
+		out := v.F64
+		for _, r := range idx {
+			out = append(out, src.F64[r])
+		}
+		v.F64 = out
+	case String:
+		out := v.Str
+		for _, r := range idx {
+			out = append(out, src.Str[r])
+		}
+		v.Str = out
+	case Bool:
+		out := v.B
+		for _, r := range idx {
+			out = append(out, src.B[r])
+		}
+		v.B = out
+	}
+}
+
+// AppendBatch appends all logical rows of src to b column-wise, compacting
+// src's selection if it has one. Schemas must match.
+func (b *Batch) AppendBatch(src *Batch) {
+	if src.Sel == nil {
+		for c, v := range b.Vecs {
+			v.AppendAll(src.Vecs[c])
+		}
+		return
+	}
+	for c, v := range b.Vecs {
+		v.AppendGather(src.Vecs[c], src.Sel)
+	}
+}
+
+// AppendBatchRange appends logical rows [lo, hi) of src to b column-wise.
+func (b *Batch) AppendBatchRange(src *Batch, lo, hi int) {
+	if src.Sel == nil {
+		for c, v := range b.Vecs {
+			v.AppendRange(src.Vecs[c], lo, hi)
+		}
+		return
+	}
+	sel := src.Sel[lo:hi]
+	for c, v := range b.Vecs {
+		v.AppendGather(src.Vecs[c], sel)
+	}
+}
+
+// AppendBatchIndex appends the logical src rows listed in idx to b
+// column-wise. src must be dense (sort arenas always are).
+func (b *Batch) AppendBatchIndex(src *Batch, idx []int) {
+	for c, v := range b.Vecs {
+		v.AppendIndex(src.Vecs[c], idx)
+	}
+}
+
+// CopyFrom resets b and appends all logical rows of src: selection-aware
+// columnar compaction into b's retained capacity.
+func (b *Batch) CopyFrom(src *Batch) {
+	b.Reset()
+	b.AppendBatch(src)
+}

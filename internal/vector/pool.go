@@ -1,0 +1,134 @@
+package vector
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Pool recycles vectors and batches across queries. It is sync.Pool-backed
+// and bucketed by (type, capacity class), so a Get is satisfied by any
+// previously returned vector of the same type with at least the requested
+// capacity. Operators draw their scratch batches from the pool in Open (or
+// lazily in Next) and return them in Close; steady-state Next calls then
+// run without heap allocation.
+//
+// Ownership rules (see README "Performance"):
+//
+//   - Only the Get/GetBatch caller may Put a vector back, exactly once.
+//   - Batches handed downstream by Next remain owned by the producing
+//     operator; consumers must not Put them.
+//   - Results retained beyond a Next call (recycler cache admissions,
+//     materialized Results) are deep Clones that own fresh, unpooled
+//     memory — the recycler never holds pooled storage, so cache
+//     correctness and byte accounting are untouched by pooling.
+//
+// The zero Pool is ready to use and safe for concurrent use.
+type Pool struct {
+	buckets [nTypes][poolMaxClass + 1]sync.Pool
+}
+
+const (
+	nTypes = int(Bool) + 1
+	// poolMinClass..poolMaxClass bound the pooled capacity classes
+	// (2^5 = 32 .. 2^21 = 2Mi rows); outside the range vectors are
+	// allocated and dropped normally.
+	poolMinClass = 5
+	poolMaxClass = 21
+)
+
+// sizeClass returns the bucket whose vectors hold at least capacity rows.
+func sizeClass(capacity int) int {
+	if capacity <= 1 {
+		return poolMinClass
+	}
+	c := bits.Len(uint(capacity - 1)) // ceil(log2(capacity))
+	if c < poolMinClass {
+		c = poolMinClass
+	}
+	return c
+}
+
+// Get returns an empty vector of type t with capacity at least capacity,
+// reusing a pooled one when available.
+func (p *Pool) Get(t Type, capacity int) *Vector {
+	c := sizeClass(capacity)
+	if t == Unknown || c > poolMaxClass {
+		return New(t, capacity)
+	}
+	if v, ok := p.buckets[t][c].Get().(*Vector); ok && v != nil {
+		return v
+	}
+	return New(t, 1<<c)
+}
+
+// Put returns a vector obtained from Get to the pool. The vector must not
+// be used afterwards. Vectors whose capacity falls outside the pooled
+// classes are dropped. String payloads are cleared so a pooled vector never
+// pins the strings it used to hold.
+func (p *Pool) Put(v *Vector) {
+	if v == nil || v.Typ == Unknown {
+		return
+	}
+	capacity := v.payloadCap()
+	// Floor class: every vector in bucket c has capacity >= 1<<c.
+	c := bits.Len(uint(capacity)) - 1
+	if capacity <= 0 || c < poolMinClass || c > poolMaxClass {
+		return
+	}
+	v.Reset()
+	// Drop payloads of other types: scratch vectors can be retyped
+	// between Get and Put (EvalAsScratch), and a vector must enter its
+	// current type's bucket carrying only that payload — otherwise
+	// pooled vectors accumulate dead full-capacity slices.
+	switch v.Typ {
+	case Int64, Date:
+		v.F64, v.Str, v.B = nil, nil, nil
+	case Float64:
+		v.I64, v.Str, v.B = nil, nil, nil
+	case String:
+		clear(v.Str[:cap(v.Str)])
+		v.I64, v.F64, v.B = nil, nil, nil
+	case Bool:
+		v.I64, v.F64, v.Str = nil, nil, nil
+	}
+	p.buckets[v.Typ][c].Put(v)
+}
+
+// payloadCap returns the capacity of the active payload slice.
+func (v *Vector) payloadCap() int {
+	switch v.Typ {
+	case Int64, Date:
+		return cap(v.I64)
+	case Float64:
+		return cap(v.F64)
+	case String:
+		return cap(v.Str)
+	case Bool:
+		return cap(v.B)
+	default:
+		return 0
+	}
+}
+
+// GetBatch returns an empty batch with one pooled vector per type.
+func (p *Pool) GetBatch(types []Type, capacity int) *Batch {
+	b := &Batch{Vecs: make([]*Vector, len(types))}
+	for i, t := range types {
+		b.Vecs[i] = p.Get(t, capacity)
+	}
+	return b
+}
+
+// PutBatch returns every vector of a batch obtained from GetBatch to the
+// pool and neuters the batch.
+func (p *Pool) PutBatch(b *Batch) {
+	if b == nil {
+		return
+	}
+	for i, v := range b.Vecs {
+		p.Put(v)
+		b.Vecs[i] = nil
+	}
+	b.Vecs = nil
+	b.Sel = nil
+}

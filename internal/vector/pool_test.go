@@ -1,0 +1,152 @@
+package vector
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPoolReusesByTypeAndClass(t *testing.T) {
+	var p Pool
+	v := p.Get(Int64, 1000)
+	if cap(v.I64) < 1000 {
+		t.Fatalf("capacity %d < requested 1000", cap(v.I64))
+	}
+	v.AppendInt64(7)
+	p.Put(v)
+	got := p.Get(Int64, 1000)
+	if got != v {
+		t.Skip("sync.Pool dropped the entry (GC or race mode); nothing to assert")
+	}
+	if got.Len() != 0 {
+		t.Fatalf("pooled vector not reset: len=%d", got.Len())
+	}
+}
+
+func TestPoolClearsStringPayloads(t *testing.T) {
+	var p Pool
+	v := p.Get(String, 64)
+	v.AppendString("pinned")
+	p.Put(v)
+	// Whether or not the same vector comes back, the Put must have cleared
+	// the backing array so old strings are unreachable.
+	s := v.Str[:cap(v.Str)]
+	for i, x := range s {
+		if x != "" {
+			t.Fatalf("string slot %d still pins %q after Put", i, x)
+		}
+	}
+}
+
+func TestPoolBatchRoundTrip(t *testing.T) {
+	var p Pool
+	types := []Type{Int64, Float64, String, Bool}
+	b := p.GetBatch(types, 128)
+	if b.Width() != 4 || b.Len() != 0 {
+		t.Fatalf("fresh batch: width=%d len=%d", b.Width(), b.Len())
+	}
+	for i, typ := range types {
+		if b.Vecs[i].Typ != typ {
+			t.Fatalf("col %d type %v, want %v", i, b.Vecs[i].Typ, typ)
+		}
+	}
+	b.Vecs[0].AppendInt64(1)
+	b.Sel = []int32{0}
+	p.PutBatch(b)
+	if b.Vecs != nil || b.Sel != nil {
+		t.Fatal("PutBatch must neuter the batch")
+	}
+}
+
+func TestPoolOutOfClassSizes(t *testing.T) {
+	var p Pool
+	// Tiny and giant requests still work; giants are simply not pooled.
+	small := p.Get(Bool, 1)
+	p.Put(small)
+	huge := p.Get(Int64, 1<<24)
+	if cap(huge.I64) < 1<<24 {
+		t.Fatalf("huge capacity %d", cap(huge.I64))
+	}
+	p.Put(huge) // dropped silently
+}
+
+func TestBatchSelectionSemantics(t *testing.T) {
+	b := NewBatch([]Type{Int64, String}, 8)
+	for i := 0; i < 6; i++ {
+		b.Vecs[0].AppendInt64(int64(i * 10))
+		b.Vecs[1].AppendString(fmt.Sprintf("r%d", i))
+	}
+	b.Sel = []int32{1, 3, 5}
+	if b.Len() != 3 || b.PhysLen() != 6 {
+		t.Fatalf("Len=%d PhysLen=%d", b.Len(), b.PhysLen())
+	}
+	if r := b.Row(1); r[0].I64 != 30 || r[1].Str != "r3" {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	// Bytes accounts logical rows only.
+	if got, dense := b.Bytes(), b.Clone().Bytes(); got != dense {
+		t.Fatalf("selective Bytes=%d, compacted clone Bytes=%d", got, dense)
+	}
+	c := b.Clone()
+	if c.Sel != nil || c.Len() != 3 {
+		t.Fatalf("clone: sel=%v len=%d", c.Sel, c.Len())
+	}
+	for i, want := range []int64{10, 30, 50} {
+		if c.Vecs[0].I64[i] != want {
+			t.Fatalf("clone row %d = %d, want %d", i, c.Vecs[0].I64[i], want)
+		}
+	}
+	// AppendRow maps logical positions through the source selection.
+	dst := NewBatch([]Type{Int64, String}, 4)
+	dst.AppendRow(b, 2)
+	if dst.Vecs[0].I64[0] != 50 || dst.Vecs[1].Str[0] != "r5" {
+		t.Fatalf("AppendRow through selection: %v %v", dst.Vecs[0].I64, dst.Vecs[1].Str)
+	}
+	// Reset drops the selection.
+	b.Reset()
+	if b.Sel != nil || b.Len() != 0 {
+		t.Fatal("Reset must clear the selection")
+	}
+}
+
+func TestGatherKernels(t *testing.T) {
+	src := NewBatch([]Type{Int64, Float64, String, Bool}, 8)
+	for i := 0; i < 5; i++ {
+		src.Vecs[0].AppendInt64(int64(i))
+		src.Vecs[1].AppendFloat64(float64(i) / 2)
+		src.Vecs[2].AppendString(fmt.Sprintf("v%d", i))
+		src.Vecs[3].AppendBool(i%2 == 0)
+	}
+	// Dense AppendBatch.
+	dst := NewBatch(src.Types(), 8)
+	dst.AppendBatch(src)
+	if dst.Len() != 5 {
+		t.Fatalf("dense append: len=%d", dst.Len())
+	}
+	// Selective AppendBatch compacts.
+	sel := &Batch{Vecs: src.Vecs, Sel: []int32{0, 2, 4}}
+	dst.Reset()
+	dst.AppendBatch(sel)
+	if dst.Len() != 3 || dst.Vecs[0].I64[1] != 2 || dst.Vecs[2].Str[2] != "v4" {
+		t.Fatalf("selective append: %v %v", dst.Vecs[0].I64, dst.Vecs[2].Str)
+	}
+	// Range over a selection.
+	dst.Reset()
+	dst.AppendBatchRange(sel, 1, 3)
+	if dst.Len() != 2 || dst.Vecs[0].I64[0] != 2 || dst.Vecs[0].I64[1] != 4 {
+		t.Fatalf("selective range: %v", dst.Vecs[0].I64)
+	}
+	// Index gather ([]int order arrays).
+	dst.Reset()
+	dst.AppendBatchIndex(src, []int{4, 0, 3})
+	if dst.Vecs[0].I64[0] != 4 || dst.Vecs[0].I64[1] != 0 || dst.Vecs[0].I64[2] != 3 {
+		t.Fatalf("index gather: %v", dst.Vecs[0].I64)
+	}
+	if dst.Vecs[3].B[0] != true || dst.Vecs[3].B[2] != false {
+		t.Fatalf("index gather bools: %v", dst.Vecs[3].B)
+	}
+	// CopyFrom = reset + compact.
+	dst.CopyFrom(sel)
+	if dst.Len() != 3 || dst.Vecs[1].F64[2] != 2 {
+		t.Fatalf("CopyFrom: len=%d %v", dst.Len(), dst.Vecs[1].F64)
+	}
+}

@@ -61,6 +61,7 @@ import (
 	"recycledb/internal/exec"
 	"recycledb/internal/plan"
 	"recycledb/internal/rewrite"
+	"recycledb/internal/vector"
 )
 
 // Mode selects the recycling mode.
@@ -98,7 +99,8 @@ type Config struct {
 	DisableSubsumption bool
 	// CopyBytesPerSec models materialization (deep copy) cost in the
 	// store decision: results qualify only if recomputing costs more
-	// than copying. Default 32 MiB/s.
+	// than copying. Default 256 MiB/s (the vectorized columnar clone
+	// runs at memory bandwidth; the default is a conservative floor).
 	CopyBytesPerSec int64
 	// PlanCacheSize bounds the LRU of compiled statement plans keyed by
 	// normalized SQL text; 0 uses the default (128), negative disables
@@ -123,6 +125,9 @@ type Engine struct {
 	plans *planCache
 	mode  atomic.Int32
 	vsz   int
+	// pool recycles operator scratch batches across this engine's queries
+	// (vector.Pool documents the ownership rules).
+	pool *vector.Pool
 }
 
 // NewWithCatalog creates an engine over an existing catalog, so multiple
@@ -168,6 +173,7 @@ func New(cfg Config) *Engine {
 		rec:   core.New(ccfg),
 		plans: newPlanCache(planCap),
 		vsz:   cfg.VectorSize,
+		pool:  &vector.Pool{},
 	}
 	e.mode.Store(int32(cfg.Mode))
 	return e
@@ -284,7 +290,7 @@ func (e *Engine) stream(ctx context.Context, p *plan.Node) (*Rows, error) {
 	if err != nil {
 		return nil, fmt.Errorf("recycledb: rewrite: %w", err)
 	}
-	ectx := &exec.Ctx{Cat: e.cat, VectorSize: e.vsz, Context: ctx}
+	ectx := &exec.Ctx{Cat: e.cat, VectorSize: e.vsz, Context: ctx, Pool: e.pool}
 	opmap := make(map[*plan.Node]exec.Operator)
 	op, err := exec.Build(ectx, rres.Exec, rres.Decor, opmap)
 	if err != nil {

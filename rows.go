@@ -9,6 +9,7 @@ import (
 	"recycledb/internal/exec"
 	"recycledb/internal/plan"
 	"recycledb/internal/rewrite"
+	"recycledb/internal/vector"
 )
 
 // Rows streams a query's result incrementally, one column-vector batch at a
@@ -38,6 +39,7 @@ type Rows struct {
 	execStart time.Time
 	stats     QueryStats
 	rows      int
+	dense     *vector.Batch // compaction buffer for selective batches
 	err       error
 	done      bool // end of stream reached (operator closed, graph annotated)
 	closed    bool // Close called before end of stream (operator closed)
@@ -72,6 +74,17 @@ func (r *Rows) Next(ctx context.Context) (*Batch, error) {
 		return nil, r.finish()
 	}
 	r.rows += b.Len()
+	if b.Sel != nil {
+		// Pipelines may end in a selective operator (a top-level filter).
+		// The public contract hands out dense batches, so the selection is
+		// compacted column-wise into a cursor-owned buffer here, at the
+		// API boundary — internal operators keep exchanging selections.
+		if r.dense == nil {
+			r.dense = vector.NewBatch(b.Types(), b.Len())
+		}
+		r.dense.CopyFrom(b)
+		b = r.dense
+	}
 	return b, nil
 }
 
