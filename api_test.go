@@ -404,11 +404,13 @@ func TestPlanCacheInvalidatedBySchemaChange(t *testing.T) {
 		{Name: "amount", Typ: vector.Float64},
 		{Name: "bonus", Typ: vector.Float64},
 	})
-	ap := wider.Appender()
+	ww := wider.BeginWrite()
+	ap := ww.Appender()
 	ap.String(0, "north")
 	ap.Float64(1, 1)
 	ap.Float64(2, 2)
 	ap.FinishRow()
+	ww.Commit()
 	e.Catalog().AddTable(wider)
 	r2, err := e.QueryCollect(ctx, q)
 	if err != nil {

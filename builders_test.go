@@ -19,7 +19,8 @@ func dslEngine(t *testing.T) *Engine {
 		{Name: "amount", Typ: vector.Float64},
 		{Name: "placed", Typ: vector.Date},
 	})
-	ap := tb.Appender()
+	wtb := tb.BeginWrite()
+	ap := wtb.Appender()
 	base := vector.MustParseDate("1997-06-01")
 	for i := 0; i < 300; i++ {
 		ap.Int64(0, int64(i))
@@ -28,13 +29,15 @@ func dslEngine(t *testing.T) *Engine {
 		ap.Int64(3, base+int64(i))
 		ap.FinishRow()
 	}
+	wtb.Commit()
 	e.Catalog().AddTable(tb)
 	cust := catalog.NewTable("customers", catalog.Schema{
 		{Name: "name", Typ: vector.String},
 		{Name: "tier", Typ: vector.Int64},
 	})
-	cust.AppendRow(vector.NewStringDatum("alice"), vector.NewInt64Datum(1))
-	cust.AppendRow(vector.NewStringDatum("bob"), vector.NewInt64Datum(2))
+	cust.AppendRows(
+		[]vector.Datum{vector.NewStringDatum("alice"), vector.NewInt64Datum(1)},
+		[]vector.Datum{vector.NewStringDatum("bob"), vector.NewInt64Datum(2)})
 	e.Catalog().AddTable(cust)
 	e.Catalog().AddFunc(&catalog.TableFunc{
 		Name:   "range",

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"recycledb/internal/harness"
+	"recycledb/internal/monet"
 	"recycledb/internal/workload"
 )
 
@@ -45,15 +46,16 @@ func main() {
 		maxConc  = flag.Int("concurrent", 12, "query admission limit")
 		seed     = flag.Int64("seed", 1, "generator seed")
 
-		jsonMode = flag.Bool("json", false, "run the multi-client benchmark and write BENCH_<date>.json")
-		jsonOut  = flag.String("out", "", "output path for -json (default BENCH_<date>.json)")
-		clients  = flag.Int("clients", 8, "client goroutines for -json")
-		bqueries = flag.Int64("bqueries", 2000, "query budget per mode for -json")
+		jsonMode  = flag.Bool("json", false, "run the multi-client benchmark and write BENCH_<date>.json")
+		jsonOut   = flag.String("out", "", "output path for -json (default BENCH_<date>.json)")
+		clients   = flag.Int("clients", 8, "client goroutines for -json")
+		bqueries  = flag.Int64("bqueries", 2000, "query budget per mode for -json")
+		writeFrac = flag.Float64("write-frac", 0.1, "write fraction of the -json churn section (0 disables it)")
 	)
 	flag.Parse()
 
 	if *jsonMode {
-		if err := runJSON(*jsonOut, *clients, *bqueries, *sf, *seed); err != nil {
+		if err := runJSON(*jsonOut, *clients, *bqueries, *sf, *seed, *writeFrac); err != nil {
 			fatal(err)
 		}
 		return
@@ -149,6 +151,22 @@ type benchMode struct {
 	BytesPerQuery  float64 `json:"bytes_per_query"`
 }
 
+// churnMode is one engine's row in the churn section: a mixed read/write
+// run at the configured write fraction, with the recycler's hit rate and
+// how the cache coped with the write epochs.
+type churnMode struct {
+	Mode    string `json:"mode"`
+	Queries int64  `json:"queries"`
+	Writes  int64  `json:"writes"`
+	// HitRate is cache reuses (exact + subsumption + in-flight shared)
+	// per query; for the monet baseline, hits/(hits+misses).
+	HitRate       float64 `json:"hit_rate"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	Invalidated   int64   `json:"invalidated"`
+	DeltaExtended int64   `json:"delta_extended"`
+	DeltaRows     int64   `json:"delta_extended_rows"`
+}
+
 // benchReport is the top-level BENCH_<date>.json document.
 type benchReport struct {
 	Date       string      `json:"date"`
@@ -159,6 +177,12 @@ type benchReport struct {
 	SF         float64     `json:"sf"`
 	Seed       int64       `json:"seed"`
 	Modes      []benchMode `json:"modes"`
+	// Churn measures recycling under append-only updates: the pipelined
+	// recycler's lineage-based invalidation with delta extension keeps a
+	// nonzero hit rate, while the monet-style invalidate-all baseline
+	// collapses. WriteFrac 0 omits the section.
+	WriteFrac float64      `json:"write_frac,omitempty"`
+	Churn     []*churnMode `json:"churn,omitempty"`
 }
 
 // runJSON drives the TPC-H client mix against one engine per recycling mode
@@ -166,7 +190,7 @@ type benchReport struct {
 // runtime.MemStats delta across the timed run divided by completed queries,
 // so the number covers the whole serving path (parse-free: plans come from
 // the mix, so this isolates rewrite+execute).
-func runJSON(out string, clients int, queries int64, sf float64, seed int64) error {
+func runJSON(out string, clients int, queries int64, sf float64, seed int64, writeFrac float64) error {
 	if out == "" {
 		out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
 	}
@@ -216,6 +240,12 @@ func runJSON(out string, clients int, queries int64, sf float64, seed int64) err
 		fmt.Printf("%-12s %8.0f q/s  p95 %6dus  %8.0f allocs/q\n",
 			row.Mode, row.QueriesPerSec, row.P95Micros, row.AllocsPerQuery)
 	}
+	if writeFrac > 0 {
+		rep.WriteFrac = writeFrac
+		if err := runChurn(&rep, clients, queries, cfg, writeFrac); err != nil {
+			return err
+		}
+	}
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -225,6 +255,73 @@ func runJSON(out string, clients int, queries int64, sf float64, seed int64) err
 		return err
 	}
 	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runChurn drives the mixed read/write mix: each recycling mode gets a
+// fresh catalog (writes mutate it), as does the monet baseline, so the
+// hit-rate comparison is apples to apples. Writes are append-only — the
+// delta-extension showcase; the pipelined recycler keeps reusing extended
+// entries while the monet recycler flushes everything on every commit.
+func runChurn(rep *benchReport, clients int, queries int64, cfg harness.TPCHConfig, writeFrac float64) error {
+	fmt.Printf("--- churn (write-frac %.2f, append-only) ---\n", writeFrac)
+	for _, mode := range harness.Modes {
+		cat := harness.LoadTPCH(cfg)
+		eng := harness.NewEngine(cat, mode, cfg.CacheBytes)
+		res := workload.RunClients(workload.ClientsConfig{
+			Clients: clients, MaxQueries: queries, Seed: cfg.Seed,
+			WriteFrac: writeFrac,
+			Write:     harness.SyntheticAppender(cat, "lineitem", 8),
+		}, harness.TPCHMix(4, 1), harness.EngineExec(eng))
+		st := eng.Recycler().Stats()
+		row := &churnMode{
+			Mode:          fmt.Sprintf("%v", mode),
+			Queries:       res.Queries,
+			Writes:        res.Writes,
+			QueriesPerSec: res.QPS(),
+			Invalidated:   st.Invalidated,
+			DeltaExtended: st.DeltaExtended,
+			DeltaRows:     st.DeltaExtendRows,
+		}
+		if res.Queries > 0 {
+			row.HitRate = float64(st.Reuses+st.SubsumptionReuse+st.InflightShared) / float64(res.Queries)
+		}
+		rep.Churn = append(rep.Churn, row)
+		fmt.Printf("%-12s %8.0f q/s  hit-rate %.3f  invalidated %d  delta-extended %d\n",
+			row.Mode, row.QueriesPerSec, row.HitRate, row.Invalidated, row.DeltaExtended)
+	}
+	// Monet-style baseline: admit-all recycler, invalidate-all on write.
+	// The read-only row anchors the comparison — it shows how much hit
+	// rate the flush-on-write protocol costs the baseline, next to the
+	// lineage walk that keeps the pipelined recycler's rate intact.
+	for _, frac := range []float64{0, writeFrac} {
+		cat := harness.LoadTPCH(cfg)
+		mrec := monet.NewRecycler(cfg.CacheBytes)
+		meng := monet.New(cat, mrec)
+		res := workload.RunClients(workload.ClientsConfig{
+			Clients: 1, MaxQueries: queries / 4, Seed: cfg.Seed,
+			WriteFrac: frac,
+			Write:     harness.SyntheticAppender(cat, "lineitem", 8),
+		}, harness.TPCHMix(4, 1), harness.MonetExec(meng))
+		st := mrec.Stats()
+		name := "monet"
+		if frac == 0 {
+			name = "monet-read-only"
+		}
+		row := &churnMode{
+			Mode:          name,
+			Queries:       res.Queries,
+			Writes:        res.Writes,
+			QueriesPerSec: res.QPS(),
+			Invalidated:   st.Evicted,
+		}
+		if st.Hits+st.Misses > 0 {
+			row.HitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
+		}
+		rep.Churn = append(rep.Churn, row)
+		fmt.Printf("%-16s %8.0f q/s  hit-rate %.3f (flush-on-write)\n",
+			row.Mode, row.QueriesPerSec, row.HitRate)
+	}
 	return nil
 }
 

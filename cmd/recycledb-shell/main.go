@@ -3,6 +3,9 @@
 // live: repeat a query (or a near-variant) and watch the recycler statistics
 // line under each result. Results stream: rows print as the pipeline
 // produces them, and Ctrl-C cancels the running statement (not the shell).
+// DML works too — INSERT INTO ... VALUES, DELETE FROM ... [WHERE], CREATE
+// TABLE — and prints affected-row counts; watch Invalidated/DeltaExtended
+// move in \rstats as writes hit cached results.
 //
 // Shell commands: \mode off|hist|spec|pa, \stats (toggle per-query stats),
 // \rstats (recycler totals), \flush, \tables, \q.
@@ -11,7 +14,8 @@
 // goroutines issue a mixed TPC-H workload against the engine for -duration,
 // then a throughput/latency report and the recycler totals print. This is
 // the quickest way to see concurrent recycling (stalls, in-flight sharing,
-// reuse) live.
+// reuse) live; add -write-frac to interleave epoch-committing appends and
+// watch recycling under churn.
 package main
 
 import (
@@ -34,10 +38,11 @@ import (
 
 func main() {
 	var (
-		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor to load")
-		mode     = flag.String("mode", "spec", "recycling mode: off, hist, spec, pa")
-		clients  = flag.Int("clients", 0, "run a non-interactive multi-client benchmark with this many concurrent clients")
-		duration = flag.Duration("duration", 5*time.Second, "duration of the -clients benchmark")
+		sf        = flag.Float64("sf", 0.01, "TPC-H scale factor to load")
+		mode      = flag.String("mode", "spec", "recycling mode: off, hist, spec, pa")
+		clients   = flag.Int("clients", 0, "run a non-interactive multi-client benchmark with this many concurrent clients")
+		duration  = flag.Duration("duration", 5*time.Second, "duration of the -clients benchmark")
+		writeFrac = flag.Float64("write-frac", 0, "fraction of -clients operations that are writes (appends to lineitem)")
 	)
 	flag.Parse()
 
@@ -45,7 +50,7 @@ func main() {
 	fmt.Printf("loading TPC-H sf=%g ...\n", *sf)
 	tpch.Generate(eng.Catalog(), *sf, 1)
 	if *clients > 0 {
-		runClients(eng, *clients, *duration)
+		runClients(eng, *clients, *duration, *writeFrac)
 		return
 	}
 	fmt.Printf("tables: %s\n", strings.Join(eng.Catalog().TableNames(), ", "))
@@ -94,23 +99,58 @@ func main() {
 }
 
 // runClients drives the multi-client workload driver against the engine and
-// prints the throughput report (the -clients flag).
-func runClients(eng *recycledb.Engine, clients int, duration time.Duration) {
-	fmt.Printf("running %d clients for %v in mode %v ...\n", clients, duration, eng.Mode())
+// prints the throughput report (the -clients flag). With -write-frac > 0 a
+// fraction of operations are epoch-committing appends to lineitem, so the
+// report shows recycling under churn (watch Invalidated vs DeltaExtended in
+// the recycler totals).
+func runClients(eng *recycledb.Engine, clients int, duration time.Duration, writeFrac float64) {
+	fmt.Printf("running %d clients for %v in mode %v (write-frac %.2f) ...\n",
+		clients, duration, eng.Mode(), writeFrac)
 	res := workload.RunClients(workload.ClientsConfig{
-		Clients:  clients,
-		Duration: duration,
-		Seed:     1,
+		Clients:   clients,
+		Duration:  duration,
+		Seed:      1,
+		WriteFrac: writeFrac,
+		Write:     harness.SyntheticAppender(eng.Catalog(), "lineitem", 8),
 	}, harness.TPCHMix(4, 1), harness.EngineExec(eng))
 	fmt.Print(harness.ClientsReport(res))
 	fmt.Printf("recycler: %+v\n", eng.Recycler().Stats())
 }
 
-// runStatement streams one query; SIGINT cancels the statement and returns
-// control to the prompt instead of killing the shell.
+// isDML sniffs the statement verb: INSERT / DELETE / CREATE run through
+// Engine.Exec rather than the streaming query path.
+func isDML(line string) bool {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return false
+	}
+	switch strings.ToLower(f[0]) {
+	case "insert", "delete", "create":
+		return true
+	}
+	return false
+}
+
+// runStatement streams one query (or executes one DML statement); SIGINT
+// cancels the statement and returns control to the prompt instead of
+// killing the shell.
 func runStatement(eng *recycledb.Engine, line string, showStats bool) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if isDML(line) {
+		start := time.Now()
+		res, err := eng.Exec(ctx, line)
+		if err != nil {
+			printErr(err)
+			return
+		}
+		fmt.Printf("-- %d rows affected in %v\n", res.RowsAffected, time.Since(start).Round(10e3))
+		if showStats {
+			fmt.Printf("-- recycler: %+v\n", eng.Recycler().Stats())
+		}
+		return
+	}
 
 	rows, err := eng.Query(ctx, line)
 	if err != nil {

@@ -23,7 +23,8 @@ func loadSales(e *Engine, rows int) {
 	rng := rand.New(rand.NewSource(42))
 	regions := []string{"north", "south", "east", "west"}
 	base := vector.MustParseDate("1996-01-01")
-	ap := t.Appender()
+	w := t.BeginWrite()
+	ap := w.Appender()
 	for i := 0; i < rows; i++ {
 		ap.String(0, regions[rng.Intn(len(regions))])
 		ap.Int64(1, int64(rng.Intn(20)))
@@ -32,6 +33,7 @@ func loadSales(e *Engine, rows int) {
 		ap.Int64(4, base+int64(rng.Intn(1095))) // 3 years
 		ap.FinishRow()
 	}
+	w.Commit()
 	e.Catalog().AddTable(t)
 }
 

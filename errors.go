@@ -22,6 +22,10 @@ var (
 	// deadline; the context's own error remains in the chain, so
 	// errors.Is(err, context.Canceled) keeps working too.
 	ErrCanceled = errors.New("recycledb: query canceled")
+	// ErrNotQuery reports a DML statement used where a streaming SELECT
+	// is required (Stmt.Query / Engine.Query on INSERT, DELETE, CREATE
+	// TABLE); use Engine.Exec or Stmt.Exec instead.
+	ErrNotQuery = errors.New("recycledb: statement returns no rows")
 )
 
 // ParseError is a SQL syntax error with the byte offset of the offending

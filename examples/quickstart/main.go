@@ -29,13 +29,15 @@ func main() {
 	})
 	rng := rand.New(rand.NewSource(1))
 	regions := []string{"north", "south", "east", "west"}
-	ap := sales.Appender()
+	w := sales.BeginWrite()
+	ap := w.Appender()
 	for i := 0; i < 500000; i++ {
 		ap.String(0, regions[rng.Intn(4)])
 		ap.Float64(1, rng.Float64()*100)
 		ap.Int64(2, int64(rng.Intn(10)+1))
 		ap.FinishRow()
 	}
+	w.Commit()
 	eng.Catalog().AddTable(sales)
 
 	// Revenue per region over large sales, prepared once and executed

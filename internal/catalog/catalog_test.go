@@ -38,36 +38,39 @@ func TestSchemaTypesNames(t *testing.T) {
 
 func TestTableAppendRow(t *testing.T) {
 	tbl := NewTable("t", testSchema())
-	err := tbl.AppendRow(
+	err := tbl.AppendRows([]vector.Datum{
 		vector.NewInt64Datum(1),
 		vector.NewStringDatum("a"),
 		vector.NewFloat64Datum(0.5),
-	)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tbl.Rows() != 1 {
 		t.Fatalf("Rows = %d", tbl.Rows())
 	}
-	if tbl.Col(1).Str[0] != "a" {
-		t.Fatalf("col 1 = %v", tbl.Col(1).Str)
+	if tbl.Snapshot().Col(1).Str[0] != "a" {
+		t.Fatalf("col 1 = %v", tbl.Snapshot().Col(1).Str)
 	}
 }
 
 func TestTableAppendRowArityError(t *testing.T) {
 	tbl := NewTable("t", testSchema())
-	if err := tbl.AppendRow(vector.NewInt64Datum(1)); err == nil {
+	if err := tbl.AppendRows([]vector.Datum{vector.NewInt64Datum(1)}); err == nil {
 		t.Fatal("expected arity error")
+	}
+	if tbl.Rows() != 0 {
+		t.Fatalf("aborted write left %d rows", tbl.Rows())
 	}
 }
 
 func TestTableAppendRowTypeError(t *testing.T) {
 	tbl := NewTable("t", testSchema())
-	err := tbl.AppendRow(
+	err := tbl.AppendRows([]vector.Datum{
 		vector.NewStringDatum("oops"),
 		vector.NewStringDatum("a"),
 		vector.NewFloat64Datum(0.5),
-	)
+	})
 	if err == nil {
 		t.Fatal("expected type error")
 	}
@@ -75,28 +78,33 @@ func TestTableAppendRowTypeError(t *testing.T) {
 
 func TestTableAppendRowDateAcceptsInt64(t *testing.T) {
 	tbl := NewTable("d", Schema{{Name: "day", Typ: vector.Date}})
-	if err := tbl.AppendRow(vector.NewInt64Datum(10)); err != nil {
+	if err := tbl.AppendRows([]vector.Datum{vector.NewInt64Datum(10)}); err != nil {
 		t.Fatalf("date column should accept int64 datum: %v", err)
 	}
-	if tbl.Col(0).I64[0] != 10 {
+	if tbl.Snapshot().Col(0).I64[0] != 10 {
 		t.Fatal("stored value mismatch")
 	}
 }
 
 func TestAppenderBulkLoad(t *testing.T) {
 	tbl := NewTable("t", testSchema())
-	ap := tbl.Appender()
+	w := tbl.BeginWrite()
+	ap := w.Appender()
 	for i := 0; i < 100; i++ {
 		ap.Int64(0, int64(i))
 		ap.String(1, "row")
 		ap.Float64(2, float64(i)/2)
 		ap.FinishRow()
 	}
+	if tbl.Rows() != 0 {
+		t.Fatalf("uncommitted rows visible: Rows = %d", tbl.Rows())
+	}
+	w.Commit()
 	if tbl.Rows() != 100 {
 		t.Fatalf("Rows = %d", tbl.Rows())
 	}
-	if tbl.Col(0).I64[99] != 99 {
-		t.Fatalf("last id = %d", tbl.Col(0).I64[99])
+	if tbl.Snapshot().Col(0).I64[99] != 99 {
+		t.Fatalf("last id = %d", tbl.Snapshot().Col(0).I64[99])
 	}
 	if tbl.Bytes() <= 0 {
 		t.Fatal("Bytes should be positive")

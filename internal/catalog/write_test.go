@@ -1,0 +1,210 @@
+package catalog
+
+import (
+	"sync"
+	"testing"
+
+	"recycledb/internal/vector"
+)
+
+func writeSchema() Schema {
+	return Schema{
+		{Name: "id", Typ: vector.Int64},
+		{Name: "v", Typ: vector.Float64},
+	}
+}
+
+func loadN(t *Table, n int) {
+	w := t.BeginWrite()
+	ap := w.Appender()
+	for i := 0; i < n; i++ {
+		ap.Int64(0, int64(i))
+		ap.Float64(1, float64(i))
+		ap.FinishRow()
+	}
+	w.Commit()
+}
+
+func TestWriterCommitPublishesAtomically(t *testing.T) {
+	tbl := NewTable("t", writeSchema())
+	loadN(tbl, 10)
+	if tbl.Rows() != 10 || tbl.DataVersion() != 1 {
+		t.Fatalf("rows %d ver %d", tbl.Rows(), tbl.DataVersion())
+	}
+	snap := tbl.Snapshot()
+
+	w := tbl.BeginWrite()
+	if err := w.AppendRow(vector.NewInt64Datum(10), vector.NewFloat64Datum(10)); err != nil {
+		t.Fatal(err)
+	}
+	// Not yet committed: old snapshot and fresh reads both see 10 rows.
+	if tbl.Rows() != 10 || tbl.Snapshot().Rows != 10 {
+		t.Fatal("uncommitted append visible")
+	}
+	info := w.Commit()
+	if info.PrevRows != 10 || info.Rows != 11 || !info.AppendOnly || info.Appended != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+	if tbl.Rows() != 11 || snap.Rows != 10 {
+		t.Fatalf("rows %d snapshot rows %d", tbl.Rows(), snap.Rows)
+	}
+	if got := tbl.Snapshot().Col(0).I64[10]; got != 10 {
+		t.Fatalf("appended value = %d", got)
+	}
+}
+
+func TestWriterAbortDiscards(t *testing.T) {
+	tbl := NewTable("t", writeSchema())
+	w := tbl.BeginWrite()
+	w.AppendRow(vector.NewInt64Datum(1), vector.NewFloat64Datum(1))
+	w.Delete(0)
+	w.Abort()
+	if tbl.Rows() != 0 || tbl.DataVersion() != 0 {
+		t.Fatalf("abort leaked: rows %d ver %d", tbl.Rows(), tbl.DataVersion())
+	}
+	// The writer lock must be released: a second session proceeds.
+	loadN(tbl, 1)
+	if tbl.Rows() != 1 {
+		t.Fatal("writer lock stuck after Abort")
+	}
+}
+
+func TestWriterDelete(t *testing.T) {
+	tbl := NewTable("t", writeSchema())
+	loadN(tbl, 100)
+	w := tbl.BeginWrite()
+	w.Delete(3, 50, 97, 3 /* dup */, 1000 /* out of range */)
+	info := w.Commit()
+	if info.Deleted != 3 || info.AppendOnly {
+		t.Fatalf("info = %+v", info)
+	}
+	if tbl.Rows() != 97 {
+		t.Fatalf("live rows = %d", tbl.Rows())
+	}
+	snap := tbl.Snapshot()
+	if snap.Live() != 97 || !snap.Deleted(3) || !snap.Deleted(50) || snap.Deleted(4) {
+		t.Fatalf("delete bitmap wrong: live=%d", snap.Live())
+	}
+	if !snap.Del.AnyIn(0, 10) || snap.Del.AnyIn(4, 50) {
+		t.Fatal("AnyIn wrong")
+	}
+	// Re-deleting already-deleted rows is a no-op epoch.
+	w2 := tbl.BeginWrite()
+	w2.Delete(3)
+	info2 := w2.Commit()
+	if info2.Deleted != 0 || !info2.AppendOnly {
+		t.Fatalf("re-delete info = %+v", info2)
+	}
+}
+
+func TestCommitListenerOrderingAndVersions(t *testing.T) {
+	cat := New()
+	tbl := NewTable("t", writeSchema())
+	cat.AddTable(tbl)
+	schemaVer := cat.Version()
+	var got []CommitInfo
+	cat.OnCommit(func(tb *Table, info CommitInfo) {
+		if tb != tbl {
+			t.Errorf("listener got table %q", tb.Name)
+		}
+		got = append(got, info)
+	})
+	loadN(tbl, 5)
+	w := tbl.BeginWrite()
+	w.Delete(0)
+	w.Commit()
+	if len(got) != 2 || got[0].Appended != 5 || got[1].Deleted != 1 {
+		t.Fatalf("listener saw %+v", got)
+	}
+	if cat.Version() != schemaVer {
+		t.Fatal("data commits must not move the schema version")
+	}
+	if cat.DataVersion() != 2 || tbl.DataVersion() != 2 {
+		t.Fatalf("data versions: catalog %d table %d", cat.DataVersion(), tbl.DataVersion())
+	}
+}
+
+// TestReadersVsWriters runs concurrent scans against a committing writer
+// under -race: every snapshot must be internally consistent — it sees a
+// committed prefix with the matching delete bitmap, never a torn epoch.
+// Consistency check: rows carry v == float64(id); a snapshot must never
+// observe a mismatch or a row count outside the committed watermarks.
+func TestReadersVsWriters(t *testing.T) {
+	tbl := NewTable("t", writeSchema())
+	loadN(tbl, 1000)
+
+	const writers = 2
+	const readers = 4
+	const epochs = 50
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for e := 0; e < epochs; e++ {
+				w := tbl.BeginWrite()
+				ap := w.Appender()
+				base := w.Rows()
+				for r := 0; r < 20; r++ {
+					ap.Int64(0, int64(base+r))
+					ap.Float64(1, float64(base+r))
+					ap.FinishRow()
+				}
+				if e%5 == 4 {
+					w.Delete(e * 3)
+				}
+				w.Commit()
+			}
+		}(wi)
+	}
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := tbl.Snapshot()
+				ids := snap.Col(0)
+				vs := snap.Col(1)
+				if ids.Len() != snap.Rows || vs.Len() != snap.Rows {
+					t.Errorf("torn snapshot: cols %d/%d rows %d", ids.Len(), vs.Len(), snap.Rows)
+					return
+				}
+				live := 0
+				for i := 0; i < snap.Rows; i++ {
+					if snap.Deleted(i) {
+						continue
+					}
+					live++
+					if float64(ids.I64[i]) != vs.F64[i] {
+						t.Errorf("row %d: id %d v %f", i, ids.I64[i], vs.F64[i])
+						return
+					}
+				}
+				if live != snap.Live() {
+					t.Errorf("live count %d, bitmap says %d", live, snap.Live())
+					return
+				}
+			}
+		}()
+	}
+	// Writers finish, then readers are released.
+	done := make(chan struct{})
+	go func() { defer close(done); wg.Wait() }()
+	go func() {
+		// Stop readers once writers are done: detect by row count.
+		for tbl.Snapshot().Rows < 1000+writers*epochs*20 {
+		}
+		close(stop)
+	}()
+	<-done
+	if got, want := tbl.Snapshot().Rows, 1000+writers*epochs*20; got != want {
+		t.Fatalf("final rows %d want %d", got, want)
+	}
+}

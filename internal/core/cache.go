@@ -6,25 +6,51 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"recycledb/internal/plan"
 	"recycledb/internal/vector"
 )
 
-// Entry is a cached materialized result. Pins prevent eviction while a
-// running query replays the result.
+// Entry is a cached materialized result. Pins prevent policy eviction
+// while a running query replays the result.
 //
-// Node, Batches, Size and Rows are immutable. pins and benefit are guarded
-// by the entry's home shard lock (the shard Entry.Node hashes to).
+// Node, Batches, Size, Rows, Snap, Plan and Extendable are immutable: the
+// append delta extension never mutates an entry in place, it swaps in a
+// fresh Entry (so concurrent replays of the old epoch stay consistent).
+// pins and benefit are guarded by the entry's home shard lock (the shard
+// Entry.Node hashes to).
 type Entry struct {
 	Node    *Node
 	Batches []*vector.Batch
 	Size    int64
 	Rows    int64
-	pins    int
+
+	// Snap tags the result with the per-table data versions (and row
+	// watermarks) it was computed at; plan.LineageAll maps the catalog's
+	// global data version. nil means version-agnostic (results admitted
+	// outside the engine's snapshot machinery, e.g. unit tests).
+	Snap map[string]TableSnap
+	// Plan is a resolved clone of the producing subplan, kept only for
+	// extendable entries so the delta extension can re-run it over newly
+	// appended rows.
+	Plan *plan.Node
+	// Extendable marks entries whose subplan is a row-local chain
+	// (scan/select/project over a single base table): a pure append to
+	// that table extends the cached result instead of evicting it.
+	Extendable bool
+
+	pins int
 	// benefit as of the last policy evaluation. The paper re-positions
 	// entries within their group whenever benefits change; we refresh
 	// benefits lazily at policy-evaluation time, which visits the same
 	// group scan order.
 	benefit float64
+}
+
+// TableSnap is one table's coordinates in a snapshot tag: the data version
+// and the physical row watermark the result was computed at.
+type TableSnap struct {
+	Ver  int64
+	Rows int64
 }
 
 // Pins returns the current pin count (for tests; callers must be
@@ -174,6 +200,23 @@ func (c *Cache) unlinkLocked(s *cacheShard, e *Entry) {
 func (c *Cache) removeLocked(s *cacheShard, e *Entry) {
 	c.unlinkLocked(s, e)
 	c.used.Add(-e.Size)
+}
+
+// swapLocked replaces old with e in shard s (s.mu held): old leaves its
+// size group, e joins its own. The caller has already settled the byte
+// delta (reserving e.Size - old.Size); neither admission nor eviction
+// counters move — a delta extension is the same logical entry continuing.
+func (c *Cache) swapLocked(s *cacheShard, old, e *Entry) {
+	g := sizeGroup(old.Size)
+	es := s.groups[g]
+	for i, v := range es {
+		if v == old {
+			s.groups[g] = append(es[:i], es[i+1:]...)
+			break
+		}
+	}
+	ng := sizeGroup(e.Size)
+	s.groups[ng] = append(s.groups[ng], e)
 }
 
 // insertLocked links e into shard s (s.mu held). The caller has already

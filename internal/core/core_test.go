@@ -21,12 +21,12 @@ func testCatalog() *catalog.Catalog {
 		{Name: "d", Typ: vector.Date},
 	})
 	for i := 0; i < 10; i++ {
-		t.AppendRow(
+		t.AppendRows([]vector.Datum{
 			vector.NewInt64Datum(int64(i)),
 			vector.NewFloat64Datum(float64(i)),
 			vector.NewStringDatum("x"),
 			vector.NewDateDatum(int64(i)),
-		)
+		})
 	}
 	cat.AddTable(t)
 	return cat

@@ -59,6 +59,10 @@ type Node struct {
 	Params   string
 	OutCols  []string
 	OutTypes []vector.Type
+	// Tables is the subtree's base-table lineage (sorted; may contain
+	// plan.LineageAll when a table function's reads are undeclared). The
+	// invalidation walk keys on it.
+	Tables   []string
 	Children []*Node
 
 	// parents is the per-node hash index used to find matching
@@ -288,6 +292,7 @@ func (g *Graph) insert(n *plan.Node, hk, sig uint64, params string, rename func(
 		HashKey: hk,
 		Sig:     sig,
 		Params:  params,
+		Tables:  append([]string(nil), n.Lineage()...),
 		parents: make(map[uint64][]*Node),
 	}
 	// Output columns: pass-through names keep their (mapped) graph names,

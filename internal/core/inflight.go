@@ -38,6 +38,9 @@ type inflight struct {
 	batches []*vector.Batch
 	rows    int64
 	size    int64
+	// snap is the producer's snapshot tag, so waiters can reject a
+	// handed-off result computed at another data epoch.
+	snap map[string]TableSnap
 }
 
 // BeginInflight registers the calling query as the producer of node n's
@@ -67,24 +70,25 @@ func (r *Recycler) Inflight(n *Node) bool {
 // result (canceled, speculation aborted, build failed) and wakes all
 // waiters; each falls back to the cache lookup and then recomputation.
 func (r *Recycler) FinishInflight(n *Node) {
-	r.finishInflight(n, nil, 0, 0)
+	r.finishInflight(n, nil, 0, 0, nil)
 }
 
 // FinishInflightShared marks the materialization finished and hands the
 // materialized batches to the waiters directly, whether or not the cache
-// admitted them. The batches must not be mutated afterwards.
-func (r *Recycler) FinishInflightShared(n *Node, batches []*vector.Batch, rows, size int64) {
-	r.finishInflight(n, batches, rows, size)
+// admitted them. The batches must not be mutated afterwards. snap tags the
+// result's data epoch (nil = version-agnostic).
+func (r *Recycler) FinishInflightShared(n *Node, batches []*vector.Batch, rows, size int64, snap map[string]TableSnap) {
+	r.finishInflight(n, batches, rows, size, snap)
 }
 
-func (r *Recycler) finishInflight(n *Node, batches []*vector.Batch, rows, size int64) {
+func (r *Recycler) finishInflight(n *Node, batches []*vector.Batch, rows, size int64, snap map[string]TableSnap) {
 	n.mu.Lock()
 	infl := n.inflight
 	if infl == nil {
 		n.mu.Unlock()
 		return
 	}
-	infl.batches, infl.rows, infl.size = batches, rows, size
+	infl.batches, infl.rows, infl.size, infl.snap = batches, rows, size, snap
 	close(infl.done)
 	n.inflight = nil
 	if DebugInflight {
@@ -130,7 +134,8 @@ func (r *Recycler) WaitInflightCtx(ctx context.Context, n *Node, timeout time.Du
 	}
 	if infl != nil && infl.batches != nil {
 		r.stats.inflightShared.Add(1)
-		return &Entry{Node: n, Batches: infl.batches, Size: infl.size, Rows: infl.rows}, true
+		return &Entry{Node: n, Batches: infl.batches, Size: infl.size,
+			Rows: infl.rows, Snap: infl.snap}, true
 	}
 	return nil, false
 }

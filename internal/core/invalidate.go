@@ -1,0 +1,154 @@
+package core
+
+import (
+	"recycledb/internal/plan"
+	"recycledb/internal/vector"
+)
+
+// Lineage-based cache invalidation (beyond the paper, which assumes static
+// tables; cf. Dursun et al., SIGMOD 2017): every cached entry is tagged
+// with the snapshot it was computed at, and a committed write epoch walks
+// the sharded cache touching only the dependents of the written table.
+// Pure append commits do not evict entries over append-only subplans —
+// selection/projection chains are *delta-extended* by running the cached
+// subplan over just the appended rows and appending to the cached result,
+// so hit rates survive insert-heavy workloads. Everything else (join/agg
+// dependents, delete epochs, unknown-lineage table functions) is evicted.
+
+// ExtendFunc runs an extendable entry's subplan over the appended row
+// window [lo, hi) of table and returns the delta batches (deep-owned). ok
+// reports success; on false the entry is evicted instead.
+type ExtendFunc func(e *Entry, table string, lo, hi int64) (delta []*vector.Batch, rows, bytes int64, ok bool)
+
+// InvalidateTable reacts to one committed write epoch on table (now at
+// data version ver with row watermark rows): dependents of the table are
+// delta-extended when the epoch was append-only and the entry allows it,
+// and evicted otherwise. It returns the number of entries evicted and
+// extended. The caller serializes invalidations of one table with its next
+// write (the catalog runs commit listeners under the table's writer lock),
+// so an extension never races a second epoch of the same table.
+func (r *Recycler) InvalidateTable(table string, appendOnly bool, ver, rows int64, extend ExtendFunc) (evicted, extended int) {
+	c := r.cache
+	if c.count.Load() == 0 {
+		return 0, 0
+	}
+	// The walk is O(cached entries) per commit: entries shard by plan
+	// signature, so there is no per-table index to narrow the sweep. At
+	// the cache sizes the policy sustains (hundreds of entries) this is
+	// far cheaper than the eviction storm it replaces; a per-table
+	// dependent index is the upgrade path if commit rates ever make the
+	// sweep show up in profiles.
+	seq := r.curSeq()
+	for i := range c.shards {
+		s := &c.shards[i]
+		var toExtend []*Entry
+		s.mu.Lock()
+		var victims []*Entry
+		for _, es := range s.groups {
+			for _, e := range es {
+				if !dependsOn(e.Node.Tables, table) {
+					continue
+				}
+				// Extension requires version continuity: the entry must be
+				// tagged with exactly the pre-commit epoch (ver-1). The
+				// walk runs on every commit, so current entries always
+				// are; an entry tagged older was admitted around a commit
+				// it never saw — extending it could resurrect rows a
+				// missed delete epoch removed, so it is evicted instead.
+				snap, tagged := tableTag(e, table)
+				if appendOnly && extend != nil && e.Extendable && tagged &&
+					snap.Ver == ver-1 && snap.Rows <= rows {
+					toExtend = append(toExtend, e)
+					continue
+				}
+				victims = append(victims, e)
+			}
+		}
+		for _, e := range victims {
+			c.removeLocked(s, e)
+			e.Node.cached.Store(nil)
+			r.stats.invalidated.Add(1)
+			evicted++
+		}
+		s.mu.Unlock()
+		for _, e := range victims {
+			updateHROnEvict(e.Node, seq, r.cfg.Alpha)
+		}
+		// Extensions execute the cached subplan, so they run outside the
+		// shard lock; the swap re-validates that the entry is still
+		// published (a concurrent policy eviction may have raced us).
+		for _, e := range toExtend {
+			if r.extendEntry(s, e, table, ver, rows, extend) {
+				extended++
+			} else {
+				evicted++
+			}
+		}
+	}
+	return evicted, extended
+}
+
+// extendEntry grows one cached entry by the appended delta, swapping in a
+// fresh Entry so concurrent replays of the old epoch stay untouched. On any
+// failure (extension error, cache over capacity, lost race) the stale entry
+// is evicted instead — correctness never depends on the extension.
+func (r *Recycler) extendEntry(s *cacheShard, e *Entry, table string, ver, rows int64, extend ExtendFunc) bool {
+	lo := e.Snap[table].Rows
+	delta, drows, dbytes, ok := extend(e, table, lo, rows)
+	c := r.cache
+	s.mu.Lock()
+	if e.Node.cached.Load() != e {
+		s.mu.Unlock()
+		return false // concurrently evicted or replaced; nothing to do
+	}
+	if !ok || (dbytes > 0 && !c.reserve(dbytes)) {
+		c.removeLocked(s, e)
+		e.Node.cached.Store(nil)
+		r.stats.invalidated.Add(1)
+		s.mu.Unlock()
+		updateHROnEvict(e.Node, r.curSeq(), r.cfg.Alpha)
+		return false
+	}
+	snap := make(map[string]TableSnap, len(e.Snap))
+	for t, ts := range e.Snap {
+		snap[t] = ts
+	}
+	snap[table] = TableSnap{Ver: ver, Rows: rows}
+	batches := e.Batches
+	if len(delta) > 0 {
+		batches = append(append([]*vector.Batch(nil), e.Batches...), delta...)
+	}
+	ne := &Entry{
+		Node: e.Node, Batches: batches,
+		Size: e.Size + dbytes, Rows: e.Rows + drows,
+		Snap: snap, Plan: e.Plan, Extendable: true,
+		benefit: e.benefit,
+	}
+	c.swapLocked(s, e, ne)
+	e.Node.cached.Store(ne)
+	s.mu.Unlock()
+	r.stats.deltaExtended.Add(1)
+	r.stats.deltaRows.Add(drows)
+	return true
+}
+
+// dependsOn reports whether a lineage set contains table (or the unknown
+// sentinel, which depends on everything).
+func dependsOn(tables []string, table string) bool {
+	for _, t := range tables {
+		if t == table || t == plan.LineageAll {
+			return true
+		}
+	}
+	return false
+}
+
+// tableTag returns the entry's snapshot tag for table. Untagged entries
+// (nil Snap, or lineage the tag does not cover) cannot be extended.
+func tableTag(e *Entry, table string) (TableSnap, bool) {
+	if e.Snap == nil {
+		return TableSnap{}, false
+	}
+	ts, ok := e.Snap[table]
+	return ts, ok
+}

@@ -432,7 +432,7 @@ func TestConcurrentInflightHandoff(t *testing.T) {
 	if r.Admit(g, batches, 4, 999, time.Millisecond, -1) {
 		t.Fatal("admission should fail with capacity 1")
 	}
-	r.FinishInflightShared(g, batches, 4, 999)
+	r.FinishInflightShared(g, batches, 4, 999, nil)
 	wg.Wait()
 	close(got)
 	handoffs := int64(0)

@@ -83,7 +83,15 @@ type Stats struct {
 	// InflightShared counts stalled queries that received the producer's
 	// result through the direct in-flight handoff (including results the
 	// cache declined to admit).
-	InflightShared  int64
+	InflightShared int64
+	// Invalidated counts cached results dropped because a base table
+	// committed a write epoch they depend on (commit-walk and lazy
+	// stale-tag evictions); DeltaExtended counts append epochs absorbed
+	// by extending a cached result in place instead, over a total of
+	// DeltaExtendRows appended result rows.
+	Invalidated     int64
+	DeltaExtended   int64
+	DeltaExtendRows int64
 	Admissions      int64
 	Evictions       int64
 	Rejected        int64
@@ -109,6 +117,9 @@ type recStats struct {
 	stallReuses      atomic.Int64
 	inflightShared   atomic.Int64
 	matchNanos       atomic.Int64
+	invalidated      atomic.Int64
+	deltaExtended    atomic.Int64
+	deltaRows        atomic.Int64
 }
 
 // Recycler combines the recycler graph and the recycler cache and implements
@@ -329,10 +340,34 @@ func (r *Recycler) WouldAdmit(n *Node, benefit float64, size int64) bool {
 	return r.groupScan(c.shardIndex(n), benefit, size, r.curSeq(), false)
 }
 
-// Admit offers a fully materialized result for node n to the cache, running
-// admission/replacement (§III-E) and the hR updates of Eq. 3/4. hrOverride
-// < 0 means "use the node's aged hR"; speculation passes its constant.
+// Materialization describes a result offered to the cache: the batches and
+// their measurements, plus the snapshot tag and delta-extension metadata
+// the update path needs (see Entry).
+type Materialization struct {
+	Batches []*vector.Batch
+	Rows    int64
+	Size    int64
+	Cost    time.Duration
+	// HROverride < 0 means "use the node's aged hR"; speculation passes
+	// its constant.
+	HROverride float64
+	Snap       map[string]TableSnap
+	Plan       *plan.Node
+	Extendable bool
+}
+
+// Admit offers a fully materialized result for node n to the cache with no
+// snapshot tag (version-agnostic; the engine's store path uses AdmitMat).
 func (r *Recycler) Admit(n *Node, batches []*vector.Batch, rows, size int64, cost time.Duration, hrOverride float64) bool {
+	return r.AdmitMat(n, Materialization{
+		Batches: batches, Rows: rows, Size: size, Cost: cost, HROverride: hrOverride,
+	})
+}
+
+// AdmitMat offers a fully materialized result for node n to the cache,
+// running admission/replacement (§III-E) and the hR updates of Eq. 3/4.
+func (r *Recycler) AdmitMat(n *Node, m Materialization) bool {
+	batches, rows, size, cost, hrOverride := m.Batches, m.Rows, m.Size, m.Cost, m.HROverride
 	if size <= 0 {
 		size = 1
 	}
@@ -359,7 +394,8 @@ func (r *Recycler) Admit(n *Node, batches []*vector.Batch, rows, size int64, cos
 	if hrOverride >= 0 && hr < hrOverride {
 		hr = hrOverride
 	}
-	e := &Entry{Node: n, Batches: batches, Size: size, Rows: rows}
+	e := &Entry{Node: n, Batches: batches, Size: size, Rows: rows,
+		Snap: m.Snap, Plan: m.Plan, Extendable: m.Extendable}
 	e.benefit = benefitOf(trueCost(n), hr, size)
 
 	if !c.reserve(size) {
@@ -478,6 +514,26 @@ func (r *Recycler) groupScan(home uint64, benefit float64, size int64, seq uint6
 	return false
 }
 
+// EvictEntry removes a specific cache entry if it is still the node's
+// published one. The rewriter uses it to drop entries whose snapshot tag no
+// longer matches the statement's epoch (lazy invalidation of results that
+// were admitted by in-flight producers after the commit walk ran): the
+// pointer comparison ensures a concurrently delta-extended replacement is
+// not evicted by mistake.
+func (r *Recycler) EvictEntry(n *Node, e *Entry) {
+	s := r.cache.shardOf(n)
+	s.mu.Lock()
+	if n.cached.Load() != e {
+		s.mu.Unlock()
+		return
+	}
+	r.cache.removeLocked(s, e)
+	n.cached.Store(nil)
+	s.mu.Unlock()
+	updateHROnEvict(n, r.curSeq(), r.cfg.Alpha)
+	r.stats.invalidated.Add(1)
+}
+
 // Evict removes a node's cached result (if any), applying Eq. 4.
 func (r *Recycler) Evict(n *Node) {
 	s := r.cache.shardOf(n)
@@ -540,6 +596,9 @@ func (r *Recycler) Stats() Stats {
 		Stalls:           r.stats.stalls.Load(),
 		StallReuses:      r.stats.stallReuses.Load(),
 		InflightShared:   r.stats.inflightShared.Load(),
+		Invalidated:      r.stats.invalidated.Load(),
+		DeltaExtended:    r.stats.deltaExtended.Load(),
+		DeltaExtendRows:  r.stats.deltaRows.Load(),
 		MatchTime:        time.Duration(r.stats.matchNanos.Load()),
 		Admissions:       r.cache.admissions.Load(),
 		Evictions:        r.cache.evictions.Load(),

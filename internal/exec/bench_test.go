@@ -36,7 +36,8 @@ func benchTable(rows int) *catalog.Table {
 		{Name: "s", Typ: vector.String},
 	})
 	rng := rand.New(rand.NewSource(42))
-	app := t.Appender()
+	w := t.BeginWrite()
+	app := w.Appender()
 	for i := 0; i < rows; i++ {
 		app.Int64(0, int64(i))
 		app.Int64(1, rng.Int63n(64))
@@ -44,6 +45,7 @@ func benchTable(rows int) *catalog.Table {
 		app.String(3, fmt.Sprintf("tag-%d", rng.Int63n(8)))
 		app.FinishRow()
 	}
+	w.Commit()
 	benchTables[rows] = t
 	return t
 }

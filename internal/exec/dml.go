@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"fmt"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/expr"
+	"recycledb/internal/vector"
+)
+
+// MatchingRows evaluates pred over the statement snapshot of t and returns
+// the physical row positions of live rows satisfying it, in ascending
+// order. A nil pred matches every live row. The DELETE executor feeds the
+// result to Writer.Delete.
+//
+// pred is bound here against the table schema; callers pass a private clone
+// (binding mutates column references in place).
+func MatchingRows(ctx *Ctx, t *catalog.Table, pred expr.Expr) ([]int, error) {
+	snap := ctx.SnapFor(t)
+	if pred != nil {
+		typ, err := pred.Bind(t.Schema)
+		if err != nil {
+			return nil, err
+		}
+		if typ != vector.Bool {
+			return nil, fmt.Errorf("exec: delete predicate has type %v, want bool", typ)
+		}
+	}
+	var out []int
+	flags := vector.New(vector.Bool, ctx.vecSize())
+	view := &vector.Batch{Vecs: make([]*vector.Vector, len(t.Schema))}
+	cols := make([]vector.Vector, len(t.Schema))
+	for i := range cols {
+		view.Vecs[i] = &cols[i]
+		cols[i].Typ = t.Schema[i].Typ
+	}
+	for lo := 0; lo < snap.Rows; lo += ctx.vecSize() {
+		if err := ctx.Interrupted(); err != nil {
+			return nil, err
+		}
+		hi := lo + ctx.vecSize()
+		if hi > snap.Rows {
+			hi = snap.Rows
+		}
+		for i := range cols {
+			src := snap.Col(i)
+			switch src.Typ {
+			case vector.Int64, vector.Date:
+				cols[i].I64 = src.I64[lo:hi]
+			case vector.Float64:
+				cols[i].F64 = src.F64[lo:hi]
+			case vector.String:
+				cols[i].Str = src.Str[lo:hi]
+			case vector.Bool:
+				cols[i].B = src.B[lo:hi]
+			}
+		}
+		if pred == nil {
+			for r := lo; r < hi; r++ {
+				if !snap.Del.Has(r) {
+					out = append(out, r)
+				}
+			}
+			continue
+		}
+		flags.Reset()
+		if err := pred.Eval(view, flags); err != nil {
+			return nil, err
+		}
+		for i, ok := range flags.B[:hi-lo] {
+			if ok && !snap.Del.Has(lo+i) {
+				out = append(out, lo+i)
+			}
+		}
+	}
+	return out, nil
+}

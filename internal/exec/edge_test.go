@@ -98,11 +98,13 @@ func TestTopNArenaCompaction(t *testing.T) {
 	// replaced, forcing arena growth and periodic compaction.
 	cat := catalog.New()
 	tb := catalog.NewTable("big", catalog.Schema{{Name: "v", Typ: vector.Int64}})
-	ap := tb.Appender()
+	w := tb.BeginWrite()
+	ap := w.Appender()
 	for i := 0; i < 50000; i++ {
 		ap.Int64(0, int64(50000-i))
 		ap.FinishRow()
 	}
+	w.Commit()
 	cat.AddTable(tb)
 	n := plan.NewTopN(plan.NewScan("big"), []plan.SortKey{{Col: "v"}}, 3)
 	res := runPlan(t, cat, n)
@@ -115,11 +117,13 @@ func TestTopNArenaCompaction(t *testing.T) {
 func TestGroupCountExceedsVectorSize(t *testing.T) {
 	cat := catalog.New()
 	tb := catalog.NewTable("g", catalog.Schema{{Name: "k", Typ: vector.Int64}})
-	ap := tb.Appender()
+	w := tb.BeginWrite()
+	ap := w.Appender()
 	for i := 0; i < 5000; i++ {
 		ap.Int64(0, int64(i)) // 5000 distinct groups
 		ap.FinishRow()
 	}
+	w.Commit()
 	cat.AddTable(tb)
 	n := plan.NewAggregate(plan.NewScan("g"), []string{"k"}, plan.A(plan.Count, nil, "c"))
 	res := runPlan(t, cat, n)

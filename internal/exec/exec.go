@@ -29,6 +29,30 @@ type Ctx struct {
 	// draw batches in Open (or lazily in Next) and return them in Close.
 	// Nil falls back to a process-wide shared pool.
 	Pool *vector.Pool
+	// Snaps holds the per-statement table snapshots. The engine
+	// pre-captures one snapshot per base table in the plan's lineage
+	// before execution, so every scan of a table — however many times it
+	// appears in the plan — reads the same committed epoch. Scans of
+	// tables not pre-captured snapshot lazily here.
+	Snaps map[string]*catalog.Snapshot
+	// ScanFrom gives per-table scan start offsets for delta runs: the
+	// recycler's append extension executes a cached subplan over only the
+	// newly appended rows [ScanFrom[t], watermark).
+	ScanFrom map[string]int
+}
+
+// SnapFor returns the statement's snapshot of t, capturing (and memoizing)
+// a fresh one if the engine did not pre-capture it.
+func (c *Ctx) SnapFor(t *catalog.Table) *catalog.Snapshot {
+	if s, ok := c.Snaps[t.Name]; ok {
+		return s
+	}
+	s := t.Snapshot()
+	if c.Snaps == nil {
+		c.Snaps = make(map[string]*catalog.Snapshot)
+	}
+	c.Snaps[t.Name] = s
+	return s
 }
 
 // sharedPool serves executions whose Ctx carries no engine pool (tests,

@@ -22,7 +22,8 @@ func testCatalog() *catalog.Catalog {
 		{Name: "hired", Typ: vector.Date},
 	})
 	depts := []string{"eng", "sales", "hr", "ops"}
-	ap := emp.Appender()
+	w := emp.BeginWrite()
+	ap := w.Appender()
 	base := vector.MustParseDate("2000-01-01")
 	for i := 0; i < 1000; i++ {
 		ap.Int64(0, int64(i))
@@ -31,6 +32,7 @@ func testCatalog() *catalog.Catalog {
 		ap.Int64(3, base+int64(i))
 		ap.FinishRow()
 	}
+	w.Commit()
 	cat.AddTable(emp)
 
 	dept := catalog.NewTable("dept", catalog.Schema{
@@ -42,7 +44,7 @@ func testCatalog() *catalog.Catalog {
 		if i%2 == 0 {
 			region = "amer"
 		}
-		dept.AppendRow(vector.NewStringDatum(d), vector.NewStringDatum(region))
+		dept.AppendRows([]vector.Datum{vector.NewStringDatum(d), vector.NewStringDatum(region)})
 	}
 	cat.AddTable(dept)
 	return cat
@@ -275,10 +277,10 @@ func TestHashJoinDuplicateMatches(t *testing.T) {
 	l := catalog.NewTable("l", catalog.Schema{{Name: "k", Typ: vector.Int64}})
 	r := catalog.NewTable("r", catalog.Schema{{Name: "rk", Typ: vector.Int64}, {Name: "v", Typ: vector.Int64}})
 	for i := 0; i < 10; i++ {
-		l.AppendRow(vector.NewInt64Datum(int64(i % 2)))
+		l.AppendRows([]vector.Datum{vector.NewInt64Datum(int64(i % 2))})
 	}
 	for i := 0; i < 6; i++ {
-		r.AppendRow(vector.NewInt64Datum(int64(i%2)), vector.NewInt64Datum(int64(i)))
+		r.AppendRows([]vector.Datum{vector.NewInt64Datum(int64(i % 2)), vector.NewInt64Datum(int64(i))})
 	}
 	cat.AddTable(l)
 	cat.AddTable(r)
@@ -295,9 +297,9 @@ func TestHashJoinManyMatchesSpanBatches(t *testing.T) {
 	cat := catalog.New()
 	l := catalog.NewTable("l", catalog.Schema{{Name: "k", Typ: vector.Int64}})
 	r := catalog.NewTable("r", catalog.Schema{{Name: "rk", Typ: vector.Int64}})
-	l.AppendRow(vector.NewInt64Datum(7))
+	l.AppendRows([]vector.Datum{vector.NewInt64Datum(7)})
 	for i := 0; i < 5000; i++ {
-		r.AppendRow(vector.NewInt64Datum(7))
+		r.AppendRows([]vector.Datum{vector.NewInt64Datum(7)})
 	}
 	cat.AddTable(l)
 	cat.AddTable(r)

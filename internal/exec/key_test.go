@@ -93,13 +93,13 @@ func TestJoinLargeInt64FloatCoercion(t *testing.T) {
 	const big = int64(1) << 53
 	bt := catalog.NewTable("build", catalog.Schema{{Name: "k", Typ: vector.Int64}})
 	for _, v := range []int64{big, big + 1, big + 2} {
-		if err := bt.AppendRow(vector.NewInt64Datum(v)); err != nil {
+		if err := bt.AppendRows([]vector.Datum{vector.NewInt64Datum(v)}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	pt := catalog.NewTable("probe", catalog.Schema{{Name: "f", Typ: vector.Float64}})
 	// float64(big+1) rounds to big: exactly one build row (big) may match.
-	if err := pt.AppendRow(vector.NewFloat64Datum(float64(big))); err != nil {
+	if err := pt.AppendRows([]vector.Datum{vector.NewFloat64Datum(float64(big))}); err != nil {
 		t.Fatal(err)
 	}
 	ctx := NewCtx(catalog.New())

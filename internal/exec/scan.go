@@ -11,12 +11,22 @@ import (
 // TableScan reads a projection of a base table, slicing column storage into
 // batches without copying (batches alias table storage; consumers never
 // mutate input batches).
+//
+// The scan reads a per-statement snapshot (Ctx.SnapFor): a consistent
+// (watermark, delete-bitmap) epoch captured at Open. Writers committing new
+// epochs concurrently never disturb it — the snapshot's column slices are
+// bounded to its watermark and the rows below a watermark are immutable.
+// Deleted rows are skipped by attaching a selection vector to the output
+// batch; ranges without deletions flow through dense.
 type TableScan struct {
 	base
 	Table *catalog.Table
 	Cols  []int // column indexes into the table schema
+	snap  *catalog.Snapshot
+	lo    int // scan start (nonzero for delta runs)
 	pos   int
 	out   *vector.Batch
+	sel   []int32
 }
 
 // NewTableScan builds a scan of the given column indexes of t.
@@ -27,13 +37,21 @@ func NewTableScan(t *catalog.Table, cols []int, schema catalog.Schema) *TableSca
 // Open implements Operator.
 func (s *TableScan) Open(ctx *Ctx) error {
 	defer s.addCost(time.Now())
-	s.pos = 0
+	s.snap = ctx.SnapFor(s.Table)
+	s.lo = 0
+	if from, ok := ctx.ScanFrom[s.Table.Name]; ok {
+		s.lo = from
+		if s.lo > s.snap.Rows {
+			s.lo = s.snap.Rows
+		}
+	}
+	s.pos = s.lo
 	if s.out == nil {
 		// The vector structs are allocated once and re-sliced over table
 		// storage every Next, so the steady-state scan never allocates.
 		s.out = &vector.Batch{Vecs: make([]*vector.Vector, len(s.Cols))}
 		for i, c := range s.Cols {
-			s.out.Vecs[i] = &vector.Vector{Typ: s.Table.Col(c).Typ}
+			s.out.Vecs[i] = &vector.Vector{Typ: s.snap.Col(c).Typ}
 		}
 	}
 	return nil
@@ -45,31 +63,52 @@ func (s *TableScan) Next(ctx *Ctx) (*vector.Batch, error) {
 		return nil, err
 	}
 	defer s.addCost(time.Now())
-	n := s.Table.Rows()
-	if s.pos >= n {
-		return nil, nil
-	}
-	hi := s.pos + ctx.vecSize()
-	if hi > n {
-		hi = n
-	}
-	for i, c := range s.Cols {
-		col := s.Table.Col(c)
-		v := s.out.Vecs[i]
-		switch col.Typ {
-		case vector.Int64, vector.Date:
-			v.I64 = col.I64[s.pos:hi]
-		case vector.Float64:
-			v.F64 = col.F64[s.pos:hi]
-		case vector.String:
-			v.Str = col.Str[s.pos:hi]
-		case vector.Bool:
-			v.B = col.B[s.pos:hi]
+	n := s.snap.Rows
+	for {
+		if s.pos >= n {
+			return nil, nil
 		}
+		hi := s.pos + ctx.vecSize()
+		if hi > n {
+			hi = n
+		}
+		lo := s.pos
+		s.pos = hi
+		for i, c := range s.Cols {
+			col := s.snap.Col(c)
+			v := s.out.Vecs[i]
+			switch col.Typ {
+			case vector.Int64, vector.Date:
+				v.I64 = col.I64[lo:hi]
+			case vector.Float64:
+				v.F64 = col.F64[lo:hi]
+			case vector.String:
+				v.Str = col.Str[lo:hi]
+			case vector.Bool:
+				v.B = col.B[lo:hi]
+			}
+		}
+		if s.snap.Del.AnyIn(lo, hi) {
+			if s.sel == nil {
+				s.sel = make([]int32, 0, ctx.vecSize())
+			}
+			sel := s.sel[:0]
+			for r := lo; r < hi; r++ {
+				if !s.snap.Del.Has(r) {
+					sel = append(sel, int32(r-lo))
+				}
+			}
+			s.sel = sel
+			if len(sel) == 0 {
+				continue // every row in the range is deleted
+			}
+			s.out.Sel = sel
+		} else {
+			s.out.Sel = nil
+		}
+		s.rows += int64(s.out.Len())
+		return s.out, nil
 	}
-	s.rows += int64(hi - s.pos)
-	s.pos = hi
-	return s.out, nil
 }
 
 // Close implements Operator.
@@ -77,11 +116,14 @@ func (s *TableScan) Close(ctx *Ctx) error { return nil }
 
 // Progress implements Operator: scans know their total row count.
 func (s *TableScan) Progress() float64 {
-	n := s.Table.Rows()
-	if n == 0 {
+	if s.snap == nil {
+		return 0
+	}
+	n := s.snap.Rows - s.lo
+	if n <= 0 {
 		return 1
 	}
-	return float64(s.pos) / float64(n)
+	return float64(s.pos-s.lo) / float64(n)
 }
 
 // TableFnScan invokes a table function at Open and replays its result.

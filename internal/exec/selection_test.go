@@ -28,7 +28,8 @@ func selTable(t *testing.T, n, g int) *catalog.Table {
 		{Name: "v", Typ: vector.Float64},
 		{Name: "s", Typ: vector.String},
 	})
-	app := tab.Appender()
+	w := tab.BeginWrite()
+	app := w.Appender()
 	for i := 0; i < n; i++ {
 		app.Int64(0, int64(i))
 		app.Int64(1, int64(i%g))
@@ -36,6 +37,7 @@ func selTable(t *testing.T, n, g int) *catalog.Table {
 		app.String(3, fmt.Sprintf("s%d", i%7))
 		app.FinishRow()
 	}
+	w.Commit()
 	return tab
 }
 

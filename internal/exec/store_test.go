@@ -66,12 +66,13 @@ func TestStoreBuffersAreDeepCopies(t *testing.T) {
 	}
 	// Mutate the table storage; buffered copies must be unaffected.
 	emp, _ := cat.Table("emp")
-	saved := emp.Col(0).I64[0]
-	emp.Col(0).I64[0] = -999
+	stor := emp.Snapshot().Col(0) // aliases table storage
+	saved := stor.I64[0]
+	stor.I64[0] = -999
 	if got[0].Vecs[0].I64[0] != saved {
 		t.Fatal("store buffered an alias of table storage")
 	}
-	emp.Col(0).I64[0] = saved
+	stor.I64[0] = saved
 }
 
 func TestStoreSpeculativeCancel(t *testing.T) {

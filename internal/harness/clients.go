@@ -104,6 +104,11 @@ func ClientsReport(res *workload.ClientsResult) string {
 		{"latency p95", fmtDur(res.Percentile(95))},
 		{"latency p99", fmtDur(res.Percentile(99))},
 	}
+	if res.Writes > 0 {
+		rows = append(rows,
+			[]string{"writes", fmt.Sprintf("%d", res.Writes)},
+			[]string{"write errors", fmt.Sprintf("%d", res.WriteErrs)})
+	}
 	labels := make([]string, 0, len(res.PerLabel))
 	for label := range res.PerLabel {
 		labels = append(labels, label)

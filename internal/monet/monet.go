@@ -28,8 +28,16 @@ type Engine struct {
 	Rec *Recycler
 }
 
-// New returns an engine; rec may be nil (the naive baseline).
+// New returns an engine; rec may be nil (the naive baseline). Engines with
+// a recycler attach invalidate-all-on-write semantics to the catalog: any
+// committed write epoch, on any table, flushes the whole cache — the
+// Ivanova-style recycler has no lineage, so this coarse protocol (the
+// paper's Fig. 6 "update invalidation") is the best it can do. Contrast
+// the pipelined recycler's lineage-based walk with append delta extension.
 func New(cat *catalog.Catalog, rec *Recycler) *Engine {
+	if rec != nil {
+		cat.OnCommit(func(*catalog.Table, catalog.CommitInfo) { rec.Flush() })
+	}
 	return &Engine{Cat: cat, Rec: rec}
 }
 
@@ -79,7 +87,12 @@ func (e *Engine) evalOne(n *plan.Node, inputs []*catalog.Result) (*catalog.Resul
 	dec := make(exec.Decorations, len(inputs))
 	leaves := make([]*plan.Node, len(inputs))
 	for i, in := range inputs {
-		leaf := plan.NewCached(in.Schema)
+		// The leaf replays the child's materialized batches under the
+		// child plan's own output names: matching ignores assigned names
+		// (two projections differing only in aliases share one cache
+		// entry), so the cached result's names may belong to another
+		// query-side alias of the same operation.
+		leaf := plan.NewCached(n.Children[i].Schema())
 		idx := make([]int, len(in.Schema))
 		for j := range idx {
 			idx[j] = j

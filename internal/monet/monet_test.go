@@ -17,12 +17,14 @@ func testCatalog() *catalog.Catalog {
 		{Name: "k", Typ: vector.Int64},
 		{Name: "v", Typ: vector.Float64},
 	})
-	ap := t.Appender()
+	w := t.BeginWrite()
+	ap := w.Appender()
 	for i := 0; i < 2000; i++ {
 		ap.Int64(0, int64(i%10))
 		ap.Float64(1, float64(i))
 		ap.FinishRow()
 	}
+	w.Commit()
 	cat.AddTable(t)
 	return cat
 }

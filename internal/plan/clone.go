@@ -47,5 +47,6 @@ func (n *Node) Clone() *Node {
 	c.RightKeys = append([]string(nil), n.RightKeys...)
 	c.Keys = append([]SortKey(nil), n.Keys...)
 	c.schema = append(catalog.Schema(nil), n.schema...)
+	c.lineage = append([]string(nil), n.lineage...)
 	return c
 }

@@ -145,6 +145,8 @@ type Node struct {
 	N    int
 
 	schema catalog.Schema
+	// lineage is the subtree's base-table set, derived by Resolve.
+	lineage []string
 }
 
 // NewScan builds a base-table scan of the named columns.

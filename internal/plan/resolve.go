@@ -2,20 +2,23 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 
 	"recycledb/internal/catalog"
 	"recycledb/internal/vector"
 )
 
-// Resolve computes output schemas bottom-up and binds all expressions. It
-// must be called (once) before a plan is canonicalized or executed. Resolve
-// is idempotent; rewrites that restructure a tree re-resolve it.
+// Resolve computes output schemas bottom-up, binds all expressions, and
+// derives each node's base-table lineage (Lineage). It must be called
+// (once) before a plan is canonicalized or executed. Resolve is idempotent;
+// rewrites that restructure a tree re-resolve it.
 func (n *Node) Resolve(cat *catalog.Catalog) error {
 	for _, c := range n.Children {
 		if err := c.Resolve(cat); err != nil {
 			return err
 		}
 	}
+	defer n.resolveLineage(cat)
 	switch n.Op {
 	case Scan:
 		t, err := cat.Table(n.Table)
@@ -163,6 +166,48 @@ func (n *Node) Resolve(cat *catalog.Catalog) error {
 	}
 	return nil
 }
+
+// LineageAll is the sentinel lineage entry for subtrees whose base tables
+// are unknown (table functions without declared lineage): conservatively,
+// "depends on every table".
+const LineageAll = "*"
+
+// resolveLineage computes the node's base-table lineage: the sorted
+// distinct set of tables the subtree reads. Table functions contribute
+// their declared tables, or LineageAll when undeclared. Cached leaves
+// contribute nothing — the replayed entry carries its own lineage.
+func (n *Node) resolveLineage(cat *catalog.Catalog) {
+	switch n.Op {
+	case Scan:
+		n.lineage = []string{n.Table}
+	case TableFn:
+		if f, err := cat.Func(n.Fn); err == nil && len(f.Tables) > 0 {
+			n.lineage = append([]string(nil), f.Tables...)
+			sort.Strings(n.lineage)
+		} else {
+			n.lineage = []string{LineageAll}
+		}
+	case Cached:
+		n.lineage = nil
+	default:
+		set := make(map[string]struct{})
+		for _, c := range n.Children {
+			for _, t := range c.lineage {
+				set[t] = struct{}{}
+			}
+		}
+		out := make([]string, 0, len(set))
+		for t := range set {
+			out = append(out, t)
+		}
+		sort.Strings(out)
+		n.lineage = out
+	}
+}
+
+// Lineage returns the base tables this subtree reads (sorted, distinct;
+// LineageAll when unknown). Resolve must have run.
+func (n *Node) Lineage() []string { return n.lineage }
 
 func isNum(t vector.Type) bool {
 	return t == vector.Int64 || t == vector.Float64 || t == vector.Date

@@ -60,6 +60,16 @@ type Rewriter struct {
 	// ProactiveDistinctLimit is the GROUP BY extension threshold of the
 	// cube-caching heuristic.
 	ProactiveDistinctLimit int64
+
+	// SnapVers holds the statement's captured per-table data epochs (the
+	// epochs its scans will read). Cached results are substituted only if
+	// their snapshot tag matches — stale entries are dropped, fresher
+	// entries (extended mid-statement) are recomputed instead of mixing
+	// epochs. nil disables validation (plans built outside the engine).
+	SnapVers map[string]core.TableSnap
+	// GlobalVer is the catalog-wide data version captured with SnapVers;
+	// entries over unknown-lineage table functions are tagged with it.
+	GlobalVer int64
 }
 
 // NewRewriter returns a rewriter with the defaults used in the evaluation.
@@ -173,12 +183,79 @@ func (rw *Rewriter) dropStoresUnderWaits(n *plan.Node, res *Result, underWait bo
 	}
 }
 
+// entryValid reports whether a cached entry's snapshot tag matches the
+// statement's captured data epochs, and — when it does not — whether the
+// entry is stale (tagged older than the epoch the catalog has moved to).
+// Untagged entries are version-agnostic; tags over tables outside the
+// statement's capture (subsumption across differently-shaped plans) fall
+// back to the live table version.
+func (rw *Rewriter) entryValid(e *core.Entry) (valid, stale bool) {
+	if e.Snap == nil {
+		return true, false
+	}
+	valid = true
+	for t, ts := range e.Snap {
+		if t == plan.LineageAll {
+			if rw.SnapVers != nil && ts.Ver != rw.GlobalVer {
+				valid = false
+				if ts.Ver < rw.GlobalVer {
+					stale = true
+				}
+			}
+			continue
+		}
+		if v, ok := rw.SnapVers[t]; ok {
+			if v.Ver != ts.Ver {
+				valid = false
+				if ts.Ver < v.Ver {
+					stale = true
+				}
+			}
+			continue
+		}
+		tbl, err := rw.Cat.Table(t)
+		if err != nil {
+			return false, true
+		}
+		if live := tbl.DataVersion(); live != ts.Ver {
+			valid = false
+			if ts.Ver < live {
+				stale = true
+			}
+		}
+	}
+	return valid, stale
+}
+
+// cachedValid is Cached plus snapshot validation. Entries tagged older
+// than the statement's epoch are dropped from the cache (lazy invalidation
+// of results admitted after the commit walk) and reported as a miss.
+// Entries tagged *newer* — a concurrent commit delta-extended them after
+// this statement captured its snapshot — are left cached for the queries
+// already at the new epoch; this statement just recomputes from its own
+// snapshot.
+func (rw *Rewriter) cachedValid(g *core.Node) *core.Entry {
+	e := rw.Rec.Cached(g)
+	if e == nil {
+		return nil
+	}
+	valid, stale := rw.entryValid(e)
+	if valid {
+		return e
+	}
+	rw.Rec.Release(e)
+	if stale {
+		rw.Rec.EvictEntry(g, e)
+	}
+	return nil
+}
+
 // substitute is the top-down reuse rule.
 func (rw *Rewriter) substitute(n *plan.Node, res *Result) {
 	nm := res.Match.ByNode[n]
 	if nm != nil {
 		// Exact cached result.
-		if e := rw.Rec.Cached(nm.G); e != nil {
+		if e := rw.cachedValid(nm.G); e != nil {
 			res.Decor[n] = &exec.Decor{Reuse: rw.reuseSpec(e, identityIdx(len(nm.G.OutCols)))}
 			res.subst[n] = nm.G
 			res.Reuses++
@@ -195,6 +272,12 @@ func (rw *Rewriter) substitute(n *plan.Node, res *Result) {
 				Wait: func(ctx context.Context, timeout time.Duration) ([]*vector.Batch, []int, func(), bool) {
 					e, ok := rw.Rec.WaitInflightCtx(ctx, g, timeout)
 					if !ok {
+						return nil, nil, nil, false
+					}
+					if ok, _ := rw.entryValid(e); !ok {
+						// The producer ran at another data epoch
+						// (a write committed in between); recompute.
+						rw.Rec.Release(e)
 						return nil, nil, nil, false
 					}
 					entry := e
@@ -219,7 +302,7 @@ func (rw *Rewriter) substitute(n *plan.Node, res *Result) {
 		// motivates subsumption with.
 		if rw.Rec.Config().Subsumption {
 			for _, s := range rw.Rec.Subsumers(nm.G) {
-				if e := rw.Rec.Cached(s); e != nil {
+				if e := rw.cachedValid(s); e != nil {
 					if rw.applySubsumption(n, nm, s, e, res) {
 						res.SubsumptionReuses++
 						rw.Rec.CountSubsumptionReuse()
@@ -396,6 +479,10 @@ func (rw *Rewriter) planWait(n *plan.Node, g *core.Node, res *Result) {
 			if !ok {
 				return nil, nil, nil, false
 			}
+			if ok, _ := rw.entryValid(e); !ok {
+				rw.Rec.Release(e)
+				return nil, nil, nil, false
+			}
 			return e.Batches, identityIdx(len(g.OutCols)),
 				func() { rw.Rec.Release(e) }, true
 		},
@@ -407,9 +494,61 @@ func (rw *Rewriter) planWait(n *plan.Node, g *core.Node, res *Result) {
 	res.Waits++
 }
 
+// entrySnap builds the snapshot tag for a result of graph node g from the
+// statement's captured epochs: one TableSnap per lineage table, the global
+// data version for unknown lineage. nil when the engine captured nothing.
+func (rw *Rewriter) entrySnap(g *core.Node) map[string]core.TableSnap {
+	if rw.SnapVers == nil {
+		return nil
+	}
+	snap := make(map[string]core.TableSnap, len(g.Tables))
+	for _, t := range g.Tables {
+		if t == plan.LineageAll {
+			snap[plan.LineageAll] = core.TableSnap{Ver: rw.GlobalVer}
+			continue
+		}
+		if v, ok := rw.SnapVers[t]; ok {
+			snap[t] = v
+			continue
+		}
+		// Not pre-captured (shouldn't happen for resolved plans); tag
+		// with the live version so validation stays sound.
+		if tbl, err := rw.Cat.Table(t); err == nil {
+			snap[t] = core.TableSnap{Ver: tbl.DataVersion(), Rows: int64(tbl.Snapshot().Rows)}
+		}
+	}
+	return snap
+}
+
+// appendExtendable reports whether subtree n qualifies for append delta
+// extension: a row-local chain (scan/select/project) over exactly one base
+// table, so running it over just the appended rows yields exactly the
+// cached result's delta.
+func appendExtendable(n *plan.Node) bool {
+	lin := n.Lineage()
+	if len(lin) != 1 || lin[0] == plan.LineageAll {
+		return false
+	}
+	ok := true
+	n.Walk(func(x *plan.Node) {
+		switch x.Op {
+		case plan.Scan, plan.Select, plan.Project:
+		default:
+			ok = false
+		}
+	})
+	return ok
+}
+
 // attachStore decorates node n with a store operator for graph node g.
 func (rw *Rewriter) attachStore(n *plan.Node, g *core.Node, res *Result, speculativeStore bool) {
 	cfg := rw.Rec.Config()
+	snap := rw.entrySnap(g)
+	extendable := snap != nil && appendExtendable(n)
+	var subplan *plan.Node
+	if extendable {
+		subplan = n.Clone()
+	}
 	specSpec := exec.StoreSpec{
 		Speculative: speculativeStore,
 		OnComplete: func(batches []*vector.Batch, rows, bytes int64, elapsed time.Duration) {
@@ -417,7 +556,11 @@ func (rw *Rewriter) attachStore(n *plan.Node, g *core.Node, res *Result, specula
 			if speculativeStore {
 				hrOverride = cfg.SpeculationHR
 			}
-			ok := rw.Rec.Admit(g, batches, rows, bytes, elapsed, hrOverride)
+			ok := rw.Rec.AdmitMat(g, core.Materialization{
+				Batches: batches, Rows: rows, Size: bytes, Cost: elapsed,
+				HROverride: hrOverride,
+				Snap:       snap, Plan: subplan, Extendable: extendable,
+			})
 			if ok {
 				atomic.AddInt32(&res.committed, 1)
 				if speculativeStore {
@@ -426,7 +569,7 @@ func (rw *Rewriter) attachStore(n *plan.Node, g *core.Node, res *Result, specula
 			}
 			// Hand the batches to concurrent waiters directly, whether
 			// or not admission kept them: their demand is already here.
-			rw.Rec.FinishInflightShared(g, batches, rows, bytes)
+			rw.Rec.FinishInflightShared(g, batches, rows, bytes, snap)
 		},
 		OnCancel: func() {
 			if speculativeStore {

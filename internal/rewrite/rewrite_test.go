@@ -22,7 +22,8 @@ func fixture(t *testing.T, mode Mode) (*Rewriter, *catalog.Catalog) {
 		{Name: "v", Typ: vector.Float64},
 		{Name: "d", Typ: vector.Date},
 	})
-	ap := tbl.Appender()
+	w := tbl.BeginWrite()
+	ap := w.Appender()
 	groups := []string{"a", "b", "c"}
 	base := vector.MustParseDate("1995-01-01")
 	for i := 0; i < 5000; i++ {
@@ -32,6 +33,7 @@ func fixture(t *testing.T, mode Mode) (*Rewriter, *catalog.Catalog) {
 		ap.Int64(3, base+int64(i%1400))
 		ap.FinishRow()
 	}
+	w.Commit()
 	cat.AddTable(tbl)
 	cfg := core.DefaultConfig()
 	cfg.Alpha = 1

@@ -45,7 +45,8 @@ var NearbySchema = catalog.Schema{
 func Load(cat *catalog.Catalog, n int, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	t := catalog.NewTable("PhotoPrimary", PhotoPrimarySchema)
-	ap := t.Appender()
+	w := t.BeginWrite()
+	ap := w.Appender()
 	// Cluster objects around a few centers (so cone searches return a
 	// few rows, like the paper's fGetNearbyObjEq(195, 2.5, 0.5)).
 	centers := [][2]float64{{195, 2.5}, {180, 0}, {210, 5}, {150, 30}}
@@ -73,10 +74,12 @@ func Load(cat *catalog.Catalog, n int, seed int64) {
 		ap.Float64(11, 14+rng.Float64()*10)
 		ap.FinishRow()
 	}
+	w.Commit()
 	cat.AddTable(t)
 	cat.AddFunc(&catalog.TableFunc{
 		Name:   "fGetNearbyObjEq",
 		Schema: NearbySchema,
+		Tables: []string{"PhotoPrimary"},
 		Invoke: nearbyObjEq,
 	})
 }
@@ -94,10 +97,14 @@ func nearbyObjEq(cat *catalog.Catalog, args []vector.Datum) (*catalog.Result, er
 	radius := args[2].F64 * math.Pi / 180
 	res := &catalog.Result{Schema: NearbySchema}
 	out := vector.NewBatch(NearbySchema.Types(), 64)
-	ras := t.Col(1).F64
-	decs := t.Col(2).F64
-	ids := t.Col(0).I64
+	snap := t.Snapshot()
+	ras := snap.Col(1).F64
+	decs := snap.Col(2).F64
+	ids := snap.Col(0).I64
 	for i := range ras {
+		if snap.Deleted(i) {
+			continue
+		}
 		ra := ras[i] * math.Pi / 180
 		dec := decs[i] * math.Pi / 180
 		// Spherical law of cosines.

@@ -1,0 +1,147 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/vector"
+)
+
+func dmlCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	cat.AddTable(catalog.NewTable("ev", catalog.Schema{
+		{Name: "id", Typ: vector.Int64},
+		{Name: "score", Typ: vector.Float64},
+		{Name: "tag", Typ: vector.String},
+		{Name: "day", Typ: vector.Date},
+	}))
+	return cat
+}
+
+func TestCompileInsertLiterals(t *testing.T) {
+	cat := dmlCatalog()
+	c, err := CompileStatement(
+		`INSERT INTO ev VALUES (1, 2.5, 'a', DATE '1997-01-01'), (2, 3, 'b', 9900)`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != StmtInsert || c.NumParams() != 0 {
+		t.Fatalf("kind %v params %d", c.Kind, c.NumParams())
+	}
+	name, rows, err := c.BindInsert(cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "ev" || len(rows) != 2 {
+		t.Fatalf("table %q rows %d", name, len(rows))
+	}
+	// int 3 coerced to float column, int 9900 to date column.
+	if rows[1][1].Typ != vector.Float64 || rows[1][1].F64 != 3 {
+		t.Fatalf("coercion: %+v", rows[1][1])
+	}
+	if rows[1][3].Typ != vector.Date || rows[1][3].I64 != 9900 {
+		t.Fatalf("date coercion: %+v", rows[1][3])
+	}
+}
+
+func TestCompileInsertColumnListAndParams(t *testing.T) {
+	cat := dmlCatalog()
+	c, err := CompileStatement(
+		`INSERT INTO ev (day, tag, score, id) VALUES (?, ?, ?, ?)`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumParams() != 4 {
+		t.Fatalf("params = %d", c.NumParams())
+	}
+	_, rows, err := c.BindInsert(cat, []vector.Datum{
+		vector.NewInt64Datum(100), vector.NewStringDatum("x"),
+		vector.NewInt64Datum(7), vector.NewInt64Datum(42),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values land in schema order despite the shuffled column list.
+	r := rows[0]
+	if r[0].I64 != 42 || r[1].F64 != 7 || r[2].Str != "x" || r[3].I64 != 100 {
+		t.Fatalf("row = %+v", r)
+	}
+}
+
+func TestCompileInsertErrors(t *testing.T) {
+	cat := dmlCatalog()
+	for _, src := range []string{
+		`INSERT INTO nosuch VALUES (1)`,
+		`INSERT INTO ev VALUES (1, 2.5, 'a')`,                       // arity
+		`INSERT INTO ev VALUES ('x', 2.5, 'a', 0)`,                  // type
+		`INSERT INTO ev (id) VALUES (1)`,                            // partial column list
+		`INSERT INTO ev (id, id, score, tag) VALUES (1, 2, 3, 'a')`, // dup col
+	} {
+		if _, err := CompileStatement(src, cat); err == nil {
+			t.Fatalf("no error for %s", src)
+		}
+	}
+}
+
+func TestCompileDelete(t *testing.T) {
+	cat := dmlCatalog()
+	c, err := CompileStatement(`DELETE FROM ev WHERE score > ? AND tag = 'a'`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != StmtDelete || c.NumParams() != 1 {
+		t.Fatalf("kind %v params %d", c.Kind, c.NumParams())
+	}
+	name, pred, err := c.BindDelete([]vector.Datum{vector.NewFloat64Datum(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "ev" || pred == nil {
+		t.Fatalf("name %q pred %v", name, pred)
+	}
+	// Bare DELETE has a nil predicate.
+	c2, err := CompileStatement(`DELETE FROM ev`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, pred, _ := c2.BindDelete(nil); pred != nil {
+		t.Fatal("bare DELETE should have nil predicate")
+	}
+	// Bad predicate type.
+	if _, err := CompileStatement(`DELETE FROM ev WHERE score`, cat); err == nil {
+		t.Fatal("non-bool predicate accepted")
+	}
+}
+
+func TestCompileCreateTable(t *testing.T) {
+	cat := dmlCatalog()
+	c, err := CompileStatement(
+		`CREATE TABLE m (host VARCHAR(16), cpu DOUBLE, day DATE, up BOOL, n BIGINT)`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, schema := c.CreateTable()
+	if name != "m" || len(schema) != 5 {
+		t.Fatalf("%q %v", name, schema)
+	}
+	want := []vector.Type{vector.String, vector.Float64, vector.Date, vector.Bool, vector.Int64}
+	for i, w := range want {
+		if schema[i].Typ != w {
+			t.Fatalf("col %d type %v want %v", i, schema[i].Typ, w)
+		}
+	}
+}
+
+func TestDMLNormalizeStable(t *testing.T) {
+	// DML normalizes through the same lexer path as queries: keyword
+	// case-folding and whitespace collapse to one canonical key.
+	a := Normalize(`INSERT   INTO ev VALUES (1, 2.5, 'a', 0)`)
+	b := Normalize("insert into ev values (1, 2.5, 'a', 0);")
+	if a != b {
+		t.Fatalf("normalize mismatch:\n  %q\n  %q", a, b)
+	}
+	if !strings.HasPrefix(a, "insert into") {
+		t.Fatalf("normalized = %q", a)
+	}
+}

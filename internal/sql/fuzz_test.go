@@ -43,6 +43,22 @@ var fuzzSeeds = []string{
 	`SELECT * FROM t WHERE s LIKE 'a%b_c' AND u IN (1, 2, 3)`,
 	"SELECT 'it''s' AS q, \"quoted ident\" FROM t",
 	`select distinct x from t where x between 1 and 2;`,
+	// DML grammar.
+	`INSERT INTO sales VALUES ('north', 1, 9.5, DATE '1997-03-01')`,
+	`INSERT INTO t (a, b, c, d, s, u, x) VALUES (1, 2.5, 3, 4, 'hi', 5, 6), (?, ?, ?, ?, ?, ?, ?)`,
+	`insert into sales values (?, ?, ?, ?);`,
+	`DELETE FROM sales WHERE amount > 100 AND region = 'north'`,
+	`DELETE FROM t WHERE a BETWEEN ? AND ? OR NOT s LIKE 'x%'`,
+	`delete from sales`,
+	`CREATE TABLE metrics (host TEXT, cpu DOUBLE, day DATE, up BOOLEAN, hits BIGINT)`,
+	`create table v (name varchar(32), score float)`,
+	// Malformed DML.
+	`INSERT INTO`,
+	`INSERT INTO t VALUES`,
+	`INSERT INTO t VALUES (1, `,
+	`DELETE t WHERE`,
+	`CREATE TABLE x ()`,
+	`CREATE TABLE x (a froble)`,
 	// Malformed.
 	`SELECT`,
 	`SELECT FROM WHERE`,
@@ -104,7 +120,8 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("Normalize not idempotent:\n  once:  %q\n  twice: %q", n1, n2)
 		}
 		// The builder must turn any parsed statement into a plan or an
-		// error, never a panic.
+		// error, never a panic — for SELECTs and DML alike.
 		_, _ = CompileTemplate(src, fuzzCatalog)
+		_, _ = CompileStatement(src, fuzzCatalog)
 	})
 }

@@ -315,6 +315,8 @@ var keywords = map[string]bool{
 	"not": true, "like": true, "in": true, "between": true, "as": true,
 	"asc": true, "desc": true, "date": true, "case": true, "when": true,
 	"then": true, "else": true, "end": true,
+	"insert": true, "into": true, "values": true, "delete": true,
+	"create": true, "table": true,
 }
 
 func isKeyword(s string) bool { return keywords[strings.ToLower(s)] }

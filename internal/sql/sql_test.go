@@ -19,7 +19,8 @@ func testCatalog() *catalog.Catalog {
 		{Name: "amount", Typ: vector.Float64},
 		{Name: "day", Typ: vector.Date},
 	})
-	ap := sales.Appender()
+	wsales := sales.BeginWrite()
+	ap := wsales.Appender()
 	regions := []string{"north", "south", "east", "west"}
 	base := vector.MustParseDate("1997-01-01")
 	for i := 0; i < 1000; i++ {
@@ -29,14 +30,15 @@ func testCatalog() *catalog.Catalog {
 		ap.Int64(3, base+int64(i%700))
 		ap.FinishRow()
 	}
+	wsales.Commit()
 	cat.AddTable(sales)
 	products := catalog.NewTable("products", catalog.Schema{
 		{Name: "pid", Typ: vector.Int64},
 		{Name: "pname", Typ: vector.String},
 	})
 	for i := 0; i < 10; i++ {
-		products.AppendRow(vector.NewInt64Datum(int64(i)),
-			vector.NewStringDatum("product-"+string(rune('a'+i))))
+		products.AppendRows([]vector.Datum{vector.NewInt64Datum(int64(i)),
+			vector.NewStringDatum("product-" + string(rune('a'+i)))})
 	}
 	cat.AddTable(products)
 	cat.AddFunc(&catalog.TableFunc{

@@ -112,12 +112,14 @@ func genRegion(cat *catalog.Catalog) {
 		{Name: "r_regionkey", Typ: vector.Int64},
 		{Name: "r_name", Typ: vector.String},
 	})
-	ap := t.Appender()
+	w := t.BeginWrite()
+	ap := w.Appender()
 	for i, r := range Regions {
 		ap.Int64(0, int64(i))
 		ap.String(1, r)
 		ap.FinishRow()
 	}
+	w.Commit()
 	cat.AddTable(t)
 }
 
@@ -127,13 +129,15 @@ func genNation(cat *catalog.Catalog) {
 		{Name: "n_name", Typ: vector.String},
 		{Name: "n_regionkey", Typ: vector.Int64},
 	})
-	ap := t.Appender()
+	w := t.BeginWrite()
+	ap := w.Appender()
 	for i, n := range Nations {
 		ap.Int64(0, int64(i))
 		ap.String(1, n.Name)
 		ap.Int64(2, int64(n.Region))
 		ap.FinishRow()
 	}
+	w.Commit()
 	cat.AddTable(t)
 }
 
@@ -145,7 +149,8 @@ func genSupplier(cat *catalog.Catalog, rng *rand.Rand, n int) {
 		{Name: "s_acctbal", Typ: vector.Float64},
 		{Name: "s_comment", Typ: vector.String},
 	})
-	ap := t.Appender()
+	w := t.BeginWrite()
+	ap := w.Appender()
 	for i := 1; i <= n; i++ {
 		ap.Int64(0, int64(i))
 		ap.String(1, fmt.Sprintf("Supplier#%09d", i))
@@ -160,6 +165,7 @@ func genSupplier(cat *catalog.Catalog, rng *rand.Rand, n int) {
 		ap.String(4, comment)
 		ap.FinishRow()
 	}
+	w.Commit()
 	cat.AddTable(t)
 }
 
@@ -172,7 +178,8 @@ func genCustomer(cat *catalog.Catalog, rng *rand.Rand, n int) {
 		{Name: "c_acctbal", Typ: vector.Float64},
 		{Name: "c_mktsegment", Typ: vector.String},
 	})
-	ap := t.Appender()
+	w := t.BeginWrite()
+	ap := w.Appender()
 	for i := 1; i <= n; i++ {
 		nat := rng.Intn(len(Nations))
 		ap.Int64(0, int64(i))
@@ -185,6 +192,7 @@ func genCustomer(cat *catalog.Catalog, rng *rand.Rand, n int) {
 		ap.String(5, Segments[rng.Intn(len(Segments))])
 		ap.FinishRow()
 	}
+	w.Commit()
 	cat.AddTable(t)
 }
 
@@ -198,7 +206,8 @@ func genPart(cat *catalog.Catalog, rng *rand.Rand, n int) {
 		{Name: "p_container", Typ: vector.String},
 		{Name: "p_retailprice", Typ: vector.Float64},
 	})
-	ap := t.Appender()
+	w := t.BeginWrite()
+	ap := w.Appender()
 	for i := 1; i <= n; i++ {
 		ap.Int64(0, int64(i))
 		// p_name: five color words; Q9/Q20 filter on LIKE '%color%'.
@@ -214,6 +223,7 @@ func genPart(cat *catalog.Catalog, rng *rand.Rand, n int) {
 		ap.Float64(6, float64(90000+((i/10)%20001)+100*(i%1000))/100)
 		ap.FinishRow()
 	}
+	w.Commit()
 	cat.AddTable(t)
 }
 
@@ -224,7 +234,8 @@ func genPartsupp(cat *catalog.Catalog, rng *rand.Rand, nPart, nSupp int) {
 		{Name: "ps_availqty", Typ: vector.Int64},
 		{Name: "ps_supplycost", Typ: vector.Float64},
 	})
-	ap := t.Appender()
+	w := t.BeginWrite()
+	ap := w.Appender()
 	for p := 1; p <= nPart; p++ {
 		for s := 0; s < 4; s++ {
 			supp := psSupplier(p, s, nSupp)
@@ -235,6 +246,7 @@ func genPartsupp(cat *catalog.Catalog, rng *rand.Rand, nPart, nSupp int) {
 			ap.FinishRow()
 		}
 	}
+	w.Commit()
 	cat.AddTable(t)
 }
 
@@ -278,8 +290,10 @@ func genOrdersAndLineitem(cat *catalog.Catalog, rng *rand.Rand, nOrd, nCust, nPa
 		{Name: "l_shipinstruct", Typ: vector.String},
 		{Name: "l_shipmode", Typ: vector.String},
 	})
-	oap := orders.Appender()
-	lap := lineitem.Appender()
+	ow := orders.BeginWrite()
+	lw := lineitem.BeginWrite()
+	oap := ow.Appender()
+	lap := lw.Appender()
 	dateRange := int(endDate - startDate)
 	for o := 1; o <= nOrd; o++ {
 		odate := startDate + int64(rng.Intn(dateRange+1))
@@ -351,6 +365,8 @@ func genOrdersAndLineitem(cat *catalog.Catalog, rng *rand.Rand, nOrd, nCust, nPa
 		oap.String(7, comment)
 		oap.FinishRow()
 	}
+	ow.Commit()
+	lw.Commit()
 	cat.AddTable(orders)
 	cat.AddTable(lineitem)
 }

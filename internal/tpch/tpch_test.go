@@ -46,8 +46,9 @@ func TestGenerateDeterministic(t *testing.T) {
 	if t1.Rows() != t2.Rows() {
 		t.Fatalf("row counts differ: %d vs %d", t1.Rows(), t2.Rows())
 	}
+	s1, s2 := t1.Snapshot(), t2.Snapshot()
 	for i := 0; i < t1.Rows(); i += 97 {
-		if t1.Col(4).I64[i] != t2.Col(4).I64[i] {
+		if s1.Col(4).I64[i] != s2.Col(4).I64[i] {
 			t.Fatalf("row %d differs", i)
 		}
 	}
@@ -58,12 +59,13 @@ func TestGenerateKeyIntegrity(t *testing.T) {
 	ord, _ := testDB.Table("orders")
 	ps, _ := testDB.Table("partsupp")
 
+	lis, ords, pss := li.Snapshot(), ord.Snapshot(), ps.Snapshot()
 	// Every l_orderkey exists in orders.
 	okeys := make(map[int64]struct{})
-	for _, k := range ord.Col(0).I64 {
+	for _, k := range ords.Col(0).I64 {
 		okeys[k] = struct{}{}
 	}
-	for _, k := range li.Col(0).I64 {
+	for _, k := range lis.Col(0).I64 {
 		if _, ok := okeys[k]; !ok {
 			t.Fatalf("lineitem references missing order %d", k)
 		}
@@ -71,10 +73,10 @@ func TestGenerateKeyIntegrity(t *testing.T) {
 	// Every (l_partkey, l_suppkey) exists in partsupp.
 	pskeys := make(map[[2]int64]struct{})
 	for i := 0; i < ps.Rows(); i++ {
-		pskeys[[2]int64{ps.Col(0).I64[i], ps.Col(1).I64[i]}] = struct{}{}
+		pskeys[[2]int64{pss.Col(0).I64[i], pss.Col(1).I64[i]}] = struct{}{}
 	}
 	for i := 0; i < li.Rows(); i++ {
-		k := [2]int64{li.Col(1).I64[i], li.Col(2).I64[i]}
+		k := [2]int64{lis.Col(1).I64[i], lis.Col(2).I64[i]}
 		if _, ok := pskeys[k]; !ok {
 			t.Fatalf("lineitem row %d references missing partsupp %v", i, k)
 		}
@@ -103,7 +105,7 @@ func TestGenerateDomains(t *testing.T) {
 	if d := li.DistinctCount("l_shipmode"); d != 7 {
 		t.Errorf("l_shipmode distinct = %d, want 7", d)
 	}
-	for _, s := range li.Col(8).Str { // l_returnflag
+	for _, s := range li.Snapshot().Col(8).Str { // l_returnflag (one snapshot; range evaluates once)
 		if s != "R" && s != "A" && s != "N" {
 			t.Fatalf("bad returnflag %q", s)
 		}
@@ -179,12 +181,13 @@ func TestQ6ManualCheck(t *testing.T) {
 	li, _ := testDB.Table("lineitem")
 	lo, hi := vector.DaysFromDate(1994, 1, 1), vector.DaysFromDate(1995, 1, 1)
 	var want float64
+	lis := li.Snapshot()
 	for i := 0; i < li.Rows(); i++ {
-		ship := li.Col(10).I64[i]
-		disc := li.Col(6).F64[i]
-		qty := li.Col(4).I64[i]
+		ship := lis.Col(10).I64[i]
+		disc := lis.Col(6).F64[i]
+		qty := lis.Col(4).I64[i]
 		if ship >= lo && ship < hi && disc >= 0.049 && disc <= 0.071 && qty < 24 {
-			want += li.Col(5).F64[i] * disc
+			want += lis.Col(5).F64[i] * disc
 		}
 	}
 	if diff := got - want; diff > 1e-6 || diff < -1e-6 {

@@ -106,6 +106,25 @@ func (v *Vector) Len() int {
 	}
 }
 
+// Slice returns a value copy of the vector bounded to its first n rows.
+// The copy aliases the underlying storage; rows below n are immutable by
+// the storage layer's epoch contract, so the slice stays valid while
+// writers append beyond it.
+func (v *Vector) Slice(n int) Vector {
+	s := Vector{Typ: v.Typ}
+	switch v.Typ {
+	case Int64, Date:
+		s.I64 = v.I64[:n:n]
+	case Float64:
+		s.F64 = v.F64[:n:n]
+	case String:
+		s.Str = v.Str[:n:n]
+	case Bool:
+		s.B = v.B[:n:n]
+	}
+	return s
+}
+
 // Reset truncates the vector to zero rows, retaining capacity.
 func (v *Vector) Reset() {
 	v.I64 = v.I64[:0]

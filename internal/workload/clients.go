@@ -53,17 +53,28 @@ func (m Mix) Pick(rng *rand.Rand) Query {
 	return Query{}
 }
 
+// WriteFunc performs one write operation (an epoch-committing insert or
+// delete) on behalf of a client. Writes drawn only from rng stay
+// reproducible per client.
+type WriteFunc func(client int, rng *rand.Rand) error
+
 // ClientsConfig configures a multi-client run.
 type ClientsConfig struct {
 	// Clients is the number of concurrent client goroutines.
 	Clients int
 	// Duration bounds the run in wall time (0 = no time bound).
 	Duration time.Duration
-	// MaxQueries bounds the total queries issued across all clients
-	// (0 = no query bound). At least one bound must be set.
+	// MaxQueries bounds the total operations issued across all clients
+	// (0 = no bound). At least one bound must be set.
 	MaxQueries int64
 	// Seed makes the per-client query sequences reproducible.
 	Seed int64
+	// WriteFrac is the probability in [0, 1] that a client issues a
+	// write (via Write) instead of a query on each step — the churn knob
+	// for measuring recycling under updates.
+	WriteFrac float64
+	// Write performs one write; required when WriteFrac > 0.
+	Write WriteFunc
 }
 
 // ClientsResult aggregates a multi-client run.
@@ -72,10 +83,14 @@ type ClientsResult struct {
 	Elapsed   time.Duration
 	Queries   int64
 	Errs      int64
+	Writes    int64
+	WriteErrs int64
 	PerClient []int64
 	PerLabel  map[string]int64
 	// Latencies of successful queries, sorted ascending.
 	Latencies []time.Duration
+	// WriteLatencies of successful writes, sorted ascending.
+	WriteLatencies []time.Duration
 }
 
 // QPS returns the aggregate throughput in queries per second.
@@ -113,10 +128,13 @@ func RunClients(cfg ClientsConfig, mix Mix, exec ExecFunc) *ClientsResult {
 	var issued atomic.Int64
 	var errs atomic.Int64
 
+	var writes, writeErrs atomic.Int64
+
 	type clientTally struct {
-		queries   int64
-		perLabel  map[string]int64
-		latencies []time.Duration
+		queries    int64
+		perLabel   map[string]int64
+		latencies  []time.Duration
+		wlatencies []time.Duration
 	}
 	tallies := make([]clientTally, cfg.Clients)
 	start := time.Now()
@@ -134,6 +152,16 @@ func RunClients(cfg ClientsConfig, mix Mix, exec ExecFunc) *ClientsResult {
 				}
 				if !deadline.IsZero() && !time.Now().Before(deadline) {
 					return
+				}
+				if cfg.WriteFrac > 0 && cfg.Write != nil && rng.Float64() < cfg.WriteFrac {
+					ws := time.Now()
+					if err := cfg.Write(ci, rng); err != nil {
+						writeErrs.Add(1)
+					} else {
+						tally.wlatencies = append(tally.wlatencies, time.Since(ws))
+					}
+					writes.Add(1)
+					continue
 				}
 				q := mix.Pick(rng)
 				if q.Plan == nil {
@@ -156,6 +184,8 @@ func RunClients(cfg ClientsConfig, mix Mix, exec ExecFunc) *ClientsResult {
 		Clients:   cfg.Clients,
 		Elapsed:   time.Since(start),
 		Errs:      errs.Load(),
+		Writes:    writes.Load(),
+		WriteErrs: writeErrs.Load(),
 		PerClient: make([]int64, cfg.Clients),
 		PerLabel:  make(map[string]int64),
 	}
@@ -166,7 +196,9 @@ func RunClients(cfg ClientsConfig, mix Mix, exec ExecFunc) *ClientsResult {
 			res.PerLabel[l] += n
 		}
 		res.Latencies = append(res.Latencies, tallies[ci].latencies...)
+		res.WriteLatencies = append(res.WriteLatencies, tallies[ci].wlatencies...)
 	}
 	sort.Slice(res.Latencies, func(a, b int) bool { return res.Latencies[a] < res.Latencies[b] })
+	sort.Slice(res.WriteLatencies, func(a, b int) bool { return res.WriteLatencies[a] < res.WriteLatencies[b] })
 	return res
 }

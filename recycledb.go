@@ -46,8 +46,20 @@
 // through the same pipeline via Stream (incremental) or ExecuteContext
 // (materialized). Rows.Collect materializes any stream. Failures are
 // classified: errors.Is(err, ErrUnknownTable), errors.Is(err, ErrParse)
-// (with errors.As to *ParseError for the offset), and
-// errors.Is(err, ErrCanceled) for context cancellation.
+// (with errors.As to *ParseError for the offset), errors.Is(err,
+// ErrCanceled) for context cancellation, and errors.Is(err, ErrNotQuery)
+// for DML routed through a streaming entry point.
+//
+// # Updates
+//
+// Tables are writable: Engine.Exec runs INSERT INTO ... VALUES, DELETE
+// FROM ... [WHERE] and CREATE TABLE (with ? bindings and affected-row
+// counts; prepared via Engine.Prepare / Stmt.Exec like queries). Writes
+// are epoch-atomic per table, statements read consistent per-statement
+// snapshots, and committed epochs invalidate exactly the recycler entries
+// that depend on the written table — pure appends extend cached
+// selection/projection results in place instead of evicting them. See the
+// README's "Updates & consistency" section for the full contract.
 package recycledb
 
 import (
@@ -130,17 +142,18 @@ type Engine struct {
 	pool *vector.Pool
 }
 
-// NewWithCatalog creates an engine over an existing catalog, so multiple
-// engines (e.g. one per recycling mode in an experiment) can share one
-// loaded dataset.
-func NewWithCatalog(cfg Config, cat *catalog.Catalog) *Engine {
-	e := New(cfg)
-	e.cat = cat
-	return e
-}
-
 // New creates an engine with an empty catalog.
 func New(cfg Config) *Engine {
+	return NewWithCatalog(cfg, catalog.New())
+}
+
+// NewWithCatalog creates an engine over an existing catalog, so multiple
+// engines (e.g. one per recycling mode in an experiment) can share one
+// loaded dataset. Every engine registers a commit listener on the catalog:
+// committed write epochs — whoever performs them — invalidate (or
+// delta-extend) the engine's dependent cached results before the writer
+// lock is released.
+func NewWithCatalog(cfg Config, cat *catalog.Catalog) *Engine {
 	ccfg := core.DefaultConfig()
 	switch {
 	case cfg.CacheBytes < 0:
@@ -169,14 +182,48 @@ func New(cfg Config) *Engine {
 		planCap = DefaultPlanCacheSize
 	}
 	e := &Engine{
-		cat:   catalog.New(),
+		cat:   cat,
 		rec:   core.New(ccfg),
 		plans: newPlanCache(planCap),
 		vsz:   cfg.VectorSize,
 		pool:  &vector.Pool{},
 	}
 	e.mode.Store(int32(cfg.Mode))
+	cat.OnCommit(e.onCommit)
 	return e
+}
+
+// onCommit is the catalog commit listener: one committed write epoch walks
+// the recycler cache invalidating only dependents of the written table,
+// delta-extending append-only dependents instead of evicting them. It runs
+// under the committing table's writer lock, so invalidation is ordered
+// before the table's next epoch.
+func (e *Engine) onCommit(t *catalog.Table, info catalog.CommitInfo) {
+	e.rec.InvalidateTable(info.Table, info.AppendOnly, info.Ver, info.Rows, e.extendEntry)
+}
+
+// extendEntry computes a cached entry's append delta: the entry's subplan
+// re-runs over only the newly appended rows [lo, hi) of table, and the
+// resulting batches are appended to the cached result by the recycler.
+func (e *Engine) extendEntry(entry *core.Entry, table string, lo, hi int64) ([]*vector.Batch, int64, int64, bool) {
+	if entry.Plan == nil {
+		return nil, 0, 0, false
+	}
+	ectx := &exec.Ctx{
+		Cat:        e.cat,
+		VectorSize: e.vsz,
+		Pool:       e.pool,
+		ScanFrom:   map[string]int{table: int(lo)},
+	}
+	op, err := exec.Build(ectx, entry.Plan, nil, nil)
+	if err != nil {
+		return nil, 0, 0, false
+	}
+	res, err := exec.Run(ectx, op)
+	if err != nil {
+		return nil, 0, 0, false
+	}
+	return res.Batches, int64(res.Rows()), res.Bytes(), true
 }
 
 // Catalog returns the engine's catalog for loading tables and functions.
@@ -213,11 +260,16 @@ type QueryStats struct {
 }
 
 // Result is a fully materialized query result plus recycler statistics.
+// DML executed through Stmt.Exec yields a Result with an empty schema and
+// RowsAffected set.
 type Result struct {
 	Schema  catalog.Schema
 	Batches []*Batch
 	Stats   QueryStats
-	res     *catalog.Result
+	// RowsAffected is the number of rows a DML statement inserted or
+	// deleted (zero for queries and CREATE TABLE).
+	RowsAffected int64
+	res          *catalog.Result
 }
 
 // Rows returns the total number of result rows.
@@ -285,12 +337,33 @@ func (e *Engine) stream(ctx context.Context, p *plan.Node) (*Rows, error) {
 	if err := p.Resolve(e.cat); err != nil {
 		return nil, fmt.Errorf("recycledb: resolve: %w", err)
 	}
+	// Capture the statement's data epoch: one snapshot per base table in
+	// the plan's lineage, taken before rewriting. Cache substitution
+	// validates entries against these versions and the scans read exactly
+	// these snapshots, so a statement observes one consistent epoch from
+	// front to back even while writers commit.
+	snaps := make(map[string]*catalog.Snapshot)
+	vers := make(map[string]core.TableSnap)
+	for _, name := range p.Lineage() {
+		if name == plan.LineageAll {
+			continue
+		}
+		tbl, err := e.cat.Table(name)
+		if err != nil {
+			continue // resolve already vetted; races surface at build
+		}
+		s := tbl.Snapshot()
+		snaps[name] = s
+		vers[name] = core.TableSnap{Ver: s.Ver, Rows: int64(s.Rows)}
+	}
 	rw := rewrite.NewRewriter(e.rec, e.cat, e.Mode())
+	rw.SnapVers = vers
+	rw.GlobalVer = e.cat.DataVersion()
 	rres, err := rw.Rewrite(p)
 	if err != nil {
 		return nil, fmt.Errorf("recycledb: rewrite: %w", err)
 	}
-	ectx := &exec.Ctx{Cat: e.cat, VectorSize: e.vsz, Context: ctx, Pool: e.pool}
+	ectx := &exec.Ctx{Cat: e.cat, VectorSize: e.vsz, Context: ctx, Pool: e.pool, Snaps: snaps}
 	opmap := make(map[*plan.Node]exec.Operator)
 	op, err := exec.Build(ectx, rres.Exec, rres.Decor, opmap)
 	if err != nil {

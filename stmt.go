@@ -7,61 +7,86 @@ import (
 	"sync"
 	"time"
 
+	"recycledb/internal/catalog"
 	"recycledb/internal/sql"
 	"recycledb/internal/vector"
 )
 
-// Stmt is a prepared statement: a plan template compiled once and executed
-// many times with different ? bindings. Identical bindings canonicalize to
-// the same recycler-graph shape, so recycling keeps matching across
-// executions of a prepared statement exactly as it does for repeated
-// ad-hoc queries.
+// Stmt is a prepared statement: a statement compiled once and executed many
+// times with different ? bindings — a SELECT plan template, or a validated
+// DML form (INSERT / DELETE / CREATE TABLE). For queries, identical
+// bindings canonicalize to the same recycler-graph shape, so recycling
+// keeps matching across executions of a prepared statement exactly as it
+// does for repeated ad-hoc queries.
 //
 // A Stmt is safe for concurrent use: every execution binds into its own
 // clone of the compiled template.
 type Stmt struct {
 	eng  *Engine
 	text string // normalized statement text (the plan-cache key)
-	tmpl *sql.Template
+	c    *sql.Compiled
 }
 
-// Prepare compiles query into a reusable statement. Compiled plans are
-// cached in the engine's bounded LRU keyed by normalized statement text, so
-// preparing (or Querying) the same text repeatedly skips the front-end.
-// Cached plans are versioned against the catalog: a schema change
-// (AddTable replacing a table, a new function) invalidates them, so a
-// statement never executes against a stale schema snapshot.
+// Prepare compiles a statement — SELECT or DML — into a reusable handle.
+// Compiled statements are cached in the engine's bounded LRU keyed by
+// normalized text, so preparing (or Querying, or Execing) the same text
+// repeatedly skips the front-end. Cached statements are versioned against
+// the catalog schema: a schema change (CREATE TABLE, AddTable replacing a
+// table, a new function) invalidates them, so a statement never executes
+// against a stale schema snapshot. Data changes do not invalidate compiled
+// plans — they are re-snapshotted at every execution.
 func (e *Engine) Prepare(query string) (*Stmt, error) {
 	key := sql.Normalize(query)
 	ver := e.cat.Version()
-	if tmpl := e.plans.get(key, ver); tmpl != nil {
-		return &Stmt{eng: e, text: key, tmpl: tmpl}, nil
+	if c := e.plans.get(key, ver); c != nil {
+		return &Stmt{eng: e, text: key, c: c}, nil
 	}
-	tmpl, err := sql.CompileTemplate(query, e.cat)
+	c, err := sql.CompileStatement(query, e.cat)
 	if err != nil {
 		return nil, wrapSQLError(err)
 	}
-	e.plans.put(key, tmpl, ver)
-	return &Stmt{eng: e, text: key, tmpl: tmpl}, nil
+	e.plans.put(key, c, ver)
+	return &Stmt{eng: e, text: key, c: c}, nil
 }
+
+// IsQuery reports whether the statement is a SELECT (streamable via Query)
+// as opposed to DML (runnable via Exec only).
+func (s *Stmt) IsQuery() bool { return s.c.Kind == sql.StmtSelect }
 
 // Query executes the statement with the given parameter bindings and
 // streams the result. Supported binding types: int, int32, int64, float32,
-// float64, string, bool, time.Time (as a date), and Datum.
+// float64, string, bool, time.Time (as a date), and Datum. DML statements
+// are rejected with ErrNotQuery; use Exec.
 func (s *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
+	if s.c.Kind != sql.StmtSelect {
+		return nil, fmt.Errorf("%w: %v statement", ErrNotQuery, s.c.Kind)
+	}
 	ds, err := toDatums(args)
 	if err != nil {
 		return nil, err
 	}
-	p, err := s.tmpl.Bind(ds)
+	p, err := s.c.Query.Bind(ds)
 	if err != nil {
 		return nil, fmt.Errorf("recycledb: bind: %w", err)
 	}
 	return s.eng.stream(ctx, p)
 }
 
-// Exec executes the statement and materializes the full result.
+// Exec executes the statement to completion. For SELECTs it materializes
+// the full result; for DML it performs the writes and returns a Result with
+// an empty schema and RowsAffected set.
 func (s *Stmt) Exec(ctx context.Context, args ...any) (*Result, error) {
+	if s.c.Kind != sql.StmtSelect {
+		ds, err := toDatums(args)
+		if err != nil {
+			return nil, err
+		}
+		n, err := s.eng.execDML(ctx, s.c, ds)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{res: &catalog.Result{}, RowsAffected: n}, nil
+	}
 	rows, err := s.Query(ctx, args...)
 	if err != nil {
 		return nil, err
@@ -70,7 +95,7 @@ func (s *Stmt) Exec(ctx context.Context, args ...any) (*Result, error) {
 }
 
 // NumParams returns the number of ? placeholders in the statement.
-func (s *Stmt) NumParams() int { return s.tmpl.NumParams }
+func (s *Stmt) NumParams() int { return s.c.NumParams() }
 
 // Text returns the normalized statement text.
 func (s *Stmt) Text() string { return s.text }
@@ -105,10 +130,10 @@ func toDatums(args []any) ([]vector.Datum, error) {
 	return out, nil
 }
 
-// planCache is a mutex-guarded LRU of compiled statement templates keyed by
-// normalized SQL text. Entries remember the catalog version they compiled
-// against and are dropped when it moves on. A zero or negative capacity
-// disables caching.
+// planCache is a mutex-guarded LRU of compiled statements keyed by
+// normalized SQL text. Entries remember the catalog schema version they
+// compiled against and are dropped when it moves on. A zero or negative
+// capacity disables caching.
 type planCache struct {
 	mu  sync.Mutex
 	max int
@@ -118,7 +143,7 @@ type planCache struct {
 
 type planEntry struct {
 	key  string
-	tmpl *sql.Template
+	tmpl *sql.Compiled
 	ver  int64
 }
 
@@ -126,7 +151,7 @@ func newPlanCache(max int) *planCache {
 	return &planCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
-func (c *planCache) get(key string, ver int64) *sql.Template {
+func (c *planCache) get(key string, ver int64) *sql.Compiled {
 	if c.max <= 0 {
 		return nil
 	}
@@ -146,7 +171,7 @@ func (c *planCache) get(key string, ver int64) *sql.Template {
 	return pe.tmpl
 }
 
-func (c *planCache) put(key string, tmpl *sql.Template, ver int64) {
+func (c *planCache) put(key string, tmpl *sql.Compiled, ver int64) {
 	if c.max <= 0 {
 		return
 	}
