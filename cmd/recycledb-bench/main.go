@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"recycledb/internal/catalog"
 	"recycledb/internal/harness"
 	"recycledb/internal/monet"
 	"recycledb/internal/workload"
@@ -51,11 +52,13 @@ func main() {
 		clients   = flag.Int("clients", 8, "client goroutines for -json")
 		bqueries  = flag.Int64("bqueries", 2000, "query budget per mode for -json")
 		writeFrac = flag.Float64("write-frac", 0.1, "write fraction of the -json churn section (0 disables it)")
+		par       = flag.Int("parallelism", 0, "intra-query worker budget for -json (0 = GOMAXPROCS)")
+		scaleOff  = flag.Bool("no-scaling", false, "skip the intra-query scaling sweep in -json")
 	)
 	flag.Parse()
 
 	if *jsonMode {
-		if err := runJSON(*jsonOut, *clients, *bqueries, *sf, *seed, *writeFrac); err != nil {
+		if err := runJSON(*jsonOut, *clients, *bqueries, *sf, *seed, *writeFrac, *par, !*scaleOff); err != nil {
 			fatal(err)
 		}
 		return
@@ -177,12 +180,28 @@ type benchReport struct {
 	SF         float64     `json:"sf"`
 	Seed       int64       `json:"seed"`
 	Modes      []benchMode `json:"modes"`
+	// Parallelism is the intra-query worker budget of the modes runs
+	// (0 = GOMAXPROCS).
+	Parallelism int `json:"parallelism"`
 	// Churn measures recycling under append-only updates: the pipelined
 	// recycler's lineage-based invalidation with delta extension keeps a
 	// nonzero hit rate, while the monet-style invalidate-all baseline
 	// collapses. WriteFrac 0 omits the section.
 	WriteFrac float64      `json:"write_frac,omitempty"`
 	Churn     []*churnMode `json:"churn,omitempty"`
+	// Scaling sweeps the intra-query worker budget for one client: the
+	// morsel-parallel speedup of a single statement per recycling mode.
+	Scaling []*scaleRow `json:"scaling,omitempty"`
+}
+
+// scaleRow is one (mode, workers) cell of the intra-query scaling sweep.
+type scaleRow struct {
+	Mode          string  `json:"mode"`
+	Workers       int     `json:"workers"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	P95Micros     int64   `json:"p95_us"`
+	// SpeedupVs1 is q/s relative to the same mode at Workers=1.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
 }
 
 // runJSON drives the TPC-H client mix against one engine per recycling mode
@@ -190,7 +209,7 @@ type benchReport struct {
 // runtime.MemStats delta across the timed run divided by completed queries,
 // so the number covers the whole serving path (parse-free: plans come from
 // the mix, so this isolates rewrite+execute).
-func runJSON(out string, clients int, queries int64, sf float64, seed int64, writeFrac float64) error {
+func runJSON(out string, clients int, queries int64, sf float64, seed int64, writeFrac float64, parallelism int, scaling bool) error {
 	if out == "" {
 		out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
 	}
@@ -199,16 +218,17 @@ func runJSON(out string, clients int, queries int64, sf float64, seed int64, wri
 	cfg.Seed = seed
 	cat := harness.LoadTPCH(cfg)
 	rep := benchReport{
-		Date:       time.Now().Format("2006-01-02"),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Clients:    clients,
-		Queries:    queries,
-		SF:         sf,
-		Seed:       seed,
+		Date:        time.Now().Format("2006-01-02"),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Clients:     clients,
+		Queries:     queries,
+		SF:          sf,
+		Seed:        seed,
+		Parallelism: parallelism,
 	}
 	for _, mode := range harness.Modes {
-		eng := harness.NewEngine(cat, mode, cfg.CacheBytes)
+		eng := harness.NewEngineParallel(cat, mode, cfg.CacheBytes, parallelism)
 		mix := harness.TPCHMix(4, 1)
 		exec := harness.EngineExec(eng)
 		// Warm plan pools and (in recycling modes) the cache so the timed
@@ -245,6 +265,9 @@ func runJSON(out string, clients int, queries int64, sf float64, seed int64, wri
 		if err := runChurn(&rep, clients, queries, cfg, writeFrac); err != nil {
 			return err
 		}
+	}
+	if scaling {
+		runScaling(&rep, queries, cat, cfg.CacheBytes)
 	}
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -340,4 +363,47 @@ func parseStreams(s string) ([]int, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "recycledb-bench:", err)
 	os.Exit(1)
+}
+
+// runScaling sweeps the intra-query worker budget with a single client per
+// run, so each statement owns the whole budget: this is the morsel-driven
+// speedup of one query, per recycling mode, on this machine. Speedups are
+// relative to the same mode at one worker; on a box with W cores the
+// scan-heavy TPC-H mix should approach min(W, workers) until merge and
+// serial consumers dominate.
+func runScaling(rep *benchReport, queries int64, cat *catalog.Catalog, cacheBytes int64) {
+	fmt.Printf("--- intra-query scaling (1 client) ---\n")
+	budget := queries / 4
+	if budget < 100 {
+		budget = 100
+	}
+	for _, mode := range harness.Modes {
+		base := 0.0
+		for _, workers := range []int{1, 2, 4, 8, 16} {
+			eng := harness.NewEngineParallel(cat, mode, cacheBytes, workers)
+			mix := harness.TPCHMix(4, 1)
+			exec := harness.EngineExec(eng)
+			workload.RunClients(workload.ClientsConfig{
+				Clients: 1, MaxQueries: 32, Seed: 11,
+			}, mix, exec) // warm
+			res := workload.RunClients(workload.ClientsConfig{
+				Clients: 1, MaxQueries: budget, Seed: 2,
+			}, mix, exec)
+			row := &scaleRow{
+				Mode:          fmt.Sprintf("%v", mode),
+				Workers:       workers,
+				QueriesPerSec: res.QPS(),
+				P95Micros:     res.Percentile(95).Microseconds(),
+			}
+			if workers == 1 {
+				base = row.QueriesPerSec
+			}
+			if base > 0 {
+				row.SpeedupVs1 = row.QueriesPerSec / base
+			}
+			rep.Scaling = append(rep.Scaling, row)
+			fmt.Printf("%-12s %2d workers %8.0f q/s  p95 %6dus  speedup %.2fx\n",
+				row.Mode, row.Workers, row.QueriesPerSec, row.P95Micros, row.SpeedupVs1)
+		}
+	}
 }

@@ -43,10 +43,11 @@ func main() {
 		clients   = flag.Int("clients", 0, "run a non-interactive multi-client benchmark with this many concurrent clients")
 		duration  = flag.Duration("duration", 5*time.Second, "duration of the -clients benchmark")
 		writeFrac = flag.Float64("write-frac", 0, "fraction of -clients operations that are writes (appends to lineitem)")
+		par       = flag.Int("parallelism", 0, "intra-query worker budget (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
-	eng := recycledb.New(recycledb.Config{Mode: parseMode(*mode)})
+	eng := recycledb.New(recycledb.Config{Mode: parseMode(*mode), Parallelism: *par})
 	fmt.Printf("loading TPC-H sf=%g ...\n", *sf)
 	tpch.Generate(eng.Catalog(), *sf, 1)
 	if *clients > 0 {

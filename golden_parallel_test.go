@@ -1,0 +1,148 @@
+package recycledb_test
+
+// Golden equivalence across parallelism degrees: every TPC-H and SkyServer
+// query must produce the same canonical result at Parallelism 1, 4 and 8,
+// in every recycling mode and against the monet-style baseline, cold and
+// warm cache — and keep doing so while DML commits new epochs between
+// rounds. The parallel executor's determinism contract is stronger than
+// canonical equality (morsel-ordered merges reproduce serial batch order),
+// but this is the end-to-end check that recycling decisions, cached
+// results, snapshot validation, and delta extension are all
+// parallelism-independent.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"recycledb"
+
+	"recycledb/internal/exec"
+	"recycledb/internal/harness"
+	"recycledb/internal/monet"
+	"recycledb/internal/workload"
+)
+
+func TestGoldenEquivalenceAcrossParallelism(t *testing.T) {
+	// Small vectors shrink the morsel size (16 x vector) so the ~12k-row
+	// lineitem and the 10k-row PhotoPrimary both clear the
+	// split-worthiness threshold and actually exercise the parallel paths.
+	const vsz = 256
+	cat := harness.MixedCatalog(0.002, 10000, 1)
+	queries := goldenQueries()
+
+	base := recycledb.NewWithCatalog(
+		recycledb.Config{Mode: recycledb.Off, Parallelism: 1, VectorSize: vsz}, cat)
+
+	type pareng struct {
+		label string
+		eng   *recycledb.Engine
+	}
+	var engines []pareng
+	for _, mode := range harness.Modes {
+		for _, par := range []int{1, 4, 8} {
+			engines = append(engines, pareng{
+				label: fmt.Sprintf("%v/par=%d", mode, par),
+				eng: recycledb.NewWithCatalog(
+					recycledb.Config{Mode: mode, Parallelism: par, VectorSize: vsz}, cat),
+			})
+		}
+	}
+	meng := monet.New(cat, monet.NewRecycler(0))
+
+	fragsBefore := exec.ParallelFragmentsBuilt()
+	rng := rand.New(rand.NewSource(123))
+	rounds := []struct {
+		name string
+		ops  []workload.WriteFunc
+	}{
+		{"initial", nil},
+		{"appends", []workload.WriteFunc{
+			harness.SyntheticAppender(cat, "lineitem", 50),
+			harness.SyntheticAppender(cat, "orders", 20),
+		}},
+		{"deletes+appends", []workload.WriteFunc{
+			harness.SyntheticDeleter(cat, "lineitem", 40),
+			harness.SyntheticAppender(cat, "PhotoPrimary", 30),
+		}},
+	}
+	for _, round := range rounds {
+		for _, op := range round.ops {
+			if err := op(0, rng); err != nil {
+				t.Fatalf("%s: write: %v", round.name, err)
+			}
+		}
+		// Ground truth for this epoch from the serial no-recycling engine.
+		want := make([]map[string]*canonRow, len(queries))
+		for i, q := range queries {
+			r, err := base.ExecuteContext(context.Background(), q.Plan)
+			if err != nil {
+				t.Fatalf("%s: baseline %s: %v", round.name, q.Label, err)
+			}
+			want[i] = canonResult(r)
+		}
+		// Cold-ish then warm pass per engine: the second pass replays
+		// whatever the first admitted (including parallel-produced cache
+		// entries) and must still match.
+		for _, pe := range engines {
+			for pass := 0; pass < 2; pass++ {
+				for i, q := range queries {
+					r, err := pe.eng.ExecuteContext(context.Background(), q.Plan)
+					if err != nil {
+						t.Fatalf("%s: %s pass %d %s: %v", round.name, pe.label, pass, q.Label, err)
+					}
+					if d := canonDiff(want[i], canonResult(r)); d != "" {
+						t.Fatalf("%s: %s pass %d %s: %s", round.name, pe.label, pass, q.Label, d)
+					}
+				}
+			}
+		}
+		for i, q := range queries {
+			r, err := meng.Execute(q.Plan)
+			if err != nil {
+				t.Fatalf("%s: monet %s: %v", round.name, q.Label, err)
+			}
+			if d := canonDiff(want[i], canonBatches(r.Schema, r.Batches)); d != "" {
+				t.Fatalf("%s: monet %s: %s", round.name, q.Label, d)
+			}
+		}
+	}
+
+	// Sanity: the matrix really exercised parallel fragments — an engine
+	// whose plans all fell back to serial would make this test vacuous.
+	if got := exec.ParallelFragmentsBuilt() - fragsBefore; got == 0 {
+		t.Fatal("no parallel fragments were built; the equivalence matrix ran fully serial")
+	}
+	// Recycling decisions must also be parallelism-independent: compare
+	// each mode's recycler stats between its serial and 8-way engines.
+	for _, mode := range harness.Modes[1:] { // skip Off: no recycler work
+		var serial, par8 *recycledb.Engine
+		for _, pe := range engines {
+			if pe.label == fmt.Sprintf("%v/par=1", mode) {
+				serial = pe.eng
+			}
+			if pe.label == fmt.Sprintf("%v/par=8", mode) {
+				par8 = pe.eng
+			}
+		}
+		ss, ps := serial.Recycler().Stats(), par8.Recycler().Stats()
+		if ss.Queries != ps.Queries {
+			t.Fatalf("mode %v: query counts diverged: %d vs %d", mode, ss.Queries, ps.Queries)
+		}
+		// Reuse behaviour must be parallelism-independent within a small
+		// tolerance (timing-dependent speculation can differ slightly).
+		tol := ss.Reuses / 10
+		if tol < 8 {
+			tol = 8
+		}
+		diff := ss.Reuses - ps.Reuses
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tol {
+			t.Errorf("mode %v: exact reuses diverged beyond tolerance: serial %d vs par8 %d",
+				mode, ss.Reuses, ps.Reuses)
+		}
+	}
+}

@@ -16,6 +16,333 @@ type AggExpr struct {
 	Typ  vector.Type // output type (resolved by the planner)
 }
 
+// acc is a single aggregate accumulator.
+type acc struct {
+	i   int64
+	f   float64
+	s   string
+	cnt int64
+	set bool
+}
+
+// groupOrd is a group's first-occurrence position in the morsel-ordered
+// input stream: the morsel index and the running row offset within that
+// morsel's (filtered) tuple flow. Serial execution discovers groups in
+// exactly ascending groupOrd, so sorting a merged parallel aggregation by
+// groupOrd reproduces the serial engine's group emission order bit for bit
+// (see ParallelAgg).
+type groupOrd struct {
+	morsel int
+	row    int64
+}
+
+func (a groupOrd) less(b groupOrd) bool {
+	if a.morsel != b.morsel {
+		return a.morsel < b.morsel
+	}
+	return a.row < b.row
+}
+
+// aggState is the accumulation core shared by the serial HashAgg operator
+// and the per-worker partial aggregations of ParallelAgg: the group
+// directory (open-addressing table keyed by columnar hashes, verified with
+// typed comparators against the stored key rows) plus one accumulator per
+// (aggregate, group). Partial states built over disjoint input partitions
+// merge losslessly with mergeFrom — count/sum/avg/min/max accumulators all
+// carry enough to combine.
+type aggState struct {
+	groupCols []int // group-by column indexes in the input schema
+	aggs      []AggExpr
+	scalar    bool
+
+	table     oaTable
+	groupHash []uint64      // per group
+	keyRows   *vector.Batch // one row per group: the group-by column values
+	keyCols   []int         // 0..len(groupCols)-1, the keyRows columns
+	accs      [][]acc       // accs[agg][group]
+	nGroups   int
+
+	rowH   []uint64         // per-batch scratch: group hashes
+	argVec []*vector.Vector // per-batch scratch: evaluated aggregate args
+	argTmp *vector.Vector   // coercion scratch for EvalAsScratch
+
+	// trackOrd enables first-occurrence tracking for parallel merges.
+	trackOrd  bool
+	ord       []groupOrd // per group
+	curMorsel int
+	rowBase   int64
+}
+
+// open draws scratch from the pool. inSchema is the aggregation input
+// schema (the child operator's).
+func (st *aggState) open(ctx *Ctx, inSchema catalog.Schema) {
+	st.nGroups = 0
+	st.groupHash = st.groupHash[:0]
+	st.ord = st.ord[:0]
+	st.curMorsel = 0
+	st.rowBase = 0
+	st.scalar = len(st.groupCols) == 0
+	st.accs = make([][]acc, len(st.aggs))
+	keyTypes := make([]vector.Type, len(st.groupCols))
+	st.keyCols = make([]int, len(st.groupCols))
+	for i, c := range st.groupCols {
+		keyTypes[i] = inSchema[c].Typ
+		st.keyCols[i] = i
+	}
+	st.keyRows = ctx.pool().GetBatch(keyTypes, 64)
+	st.table.init(64)
+	if st.argVec == nil {
+		st.argVec = make([]*vector.Vector, len(st.aggs))
+	}
+	for a, ag := range st.aggs {
+		if ag.Arg != nil {
+			st.argVec[a] = ctx.pool().Get(argType(ag), ctx.vecSize())
+		}
+	}
+	st.argTmp = ctx.pool().Get(vector.Float64, ctx.vecSize())
+}
+
+// close returns scratch to the pool.
+func (st *aggState) close(ctx *Ctx) {
+	pool := ctx.pool()
+	if st.keyRows != nil {
+		pool.PutBatch(st.keyRows)
+		st.keyRows = nil
+	}
+	for a, v := range st.argVec {
+		if v != nil {
+			pool.Put(v)
+			st.argVec[a] = nil
+		}
+	}
+	if st.argTmp != nil {
+		pool.Put(st.argTmp)
+		st.argTmp = nil
+	}
+	st.accs = nil
+	st.table.buckets = nil
+	st.groupHash = nil
+	st.ord = nil
+}
+
+// startMorsel positions the order clock at the head of morsel m.
+func (st *aggState) startMorsel(m int) {
+	st.curMorsel = m
+	st.rowBase = 0
+}
+
+// lookupGroup resolves the group id for physical row r of in (whose group
+// hash is gh), inserting a new group if needed. inCols maps the state's key
+// positions to in's columns; ord is the row's stream position (recorded for
+// new groups when trackOrd is on).
+func (st *aggState) lookupGroup(gh uint64, in *vector.Batch, r int, inCols []int, ord groupOrd) int {
+	s := st.table.slot(gh)
+	for {
+		g := st.table.buckets[s]
+		if g < 0 {
+			break
+		}
+		if st.groupHash[g] == gh &&
+			keyRowsEqual(st.keyRows, int(g), st.keyCols, in, r, inCols) {
+			return int(g)
+		}
+		s = (s + 1) & st.table.mask
+	}
+	// New group: record its key row, hash, and fresh accumulators.
+	g := st.nGroups
+	st.nGroups++
+	st.groupHash = append(st.groupHash, gh)
+	for k, c := range inCols {
+		st.keyRows.Vecs[k].AppendFrom(in.Vecs[c], r)
+	}
+	for a := range st.aggs {
+		st.accs[a] = append(st.accs[a], acc{})
+	}
+	if st.trackOrd {
+		st.ord = append(st.ord, ord)
+	}
+	st.table.buckets[s] = int32(g)
+	if st.nGroups*4 >= len(st.table.buckets)*3 {
+		st.grow()
+	}
+	return g
+}
+
+// grow doubles the directory and reinserts every group by its stored hash.
+func (st *aggState) grow() {
+	st.table.init(len(st.table.buckets)) // init sizes to 2x entries
+	for g, gh := range st.groupHash {
+		s := st.table.slot(gh)
+		for st.table.buckets[s] >= 0 {
+			s = (s + 1) & st.table.mask
+		}
+		st.table.buckets[s] = int32(g)
+	}
+}
+
+// absorb folds one input batch into the state.
+func (st *aggState) absorb(in *vector.Batch) error {
+	n := in.Len()
+	if n == 0 {
+		return nil
+	}
+	// Evaluate aggregate arguments once per batch (selection-aware),
+	// coercing to the accumulator's type (avg over an int column
+	// accumulates floats).
+	for a, ag := range st.aggs {
+		if ag.Arg == nil {
+			continue
+		}
+		st.argVec[a].Reset()
+		if err := expr.EvalAsScratch(ag.Arg, in, st.argVec[a], argType(ag), st.argTmp); err != nil {
+			return err
+		}
+	}
+	if st.scalar {
+		st.ensureScalarGroup()
+		for a, ag := range st.aggs {
+			accs := st.accs[a]
+			for i := 0; i < n; i++ {
+				update(&accs[0], ag, st.argVec[a], i)
+			}
+		}
+		st.rowBase += int64(n)
+		return nil
+	}
+	if cap(st.rowH) < n {
+		st.rowH = make([]uint64, n)
+	}
+	st.rowH = st.rowH[:n]
+	hashColumns(in, st.groupCols, st.rowH)
+	sel := in.Sel
+	for i := 0; i < n; i++ {
+		r := i
+		if sel != nil {
+			r = int(sel[i])
+		}
+		g := st.lookupGroup(st.rowH[i], in, r, st.groupCols,
+			groupOrd{st.curMorsel, st.rowBase + int64(i)})
+		for a, ag := range st.aggs {
+			update(&st.accs[a][g], ag, st.argVec[a], i)
+		}
+	}
+	st.rowBase += int64(n)
+	return nil
+}
+
+// ensureScalarGroup guarantees the single output row of a scalar
+// aggregation exists (even over empty input).
+func (st *aggState) ensureScalarGroup() {
+	if st.nGroups == 0 {
+		st.nGroups = 1
+		for a := range st.aggs {
+			st.accs[a] = append(st.accs[a], acc{})
+		}
+		if st.trackOrd {
+			st.ord = append(st.ord, groupOrd{})
+		}
+	}
+}
+
+// mergeFrom folds src's groups into st. Both states must share the same
+// aggregate shapes; src must be order-tracked if st is.
+func (st *aggState) mergeFrom(src *aggState) {
+	if src.nGroups == 0 {
+		return
+	}
+	if st.scalar {
+		st.ensureScalarGroup()
+		for a, ag := range st.aggs {
+			mergeAcc(&st.accs[a][0], &src.accs[a][0], ag)
+		}
+		return
+	}
+	for g := 0; g < src.nGroups; g++ {
+		var ord groupOrd
+		if src.trackOrd {
+			ord = src.ord[g]
+		}
+		dst := st.lookupGroup(src.groupHash[g], src.keyRows, g, src.keyCols, ord)
+		for a, ag := range st.aggs {
+			mergeAcc(&st.accs[a][dst], &src.accs[a][g], ag)
+		}
+		if st.trackOrd && src.trackOrd && src.ord[g].less(st.ord[dst]) {
+			st.ord[dst] = src.ord[g]
+		}
+	}
+}
+
+// mergeAcc combines two partial accumulators for one aggregate. The
+// accumulator representation is closed under merging: counts and sums add,
+// avg carries (sum, count), min/max compare with the set flag guarding
+// never-updated partials.
+func mergeAcc(dst, src *acc, ag AggExpr) {
+	switch ag.Func {
+	case plan.Count:
+		dst.cnt += src.cnt
+	case plan.Sum:
+		dst.i += src.i
+		dst.f += src.f
+	case plan.Avg:
+		dst.f += src.f
+		dst.cnt += src.cnt
+	case plan.Min, plan.Max:
+		if !src.set {
+			return
+		}
+		if !dst.set {
+			*dst = *src
+			return
+		}
+		min := ag.Func == plan.Min
+		switch argType(ag) {
+		case vector.Int64, vector.Date:
+			if (min && src.i < dst.i) || (!min && src.i > dst.i) {
+				dst.i = src.i
+			}
+		case vector.Float64:
+			if (min && src.f < dst.f) || (!min && src.f > dst.f) {
+				dst.f = src.f
+			}
+		case vector.String:
+			if (min && src.s < dst.s) || (!min && src.s > dst.s) {
+				dst.s = src.s
+			}
+		}
+	}
+}
+
+// emitRange appends groups [lo, hi) in group-id order: keys column-wise,
+// accumulators finalized row-wise.
+func (st *aggState) emitRange(out *vector.Batch, lo, hi int) {
+	nk := len(st.groupCols)
+	for k := 0; k < nk; k++ {
+		out.Vecs[k].AppendRange(st.keyRows.Vecs[k], lo, hi)
+	}
+	for a, ag := range st.aggs {
+		outV := out.Vecs[nk+a]
+		accs := st.accs[a]
+		for g := lo; g < hi; g++ {
+			emitAcc(outV, &accs[g], ag)
+		}
+	}
+}
+
+// emitIndex appends the groups listed in idx, in idx order.
+func (st *aggState) emitIndex(out *vector.Batch, idx []int32) {
+	nk := len(st.groupCols)
+	for k := 0; k < nk; k++ {
+		out.Vecs[k].AppendGather(st.keyRows.Vecs[k], idx)
+	}
+	for a, ag := range st.aggs {
+		outV := out.Vecs[nk+a]
+		accs := st.accs[a]
+		for _, g := range idx {
+			emitAcc(outV, &accs[g], ag)
+		}
+	}
+}
+
 // HashAgg is a blocking grouped aggregation. With no group columns it
 // produces exactly one row (the scalar-aggregate convention used by the
 // decorrelated TPC-H plans).
@@ -26,34 +353,18 @@ type AggExpr struct {
 // the stored per-group hash and the group's key row with typed column
 // comparators). No per-row key bytes are encoded or allocated; the old
 // byte-string path survives only as the reference slow path in key.go.
+// The accumulation core lives in aggState so ParallelAgg's per-worker
+// partial aggregations share it.
 type HashAgg struct {
 	base
 	Child     Operator
 	GroupCols []int // group-by column indexes in the child schema
 	Aggs      []AggExpr
 
-	built     bool
-	table     oaTable
-	groupHash []uint64      // per group
-	keyRows   *vector.Batch // one row per group: the group-by column values
-	keyCols   []int         // 0..len(GroupCols)-1, the keyRows columns
-	accs      [][]acc       // accs[agg][group]
-	emit      int           // next group to emit
-	nGroups   int
-	out       *vector.Batch // pooled
-
-	rowH   []uint64         // per-batch scratch: group hashes
-	argVec []*vector.Vector // per-batch scratch: evaluated aggregate args
-	argTmp *vector.Vector   // coercion scratch for EvalAsScratch
-}
-
-// acc is a single aggregate accumulator.
-type acc struct {
-	i   int64
-	f   float64
-	s   string
-	cnt int64
-	set bool
+	st    aggState
+	built bool
+	emit  int           // next group to emit
+	out   *vector.Batch // pooled
 }
 
 // NewHashAgg builds a grouped aggregation over child.
@@ -66,76 +377,14 @@ func (h *HashAgg) Open(ctx *Ctx) error {
 	defer h.addCost(time.Now())
 	h.built = false
 	h.emit = 0
-	h.nGroups = 0
-	h.groupHash = h.groupHash[:0]
-	h.accs = make([][]acc, len(h.Aggs))
-	keyTypes := make([]vector.Type, len(h.GroupCols))
-	h.keyCols = make([]int, len(h.GroupCols))
-	for i, c := range h.GroupCols {
-		keyTypes[i] = h.Child.Schema()[c].Typ
-		h.keyCols[i] = i
-	}
-	h.keyRows = ctx.pool().GetBatch(keyTypes, 64)
+	h.st.groupCols = h.GroupCols
+	h.st.aggs = h.Aggs
+	h.st.open(ctx, h.Child.Schema())
 	h.out = ctx.pool().GetBatch(h.schema.Types(), ctx.vecSize())
-	h.table.init(64)
-	if h.argVec == nil {
-		h.argVec = make([]*vector.Vector, len(h.Aggs))
-	}
-	for a, ag := range h.Aggs {
-		if ag.Arg != nil {
-			h.argVec[a] = ctx.pool().Get(argType(ag), ctx.vecSize())
-		}
-	}
-	h.argTmp = ctx.pool().Get(vector.Float64, ctx.vecSize())
 	return h.Child.Open(ctx)
 }
 
-// lookupGroup resolves the group id for physical row r of in (whose group
-// hash is gh), inserting a new group if needed.
-func (h *HashAgg) lookupGroup(gh uint64, in *vector.Batch, r int) int {
-	s := h.table.slot(gh)
-	for {
-		g := h.table.buckets[s]
-		if g < 0 {
-			break
-		}
-		if h.groupHash[g] == gh &&
-			keyRowsEqual(h.keyRows, int(g), h.keyCols, in, r, h.GroupCols) {
-			return int(g)
-		}
-		s = (s + 1) & h.table.mask
-	}
-	// New group: record its key row, hash, and fresh accumulators.
-	g := h.nGroups
-	h.nGroups++
-	h.groupHash = append(h.groupHash, gh)
-	for k, c := range h.GroupCols {
-		h.keyRows.Vecs[k].AppendFrom(in.Vecs[c], r)
-	}
-	for a := range h.Aggs {
-		h.accs[a] = append(h.accs[a], acc{})
-	}
-	h.table.buckets[s] = int32(g)
-	if h.nGroups*4 >= len(h.table.buckets)*3 {
-		h.grow()
-	}
-	return g
-}
-
-// grow doubles the directory and reinserts every group by its stored hash.
-func (h *HashAgg) grow() {
-	h.table.init(len(h.table.buckets)) // init sizes to 2x entries
-	for g, gh := range h.groupHash {
-		s := h.table.slot(gh)
-		for h.table.buckets[s] >= 0 {
-			s = (s + 1) & h.table.mask
-		}
-		h.table.buckets[s] = int32(g)
-	}
-}
-
 func (h *HashAgg) build(ctx *Ctx) error {
-	scalar := len(h.GroupCols) == 0
 	for {
 		in, err := h.Child.Next(ctx)
 		if err != nil {
@@ -144,60 +393,13 @@ func (h *HashAgg) build(ctx *Ctx) error {
 		if in == nil {
 			break
 		}
-		n := in.Len()
-		if n == 0 {
-			continue
-		}
-		// Evaluate aggregate arguments once per batch (selection-aware),
-		// coercing to the accumulator's type (avg over an int column
-		// accumulates floats).
-		for a, ag := range h.Aggs {
-			if ag.Arg == nil {
-				continue
-			}
-			h.argVec[a].Reset()
-			if err := expr.EvalAsScratch(ag.Arg, in, h.argVec[a], argType(ag), h.argTmp); err != nil {
-				return err
-			}
-		}
-		if scalar {
-			if h.nGroups == 0 {
-				h.nGroups = 1
-				for a := range h.Aggs {
-					h.accs[a] = append(h.accs[a], acc{})
-				}
-			}
-			for a, ag := range h.Aggs {
-				accs := h.accs[a]
-				for i := 0; i < n; i++ {
-					update(&accs[0], ag, h.argVec[a], i)
-				}
-			}
-			continue
-		}
-		if cap(h.rowH) < n {
-			h.rowH = make([]uint64, n)
-		}
-		h.rowH = h.rowH[:n]
-		hashColumns(in, h.GroupCols, h.rowH)
-		sel := in.Sel
-		for i := 0; i < n; i++ {
-			r := i
-			if sel != nil {
-				r = int(sel[i])
-			}
-			g := h.lookupGroup(h.rowH[i], in, r)
-			for a, ag := range h.Aggs {
-				update(&h.accs[a][g], ag, h.argVec[a], i)
-			}
+		if err := h.st.absorb(in); err != nil {
+			return err
 		}
 	}
 	// Scalar aggregation over empty input still yields one row.
-	if scalar && h.nGroups == 0 {
-		h.nGroups = 1
-		for a := range h.Aggs {
-			h.accs[a] = append(h.accs[a], acc{})
-		}
+	if h.st.scalar {
+		h.st.ensureScalarGroup()
 	}
 	h.built = true
 	return nil
@@ -272,27 +474,16 @@ func (h *HashAgg) Next(ctx *Ctx) (*vector.Batch, error) {
 			return nil, err
 		}
 	}
-	if h.emit >= h.nGroups {
+	if h.emit >= h.st.nGroups {
 		return nil, nil
 	}
 	h.out.Reset()
 	lo := h.emit
 	hi := lo + ctx.vecSize()
-	if hi > h.nGroups {
-		hi = h.nGroups
+	if hi > h.st.nGroups {
+		hi = h.st.nGroups
 	}
-	nk := len(h.GroupCols)
-	// Group keys copy out column-wise; accumulators finalize row-wise.
-	for k := 0; k < nk; k++ {
-		h.out.Vecs[k].AppendRange(h.keyRows.Vecs[k], lo, hi)
-	}
-	for a, ag := range h.Aggs {
-		outV := h.out.Vecs[nk+a]
-		accs := h.accs[a]
-		for g := lo; g < hi; g++ {
-			emitAcc(outV, &accs[g], ag)
-		}
-	}
+	h.st.emitRange(h.out, lo, hi)
 	h.emit = hi
 	h.rows += int64(hi - lo)
 	return h.out, nil
@@ -328,28 +519,11 @@ func emitAcc(out *vector.Vector, a *acc, ag AggExpr) {
 
 // Close implements Operator.
 func (h *HashAgg) Close(ctx *Ctx) error {
-	pool := ctx.pool()
 	if h.out != nil {
-		pool.PutBatch(h.out)
+		ctx.pool().PutBatch(h.out)
 		h.out = nil
 	}
-	if h.keyRows != nil {
-		pool.PutBatch(h.keyRows)
-		h.keyRows = nil
-	}
-	for a, v := range h.argVec {
-		if v != nil {
-			pool.Put(v)
-			h.argVec[a] = nil
-		}
-	}
-	if h.argTmp != nil {
-		pool.Put(h.argTmp)
-		h.argTmp = nil
-	}
-	h.accs = nil
-	h.table.buckets = nil
-	h.groupHash = nil
+	h.st.close(ctx)
 	return h.Child.Close(ctx)
 }
 
@@ -360,8 +534,8 @@ func (h *HashAgg) Progress() float64 {
 	if !h.built {
 		return 0
 	}
-	if h.nGroups == 0 {
+	if h.st.nGroups == 0 {
 		return 1
 	}
-	return float64(h.emit) / float64(h.nGroups)
+	return float64(h.emit) / float64(h.st.nGroups)
 }

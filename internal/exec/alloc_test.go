@@ -131,3 +131,45 @@ func TestFilterProjectPipelineZeroAlloc(t *testing.T) {
 	p := NewProject(f, exprs, outSchema)
 	assertZeroAllocs(t, NewCtx(catalog.New()), p, 4, 100)
 }
+
+// TestMorselPipelineNextZeroAlloc holds the per-worker scratch path to the
+// same contract as the serial operators: inside one morsel, a worker's
+// steady-state Next (morsel scan feeding a selective filter) must not
+// touch the heap. Cross-morsel work (slot publication, transfer copies)
+// is pooled and amortized but not covered by this assertion.
+func TestMorselPipelineNextZeroAlloc(t *testing.T) {
+	tab := benchTable(benchRows)
+	snap := tab.Snapshot()
+	src := newMorselSource(snap, 0, snap.Rows, snap.Rows, 0) // one giant morsel
+	scan := newMorselScan(src, []int{0, 1, 2, 3}, tab.Schema)
+	pred := expr.Lt(expr.C("id"), expr.Int(benchRows/2))
+	f := NewFilter(scan, pred)
+	if _, err := pred.Bind(f.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewCtx(catalog.New())
+	if err := f.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close(ctx)
+	scan.StartMorsel(0)
+	for i := 0; i < 4; i++ {
+		if _, err := f.Next(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var err error
+	avg := testing.AllocsPerRun(100, func() {
+		var b *vector.Batch
+		b, err = f.Next(ctx)
+		if err != nil || b == nil {
+			t.Fatal("stream ended during the measured window")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Fatalf("worker steady-state Next allocates %.1f objects/call, want 0", avg)
+	}
+}

@@ -68,6 +68,15 @@ func Build(ctx *Ctx, n *plan.Node, dec Decorations, opmap map[*plan.Node]Operato
 }
 
 func buildRaw(ctx *Ctx, n *plan.Node, dec Decorations, opmap map[*plan.Node]Operator) (Operator, error) {
+	// Morsel-driven parallel fragments (see parallel.go): pipeline-shaped
+	// subtrees large enough to split execute on a worker pool and merge
+	// deterministically at this node; everything else falls through to the
+	// serial operators below. Nodes carrying recycler decorations are
+	// never cloned into workers — Build wraps whatever is returned here,
+	// so stores and reuse replays always sit on the merged stream.
+	if op, handled, err := buildParallel(ctx, n, dec, opmap); handled || err != nil {
+		return op, err
+	}
 	switch n.Op {
 	case plan.Scan:
 		t, err := ctx.Cat.Table(n.Table)

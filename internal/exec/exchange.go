@@ -1,0 +1,570 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recycledb/internal/plan"
+	"recycledb/internal/vector"
+)
+
+// pipeWorker is one cloned pipeline of a parallel fragment.
+type pipeWorker struct {
+	root Operator
+	scan *MorselScan
+	wctx Ctx // copy of the statement Ctx; maps shared read-only
+	// copyNanos measures the exchange transfer copies (fold overhead).
+	copyNanos int64
+	// lastCost is the worker's root cost already published to the
+	// exchange's atomic accumulator (worker-goroutine-local).
+	lastCost time.Duration
+}
+
+// Exchange runs N cloned pipeline workers over the morsel source and
+// merges their outputs back into one stream in morsel order — the
+// fragment's deterministic merge point. Workers claim morsels in index
+// order (bounded ahead of the merge cursor by the source window), buffer
+// each morsel's output batches as compacted pool copies, and publish the
+// finished morsel to its slot; the consumer walks slots in order, so the
+// merged stream is the exact batch sequence the serial pipeline produces.
+type Exchange struct {
+	base
+	workers []*pipeWorker
+	src     *morselSource
+	builds  []*sharedBuild
+	types   []vector.Type
+
+	started  bool
+	closed   bool
+	stopping atomic.Bool
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	slots    []exSlot
+	mergeIdx int
+	cursor   int
+	err      error
+
+	cur        *vector.Batch // batch handed out by the previous Next
+	mergeNanos int64
+	// costNanos accumulates worker pipeline + copy time at morsel
+	// granularity, so Cost() is safe to read mid-stream (speculative
+	// stores above the exchange poll it per batch).
+	costNanos atomic.Int64
+}
+
+type exSlot struct {
+	batches []*vector.Batch
+	done    bool
+}
+
+func newExchange(workers []*pipeWorker, src *morselSource, builds []*sharedBuild, schema []vector.Type) *Exchange {
+	x := &Exchange{workers: workers, src: src, builds: builds, types: schema}
+	x.cond = sync.NewCond(&x.mu)
+	return x
+}
+
+// buildExchange assembles the exchange for a pipeline fragment.
+func (fb *fragBuilder) buildExchange(n *plan.Node, nW int) (Operator, bool, error) {
+	workers := make([]*pipeWorker, nW)
+	for w := 0; w < nW; w++ {
+		root, scan, err := fb.clonePipeline(n)
+		if err != nil {
+			return nil, false, err
+		}
+		workers[w] = &pipeWorker{root: root, scan: scan}
+	}
+	x := newExchange(workers, fb.src, buildList(fb.builds), n.Schema().Types())
+	x.schema = n.Schema()
+	x.slots = make([]exSlot, fb.src.count())
+	return x, true, nil
+}
+
+func buildList(m map[*plan.Node]*sharedBuild) []*sharedBuild {
+	out := make([]*sharedBuild, 0, len(m))
+	for _, b := range m {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Open implements Operator: worker pipelines and shared build subplans
+// open here, on the consumer goroutine; workers spawn lazily at the first
+// Next so an abandoned stream never starts them.
+func (x *Exchange) Open(ctx *Ctx) error {
+	for _, b := range x.builds {
+		if err := b.child.Open(ctx); err != nil {
+			return err
+		}
+	}
+	for _, w := range x.workers {
+		w.wctx = *ctx
+		if err := w.root.Open(&w.wctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (x *Exchange) start(ctx *Ctx) {
+	x.started = true
+	for _, w := range x.workers {
+		// Refresh the cancellation context: the consumer may have swapped
+		// it between Open and the first pull.
+		w.wctx.Context = ctx.Context
+		x.wg.Add(1)
+		go x.runWorker(w)
+	}
+}
+
+// runWorker claims morsels, drives the worker's pipeline to end-of-morsel,
+// and publishes each finished morsel's (copied) batches to its slot.
+func (x *Exchange) runWorker(w *pipeWorker) {
+	defer x.wg.Done()
+	for {
+		m, ok := x.src.claim()
+		if !ok {
+			return
+		}
+		w.scan.StartMorsel(m)
+		var local []*vector.Batch
+		for {
+			if x.stopping.Load() {
+				releaseBatches(&w.wctx, local)
+				return
+			}
+			b, err := w.root.Next(&w.wctx)
+			if err != nil {
+				releaseBatches(&w.wctx, local)
+				x.fail(err)
+				return
+			}
+			if b == nil {
+				break
+			}
+			if b.Len() == 0 {
+				continue
+			}
+			// Hand off an owned, compacted copy: the producing operators
+			// reuse their scratch on the next pull.
+			cs := time.Now()
+			t := w.wctx.pool().GetBatch(x.types, b.Len())
+			t.CopyFrom(b)
+			w.copyNanos += time.Since(cs).Nanoseconds()
+			local = append(local, t)
+		}
+		// Publish this morsel's work to the mid-stream-readable
+		// accumulator (root.Cost is safe here: only this goroutine
+		// drives the clone).
+		cost := w.root.Cost()
+		x.costNanos.Add(int64(cost-w.lastCost) + w.copyNanos)
+		w.lastCost = cost
+		w.copyNanos = 0
+		x.mu.Lock()
+		x.slots[m].batches = local
+		x.slots[m].done = true
+		x.mu.Unlock()
+		x.cond.Broadcast()
+	}
+}
+
+func releaseBatches(ctx *Ctx, bs []*vector.Batch) {
+	for _, b := range bs {
+		if b != nil {
+			ctx.pool().PutBatch(b)
+		}
+	}
+}
+
+func (x *Exchange) fail(err error) {
+	x.mu.Lock()
+	if x.err == nil {
+		x.err = err
+	}
+	x.mu.Unlock()
+	x.src.stop()
+	x.cond.Broadcast()
+}
+
+// Next implements Operator: the in-order merge. The returned batch is
+// owned by the exchange and valid until the following Next (it returns to
+// the pool there), per the operator contract.
+func (x *Exchange) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	defer func() { x.mergeNanos += time.Since(start).Nanoseconds() }()
+	if !x.started {
+		x.start(ctx)
+	}
+	if x.cur != nil {
+		ctx.pool().PutBatch(x.cur)
+		x.cur = nil
+	}
+	x.mu.Lock()
+	for {
+		if x.err != nil {
+			err := x.err
+			x.mu.Unlock()
+			return nil, err
+		}
+		if x.mergeIdx >= len(x.slots) {
+			x.mu.Unlock()
+			return nil, nil
+		}
+		s := &x.slots[x.mergeIdx]
+		if x.cursor < len(s.batches) {
+			b := s.batches[x.cursor]
+			s.batches[x.cursor] = nil
+			x.cursor++
+			x.mu.Unlock()
+			x.cur = b
+			x.rows += int64(b.Len())
+			return b, nil
+		}
+		if s.done {
+			done := x.mergeIdx
+			x.mergeIdx++
+			x.cursor = 0
+			x.mu.Unlock()
+			x.src.advance(done) // release window credit outside x.mu
+			x.mu.Lock()
+			continue
+		}
+		x.cond.Wait()
+	}
+}
+
+// Close implements Operator: stops the morsel source, joins the workers,
+// releases buffered batches, and closes worker pipelines and shared build
+// subplans (store cancellation callbacks inside them fire here).
+func (x *Exchange) Close(ctx *Ctx) error {
+	if x.closed {
+		return nil
+	}
+	x.closed = true
+	x.stopping.Store(true)
+	x.src.stop()
+	x.cond.Broadcast()
+	if x.started {
+		x.wg.Wait()
+	}
+	if x.cur != nil {
+		ctx.pool().PutBatch(x.cur)
+		x.cur = nil
+	}
+	for i := range x.slots {
+		releaseBatches(ctx, x.slots[i].batches)
+		x.slots[i].batches = nil
+	}
+	var first error
+	for _, w := range x.workers {
+		if err := w.root.Close(&w.wctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, b := range x.builds {
+		if err := b.close(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Progress implements Operator: merged morsels over total.
+func (x *Exchange) Progress() float64 {
+	if len(x.slots) == 0 {
+		return 1
+	}
+	x.mu.Lock()
+	done := x.mergeIdx
+	x.mu.Unlock()
+	return float64(done) / float64(len(x.slots))
+}
+
+// Cost implements Operator: the fragment's total work — worker pipeline
+// time (inclusive of their children) plus shared builds, transfer copies,
+// and merge bookkeeping — matching the serial operator's inclusive subtree
+// cost, so recycler statistics are parallelism-independent. It reads only
+// morsel-granular atomics and is safe mid-stream (speculative store
+// decisions above the exchange consult it while workers run).
+func (x *Exchange) Cost() time.Duration {
+	c := time.Duration(x.costNanos.Load())
+	for _, b := range x.builds {
+		c += b.cost()
+	}
+	return c + time.Duration(x.mergeNanos)
+}
+
+// aggWorker is one partial-aggregation worker: a cloned input pipeline
+// plus a worker-local group table.
+type aggWorker struct {
+	root Operator
+	scan *MorselScan
+	wctx Ctx
+	st   aggState
+	// absorbNanos measures accumulation time only; pipeline time is the
+	// clone's own Cost. (Wall time would also count blocking on a shared
+	// join build's Once — work that is folded exactly once elsewhere.)
+	absorbNanos int64
+}
+
+// ParallelAgg executes an aggregation fragment: each worker drains
+// morsel-ordered input through its own pipeline clone into a partial
+// aggState, and end-of-input merges the partials into one final state. The
+// merged groups are emitted sorted by first occurrence in the
+// morsel-ordered stream — precisely the order the serial HashAgg discovers
+// (and therefore emits) them — so parallel aggregation is
+// order-deterministic and serial-identical (float sums modulo
+// re-association).
+type ParallelAgg struct {
+	base
+	GroupCols []int
+	Aggs      []AggExpr
+
+	workers []*aggWorker
+	src     *morselSource
+	builds  []*sharedBuild
+
+	opened  bool
+	closed  bool
+	built   bool
+	final   aggState
+	order   []int32
+	emit    int
+	out     *vector.Batch
+	failErr error
+	failMu  sync.Mutex
+
+	mergeNanos int64
+}
+
+// buildParallelAgg assembles the parallel aggregation for fragment root n
+// (an Aggregate node).
+func (fb *fragBuilder) buildParallelAgg(n *plan.Node, nW int) (Operator, bool, error) {
+	child := n.Children[0]
+	groupCols := make([]int, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		groupCols[i] = child.Schema().ColIndex(g)
+		if groupCols[i] < 0 {
+			return nil, false, nil // serial path reports the error
+		}
+	}
+	pa := &ParallelAgg{
+		base:      base{schema: n.Schema()},
+		GroupCols: groupCols,
+		src:       fb.src,
+	}
+	for w := 0; w < nW; w++ {
+		root, scan, err := fb.clonePipeline(child)
+		if err != nil {
+			return nil, false, err
+		}
+		aggs := make([]AggExpr, len(n.Aggs))
+		for i, a := range n.Aggs {
+			aggs[i] = AggExpr{
+				Func: a.Func,
+				Typ:  n.Schema()[len(n.GroupBy)+i].Typ,
+			}
+			if a.Arg != nil {
+				aggs[i].Arg = a.Arg.Clone() // per-worker evaluation scratch
+			}
+		}
+		if w == 0 {
+			pa.Aggs = aggs
+		}
+		aw := &aggWorker{root: root, scan: scan}
+		aw.st.groupCols = groupCols
+		aw.st.aggs = aggs
+		aw.st.trackOrd = true
+		pa.workers = append(pa.workers, aw)
+	}
+	pa.builds = buildList(fb.builds)
+	return pa, true, nil
+}
+
+// Open implements Operator.
+func (p *ParallelAgg) Open(ctx *Ctx) error {
+	for _, b := range p.builds {
+		if err := b.child.Open(ctx); err != nil {
+			return err
+		}
+	}
+	for _, w := range p.workers {
+		w.wctx = *ctx
+		if err := w.root.Open(&w.wctx); err != nil {
+			return err
+		}
+		w.st.open(&w.wctx, w.root.Schema())
+	}
+	p.final.groupCols = p.GroupCols
+	p.final.aggs = p.Aggs
+	p.final.trackOrd = true
+	p.final.open(ctx, p.workers[0].root.Schema())
+	p.out = ctx.pool().GetBatch(p.schema.Types(), ctx.vecSize())
+	p.opened = true
+	p.built = false
+	p.emit = 0
+	return nil
+}
+
+func (p *ParallelAgg) fail(err error) {
+	p.failMu.Lock()
+	if p.failErr == nil {
+		p.failErr = err
+	}
+	p.failMu.Unlock()
+	p.src.stop()
+}
+
+// run executes the fan-out/merge: workers aggregate morsels in parallel,
+// then the consumer folds the partials and fixes the emission order.
+func (p *ParallelAgg) run(ctx *Ctx) error {
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		w.wctx.Context = ctx.Context
+		wg.Add(1)
+		go func(w *aggWorker) {
+			defer wg.Done()
+			for {
+				m, ok := p.src.claim()
+				if !ok {
+					return
+				}
+				w.scan.StartMorsel(m)
+				w.st.startMorsel(m)
+				for {
+					b, err := w.root.Next(&w.wctx)
+					if err != nil {
+						p.fail(err)
+						return
+					}
+					if b == nil {
+						break
+					}
+					as := time.Now()
+					err = w.st.absorb(b)
+					w.absorbNanos += time.Since(as).Nanoseconds()
+					if err != nil {
+						p.fail(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	p.failMu.Lock()
+	err := p.failErr
+	p.failMu.Unlock()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for _, w := range p.workers {
+		p.final.mergeFrom(&w.st)
+	}
+	if p.final.scalar {
+		p.final.ensureScalarGroup()
+	}
+	// Emission order: ascending first occurrence == serial discovery order.
+	p.order = make([]int32, p.final.nGroups)
+	for i := range p.order {
+		p.order[i] = int32(i)
+	}
+	sort.Slice(p.order, func(a, b int) bool {
+		return p.final.ord[p.order[a]].less(p.final.ord[p.order[b]])
+	})
+	p.mergeNanos += time.Since(start).Nanoseconds()
+	p.built = true
+	return nil
+}
+
+// Next implements Operator.
+func (p *ParallelAgg) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
+	if !p.built {
+		if err := p.run(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if p.emit >= p.final.nGroups {
+		return nil, nil
+	}
+	start := time.Now()
+	p.out.Reset()
+	lo := p.emit
+	hi := lo + ctx.vecSize()
+	if hi > p.final.nGroups {
+		hi = p.final.nGroups
+	}
+	p.final.emitIndex(p.out, p.order[lo:hi])
+	p.emit = hi
+	p.rows += int64(hi - lo)
+	p.mergeNanos += time.Since(start).Nanoseconds()
+	return p.out, nil
+}
+
+// Close implements Operator.
+func (p *ParallelAgg) Close(ctx *Ctx) error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	p.src.stop()
+	var first error
+	for _, w := range p.workers {
+		if err := w.root.Close(&w.wctx); err != nil && first == nil {
+			first = err
+		}
+		if p.opened {
+			w.st.close(&w.wctx)
+		}
+	}
+	for _, b := range p.builds {
+		if err := b.close(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	if p.opened {
+		p.final.close(ctx)
+	}
+	if p.out != nil {
+		ctx.pool().PutBatch(p.out)
+		p.out = nil
+	}
+	return first
+}
+
+// Progress implements Operator: like HashAgg, 0 until built, then the
+// emitted-group fraction.
+func (p *ParallelAgg) Progress() float64 {
+	if !p.built {
+		return 0
+	}
+	if p.final.nGroups == 0 {
+		return 1
+	}
+	return float64(p.emit) / float64(p.final.nGroups)
+}
+
+// Cost implements Operator: total work across workers (pipeline +
+// accumulation) plus shared builds and the merge, matching the serial
+// HashAgg's inclusive subtree cost. Safe to read once the first batch is
+// out (run() has completed; worker fields are quiescent behind the join).
+func (p *ParallelAgg) Cost() time.Duration {
+	var c time.Duration
+	for _, w := range p.workers {
+		c += w.root.Cost() + time.Duration(w.absorbNanos)
+	}
+	for _, b := range p.builds {
+		c += b.cost()
+	}
+	return c + time.Duration(p.mergeNanos)
+}

@@ -39,6 +39,23 @@ type Ctx struct {
 	// recycler's append extension executes a cached subplan over only the
 	// newly appended rows [ScanFrom[t], watermark).
 	ScanFrom map[string]int
+	// Parallelism is the worker budget for morsel-driven parallel
+	// pipelines (see parallel.go). Values <= 1 execute the plan on the
+	// calling goroutine exactly as before; the engine divides its
+	// configured budget across concurrently executing statements.
+	Parallelism int
+	// MorselRows overrides the scan rows per morsel (0 uses
+	// 16 x the vector size). Exposed for tests; morsel granularity does
+	// not affect results, only scheduling.
+	MorselRows int
+}
+
+// morselRows returns the scan range claimed per worker dispatch.
+func (c *Ctx) morselRows() int {
+	if c.MorselRows > 0 {
+		return c.MorselRows
+	}
+	return 16 * c.vecSize()
 }
 
 // SnapFor returns the statement's snapshot of t, capturing (and memoizing)

@@ -126,25 +126,35 @@ func (j *HashJoin) emitsRight() bool {
 // column-wise. All pending probe indexes refer to j.cur, so it must run
 // before the probe batch advances.
 func (j *HashJoin) flushPairs() {
-	if len(j.lIdx) == 0 {
+	flushJoinPairs(j.out, j.cur, j.rightRows, j.lIdx, j.rIdx, j.leftWidth, j.rightVecs, j.JT)
+	j.lIdx = j.lIdx[:0]
+	j.rIdx = j.rIdx[:0]
+}
+
+// flushJoinPairs materializes (probe, build) index pairs into out with the
+// columnar gather kernels: probe columns from probe rows lIdx, build
+// columns from arena rows rIdx (-1 = zero-fill for outer joins). Shared by
+// the serial HashJoin and the morsel-parallel ProbeJoin.
+func flushJoinPairs(out, probe, arena *vector.Batch, lIdx, rIdx []int32, leftWidth, rightVecs int, jt plan.JoinType) {
+	if len(lIdx) == 0 {
 		return
 	}
-	for c := 0; c < j.leftWidth; c++ {
-		j.out.Vecs[c].AppendGather(j.cur.Vecs[c], j.lIdx)
+	for c := 0; c < leftWidth; c++ {
+		out.Vecs[c].AppendGather(probe.Vecs[c], lIdx)
 	}
-	if j.emitsRight() {
-		for c := 0; c < j.rightVecs; c++ {
-			if j.JT == plan.Inner {
+	if jt == plan.Inner || jt == plan.LeftOuter {
+		for c := 0; c < rightVecs; c++ {
+			if jt == plan.Inner {
 				// Inner joins never queue unmatched rows: take the
 				// branch-free gather kernel.
-				j.out.Vecs[j.leftWidth+c].AppendGather(j.rightRows.Vecs[c], j.rIdx)
+				out.Vecs[leftWidth+c].AppendGather(arena.Vecs[c], rIdx)
 			} else {
-				appendGatherOrZero(j.out.Vecs[j.leftWidth+c], j.rightRows.Vecs[c], j.rIdx)
+				appendGatherOrZero(out.Vecs[leftWidth+c], arena.Vecs[c], rIdx)
 			}
 		}
-		if j.JT == plan.LeftOuter {
-			mv := j.out.Vecs[len(j.out.Vecs)-1]
-			for _, r := range j.rIdx {
+		if jt == plan.LeftOuter {
+			mv := out.Vecs[len(out.Vecs)-1]
+			for _, r := range rIdx {
 				if r >= 0 {
 					mv.AppendInt64(1)
 				} else {
@@ -153,8 +163,6 @@ func (j *HashJoin) flushPairs() {
 			}
 		}
 	}
-	j.lIdx = j.lIdx[:0]
-	j.rIdx = j.rIdx[:0]
 }
 
 // appendGatherOrZero gathers src rows by index, zero-filling where the

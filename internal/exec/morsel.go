@@ -1,0 +1,205 @@
+package exec
+
+import (
+	"sync"
+	"time"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/vector"
+)
+
+// morselSource splits one base-table scan range into fixed-size row-range
+// morsels claimed by pipeline workers. Morsels are claimed strictly in
+// index order; when a merge window is configured (ordered exchanges bound
+// their reorder buffer with it), a claim blocks while the claimant would
+// run more than window morsels ahead of the merge cursor, which bounds the
+// batches buffered for in-order emission.
+//
+// All morsels slice the same statement snapshot, so every worker reads the
+// one committed epoch the statement captured, and the per-morsel delete
+// bitmap ranges partition the serial scan's exactly.
+type morselSource struct {
+	snap   *catalog.Snapshot
+	lo, hi int // scan bounds (lo nonzero for delta runs)
+	rows   int // rows per morsel
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	next      int // next morsel index to claim
+	mergeBase int // first morsel not yet consumed by the merger
+	window    int // max morsels claimed ahead of mergeBase (0 = unbounded)
+	stopped   bool
+}
+
+// newMorselSource builds a source over snapshot rows [lo, hi).
+func newMorselSource(snap *catalog.Snapshot, lo, hi, rows, window int) *morselSource {
+	s := &morselSource{snap: snap, lo: lo, hi: hi, rows: rows, window: window}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// count returns the total number of morsels.
+func (s *morselSource) count() int {
+	n := s.hi - s.lo
+	if n <= 0 {
+		return 0
+	}
+	return (n + s.rows - 1) / s.rows
+}
+
+// bounds returns the row range of morsel m.
+func (s *morselSource) bounds(m int) (lo, hi int) {
+	lo = s.lo + m*s.rows
+	hi = lo + s.rows
+	if hi > s.hi {
+		hi = s.hi
+	}
+	return lo, hi
+}
+
+// claim hands out the next morsel index, blocking while the window is
+// exhausted. ok is false once all morsels are claimed or the source is
+// stopped.
+func (s *morselSource) claim() (m int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped || s.next >= s.count() {
+			return 0, false
+		}
+		if s.window <= 0 || s.next < s.mergeBase+s.window {
+			m = s.next
+			s.next++
+			return m, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// advance moves the merge cursor past morsel m, releasing window credit.
+func (s *morselSource) advance(m int) {
+	s.mu.Lock()
+	if m+1 > s.mergeBase {
+		s.mergeBase = m + 1
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// stop wakes all blocked claimants and refuses further claims.
+func (s *morselSource) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// MorselScan is the worker-side leaf of a parallel pipeline: a TableScan
+// restricted to one morsel at a time. The owning worker claims a morsel,
+// points the scan at it with StartMorsel, and drains its pipeline to
+// end-of-stream; the next StartMorsel rearms the scan. Batches alias
+// snapshot storage exactly like TableScan's, and ranges with deletions
+// carry a selection vector.
+type MorselScan struct {
+	base
+	src  *morselSource
+	cols []int
+
+	pos, end int
+	out      *vector.Batch
+	sel      []int32
+}
+
+// newMorselScan builds a worker scan over src.
+func newMorselScan(src *morselSource, cols []int, schema catalog.Schema) *MorselScan {
+	return &MorselScan{base: base{schema: schema}, src: src, cols: cols}
+}
+
+// StartMorsel points the scan at morsel m (claimed by the caller).
+func (s *MorselScan) StartMorsel(m int) {
+	s.pos, s.end = s.src.bounds(m)
+}
+
+// Open implements Operator.
+func (s *MorselScan) Open(ctx *Ctx) error {
+	defer s.addCost(time.Now())
+	s.pos, s.end = 0, 0 // empty until the first StartMorsel
+	if s.out == nil {
+		s.out = &vector.Batch{Vecs: make([]*vector.Vector, len(s.cols))}
+		for i, c := range s.cols {
+			s.out.Vecs[i] = &vector.Vector{Typ: s.src.snap.Col(c).Typ}
+		}
+	}
+	return nil
+}
+
+// Next implements Operator: batches of the current morsel, then (nil, nil)
+// until the next StartMorsel.
+func (s *MorselScan) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
+	defer s.addCost(time.Now())
+	snap := s.src.snap
+	for {
+		if s.pos >= s.end {
+			return nil, nil
+		}
+		hi := s.pos + ctx.vecSize()
+		if hi > s.end {
+			hi = s.end
+		}
+		lo := s.pos
+		s.pos = hi
+		for i, c := range s.cols {
+			col := snap.Col(c)
+			v := s.out.Vecs[i]
+			switch col.Typ {
+			case vector.Int64, vector.Date:
+				v.I64 = col.I64[lo:hi]
+			case vector.Float64:
+				v.F64 = col.F64[lo:hi]
+			case vector.String:
+				v.Str = col.Str[lo:hi]
+			case vector.Bool:
+				v.B = col.B[lo:hi]
+			}
+		}
+		if snap.Del.AnyIn(lo, hi) {
+			if s.sel == nil {
+				s.sel = make([]int32, 0, ctx.vecSize())
+			}
+			sel := s.sel[:0]
+			for r := lo; r < hi; r++ {
+				if !snap.Del.Has(r) {
+					sel = append(sel, int32(r-lo))
+				}
+			}
+			s.sel = sel
+			if len(sel) == 0 {
+				continue
+			}
+			s.out.Sel = sel
+		} else {
+			s.out.Sel = nil
+		}
+		s.rows += int64(s.out.Len())
+		return s.out, nil
+	}
+}
+
+// Close implements Operator.
+func (s *MorselScan) Close(ctx *Ctx) error { return nil }
+
+// Progress implements Operator: the worker's share is not meaningful on its
+// own; the exchange reports merged-morsel progress for the whole fragment.
+func (s *MorselScan) Progress() float64 {
+	total := s.src.count()
+	if total == 0 {
+		return 1
+	}
+	s.src.mu.Lock()
+	done := s.src.mergeBase
+	s.src.mu.Unlock()
+	return float64(done) / float64(total)
+}

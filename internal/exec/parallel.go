@@ -1,0 +1,606 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/expr"
+	"recycledb/internal/plan"
+	"recycledb/internal/vector"
+)
+
+// parallelFragments counts fragments built process-wide; tests use it to
+// assert the parallel path actually engaged rather than silently falling
+// back to serial operators.
+var parallelFragments atomic.Int64
+
+// ParallelFragmentsBuilt returns the number of morsel-parallel fragments
+// constructed since process start (introspection/testing).
+func ParallelFragmentsBuilt() int64 { return parallelFragments.Load() }
+
+// Morsel-driven parallel pipelines.
+//
+// When Ctx.Parallelism > 1, Build recognizes pipeline-shaped plan
+// fragments (plan.ClassifyFragment) and executes them on a worker pool:
+// the driving TableScan is split into row-range morsels over the
+// statement's snapshot, each worker runs its own clone of the
+// filter/project/join-probe pipeline (cloned expressions, so per-node
+// evaluation scratch stays worker-local), and the results merge back into
+// a single stream at the fragment root.
+//
+// Two properties make the parallel engine observationally identical to the
+// serial one, which is what keeps the recycler correct without changes:
+//
+//   - Determinism. The exchange emits morsel outputs in morsel order
+//     (workers race, the merge reorders), join builds preserve arrival
+//     order within each hash partition, and parallel aggregation sorts
+//     merged groups by first occurrence in the morsel-ordered stream — so
+//     a parallel pipeline produces the same batches in the same order the
+//     serial pipeline would (float aggregates modulo re-association).
+//     Materialized (cached) results are therefore independent of the
+//     parallelism degree that produced them.
+//
+//   - Merge-point materialization. Recycler decorations act as fragment
+//     barriers: a node carrying a reuse, wait, or store decoration is
+//     never cloned into workers, so store operators always observe the
+//     merged stream (one admission per plan signature, deep-owned batches,
+//     exactly as in serial execution), and cached replays feed pipelines
+//     from the consumer side.
+//
+// Per-node statistics fold across workers: each plan node inside a
+// fragment maps to a foldOp summing its clones' measured wall time and
+// emitted rows, so the recycler graph sees subtree base costs equivalent
+// to the serial engine's (total work, not elapsed wall time) and the
+// hR/benefit math is unchanged.
+
+// buildParallel attempts to build a morsel-parallel operator for the
+// subtree rooted at n. It reports handled=false when the subtree should
+// take the serial path (no parallelism budget, not pipeline-shaped, or too
+// small to split).
+func buildParallel(ctx *Ctx, n *plan.Node, dec Decorations, opmap map[*plan.Node]Operator) (Operator, bool, error) {
+	if ctx.Parallelism <= 1 || len(ctx.ScanFrom) > 0 {
+		return nil, false, nil
+	}
+	barrier := func(x *plan.Node) bool { return dec != nil && dec[x] != nil }
+	kind, scanNode := plan.ClassifyFragment(n, barrier)
+	if kind == plan.FragNone {
+		return nil, false, nil
+	}
+	tbl, err := ctx.Cat.Table(scanNode.Table)
+	if err != nil {
+		return nil, false, nil // let the serial path surface the error
+	}
+	snap := ctx.SnapFor(tbl)
+	msz := ctx.morselRows()
+	if snap.Rows < 2*msz {
+		return nil, false, nil // too small: splitting costs more than it buys
+	}
+	cols := make([]int, len(scanNode.Cols))
+	for i, c := range scanNode.Cols {
+		cols[i] = tbl.Schema.ColIndex(c)
+		if cols[i] < 0 {
+			return nil, false, nil
+		}
+	}
+	nMorsels := (snap.Rows + msz - 1) / msz
+	nW := ctx.Parallelism
+	if nW > nMorsels {
+		nW = nMorsels
+	}
+	window := 0
+	if kind == plan.FragPipeline {
+		// Ordered merges buffer out-of-order morsel outputs; the claim
+		// window bounds that buffer. Aggregating fragments keep nothing.
+		window = 2 * nW
+	}
+	src := newMorselSource(snap, 0, snap.Rows, msz, window)
+	fb := &fragBuilder{
+		ctx: ctx, dec: dec, opmap: opmap,
+		src: src, scanNode: scanNode, scanCols: cols,
+		builds: make(map[*plan.Node]*sharedBuild),
+		folds:  make(map[*plan.Node]*foldOp),
+	}
+	var op Operator
+	var handled bool
+	switch kind {
+	case plan.FragPipeline:
+		op, handled, err = fb.buildExchange(n, nW)
+	case plan.FragAggregate:
+		op, handled, err = fb.buildParallelAgg(n, nW)
+	}
+	if handled {
+		parallelFragments.Add(1)
+	}
+	return op, handled, err
+}
+
+// fragBuilder clones one pipeline fragment per worker, wiring shared state
+// (the morsel source, per-join shared builds) and per-node stats folding.
+type fragBuilder struct {
+	ctx      *Ctx
+	dec      Decorations
+	opmap    map[*plan.Node]Operator
+	src      *morselSource
+	scanNode *plan.Node
+	scanCols []int
+	builds   map[*plan.Node]*sharedBuild
+	folds    map[*plan.Node]*foldOp
+}
+
+// clonePipeline builds one worker's operator chain for the pipeline rooted
+// at pn, returning its MorselScan leaf. Expressions are cloned so each
+// worker owns its evaluation scratch; join build sides are built once
+// (first worker) through the normal Build path and shared.
+func (fb *fragBuilder) clonePipeline(pn *plan.Node) (Operator, *MorselScan, error) {
+	var op Operator
+	var scan *MorselScan
+	var err error
+	switch pn.Op {
+	case plan.Scan:
+		scan = newMorselScan(fb.src, fb.scanCols, pn.Schema())
+		op = scan
+	case plan.Select:
+		var child Operator
+		child, scan, err = fb.clonePipeline(pn.Children[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		op = NewFilter(child, pn.Pred.Clone())
+	case plan.Project:
+		var child Operator
+		child, scan, err = fb.clonePipeline(pn.Children[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		exprs := make([]expr.Expr, len(pn.Projs))
+		for i, p := range pn.Projs {
+			exprs[i] = p.E.Clone()
+		}
+		op = NewProject(child, exprs, pn.Schema())
+	case plan.Join:
+		var child Operator
+		child, scan, err = fb.clonePipeline(pn.Children[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		sb := fb.builds[pn]
+		if sb == nil {
+			sb, err = fb.newSharedBuild(pn)
+			if err != nil {
+				return nil, nil, err
+			}
+			fb.builds[pn] = sb
+		}
+		lcols := make([]int, len(pn.LeftKeys))
+		for i := range pn.LeftKeys {
+			lcols[i] = pn.Children[0].Schema().ColIndex(pn.LeftKeys[i])
+			if lcols[i] < 0 {
+				return nil, nil, errJoinKey(pn, i)
+			}
+		}
+		op = newProbeJoin(pn.JT, child, sb, lcols, pn.Schema())
+	default:
+		return nil, nil, errNotPipeline(pn)
+	}
+	f := fb.folds[pn]
+	if f == nil {
+		f = &foldOp{schema: pn.Schema()}
+		if pn.Op == plan.Join {
+			sb := fb.builds[pn]
+			f.extraCost = func() time.Duration { return sb.cost() }
+		}
+		fb.folds[pn] = f
+		if fb.opmap != nil {
+			fb.opmap[pn] = f
+		}
+	}
+	f.clones = append(f.clones, op)
+	return op, scan, nil
+}
+
+// newSharedBuild constructs the shared build state for join node pn,
+// building its right (build-side) subplan through the normal Build path —
+// so recycler decorations inside the build side (cache replays, stores)
+// keep working, and large build subtrees parallelize on their own.
+func (fb *fragBuilder) newSharedBuild(pn *plan.Node) (*sharedBuild, error) {
+	child, err := Build(fb.ctx, pn.Children[1], fb.dec, fb.opmap)
+	if err != nil {
+		return nil, err
+	}
+	rcols := make([]int, len(pn.RightKeys))
+	for i := range pn.RightKeys {
+		rcols[i] = pn.Children[1].Schema().ColIndex(pn.RightKeys[i])
+		if rcols[i] < 0 {
+			return nil, errJoinKey(pn, i)
+		}
+	}
+	return &sharedBuild{child: child, rightCols: rcols}, nil
+}
+
+func errJoinKey(pn *plan.Node, i int) error {
+	return &buildErr{msg: "exec: join key " + pn.LeftKeys[i] + "/" + pn.RightKeys[i] + " missing"}
+}
+
+func errNotPipeline(pn *plan.Node) error {
+	return &buildErr{msg: "exec: internal: node " + pn.Op.String() + " is not pipeline-clonable"}
+}
+
+type buildErr struct{ msg string }
+
+func (e *buildErr) Error() string { return e.msg }
+
+// foldOp is the stats-only stand-in registered in the engine's opmap for
+// plan nodes cloned into pipeline workers: Cost and RowsOut fold the
+// worker clones' measurements (sums — total work, matching the serial
+// engine's inclusive subtree cost), so recycler-graph annotation is
+// oblivious to how many workers executed the node. It is never driven as
+// an operator.
+type foldOp struct {
+	schema    catalog.Schema
+	clones    []Operator
+	extraCost func() time.Duration // e.g. a join's shared build
+}
+
+func (f *foldOp) Schema() catalog.Schema { return f.schema }
+func (f *foldOp) Open(*Ctx) error        { return nil }
+func (f *foldOp) Next(*Ctx) (*vector.Batch, error) {
+	return nil, &buildErr{msg: "exec: foldOp is not executable"}
+}
+func (f *foldOp) Close(*Ctx) error { return nil }
+func (f *foldOp) Progress() float64 {
+	if len(f.clones) == 0 {
+		return 0
+	}
+	var p float64
+	for _, c := range f.clones {
+		p += c.Progress()
+	}
+	return p / float64(len(f.clones))
+}
+
+func (f *foldOp) Cost() time.Duration {
+	var c time.Duration
+	for _, op := range f.clones {
+		c += op.Cost()
+	}
+	if f.extraCost != nil {
+		c += f.extraCost()
+	}
+	return c
+}
+
+func (f *foldOp) RowsOut() int64 {
+	var r int64
+	for _, op := range f.clones {
+		r += op.RowsOut()
+	}
+	return r
+}
+
+// sharedBuild is a hash-join build table shared by all probe workers of a
+// fragment: one dense arena in build-input arrival order plus a
+// hash-partitioned chain directory. The build-side subplan is drained once
+// (by whichever worker probes first); chain construction then runs one
+// goroutine per partition — partitions own disjoint row sets, so the
+// shared next array is written race-free. Partitioning preserves arrival
+// order within each chain, so probes see matches in exactly the order the
+// serial HashJoin emits them.
+type sharedBuild struct {
+	child     Operator
+	rightCols []int
+
+	once    sync.Once
+	err     error
+	arena   *vector.Batch // global arrival order; aliased by all workers
+	hash    []uint64
+	next    []int32
+	parts   []oaTable
+	shift   uint
+	nanos   atomic.Int64 // build wall time (atomic: folded mid-stream)
+	closeMu sync.Mutex
+	closed  bool
+}
+
+func (b *sharedBuild) cost() time.Duration { return time.Duration(b.nanos.Load()) }
+
+// ensure runs the build exactly once (first prober wins; the rest observe
+// the completed table through the Once barrier).
+func (b *sharedBuild) ensure(ctx *Ctx, parallelism int) error {
+	b.once.Do(func() { b.err = b.run(ctx, parallelism) })
+	return b.err
+}
+
+func (b *sharedBuild) run(ctx *Ctx, parallelism int) error {
+	start := time.Now()
+	defer func() { b.nanos.Store(time.Since(start).Nanoseconds()) }()
+	b.arena = ctx.pool().GetBatch(b.child.Schema().Types(), ctx.vecSize())
+	var hs []uint64
+	for {
+		batch, err := b.child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if batch == nil {
+			break
+		}
+		n := batch.Len()
+		if n == 0 {
+			continue
+		}
+		b.arena.AppendBatch(batch)
+		if cap(hs) < n {
+			hs = make([]uint64, n)
+		}
+		hs = hs[:n]
+		hashColumns(batch, b.rightCols, hs)
+		b.hash = append(b.hash, hs...)
+	}
+	rows := len(b.hash)
+	b.next = make([]int32, rows)
+
+	// Partition count: enough for the chain builders to run concurrently,
+	// power of two so the partition is the hash's top bits (independent of
+	// the bucket index, which uses the low bits).
+	nParts := 1
+	for nParts < parallelism {
+		nParts <<= 1
+	}
+	b.shift = uint(64 - log2(nParts))
+	b.parts = make([]oaTable, nParts)
+	counts := make([]int, nParts)
+	for _, h := range b.hash {
+		counts[h>>b.shift]++
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < nParts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			t := &b.parts[p]
+			t.init(counts[p])
+			ph := uint64(p)
+			// Insert in reverse arrival order so each chain lists build
+			// rows oldest-first (the serial HashJoin's emission order).
+			for r := rows - 1; r >= 0; r-- {
+				h := b.hash[r]
+				if h>>b.shift != ph {
+					continue
+				}
+				s := t.slot(h)
+				b.next[r] = t.buckets[s]
+				t.buckets[s] = int32(r)
+			}
+		}(p)
+	}
+	wg.Wait()
+	return nil
+}
+
+// log2 of a power of two.
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// close releases the build-side subplan and the arena. Safe to call from
+// the exchange teardown whether or not the build ever ran.
+func (b *sharedBuild) close(ctx *Ctx) error {
+	b.closeMu.Lock()
+	defer b.closeMu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	if b.arena != nil {
+		ctx.pool().PutBatch(b.arena)
+		b.arena = nil
+	}
+	b.parts = nil
+	b.next = nil
+	b.hash = nil
+	return b.child.Close(ctx)
+}
+
+// ProbeJoin is the worker-side probe of a shared hash-join build: the
+// serial HashJoin's probe loop against the sharedBuild's partitioned
+// chains. One instance runs per worker; each drains its own probe pipeline
+// morsel by morsel (after the probe child returns nil the operator is
+// rearmed by the next StartMorsel upstream).
+type ProbeJoin struct {
+	base
+	Left     Operator
+	JT       plan.JoinType
+	LeftCols []int
+	sb       *sharedBuild
+
+	built bool
+	out   *vector.Batch // pooled output batch
+
+	probeH []uint64
+	lIdx   []int32
+	rIdx   []int32
+
+	cur       *vector.Batch
+	curRow    int
+	rowActive bool
+	cand      int32
+	matched   bool
+
+	leftWidth, rightVecs int
+	parallelism          int
+}
+
+func newProbeJoin(jt plan.JoinType, left Operator, sb *sharedBuild, leftCols []int, schema catalog.Schema) *ProbeJoin {
+	return &ProbeJoin{
+		base: base{schema: schema}, JT: jt, Left: left, sb: sb, LeftCols: leftCols,
+	}
+}
+
+// Open implements Operator.
+func (j *ProbeJoin) Open(ctx *Ctx) error {
+	defer j.addCost(time.Now())
+	j.built = false
+	j.cur = nil
+	j.curRow = 0
+	j.rowActive = false
+	j.leftWidth = len(j.Left.Schema())
+	j.rightVecs = len(j.sb.child.Schema())
+	j.parallelism = ctx.Parallelism
+	j.out = ctx.pool().GetBatch(j.schema.Types(), ctx.vecSize())
+	if j.lIdx == nil {
+		j.lIdx = make([]int32, 0, ctx.vecSize())
+		j.rIdx = make([]int32, 0, ctx.vecSize())
+	}
+	return j.Left.Open(ctx)
+}
+
+func (j *ProbeJoin) emitsRight() bool {
+	return j.JT == plan.Inner || j.JT == plan.LeftOuter
+}
+
+func (j *ProbeJoin) pending() int { return j.out.Len() + len(j.lIdx) }
+
+func (j *ProbeJoin) emit(probePhys int, buildRow int32) {
+	j.lIdx = append(j.lIdx, int32(probePhys))
+	j.rIdx = append(j.rIdx, buildRow)
+}
+
+func (j *ProbeJoin) flushPairs() {
+	flushJoinPairs(j.out, j.cur, j.sb.arena, j.lIdx, j.rIdx, j.leftWidth, j.rightVecs, j.JT)
+	j.lIdx = j.lIdx[:0]
+	j.rIdx = j.rIdx[:0]
+}
+
+func (j *ProbeJoin) yield() *vector.Batch {
+	j.flushPairs()
+	j.rows += int64(j.out.Len())
+	return j.out
+}
+
+// Next implements Operator: identical probe semantics to HashJoin.Next,
+// with candidates drawn from the shared partitioned table. At probe-input
+// end it returns (nil, nil) without latching done, so the next morsel
+// restarts it.
+func (j *ProbeJoin) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
+	if !j.built {
+		// Before the probe cost timer: the shared build's wall time is
+		// owned by the fragment (folded exactly once via sharedBuild.cost),
+		// and every clone but the builder merely blocks here on the Once.
+		if err := j.sb.ensure(ctx, j.parallelism); err != nil {
+			return nil, err
+		}
+		j.built = true
+	}
+	defer j.addCost(time.Now())
+	sb := j.sb
+	j.out.Reset()
+	limit := ctx.vecSize()
+	for {
+		if j.cur == nil {
+			b, err := j.Left.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				if j.pending() > 0 {
+					return j.yield(), nil
+				}
+				return nil, nil
+			}
+			n := b.Len()
+			if n == 0 {
+				continue
+			}
+			j.cur = b
+			j.curRow = 0
+			j.rowActive = false
+			if cap(j.probeH) < n {
+				j.probeH = make([]uint64, n)
+			}
+			j.probeH = j.probeH[:n]
+			hashColumns(b, j.LeftCols, j.probeH)
+		}
+		n := j.cur.Len()
+		for j.curRow < n {
+			r := j.cur.RowIdx(j.curRow)
+			h := j.probeH[j.curRow]
+			if !j.rowActive {
+				t := &sb.parts[h>>sb.shift]
+				j.cand = t.buckets[t.slot(h)]
+				j.matched = false
+				j.rowActive = true
+			}
+			for j.cand >= 0 {
+				c := j.cand
+				j.cand = sb.next[c]
+				if sb.hash[c] != h ||
+					!keyRowsEqual(j.cur, r, j.LeftCols, sb.arena, int(c), sb.rightCols) {
+					continue
+				}
+				switch j.JT {
+				case plan.Inner, plan.LeftOuter:
+					j.matched = true
+					j.emit(r, c)
+					if j.pending() >= limit && j.cand >= 0 {
+						return j.yield(), nil
+					}
+				case plan.LeftSemi, plan.LeftAnti:
+					j.matched = true
+					j.cand = -1
+				}
+			}
+			switch j.JT {
+			case plan.LeftSemi:
+				if j.matched {
+					j.emit(r, -1)
+				}
+			case plan.LeftAnti:
+				if !j.matched {
+					j.emit(r, -1)
+				}
+			case plan.LeftOuter:
+				if !j.matched {
+					j.emit(r, -1)
+				}
+			}
+			j.rowActive = false
+			j.curRow++
+			if j.pending() >= limit {
+				if j.curRow >= n {
+					j.flushPairs()
+					j.cur = nil
+				}
+				return j.yield(), nil
+			}
+		}
+		j.flushPairs()
+		j.cur = nil
+	}
+}
+
+// Close implements Operator. The shared build is owned and closed by the
+// fragment operator, not by its per-worker probes.
+func (j *ProbeJoin) Close(ctx *Ctx) error {
+	if j.out != nil {
+		ctx.pool().PutBatch(j.out)
+		j.out = nil
+	}
+	j.cur = nil
+	return j.Left.Close(ctx)
+}
+
+// Progress implements Operator.
+func (j *ProbeJoin) Progress() float64 {
+	if !j.built {
+		return 0
+	}
+	return j.Left.Progress()
+}

@@ -55,9 +55,16 @@ func LoadTPCH(cfg TPCHConfig) *catalog.Catalog {
 
 // NewEngine builds an engine in the given mode over a shared catalog.
 func NewEngine(cat *catalog.Catalog, mode recycledb.Mode, cacheBytes int64) *recycledb.Engine {
+	return NewEngineParallel(cat, mode, cacheBytes, 0)
+}
+
+// NewEngineParallel is NewEngine with an explicit intra-query worker
+// budget (0 = GOMAXPROCS, 1 = serial).
+func NewEngineParallel(cat *catalog.Catalog, mode recycledb.Mode, cacheBytes int64, parallelism int) *recycledb.Engine {
 	return recycledb.NewWithCatalog(recycledb.Config{
-		Mode:       mode,
-		CacheBytes: cacheBytes,
+		Mode:        mode,
+		CacheBytes:  cacheBytes,
+		Parallelism: parallelism,
 	}, cat)
 }
 

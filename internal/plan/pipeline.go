@@ -1,0 +1,77 @@
+package plan
+
+// Morsel-pipeline analysis: which subtrees of an optimized query tree can
+// execute as one parallel pipeline over row-range morsels of a single
+// driving base-table scan. A pipeline is a chain of row-local operators
+// (scan, select, project) extended through the probe side of hash joins —
+// the shape "Push vs. Pull-Based Loop Fusion in Query Engines" identifies
+// as the fusable unit, and the unit the executor schedules across workers.
+// Join build sides are not part of the pipeline: they are separate
+// (possibly themselves parallel) subplans materialized once at a barrier.
+//
+// The executor supplies a barrier predicate for nodes that must remain
+// serial merge points — in this engine, nodes carrying recycler
+// decorations (reuse replays, in-flight waits, store materialization
+// points), so cached results are always produced and consumed on the
+// merged stream, never inside a worker.
+
+// FragmentKind classifies how a subtree may execute in parallel.
+type FragmentKind int
+
+const (
+	// FragNone marks subtrees that run serially (either not
+	// pipeline-shaped, or not worth splitting).
+	FragNone FragmentKind = iota
+	// FragPipeline marks scan/select/project/join-probe pipelines whose
+	// morsel outputs merge in scan order through an ordered exchange.
+	FragPipeline
+	// FragAggregate marks an aggregation over a pipeline: workers build
+	// partial group tables and a single merge combines them.
+	FragAggregate
+)
+
+// PipelineSpine returns the driving base-table scan of the pipeline rooted
+// at n, walking select/project chains and join probe (left) sides. barrier
+// (optional) marks descendants that force serial execution; the root itself
+// is exempt, since whatever decoration it carries wraps the merged stream.
+func PipelineSpine(n *Node, barrier func(*Node) bool) (*Node, bool) {
+	return spineWalk(n, barrier, true)
+}
+
+func spineWalk(n *Node, barrier func(*Node) bool, root bool) (*Node, bool) {
+	if !root && barrier != nil && barrier(n) {
+		return nil, false
+	}
+	switch n.Op {
+	case Scan:
+		return n, true
+	case Select, Project:
+		return spineWalk(n.Children[0], barrier, false)
+	case Join:
+		// The probe side continues the pipeline; the build side is a
+		// separate subplan and may be anything.
+		return spineWalk(n.Children[0], barrier, false)
+	}
+	return nil, false
+}
+
+// ClassifyFragment decides how the subtree rooted at n may be parallelized
+// and returns its driving scan. A bare Scan root classifies as FragNone:
+// a serial scan aliases storage for free, so splitting it buys nothing and
+// costs a merge copy.
+func ClassifyFragment(n *Node, barrier func(*Node) bool) (FragmentKind, *Node) {
+	switch n.Op {
+	case Aggregate:
+		if scan, ok := PipelineSpine(n.Children[0], barrier); ok {
+			if barrier == nil || !barrier(n.Children[0]) {
+				return FragAggregate, scan
+			}
+		}
+		return FragNone, nil
+	case Select, Project, Join:
+		if scan, ok := PipelineSpine(n, barrier); ok {
+			return FragPipeline, scan
+		}
+	}
+	return FragNone, nil
+}

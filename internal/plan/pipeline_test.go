@@ -1,0 +1,81 @@
+package plan
+
+import (
+	"testing"
+
+	"recycledb/internal/expr"
+)
+
+func TestClassifyFragment(t *testing.T) {
+	scan := func() *Node { return NewScan("t", "a", "b") }
+	sel := func() *Node { return NewSelect(scan(), expr.Gt(expr.C("a"), expr.Int(1))) }
+	join := func() *Node {
+		return NewJoin(Inner, sel(), NewScan("d", "k"), []string{"a"}, []string{"k"})
+	}
+
+	cases := []struct {
+		name string
+		n    *Node
+		want FragmentKind
+	}{
+		{"bare-scan", scan(), FragNone}, // nothing to gain from a merge copy
+		{"select", sel(), FragPipeline},
+		{"project", NewProject(sel(), P(expr.C("a"), "a")), FragPipeline},
+		{"join-probe-spine", join(), FragPipeline},
+		{"agg", NewAggregate(sel(), []string{"b"}, A(Count, nil, "n")), FragAggregate},
+		{"agg-scalar", NewAggregate(join(), nil, A(Count, nil, "n")), FragAggregate},
+		{"topn", NewTopN(sel(), []SortKey{{Col: "a"}}, 5), FragNone},
+		{"limit", NewLimit(sel(), 5), FragNone},
+		{"union", NewUnion(sel(), sel()), FragNone},
+		{"tablefn-spine", NewSelect(NewTableFn("f"), expr.Gt(expr.C("a"), expr.Int(1))), FragNone},
+		{"agg-over-sort", NewAggregate(NewSort(sel(), SortKey{Col: "a"}), nil, A(Count, nil, "n")), FragNone},
+	}
+	for _, c := range cases {
+		kind, spine := ClassifyFragment(c.n, nil)
+		if kind != c.want {
+			t.Errorf("%s: kind = %v, want %v", c.name, kind, c.want)
+		}
+		if kind != FragNone && (spine == nil || spine.Op != Scan || spine.Table != "t") {
+			t.Errorf("%s: wrong spine scan %v", c.name, spine)
+		}
+	}
+}
+
+// TestClassifyFragmentBarriers pins the merge-point rule: a barrier on an
+// interior node (a recycler decoration in the executor) stops the
+// fragment; a barrier on the root does not, because the root's decoration
+// wraps the merged stream.
+func TestClassifyFragmentBarriers(t *testing.T) {
+	inner := NewSelect(NewScan("t", "a"), expr.Gt(expr.C("a"), expr.Int(1)))
+	root := NewProject(inner, P(expr.C("a"), "a"))
+
+	barrierInner := func(n *Node) bool { return n == inner }
+	if kind, _ := ClassifyFragment(root, barrierInner); kind != FragNone {
+		t.Fatalf("interior barrier ignored: kind = %v", kind)
+	}
+	barrierRoot := func(n *Node) bool { return n == root }
+	if kind, _ := ClassifyFragment(root, barrierRoot); kind != FragPipeline {
+		t.Fatalf("root barrier must not stop the fragment: kind = %v", kind)
+	}
+
+	// Aggregate roots: a barrier directly under the aggregate is a merge
+	// point for the aggregate's input, so the fragment dissolves.
+	agg := NewAggregate(root, nil, A(Count, nil, "n"))
+	if kind, _ := ClassifyFragment(agg, barrierRoot); kind != FragNone {
+		t.Fatalf("barrier under aggregate ignored: kind = %v", kind)
+	}
+	if kind, _ := ClassifyFragment(agg, barrierInner); kind != FragNone {
+		t.Fatalf("deep barrier under aggregate ignored: kind = %v", kind)
+	}
+	if kind, _ := ClassifyFragment(agg, func(n *Node) bool { return n == agg }); kind != FragAggregate {
+		t.Fatalf("barrier on aggregate root must not stop the fragment: kind = %v", kind)
+	}
+
+	// Join build sides may contain barriers freely: they are separate
+	// subplans, not pipeline members.
+	buildSide := NewSelect(NewScan("d", "k"), expr.Gt(expr.C("k"), expr.Int(0)))
+	join := NewJoin(Inner, root, buildSide, []string{"a"}, []string{"k"})
+	if kind, _ := ClassifyFragment(join, func(n *Node) bool { return n == buildSide }); kind != FragPipeline {
+		t.Fatal("build-side barrier must not stop the probe pipeline")
+	}
+}

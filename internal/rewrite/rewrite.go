@@ -96,8 +96,13 @@ type Result struct {
 	// subst maps a decorated node to the graph node whose cached result
 	// replaced that subtree (bcost accounting for Eq. 2 consistency).
 	subst map[*plan.Node]*core.Node
-	// waitReused records the runtime outcome of Wait decorations.
-	waitReused map[*plan.Node]*bool
+	// waitReused records the runtime outcome of Wait decorations. The
+	// outcomes are written from OnOutcome callbacks, which with parallel
+	// pipelines may fire on a fragment worker goroutine (a wait inside a
+	// join build side), so they are atomics: every counter or flag a
+	// store/wait callback touches must be safe to update off the query's
+	// own goroutine.
+	waitReused map[*plan.Node]*atomic.Bool
 	// producing is the set of graph nodes this query registered as the
 	// in-flight producer of. A second occurrence of the same subtree in
 	// the same query (intra-query sharing, e.g. TPC-H Q15) must not
@@ -126,7 +131,7 @@ func (rw *Rewriter) Rewrite(root *plan.Node) (*Result, error) {
 		Exec:       root,
 		Decor:      make(exec.Decorations),
 		subst:      make(map[*plan.Node]*core.Node),
-		waitReused: make(map[*plan.Node]*bool),
+		waitReused: make(map[*plan.Node]*atomic.Bool),
 		producing:  make(map[*core.Node]bool),
 	}
 	if rw.Mode == Off {
@@ -264,7 +269,7 @@ func (rw *Rewriter) substitute(n *plan.Node, res *Result) {
 		// In-flight materialization by a concurrent query: stall.
 		if nm.Existed && rw.Rec.Inflight(nm.G) {
 			g := nm.G
-			reused := new(bool)
+			reused := new(atomic.Bool)
 			res.waitReused[n] = reused
 			res.subst[n] = g
 			res.Decor[n] = &exec.Decor{Wait: &exec.WaitSpec{
@@ -285,7 +290,7 @@ func (rw *Rewriter) substitute(n *plan.Node, res *Result) {
 						func() { rw.Rec.Release(entry) }, true
 				},
 				OnOutcome: func(ok bool, stalled time.Duration) {
-					*reused = ok
+					reused.Store(ok)
 					rw.Rec.CountStall(ok)
 				},
 			}}
@@ -469,7 +474,7 @@ func (rw *Rewriter) planWait(n *plan.Node, g *core.Node, res *Result) {
 	if d := res.Decor[n]; d != nil {
 		return
 	}
-	reused := new(bool)
+	reused := new(atomic.Bool)
 	res.waitReused[n] = reused
 	res.subst[n] = g
 	res.Decor[n] = &exec.Decor{Wait: &exec.WaitSpec{
@@ -487,7 +492,7 @@ func (rw *Rewriter) planWait(n *plan.Node, g *core.Node, res *Result) {
 				func() { rw.Rec.Release(e) }, true
 		},
 		OnOutcome: func(ok bool, stalled time.Duration) {
-			*reused = ok
+			reused.Store(ok)
 			rw.Rec.CountStall(ok)
 		},
 	}}
@@ -627,7 +632,7 @@ func (rw *Rewriter) Annotate(res *Result, opmap map[*plan.Node]exec.Operator) {
 			return 0
 		}
 		if d != nil && d.Wait != nil {
-			if r := res.waitReused[n]; r != nil && *r {
+			if r := res.waitReused[n]; r != nil && r.Load() {
 				if g := res.subst[n]; g != nil {
 					cost, _, _, _ := rw.Rec.NodeStats(g)
 					return cost

@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -332,7 +333,7 @@ func TestDropStoresUnderWaits(t *testing.T) {
 		Decor:      make(exec.Decorations),
 		Match:      rw.Rec.MatchInsert(root),
 		subst:      make(map[*plan.Node]*core.Node),
-		waitReused: make(map[*plan.Node]*bool),
+		waitReused: make(map[*plan.Node]*atomic.Bool),
 	}
 	g := r2.Match.ByNode[root].G
 	sel := root.Children[0]

@@ -3,6 +3,7 @@ package vector
 import (
 	"math/bits"
 	"sync"
+	"unsafe"
 )
 
 // Pool recycles vectors and batches across queries. It is sync.Pool-backed
@@ -22,9 +23,23 @@ import (
 //     memory — the recycler never holds pooled storage, so cache
 //     correctness and byte accounting are untouched by pooling.
 //
-// The zero Pool is ready to use and safe for concurrent use.
+// The zero Pool is ready to use and safe for concurrent use. It is also
+// contention-free under intra-query parallelism: each bucket is a
+// sync.Pool (internally sharded per P, so same-bucket Get/Put from
+// concurrent pipeline workers stays lock-free on the fast path), and
+// buckets are padded onto distinct cache lines so workers hammering
+// adjacent (type, class) buckets do not false-share the pool headers.
+// pool_test.go asserts throughput does not collapse when GOMAXPROCS
+// workers share one pool.
 type Pool struct {
-	buckets [nTypes][poolMaxClass + 1]sync.Pool
+	buckets [nTypes][poolMaxClass + 1]paddedPool
+}
+
+// paddedPool rounds each bucket up to its own cache lines (128 bytes
+// covers the common 64B line and 128B prefetch pairs).
+type paddedPool struct {
+	sync.Pool
+	_ [(128 - unsafe.Sizeof(sync.Pool{})%128) % 128]byte
 }
 
 const (

@@ -2,7 +2,10 @@ package vector
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestPoolReusesByTypeAndClass(t *testing.T) {
@@ -148,5 +151,91 @@ func TestGatherKernels(t *testing.T) {
 	dst.CopyFrom(sel)
 	if dst.Len() != 3 || dst.Vecs[1].F64[2] != 2 {
 		t.Fatalf("CopyFrom: len=%d %v", dst.Len(), dst.Vecs[1].F64)
+	}
+}
+
+// poolChurn runs one worker's share of a get/put mix over the hot buckets
+// a parallel pipeline hits: typed scratch vectors and whole batches.
+func poolChurn(p *Pool, ops int) {
+	types := []Type{Int64, Float64, String, Bool}
+	batchTypes := []Type{Int64, Float64, String}
+	for i := 0; i < ops; i++ {
+		v := p.Get(types[i%len(types)], 1024)
+		p.Put(v)
+		if i%8 == 0 {
+			b := p.GetBatch(batchTypes, 1024)
+			p.PutBatch(b)
+		}
+	}
+}
+
+// TestPoolParallelNoContentionCollapse drives the same total operation
+// count through one worker and through GOMAXPROCS workers sharing one
+// pool. With the per-P sync.Pool buckets and cache-line padding the
+// parallel wall time must not exceed the serial wall time by more than a
+// small factor — a pool serializing on a mutex fails this by an order of
+// magnitude under 8+ workers. The bound is deliberately loose (2x) to
+// stay robust on noisy CI machines; the benchmark below is the precise
+// instrument.
+func TestPoolParallelNoContentionCollapse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		t.Skip("needs >= 2 CPUs")
+	}
+	const totalOps = 400_000
+	var p Pool
+	poolChurn(&p, totalOps/4) // warm the buckets
+
+	serial := time.Now()
+	poolChurn(&p, totalOps)
+	serialWall := time.Since(serial)
+
+	var wg sync.WaitGroup
+	parallel := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			poolChurn(&p, totalOps/workers)
+		}()
+	}
+	wg.Wait()
+	parallelWall := time.Since(parallel)
+
+	if parallelWall > 2*serialWall+10*time.Millisecond {
+		t.Fatalf("contention collapse: %d workers took %v for the work one worker does in %v",
+			workers, parallelWall, serialWall)
+	}
+}
+
+// BenchmarkPoolParallelGetPut measures shared-pool scratch churn under
+// RunParallel; compare against BenchmarkPoolSerialGetPut with benchstat.
+// ns/op staying flat as GOMAXPROCS grows is the no-contention property the
+// per-worker pipelines rely on.
+func BenchmarkPoolParallelGetPut(b *testing.B) {
+	var p Pool
+	poolChurn(&p, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v := p.Get(Float64, 1024)
+			p.Put(v)
+		}
+	})
+}
+
+// BenchmarkPoolSerialGetPut is the single-goroutine baseline.
+func BenchmarkPoolSerialGetPut(b *testing.B) {
+	var p Pool
+	poolChurn(&p, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := p.Get(Float64, 1024)
+		p.Put(v)
 	}
 }

@@ -60,11 +60,21 @@
 // that depend on the written table — pure appends extend cached
 // selection/projection results in place instead of evicting them. See the
 // README's "Updates & consistency" section for the full contract.
+//
+// # Parallelism
+//
+// Statements execute morsel-parallel: pipeline-shaped plan fragments split
+// the driving scan into row ranges processed by a worker pool
+// (Config.Parallelism, default GOMAXPROCS, divided across statements in
+// flight) and merge deterministically — a parallel run produces the same
+// rows in the same order as a serial one, recycler decisions included. See
+// the README's "Parallel execution" section.
 package recycledb
 
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -118,6 +128,15 @@ type Config struct {
 	// normalized SQL text; 0 uses the default (128), negative disables
 	// plan caching.
 	PlanCacheSize int
+	// Parallelism is the engine's intra-query worker budget for
+	// morsel-driven parallel pipelines. 0 uses GOMAXPROCS; 1 disables
+	// intra-query parallelism. The budget is divided across concurrently
+	// executing statements (a lone analytical query uses the whole
+	// machine; a saturated serving tier degrades gracefully to one worker
+	// per query), and plans too small to split run serially regardless.
+	// Results are independent of the setting — parallel pipelines merge
+	// deterministically in serial order; see README "Parallel execution".
+	Parallelism int
 }
 
 // DefaultPlanCacheSize is the compiled-plan LRU capacity when
@@ -137,6 +156,11 @@ type Engine struct {
 	plans *planCache
 	mode  atomic.Int32
 	vsz   int
+	// par is the intra-query parallelism budget (Config.Parallelism
+	// resolved); active tracks in-flight statements so the budget divides
+	// across them.
+	par    int
+	active atomic.Int32
 	// pool recycles operator scratch batches across this engine's queries
 	// (vector.Pool documents the ownership rules).
 	pool *vector.Pool
@@ -181,11 +205,16 @@ func NewWithCatalog(cfg Config, cat *catalog.Catalog) *Engine {
 	if planCap == 0 {
 		planCap = DefaultPlanCacheSize
 	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	e := &Engine{
 		cat:   cat,
 		rec:   core.New(ccfg),
 		plans: newPlanCache(planCap),
 		vsz:   cfg.VectorSize,
+		par:   par,
 		pool:  &vector.Pool{},
 	}
 	e.mode.Store(int32(cfg.Mode))
@@ -327,12 +356,35 @@ func (e *Engine) Execute(q *plan.Node) (*Result, error) {
 	return e.ExecuteContext(context.Background(), q)
 }
 
+// beginStatement reserves a statement slot and returns its intra-query
+// worker budget: the engine's parallelism divided by the statements in
+// flight, floored at one. A lone query gets the whole budget; under heavy
+// concurrency every query runs serially and throughput scaling comes from
+// inter-query concurrency alone.
+func (e *Engine) beginStatement() int {
+	n := e.active.Add(1)
+	eff := e.par / int(n)
+	if eff < 1 {
+		eff = 1
+	}
+	return eff
+}
+
+// endStatement releases a statement slot.
+func (e *Engine) endStatement() { e.active.Add(-1) }
+
 // stream owns p (already cloned). It resolves, rewrites, builds, and opens
 // the pipeline, returning a Rows positioned before the first batch.
-func (e *Engine) stream(ctx context.Context, p *plan.Node) (*Rows, error) {
+func (e *Engine) stream(ctx context.Context, p *plan.Node) (rows *Rows, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	par := e.beginStatement()
+	defer func() {
+		if err != nil {
+			e.endStatement()
+		}
+	}()
 	start := time.Now()
 	if err := p.Resolve(e.cat); err != nil {
 		return nil, fmt.Errorf("recycledb: resolve: %w", err)
@@ -363,7 +415,8 @@ func (e *Engine) stream(ctx context.Context, p *plan.Node) (*Rows, error) {
 	if err != nil {
 		return nil, fmt.Errorf("recycledb: rewrite: %w", err)
 	}
-	ectx := &exec.Ctx{Cat: e.cat, VectorSize: e.vsz, Context: ctx, Pool: e.pool, Snaps: snaps}
+	ectx := &exec.Ctx{Cat: e.cat, VectorSize: e.vsz, Context: ctx, Pool: e.pool, Snaps: snaps,
+		Parallelism: par}
 	opmap := make(map[*plan.Node]exec.Operator)
 	op, err := exec.Build(ectx, rres.Exec, rres.Decor, opmap)
 	if err != nil {

@@ -43,6 +43,15 @@ type Rows struct {
 	err       error
 	done      bool // end of stream reached (operator closed, graph annotated)
 	closed    bool // Close called before end of stream (operator closed)
+	released  bool // statement slot given back to the engine's worker budget
+}
+
+// release returns the statement's slot in the engine's parallelism budget.
+func (r *Rows) release() {
+	if !r.released {
+		r.released = true
+		r.eng.endStatement()
+	}
 }
 
 // Schema returns the result schema.
@@ -94,6 +103,7 @@ func (r *Rows) fail(err error) {
 	r.err = err
 	r.closed = true
 	r.op.Close(r.ectx)
+	r.release()
 }
 
 // finish completes the stream: the recycler graph is annotated with the
@@ -101,6 +111,7 @@ func (r *Rows) fail(err error) {
 // and the operator tree is closed.
 func (r *Rows) finish() error {
 	r.done = true
+	defer r.release()
 	execTime := time.Since(r.execStart)
 	if err := r.op.Close(r.ectx); err != nil {
 		r.err = wrapRunError(err)
@@ -122,6 +133,7 @@ func (r *Rows) Close() error {
 		return nil
 	}
 	r.closed = true
+	defer r.release()
 	return r.op.Close(r.ectx)
 }
 
