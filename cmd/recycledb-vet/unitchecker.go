@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"recycledb/internal/analysis"
+)
+
+// vetConfig mirrors the JSON configuration `go vet` writes for a vettool
+// (the x/tools unitchecker protocol): one invocation per package, with
+// pre-built export data for every import.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheckerMain handles one `go vet -vettool` package invocation.
+func unitcheckerMain(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "recycledb-vet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "recycledb-vet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The go command requires the facts file to exist even though these
+	// analyzers export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "recycledb-vet:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	var needed []*analysis.Analyzer
+	for _, a := range analyzers {
+		if inScope(a, cfg.ImportPath) {
+			needed = append(needed, a)
+		}
+	}
+	// External _test packages and the generated test main are exempt, and
+	// _test.go files are dropped from the in-package file set below: the
+	// invariants bind library code; tests legitimately mint contexts and
+	// read live snapshots.
+	if len(needed) == 0 || strings.Contains(cfg.ID, " [") ||
+		strings.HasSuffix(cfg.ImportPath, ".test") ||
+		strings.HasSuffix(cfg.ImportPath, "_test") {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recycledb-vet:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := analysis.NewInfo()
+	tconf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	var typeErr error
+	tconf.Error = func(err error) {
+		if typeErr == nil {
+			typeErr = err
+		}
+	}
+	tpkg, _ := tconf.Check(cfg.ImportPath, fset, files, info)
+	if typeErr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "recycledb-vet: %s: %v\n", cfg.ImportPath, typeErr)
+		return 2
+	}
+
+	pkg := &analysis.Package{
+		Path: cfg.ImportPath, Dir: cfg.Dir, Fset: fset,
+		Files: files, Types: tpkg, Info: info,
+	}
+	findings := 0
+	for _, a := range needed {
+		diags, err := analysis.RunAnalyzer(a, pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recycledb-vet:", err)
+			return 2
+		}
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			name := pos.Filename
+			if rel, err := filepath.Rel(cfg.Dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, a.Name, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		return 2
+	}
+	return 0
+}

@@ -60,7 +60,7 @@ func (e *Engine) Exec(ctx context.Context, query string, args ...any) (ExecResul
 // row count.
 func (e *Engine) execDML(ctx context.Context, c *sql.Compiled, args []vector.Datum) (int64, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //recycledb:ctx-ok — documented nil-ctx fallback
 	}
 	if err := ctx.Err(); err != nil {
 		return 0, wrapRunError(err)

@@ -1,0 +1,234 @@
+// Package analysis is a self-contained, stdlib-only miniature of
+// golang.org/x/tools/go/analysis: named analyzers run over type-checked
+// packages and report position-tagged diagnostics. The engine's invariant
+// checkers (poolcheck, detcheck, snapcheck, guardedcheck, ctxcheck) build
+// on it, and cmd/recycledb-vet drives them over the module — standalone or
+// as a `go vet -vettool` backend.
+//
+// The deliberate API mirror means the passes port to the real
+// x/tools/go/analysis framework mechanically if the dependency ever
+// becomes available; the subset implemented here (no facts, no modular
+// result sharing) is exactly what the repo's checkers need.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -checks selections.
+	Name string
+	// Doc is a one-paragraph description: first line is a summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+
+	ann *Annotations // lazily built annotation index
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Annotated reports whether the line holding pos — or the line above it,
+// where justification comments conventionally sit — carries a
+// //recycledb:<marker> annotation.
+func (p *Pass) Annotated(pos token.Pos, marker string) bool {
+	if p.ann == nil {
+		p.ann = CollectAnnotations(p.Fset, p.Files)
+	}
+	return p.ann.At(p.Fset, pos, marker)
+}
+
+// Inspect walks every file of the pass in depth-first order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// Annotations indexes //recycledb:<marker> justification comments by file
+// and line. A marker suppresses a finding on its own line or the line
+// directly below (so it can sit above the flagged statement); trailing
+// free text after the marker is the human justification and is required.
+type Annotations struct {
+	byFile map[string]map[int][]string // filename -> line -> markers
+}
+
+var annotationRE = regexp.MustCompile(`//recycledb:([a-z-]+)\b`)
+
+// CollectAnnotations scans the files' comments for recycledb markers.
+func CollectAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{byFile: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range annotationRE.FindAllStringSubmatch(c.Text, -1) {
+					pos := fset.Position(c.Pos())
+					lines := a.byFile[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]string)
+						a.byFile[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], m[1])
+				}
+			}
+		}
+	}
+	return a
+}
+
+// At reports whether marker is present on pos's line or the line above.
+func (a *Annotations) At(fset *token.FileSet, pos token.Pos, marker string) bool {
+	p := fset.Position(pos)
+	lines := a.byFile[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range [2]int{p.Line, p.Line - 1} {
+		for _, m := range lines[l] {
+			if m == marker {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Deref strips pointers off t.
+func Deref(t types.Type) types.Type {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = ptr.Elem()
+	}
+}
+
+// NamedOf returns the named type behind t (through pointers and aliases),
+// or nil.
+func NamedOf(t types.Type) *types.Named {
+	n, _ := Deref(types.Unalias(t)).(*types.Named)
+	return n
+}
+
+// TypeIs reports whether t (through pointers) is the named type
+// pkgPath.name. An empty pkgPath matches any package.
+func TypeIs(t types.Type, pkgPath, name string) bool {
+	n := NamedOf(t)
+	if n == nil || n.Obj().Name() != name {
+		return false
+	}
+	if pkgPath == "" {
+		return true
+	}
+	return n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == pkgPath
+}
+
+// ReceiverType resolves a method's receiver named type, or nil for
+// functions.
+func ReceiverType(info *types.Info, fn *ast.FuncDecl) *types.Named {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := info.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	return NamedOf(tv.Type)
+}
+
+// CalleeName returns the bare name of a call's callee: the method or
+// function identifier, with any package qualifier or receiver stripped.
+func CalleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// RootIdent digs the leftmost identifier out of selector/index/paren
+// chains (x in x.a.b[i].c), or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ExprString renders a (small) expression for diagnostics and syntactic
+// comparison.
+func ExprString(e ast.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		b.WriteString(x.Name)
+	case *ast.SelectorExpr:
+		writeExpr(b, x.X)
+		b.WriteByte('.')
+		b.WriteString(x.Sel.Name)
+	case *ast.IndexExpr:
+		writeExpr(b, x.X)
+		b.WriteString("[…]")
+	case *ast.ParenExpr:
+		writeExpr(b, x.X)
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeExpr(b, x.X)
+	case *ast.UnaryExpr:
+		b.WriteString(x.Op.String())
+		writeExpr(b, x.X)
+	case *ast.CallExpr:
+		writeExpr(b, x.Fun)
+		b.WriteString("(…)")
+	default:
+		b.WriteString("…")
+	}
+}

@@ -1,0 +1,101 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata directory and checks its diagnostics against // want
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest on
+// top of the repo's stdlib-only analysis framework.
+//
+// A fixture file marks expected findings with trailing comments:
+//
+//	for k := range m { // want `range over map`
+//
+// The quoted text is a regular expression matched against the diagnostic
+// message reported on that line. Every diagnostic must be wanted and every
+// want must fire, so fixtures encode the sanctioned (negative) patterns
+// simply by carrying no want comment.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"recycledb/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+// Run loads testdata/src/<pkg> for each named fixture package, applies the
+// analyzer, and reports mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		p, err := loader.LoadDir(dir, pkg)
+		if err != nil {
+			t.Errorf("%s: load: %v", pkg, err)
+			continue
+		}
+		for _, terr := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg, terr)
+		}
+		diags, err := analysis.RunAnalyzer(a, p)
+		if err != nil {
+			t.Errorf("%s: run: %v", pkg, err)
+			continue
+		}
+		checkWants(t, p, diags)
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func checkWants(t *testing.T, p *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", posOf(p.Fset, c.Pos()), m[1], err)
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posOf(p.Fset, d.Pos), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func posOf(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}

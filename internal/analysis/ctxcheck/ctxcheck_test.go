@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"recycledb/internal/analysis/analysistest"
+	"recycledb/internal/analysis/ctxcheck"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxcheck.Analyzer, "ctx")
+}

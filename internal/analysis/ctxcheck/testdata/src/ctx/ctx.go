@@ -1,0 +1,45 @@
+package ctx
+
+import (
+	"context"
+
+	"recycledb/internal/exec"
+)
+
+type blindOp struct{}
+
+// Next ignores cancellation: a finding.
+func (o *blindOp) Next(ctx *exec.Ctx) error { // want `operator \*blindOp.Next does not observe ctx cancellation`
+	return nil
+}
+
+type politeOp struct{}
+
+// Next consults Interrupted at the batch boundary: sanctioned.
+func (o *politeOp) Next(ctx *exec.Ctx) error {
+	if err := ctx.Interrupted(); err != nil {
+		return err
+	}
+	return nil
+}
+
+type statsOp struct{}
+
+//recycledb:ctx-ok — stats-only stand-in, never driven as an operator
+func (o *statsOp) Next(ctx *exec.Ctx) error {
+	return nil
+}
+
+// mint creates a root context in library code: findings.
+func mint() context.Context {
+	_ = context.TODO()          // want `context.TODO\(\) in library code`
+	return context.Background() // want `context.Background\(\) in library code`
+}
+
+// fallback is a documented, justified fallback.
+func fallback(c context.Context) context.Context {
+	if c == nil {
+		c = context.Background() //recycledb:ctx-ok — documented nil-ctx fallback
+	}
+	return c
+}

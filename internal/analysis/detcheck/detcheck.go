@@ -1,0 +1,136 @@
+// Package detcheck flags `range` over a map in the engine's
+// result-producing packages. Map iteration order is randomized per run, so
+// any map walk whose visit order can reach query output, cache state, or
+// recycler statistics breaks the serial-identical merge contract the
+// morsel-parallel executor (PR 5) and the golden-equivalence suites depend
+// on.
+//
+// A map range is sanctioned when either
+//
+//   - the loop only accumulates into slices that are subsequently passed
+//     to a sort call in the same function (the collect-then-sort idiom), or
+//   - the site carries a //recycledb:nondet-ok justification comment
+//     (order provably immaterial: pure set union, commutative folds, …).
+package detcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"recycledb/internal/analysis"
+)
+
+// Analyzer is the detcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detcheck",
+	Doc: "flag map iteration whose order can leak into results or stats; " +
+		"sanction collect-then-sort or //recycledb:nondet-ok sites",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pass.Annotated(rng.Pos(), "nondet-ok") {
+			return true
+		}
+		if sortedAfter(pass, fn, rng) {
+			return true
+		}
+		pass.Reportf(rng.Pos(), "range over map %s: iteration order is nondeterministic; "+
+			"sort the collected output or justify with //recycledb:nondet-ok",
+			analysis.ExprString(rng.X))
+		return true
+	})
+}
+
+// sortedAfter reports whether every slice the loop accumulates into is
+// sorted later in the same function — the collect-then-sort idiom. A loop
+// that accumulates into nothing (pure side-effect-free reads don't exist;
+// a body that builds another map, counts, or mutates shared state) does
+// not qualify.
+func sortedAfter(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	sinks := make(map[types.Object]bool)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || analysis.CalleeName(call) != "append" || i >= len(assign.Lhs) {
+				continue
+			}
+			if id := analysis.RootIdent(assign.Lhs[i]); id != nil {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					sinks[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(sinks) == 0 {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := analysis.RootIdent(arg); id != nil {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil && sinks[obj] {
+					delete(sinks, obj)
+				}
+			}
+		}
+		if len(sinks) == 0 {
+			sorted = true
+			return false
+		}
+		return true
+	})
+	return sorted
+}
+
+// isSortCall recognizes sort.* / slices.Sort* calls and method values like
+// sort.Sort(x) by their defining package.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package detcheck_test
+
+import (
+	"testing"
+
+	"recycledb/internal/analysis/analysistest"
+	"recycledb/internal/analysis/detcheck"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", detcheck.Analyzer, "det")
+}

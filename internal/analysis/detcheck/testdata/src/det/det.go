@@ -1,0 +1,53 @@
+package det
+
+import "sort"
+
+// leakyKeys leaks map order into its result: a finding.
+func leakyKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map m: iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectThenSort is the sanctioned idiom: the only sink is sorted later.
+func collectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// justifiedFold carries an explicit nondet-ok justification.
+func justifiedFold(m map[string]int) int {
+	total := 0
+	//recycledb:nondet-ok — commutative sum
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// halfSorted sorts one sink but leaks the other: still a finding.
+func halfSorted(m map[string]int) ([]string, []int) {
+	var ks []string
+	var vs []int
+	for k, v := range m { // want `range over map m`
+		ks = append(ks, k)
+		vs = append(vs, v)
+	}
+	sort.Strings(ks)
+	return ks, vs
+}
+
+// sliceRange is not a map walk; never flagged.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

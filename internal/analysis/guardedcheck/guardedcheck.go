@@ -1,0 +1,254 @@
+// Package guardedcheck machine-checks annotation-driven mutex discipline.
+// A struct field whose doc or trailing comment says
+//
+//	// guarded by mu
+//
+// (where mu is a sibling sync.Mutex/RWMutex field) may only be accessed
+// in functions that visibly take that lock on the same object
+// (x.mu.Lock / RLock / TryLock for an access to x.field), in functions
+// following the repo's *Locked-suffix convention (caller holds the lock),
+// on freshly constructed objects (x := &T{...} in the same function), or
+// at sites justified with //recycledb:guarded-ok.
+//
+// Independently, fields of sync/atomic types (atomic.Int64,
+// atomic.Pointer[T], …) must be accessed through their methods; reading
+// or assigning the field as a value copies the atomic — a race and a
+// torn-semantics bug — and is a finding.
+package guardedcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"recycledb/internal/analysis"
+)
+
+// Analyzer is the guardedcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedcheck",
+	Doc: "enforce `// guarded by mu` field annotations and forbid value " +
+		"copies of sync/atomic fields",
+	Run: run,
+}
+
+var guardedRE = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)\s*$`)
+
+type guard struct {
+	structName string
+	fieldName  string
+	guardName  string
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards scans struct declarations for guarded-by field comments,
+// validating that the named guard is a sibling mutex field.
+func collectGuards(pass *analysis.Pass) map[types.Object]guard {
+	guards := make(map[types.Object]guard)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			siblings := make(map[string]types.Type)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						siblings[name.Name] = obj.Type()
+					}
+				}
+			}
+			for _, f := range st.Fields.List {
+				g := guardAnnotation(f)
+				if g == "" {
+					continue
+				}
+				gt, ok := siblings[g]
+				if !ok || !isMutex(gt) {
+					pass.Reportf(f.Pos(), "guarded-by annotation names %q, which is not a sibling "+
+						"sync.Mutex/RWMutex field of %s", g, ts.Name.Name)
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = guard{structName: ts.Name.Name, fieldName: name.Name, guardName: g}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardAnnotation(f *ast.Field) string {
+	for _, cg := range [2]*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardedRE.FindStringSubmatch(c.Text); m != nil {
+				return m[1]
+			}
+		}
+	}
+	return ""
+}
+
+func isMutex(t types.Type) bool {
+	return analysis.TypeIs(t, "sync", "Mutex") || analysis.TypeIs(t, "sync", "RWMutex")
+}
+
+func isAtomicType(t types.Type) bool {
+	n := analysis.NamedOf(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, guards map[types.Object]guard) {
+	lockBases := collectLockCalls(pass, fn)
+	fresh := collectFreshObjects(fn)
+	callerHoldsLock := len(fn.Name.Name) > len("Locked") &&
+		fn.Name.Name[len(fn.Name.Name)-len("Locked"):] == "Locked"
+
+	// Parent-tracked walk so atomic field selectors can see how they are
+	// used (method call vs. value copy).
+	var stack []ast.Node
+	for _, stmt := range []ast.Stmt{fn.Body} {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			obj := selection.Obj()
+
+			if g, guarded := guards[obj]; guarded {
+				base := analysis.ExprString(sel.X)
+				root := analysis.RootIdent(sel.X)
+				switch {
+				case callerHoldsLock:
+				case lockBases[base+"."+g.guardName]:
+				case root != nil && fresh[root.Name]:
+				case pass.Annotated(sel.Pos(), "guarded-ok"):
+				default:
+					pass.Reportf(sel.Pos(), "%s.%s accessed without holding %s.%s (annotate the "+
+						"call path, take the lock, or justify with //recycledb:guarded-ok)",
+						g.structName, g.fieldName, base, g.guardName)
+				}
+			}
+
+			if isAtomicType(obj.Type()) && !atomicUseOK(stack) {
+				pass.Reportf(sel.Pos(), "sync/atomic field %s.%s used as a value: copying an "+
+					"atomic races with its writers; call its methods or take its address",
+					analysis.ExprString(sel.X), sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// atomicUseOK reports whether the selector at the top of the stack is used
+// through a method (x.f.Load()) or by address (&x.f) rather than copied.
+func atomicUseOK(stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.SelectorExpr:
+		return true // x.f.Load, x.f.Store, ...
+	case *ast.UnaryExpr:
+		return parent.Op.String() == "&"
+	}
+	return false
+}
+
+// collectLockCalls gathers "base.mu" strings for every mutex
+// Lock/RLock/TryLock/TryRLock call in the function body.
+func collectLockCalls(pass *analysis.Pass, fn *ast.FuncDecl) map[string]bool {
+	locks := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+		default:
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[sel.X]; !ok || !isMutex(tv.Type) {
+			return true
+		}
+		locks[analysis.ExprString(sel.X)] = true
+		return true
+	})
+	return locks
+}
+
+// collectFreshObjects gathers local identifiers bound to freshly
+// constructed values (x := &T{...}, x := T{...}, x := new(T)): an object
+// not yet published needs no lock.
+func collectFreshObjects(fn *ast.FuncDecl) map[string]bool {
+	fresh := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if i >= len(assign.Lhs) {
+				break
+			}
+			id, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch v := ast.Unparen(rhs).(type) {
+			case *ast.CompositeLit:
+				fresh[id.Name] = true
+			case *ast.UnaryExpr:
+				if v.Op.String() == "&" {
+					if _, ok := ast.Unparen(v.X).(*ast.CompositeLit); ok {
+						fresh[id.Name] = true
+					}
+				}
+			case *ast.CallExpr:
+				if fnID, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && fnID.Name == "new" {
+					fresh[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}

@@ -1,0 +1,12 @@
+package guardedcheck_test
+
+import (
+	"testing"
+
+	"recycledb/internal/analysis/analysistest"
+	"recycledb/internal/analysis/guardedcheck"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedcheck.Analyzer, "guarded")
+}

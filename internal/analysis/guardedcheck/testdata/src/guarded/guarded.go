@@ -1,0 +1,60 @@
+package guarded
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	hits int // guarded by mu
+
+	seen atomic.Int64
+}
+
+// addLocked follows the *Locked convention: the caller holds mu.
+func (c *counter) addLocked(n int) {
+	c.hits += n
+}
+
+// add takes the lock itself: sanctioned.
+func (c *counter) add(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits += n
+}
+
+// sneak reads the guarded field without mu: a finding.
+func (c *counter) sneak() int {
+	return c.hits // want `counter.hits accessed without holding c.mu`
+}
+
+// fresh constructs a new object: no lock needed before publication.
+func fresh() *counter {
+	c := &counter{}
+	c.hits = 1
+	return c
+}
+
+// justified carries an explicit guarded-ok justification.
+func (c *counter) justified() int {
+	//recycledb:guarded-ok — single-threaded test helper
+	return c.hits
+}
+
+// atomicMethods accesses the atomic through its methods: sanctioned.
+func (c *counter) atomicMethods() int64 {
+	c.seen.Add(1)
+	return c.seen.Load()
+}
+
+// atomicCopy copies the atomic as a value: a finding.
+func (c *counter) atomicCopy() atomic.Int64 {
+	return c.seen // want `sync/atomic field c.seen used as a value`
+}
+
+type misannotated struct {
+	lk sync.Mutex
+	// guarded by lock
+	state int // want `guarded-by annotation names "lock", which is not a sibling`
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checker complaints; analysis proceeds on a
+	// best-effort basis when non-empty, mirroring go/analysis' behaviour
+	// under RunDespiteErrors=false drivers that still surface the errors.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages from source. Imports — standard
+// library and module-local alike — resolve through the compiler "source"
+// importer, which needs no pre-built export data and therefore works in
+// hermetic environments; module-local paths require the process working
+// directory to be inside the module (true for `go test`, CI, and
+// cmd/recycledb-vet run from the repo root).
+type Loader struct {
+	fset *token.FileSet
+	imp  types.ImporterFrom
+}
+
+// NewLoader returns a loader with a fresh file set and a shared,
+// memoizing source importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Fset returns the loader's file set (shared by all loaded packages).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// LoadDir loads the single package in dir. importPath is the path the
+// package is analyzed under; for testdata fixture packages any synthetic
+// path works. Test files (_test.go) are excluded: the invariants under
+// check govern library code, and fixtures are plain packages.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: list %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Info:  NewInfo(),
+	}
+	conf := types.Config{
+		Importer: importerFrom{l.imp, dir},
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(importPath, l.fset, files, pkg.Info)
+	return pkg, nil
+}
+
+// NewInfo allocates the types.Info maps the analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// importerFrom pins the source directory used for import resolution so
+// relative (module-local) paths resolve against the package being
+// type-checked rather than the process working directory.
+type importerFrom struct {
+	imp types.ImporterFrom
+	dir string
+}
+
+func (i importerFrom) Import(path string) (*types.Package, error) {
+	return i.imp.ImportFrom(path, i.dir, 0)
+}
+
+func (i importerFrom) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if dir == "" {
+		dir = i.dir
+	}
+	return i.imp.ImportFrom(path, dir, mode)
+}
+
+// RunAnalyzer applies a to pkg and returns the diagnostics sorted by
+// position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

@@ -1,0 +1,266 @@
+// Package poolcheck machine-checks the vector.Pool ownership discipline
+// (vector/pool.go "Ownership rules"):
+//
+//   - A pooled vector or batch stored into an operator's field — drawn via
+//     Pool.Get/GetBatch in Open, or lazily in Next/build helpers — must be
+//     returned to the pool in that type's Close (Pool.Put/PutBatch rooted
+//     at the same field). A missed release silently degrades the
+//     steady-state zero-allocation contract; a double ownership silently
+//     corrupts a future query, because cached results are long-lived.
+//   - Batches destined for recycler-held results (Store.buf,
+//     catalog.Result.Batches, core.Entry.Batches) must be deep Clones:
+//     operator output batches are pooled or alias table storage and are
+//     only valid until the next Next call.
+//
+// Sites where ownership provably transfers elsewhere carry a
+// //recycledb:pool-ok or //recycledb:clone-ok justification.
+package poolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"recycledb/internal/analysis"
+)
+
+// Analyzer is the poolcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc: "pooled batches stored in operator fields must be released in Close, " +
+		"and recycler-destined result buffers must hold deep clones",
+	Run: run,
+}
+
+const (
+	vectorPath  = "recycledb/internal/vector"
+	catalogPath = "recycledb/internal/catalog"
+	corePath    = "recycledb/internal/core"
+	execPath    = "recycledb/internal/exec"
+)
+
+type acquire struct {
+	field string
+	pos   token.Pos
+	what  string // Get or GetBatch
+}
+
+func run(pass *analysis.Pass) error {
+	acquires := make(map[*types.Named][]acquire)       // type -> pooled fields
+	releases := make(map[*types.Named]map[string]bool) // type -> fields released in Close
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			recv := analysis.ReceiverType(pass.TypesInfo, fn)
+			if recv != nil {
+				switch fn.Name.Name {
+				case "Close", "close":
+					collectReleases(pass, fn, recv, releases)
+				default:
+					collectAcquires(pass, fn, recv, acquires)
+				}
+			}
+			checkCloneDiscipline(pass, fn)
+		}
+	}
+
+	for typ, acqs := range acquires {
+		rel := releases[typ]
+		for _, a := range acqs {
+			if rel[a.field] {
+				continue
+			}
+			if pass.Annotated(a.pos, "pool-ok") {
+				continue
+			}
+			pass.Reportf(a.pos, "pooled %s stored in %s.%s is never released: Close must "+
+				"Put/PutBatch it back (or justify ownership transfer with //recycledb:pool-ok)",
+				a.what, typ.Obj().Name(), a.field)
+		}
+	}
+	return nil
+}
+
+// poolMethod reports whether call invokes the named method on
+// vector.Pool, e.g. ctx.pool().GetBatch(...) or p.Put(v).
+func poolMethod(pass *analysis.Pass, call *ast.CallExpr, names ...string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !analysis.TypeIs(tv.Type, vectorPath, "Pool") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// fieldOf extracts the receiver field a LHS/argument expression roots in:
+// recv.f, recv.f[i] — returns f. Returns "" when the expression is not a
+// field of recv.
+func fieldOf(pass *analysis.Pass, recvObj types.Object, e ast.Expr) string {
+	e = ast.Unparen(e)
+	if idx, ok := e.(*ast.IndexExpr); ok {
+		e = ast.Unparen(idx.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || recvObj == nil || pass.TypesInfo.ObjectOf(id) != recvObj {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+func recvObject(pass *analysis.Pass, fn *ast.FuncDecl) types.Object {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(fn.Recv.List[0].Names[0])
+}
+
+// collectAcquires records receiver fields assigned pool-drawn values.
+func collectAcquires(pass *analysis.Pass, fn *ast.FuncDecl, recv *types.Named, acquires map[*types.Named][]acquire) {
+	recvObj := recvObject(pass, fn)
+	if recvObj == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if i >= len(assign.Lhs) {
+				break
+			}
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			what, ok := poolMethod(pass, call, "Get", "GetBatch")
+			if !ok {
+				continue
+			}
+			if f := fieldOf(pass, recvObj, assign.Lhs[i]); f != "" {
+				acquires[recv] = append(acquires[recv], acquire{field: f, pos: assign.Pos(), what: what})
+			}
+		}
+		return true
+	})
+}
+
+// collectReleases records receiver fields whose pooled contents Close
+// returns: direct Put(recv.f), indexed Put(recv.f[i]), and the
+// range-value idiom `for _, v := range recv.f { pool.Put(v) }`.
+func collectReleases(pass *analysis.Pass, fn *ast.FuncDecl, recv *types.Named, releases map[*types.Named]map[string]bool) {
+	recvObj := recvObject(pass, fn)
+	if recvObj == nil {
+		return
+	}
+	rel := releases[recv]
+	if rel == nil {
+		rel = make(map[string]bool)
+		releases[recv] = rel
+	}
+	// rangeVals maps a range value variable to the receiver field it
+	// iterates, for the drain-a-slice-of-vectors idiom.
+	rangeVals := make(map[types.Object]string)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			if f := fieldOf(pass, recvObj, x.X); f != "" && x.Value != nil {
+				if id, ok := x.Value.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						rangeVals[obj] = f
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if _, ok := poolMethod(pass, x, "Put", "PutBatch"); !ok {
+				return true
+			}
+			for _, arg := range x.Args {
+				if f := fieldOf(pass, recvObj, arg); f != "" {
+					rel[f] = true
+					continue
+				}
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						if f, ok := rangeVals[obj]; ok {
+							rel[f] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// resultBuffer reports whether e denotes a recycler-destined long-lived
+// batch buffer: Store.buf, catalog.Result.Batches, core.Entry.Batches.
+func resultBuffer(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	switch {
+	case sel.Sel.Name == "Batches" && analysis.TypeIs(tv.Type, catalogPath, "Result"):
+		return "catalog.Result.Batches", true
+	case sel.Sel.Name == "Batches" && analysis.TypeIs(tv.Type, corePath, "Entry"):
+		return "core.Entry.Batches", true
+	case sel.Sel.Name == "buf" && analysis.TypeIs(tv.Type, execPath, "Store"):
+		return "Store.buf", true
+	}
+	return "", false
+}
+
+// checkCloneDiscipline flags appends of non-cloned batches into
+// recycler-destined buffers.
+func checkCloneDiscipline(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || analysis.CalleeName(call) != "append" || len(call.Args) < 2 {
+			return true
+		}
+		buf, ok := resultBuffer(pass, call.Args[0])
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			if c, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+				if name := analysis.CalleeName(c); name == "Clone" || name == "CloneBatch" {
+					continue
+				}
+			}
+			if pass.Annotated(arg.Pos(), "clone-ok") {
+				continue
+			}
+			pass.Reportf(arg.Pos(), "non-clone appended to %s: operator batches are pooled or "+
+				"alias table storage and outlive-Next storage corrupts future queries; append "+
+				"a deep Clone() (or justify owned memory with //recycledb:clone-ok)", buf)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"recycledb/internal/analysis/analysistest"
+	"recycledb/internal/analysis/poolcheck"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", poolcheck.Analyzer, "pool")
+}

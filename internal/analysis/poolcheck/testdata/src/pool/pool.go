@@ -1,0 +1,82 @@
+package pool
+
+import (
+	"recycledb/internal/catalog"
+	"recycledb/internal/vector"
+)
+
+// leakyOp draws scratch in Open and never releases it: a finding.
+type leakyOp struct {
+	p   *vector.Pool
+	buf *vector.Batch
+}
+
+func (o *leakyOp) Open() {
+	o.buf = o.p.GetBatch([]vector.Type{vector.Int64}, 16) // want `pooled GetBatch stored in leakyOp.buf is never released`
+}
+
+func (o *leakyOp) Close() {}
+
+// tidyOp pairs its Open acquisition with a Close release: sanctioned.
+type tidyOp struct {
+	p     *vector.Pool
+	buf   *vector.Batch
+	flags *vector.Vector
+}
+
+func (o *tidyOp) Open() {
+	o.buf = o.p.GetBatch([]vector.Type{vector.Int64}, 16)
+	o.flags = o.p.Get(vector.Bool, 16)
+}
+
+func (o *tidyOp) Close() {
+	o.p.PutBatch(o.buf)
+	o.p.Put(o.flags)
+}
+
+// drainOp releases a slice of pooled vectors with the range idiom.
+type drainOp struct {
+	p    *vector.Pool
+	vecs []*vector.Vector
+}
+
+func (o *drainOp) Open() {
+	o.vecs[0] = o.p.Get(vector.Int64, 16)
+}
+
+func (o *drainOp) Close() {
+	for _, v := range o.vecs {
+		o.p.Put(v)
+	}
+}
+
+// handoffOp transfers ownership elsewhere, with justification.
+type handoffOp struct {
+	p   *vector.Pool
+	out *vector.Batch
+}
+
+func (o *handoffOp) Open() {
+	//recycledb:pool-ok — ownership transfers to the consumer in Next
+	o.out = o.p.GetBatch([]vector.Type{vector.Int64}, 16)
+}
+
+func (o *handoffOp) Close() {}
+
+// admitRaw stores a live operator batch into a recycler-destined result:
+// a finding.
+func admitRaw(res *catalog.Result, b *vector.Batch) {
+	res.Batches = append(res.Batches, b) // want `non-clone appended to catalog.Result.Batches`
+}
+
+// admitClone deep-clones before admission: sanctioned.
+func admitClone(res *catalog.Result, b *vector.Batch) {
+	res.Batches = append(res.Batches, b.Clone())
+}
+
+// admitOwned appends memory it owns, with justification.
+func admitOwned(res *catalog.Result) {
+	b := vector.NewBatch([]vector.Type{vector.Int64}, 16)
+	//recycledb:clone-ok — freshly allocated, never pooled
+	res.Batches = append(res.Batches, b)
+}

@@ -1,0 +1,12 @@
+package snapcheck_test
+
+import (
+	"testing"
+
+	"recycledb/internal/analysis/analysistest"
+	"recycledb/internal/analysis/snapcheck"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", snapcheck.Analyzer, "snap")
+}

@@ -76,17 +76,17 @@ type Table struct {
 	// mu guards the column slice headers, rows, and notify against the
 	// brief critical section in which Commit publishes a new epoch.
 	mu   sync.RWMutex
-	cols []*vector.Vector
-	rows int // committed row watermark (mirrored in watermark)
+	cols []*vector.Vector // guarded by mu
+	rows int              // committed row watermark (mirrored in watermark); guarded by mu
 
 	watermark atomic.Int64
 	dels      atomic.Pointer[DeleteSet]
 	dataVer   atomic.Int64
 
-	notify func(*Table, CommitInfo)
+	notify func(*Table, CommitInfo) // guarded by mu
 
 	distinctMu sync.Mutex
-	distinct   map[int]int64
+	distinct   map[int]int64 // guarded by distinctMu
 }
 
 // NewTable creates an empty table with the given schema.
@@ -525,11 +525,11 @@ func (r *Result) Bytes() int64 {
 // for concurrent readers; registration is expected at load time.
 type Catalog struct {
 	mu        sync.RWMutex
-	tables    map[string]*Table
-	funcs     map[string]*TableFunc
+	tables    map[string]*Table     // guarded by mu
+	funcs     map[string]*TableFunc // guarded by mu
 	version   atomic.Int64
 	dataVer   atomic.Int64
-	listeners []func(*Table, CommitInfo)
+	listeners []func(*Table, CommitInfo) // guarded by mu
 }
 
 // New returns an empty catalog.

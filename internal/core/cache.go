@@ -95,7 +95,7 @@ type Cache struct {
 // so neighbouring shard locks do not false-share.
 type cacheShard struct {
 	mu     sync.Mutex
-	groups map[int][]*Entry
+	groups map[int][]*Entry // guarded by mu
 	_      [104]byte
 }
 
@@ -228,16 +228,28 @@ func (c *Cache) insertLocked(s *cacheShard, e *Entry) {
 	c.admissions.Add(1)
 }
 
-// entries returns all cached entries (for tests and introspection).
+// entries returns all cached entries (for tests and introspection), in
+// deterministic size-group order within each shard.
 func (c *Cache) entries() []*Entry {
 	var out []*Entry
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		for _, es := range s.groups {
-			out = append(out, es...)
+		for _, g := range sortedGroups(s.groups) {
+			out = append(out, s.groups[g]...)
 		}
 		s.mu.Unlock()
 	}
 	return out
+}
+
+// sortedGroups returns a shard's size-group keys in ascending order, so
+// walks over the groups map are deterministic. Callers hold the shard lock.
+func sortedGroups(groups map[int][]*Entry) []int {
+	keys := make([]int, 0, len(groups))
+	for g := range groups {
+		keys = append(keys, g)
+	}
+	sort.Ints(keys)
+	return keys
 }

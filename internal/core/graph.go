@@ -34,6 +34,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -80,14 +81,14 @@ type Node struct {
 	// registration. It is a leaf lock: never acquire any other lock while
 	// holding it.
 	mu        sync.Mutex
-	hr        float64 // importance factor (aged lazily)
-	ageSeq    uint64  // last aging fold
-	baseCost  time.Duration
-	costKnown bool
-	card      int64
-	estBytes  int64
-	execCount int64
-	inflight  *inflight
+	hr        float64       // importance factor (aged lazily); guarded by mu
+	ageSeq    uint64        // last aging fold; guarded by mu
+	baseCost  time.Duration // guarded by mu
+	costKnown bool          // guarded by mu
+	card      int64         // guarded by mu
+	estBytes  int64         // guarded by mu
+	execCount int64         // guarded by mu
+	inflight  *inflight     // guarded by mu
 
 	// cached points to this node's recycler-cache entry, or nil. Written
 	// only under the node's cache-shard lock; read lock-free.
@@ -130,12 +131,12 @@ func (n *Node) EstBytes() int64 {
 // adopted instead of duplicated).
 type Graph struct {
 	mu     sync.RWMutex
-	nextID uint64
-	leaves map[uint64][]*Node
-	nodes  int
+	nextID uint64             // guarded by mu
+	leaves map[uint64][]*Node // guarded by mu
+	nodes  int                // guarded by mu
 	// conflicts counts insert-time validation hits (another query
 	// concurrently inserted the node we were about to add).
-	conflicts int64
+	conflicts int64 // guarded by mu
 }
 
 // NewGraph returns an empty recycler graph.
@@ -199,17 +200,17 @@ func (g *Graph) matchNode(n *plan.Node, res *MatchResult) *NodeMatch {
 
 	// Fast path: find an exact match under the read lock.
 	g.mu.RLock()
-	cand := g.findExact(n, hk, sig, params, childMatches)
+	cand := g.findExactLocked(n, hk, sig, params, childMatches)
 	g.mu.RUnlock()
 	if cand == nil {
 		// Insert under the write lock, revalidating first (optimistic
 		// concurrency control with backwards validation).
 		g.mu.Lock()
-		cand = g.findExact(n, hk, sig, params, childMatches)
+		cand = g.findExactLocked(n, hk, sig, params, childMatches)
 		if cand != nil {
 			g.conflicts++
 		} else {
-			cand = g.insert(n, hk, sig, params, rename, childMatches)
+			cand = g.insertLocked(n, hk, sig, params, rename, childMatches)
 			g.mu.Unlock()
 			nm := &NodeMatch{G: cand, Existed: false, OutMap: outMap(n, cand)}
 			res.ByNode[n] = nm
@@ -251,11 +252,11 @@ func outMap(n *plan.Node, gn *Node) map[string]string {
 	return m
 }
 
-// findExact implements matchese over the candidate lists: leaves come from
+// findExactLocked implements matching over the candidate lists: leaves come from
 // the global leaf hash table, inner nodes from the matched child's parent
 // index. Since exactly matching subtrees are unified there is at most one
 // match (§III-A).
-func (g *Graph) findExact(n *plan.Node, hk, sig uint64, params string, childMatches []*NodeMatch) *Node {
+func (g *Graph) findExactLocked(n *plan.Node, hk, sig uint64, params string, childMatches []*NodeMatch) *Node {
 	var cands []*Node
 	if len(childMatches) == 0 {
 		cands = g.leaves[hk]
@@ -283,8 +284,8 @@ func (g *Graph) findExact(n *plan.Node, hk, sig uint64, params string, childMatc
 	return nil
 }
 
-// insert copies the query node into the graph (write lock held).
-func (g *Graph) insert(n *plan.Node, hk, sig uint64, params string, rename func(string) string, childMatches []*NodeMatch) *Node {
+// insertLocked copies the query node into the graph; the caller holds the write lock.
+func (g *Graph) insertLocked(n *plan.Node, hk, sig uint64, params string, rename func(string) string, childMatches []*NodeMatch) *Node {
 	g.nextID++
 	gn := &Node{
 		ID:      g.nextID,
@@ -339,20 +340,20 @@ func (g *Graph) Truncate(cutoffSeq uint64) int {
 	defer g.mu.Unlock()
 	removed := 0
 	for {
-		victims := g.collectVictims(cutoffSeq)
+		victims := g.collectVictimsLocked(cutoffSeq)
 		if len(victims) == 0 {
 			return removed
 		}
 		for _, v := range victims {
-			g.removeNode(v)
+			g.removeNodeLocked(v)
 			removed++
 		}
 	}
 }
 
-// collectVictims finds currently removable nodes (no parents, stale, not
+// collectVictimsLocked finds currently removable nodes (no parents, stale, not
 // cached, not in flight).
-func (g *Graph) collectVictims(cutoffSeq uint64) []*Node {
+func (g *Graph) collectVictimsLocked(cutoffSeq uint64) []*Node {
 	var out []*Node
 	seen := make(map[*Node]struct{})
 	var walk func(n *Node)
@@ -362,6 +363,7 @@ func (g *Graph) collectVictims(cutoffSeq uint64) []*Node {
 		}
 		seen[n] = struct{}{}
 		parents := 0
+		//recycledb:nondet-ok — commutative count over the parent index
 		for _, ps := range n.parents {
 			parents += len(ps)
 		}
@@ -371,23 +373,28 @@ func (g *Graph) collectVictims(cutoffSeq uint64) []*Node {
 		if parents == 0 && stale && n.cached.Load() == nil {
 			out = append(out, n)
 		}
+		//recycledb:nondet-ok — visit order erased by the ID sort below
 		for _, p := range n.parents {
 			for _, pp := range p {
 				walk(pp)
 			}
 		}
 	}
+	//recycledb:nondet-ok — visit order erased by the ID sort below
 	for _, leaves := range g.leaves {
 		for _, l := range leaves {
 			walk(l)
 		}
 	}
+	// The walk reaches every removable node regardless of map order; sort
+	// by insertion ID so eviction processes victims deterministically.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// removeNode unlinks n from its children's parent indexes, the leaf table,
+// removeNodeLocked unlinks n from its children's parent indexes, the leaf table,
 // and subsumption edges (write lock held).
-func (g *Graph) removeNode(n *Node) {
+func (g *Graph) removeNodeLocked(n *Node) {
 	for _, c := range n.Children {
 		ps := c.parents[n.HashKey]
 		for i, p := range ps {

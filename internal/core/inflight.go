@@ -101,6 +101,7 @@ func (r *Recycler) finishInflight(n *Node, batches []*vector.Batch, rows, size i
 // timeout elapses, then returns the (pinned) cache entry if the result is
 // available. ok=false means the waiter should recompute.
 func (r *Recycler) WaitInflight(n *Node, timeout time.Duration) (*Entry, bool) {
+	//recycledb:ctx-ok — compatibility wrapper; the timeout still bounds the wait
 	return r.WaitInflightCtx(context.Background(), n, timeout)
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"maps"
+
 	"recycledb/internal/plan"
 	"recycledb/internal/vector"
 )
@@ -44,8 +46,8 @@ func (r *Recycler) InvalidateTable(table string, appendOnly bool, ver, rows int6
 		var toExtend []*Entry
 		s.mu.Lock()
 		var victims []*Entry
-		for _, es := range s.groups {
-			for _, e := range es {
+		for _, g := range sortedGroups(s.groups) {
+			for _, e := range s.groups[g] {
 				if !dependsOn(e.Node.Tables, table) {
 					continue
 				}
@@ -109,10 +111,7 @@ func (r *Recycler) extendEntry(s *cacheShard, e *Entry, table string, ver, rows 
 		updateHROnEvict(e.Node, r.curSeq(), r.cfg.Alpha)
 		return false
 	}
-	snap := make(map[string]TableSnap, len(e.Snap))
-	for t, ts := range e.Snap {
-		snap[t] = ts
-	}
+	snap := maps.Clone(e.Snap)
 	snap[table] = TableSnap{Ver: ver, Rows: rows}
 	batches := e.Batches
 	if len(delta) > 0 {

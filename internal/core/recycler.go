@@ -558,7 +558,8 @@ func (r *Recycler) FlushCache() {
 		s := &c.shards[i]
 		s.mu.Lock()
 		var flushed []*Entry
-		for g, es := range s.groups {
+		for _, g := range sortedGroups(s.groups) {
+			es := s.groups[g]
 			keep := es[:0]
 			for _, e := range es {
 				if e.pins > 0 {

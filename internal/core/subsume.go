@@ -101,8 +101,16 @@ func (g *Graph) linkSubsumption(gn *Node, n *plan.Node, rename func(string) stri
 		return
 	}
 	child := gn.Children[0]
-	for _, sibs := range child.parents {
-		for _, sib := range sibs {
+	// Sort the parent-index keys so subsumption edges accumulate in the
+	// same order on every run: rewrite walks subsumers in slice order, so
+	// edge order must not inherit map randomization.
+	keys := make([]uint64, 0, len(child.parents))
+	for k := range child.parents {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		for _, sib := range child.parents[k] {
 			if sib == gn || sib.Op != gn.Op || len(sib.Children) != 1 || sib.Children[0] != child {
 				continue
 			}
@@ -312,6 +320,7 @@ func asF64(d vector.Datum) float64 {
 // one: every column the loose set constrains must be constrained at least as
 // tightly by the strict set.
 func impliesAll(strict, loose map[string]Interval) bool {
+	//recycledb:nondet-ok — pure ∀-reduction; order cannot affect the result
 	for col, lv := range loose {
 		sv, ok := strict[col]
 		if !ok {

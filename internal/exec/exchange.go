@@ -85,6 +85,7 @@ func (fb *fragBuilder) buildExchange(n *plan.Node, nW int) (Operator, bool, erro
 
 func buildList(m map[*plan.Node]*sharedBuild) []*sharedBuild {
 	out := make([]*sharedBuild, 0, len(m))
+	//recycledb:nondet-ok — builds open/drain independently; order unobservable
 	for _, b := range m {
 		out = append(out, b)
 	}

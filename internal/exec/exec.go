@@ -110,7 +110,7 @@ func (c *Ctx) Interrupted() error {
 // goCtx returns the query's context, never nil.
 func (c *Ctx) goCtx() context.Context {
 	if c.Context == nil {
-		return context.Background()
+		return context.Background() //recycledb:ctx-ok — documented nil-ctx fallback
 	}
 	return c.Context
 }
@@ -163,6 +163,10 @@ func (b *base) addCost(start time.Time) { b.cost += time.Since(start) }
 // Run opens op, drains it into a materialized result, and closes it.
 func Run(ctx *Ctx, op Operator) (*catalog.Result, error) {
 	if err := op.Open(ctx); err != nil {
+		// A failed Open may have acquired scratch (its own, or an already
+		// opened child's) before erroring; Close is nil-guarded everywhere,
+		// so closing the partially opened tree returns it to the pool.
+		op.Close(ctx)
 		return nil, err
 	}
 	res := &catalog.Result{Schema: op.Schema()}
@@ -189,6 +193,7 @@ func Run(ctx *Ctx, op Operator) (*catalog.Result, error) {
 // store materializations -- matter, or for timing runs).
 func Drain(ctx *Ctx, op Operator) (rows int64, err error) {
 	if err := op.Open(ctx); err != nil {
+		op.Close(ctx) // release scratch a partially opened tree acquired
 		return 0, err
 	}
 	for {

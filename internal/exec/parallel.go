@@ -245,6 +245,8 @@ type foldOp struct {
 
 func (f *foldOp) Schema() catalog.Schema { return f.schema }
 func (f *foldOp) Open(*Ctx) error        { return nil }
+
+//recycledb:ctx-ok — stats-only stand-in; Next fails immediately, never loops
 func (f *foldOp) Next(*Ctx) (*vector.Batch, error) {
 	return nil, &buildErr{msg: "exec: foldOp is not executable"}
 }

@@ -199,6 +199,7 @@ func (rw *Rewriter) entryValid(e *core.Entry) (valid, stale bool) {
 		return true, false
 	}
 	valid = true
+	//recycledb:nondet-ok — commutative ∀-fold over the snapshot tags
 	for t, ts := range e.Snap {
 		if t == plan.LineageAll {
 			if rw.SnapVers != nil && ts.Ver != rw.GlobalVer {
@@ -664,6 +665,7 @@ func (r *Result) Committed() int { return int(atomic.LoadInt32(&r.committed)) }
 // Abort releases any in-flight registrations this rewrite created, for error
 // paths where the operators never ran (build failures).
 func (rw *Rewriter) Abort(res *Result) {
+	//recycledb:nondet-ok — per-node FinishInflight is independent and idempotent
 	for n, d := range res.Decor {
 		if d.Store != nil {
 			if g := nodeGraph(res, n); g != nil {

@@ -122,6 +122,7 @@ func (rw *Rewriter) tupleSubsumption(n *plan.Node, nm *core.NodeMatch, s *core.N
 	// replayed schema exposes the query-side names the re-aggregation's
 	// group-by refers to.
 	rev := make(map[string]string, len(cm.OutMap))
+	//recycledb:nondet-ok — map inversion; OutMap is a bijection
 	for q, g := range cm.OutMap {
 		rev[g] = q
 	}

@@ -114,12 +114,14 @@ func nearbyObjEq(cat *catalog.Catalog, args []vector.Datum) (*catalog.Result, er
 			out.Vecs[0].AppendInt64(ids[i])
 			out.Vecs[1].AppendFloat64(d * 180 / math.Pi)
 			if out.Len() == 1024 {
+				//recycledb:clone-ok — out is freshly allocated, never pooled
 				res.Batches = append(res.Batches, out)
 				out = vector.NewBatch(NearbySchema.Types(), 64)
 			}
 		}
 	}
 	if out.Len() > 0 {
+		//recycledb:clone-ok — out is freshly allocated, never pooled
 		res.Batches = append(res.Batches, out)
 	}
 	return res, nil

@@ -353,6 +353,7 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *plan.Node) (*Result, err
 // compatibility. Use ExecuteContext (materialized), Stream (incremental),
 // or Query / Prepare (SQL) instead.
 func (e *Engine) Execute(q *plan.Node) (*Result, error) {
+	//recycledb:ctx-ok — deprecated pre-streaming shim, kept uncancelable
 	return e.ExecuteContext(context.Background(), q)
 }
 
@@ -377,7 +378,7 @@ func (e *Engine) endStatement() { e.active.Add(-1) }
 // the pipeline, returning a Rows positioned before the first batch.
 func (e *Engine) stream(ctx context.Context, p *plan.Node) (rows *Rows, err error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //recycledb:ctx-ok — documented nil-ctx fallback
 	}
 	par := e.beginStatement()
 	defer func() {
