@@ -21,9 +21,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"strconv"
@@ -33,6 +35,7 @@ import (
 	"recycledb/internal/catalog"
 	"recycledb/internal/harness"
 	"recycledb/internal/monet"
+	"recycledb/internal/server"
 	"recycledb/internal/workload"
 )
 
@@ -47,6 +50,10 @@ func main() {
 		maxConc  = flag.Int("concurrent", 12, "query admission limit")
 		seed     = flag.Int64("seed", 1, "generator seed")
 
+		serverMode = flag.Bool("server", false, "benchmark the pgwire serving stack over TCP and write BENCH_<date>_server.json")
+		serverAddr = flag.String("addr", "", "with -server: benchmark an already-running server at this address instead of in-process engines")
+		skyObjects = flag.Int("sky-objects", 10000, "SkyServer PhotoPrimary size for -server")
+
 		jsonMode  = flag.Bool("json", false, "run the multi-client benchmark and write BENCH_<date>.json")
 		jsonOut   = flag.String("out", "", "output path for -json (default BENCH_<date>.json)")
 		clients   = flag.Int("clients", 8, "client goroutines for -json")
@@ -57,6 +64,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *serverMode {
+		if err := runServerBench(*jsonOut, *serverAddr, *clients, *bqueries, *sf, *skyObjects, *seed, *par); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *jsonMode {
 		if err := runJSON(*jsonOut, *clients, *bqueries, *sf, *seed, *writeFrac, *par, !*scaleOff); err != nil {
 			fatal(err)
@@ -345,6 +358,130 @@ func runChurn(rep *benchReport, clients int, queries int64, cfg harness.TPCHConf
 		fmt.Printf("%-16s %8.0f q/s  hit-rate %.3f (flush-on-write)\n",
 			row.Mode, row.QueriesPerSec, row.HitRate)
 	}
+	return nil
+}
+
+// serverBenchMode is one recycling mode's row of the serving-stack report:
+// the same q/s + percentile shape as benchMode, measured through the whole
+// pgwire path (translate, prepare, bind, admission, execute, encode, TCP),
+// plus the server counters that describe how the load was absorbed.
+type serverBenchMode struct {
+	Mode           string  `json:"mode"`
+	Queries        int64   `json:"queries"`
+	Errors         int64   `json:"errors"`
+	QueriesPerSec  float64 `json:"queries_per_sec"`
+	P50Micros      int64   `json:"p50_us"`
+	P95Micros      int64   `json:"p95_us"`
+	P99Micros      int64   `json:"p99_us"`
+	AdmissionWaits int64   `json:"admission_waits"`
+	ErrorsSent     int64   `json:"errors_sent"`
+}
+
+// serverBenchReport is the BENCH_<date>_server.json document.
+type serverBenchReport struct {
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Clients    int               `json:"clients"`
+	Queries    int64             `json:"queries_per_mode"`
+	SF         float64           `json:"sf"`
+	SkyObjects int               `json:"sky_objects"`
+	Seed       int64             `json:"seed"`
+	Transport  string            `json:"transport"`
+	Modes      []serverBenchMode `json:"modes"`
+}
+
+// runServerBench measures the serving tier end to end: per recycling mode it
+// starts an in-process pgwire server on a loopback port, drives the mixed
+// TPC-H + SkyServer SQL mix through real TCP connections (one per client,
+// prepared statements reused per connection), and records throughput and
+// latency percentiles. With addr set it instead benchmarks an external
+// server once — whatever mode that server is running.
+func runServerBench(out, addr string, clients int, queries int64, sf float64, skyObjects int, seed int64, parallelism int) error {
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s_server.json", time.Now().Format("2006-01-02"))
+	}
+	rep := serverBenchReport{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Clients:    clients,
+		Queries:    queries,
+		SF:         sf,
+		SkyObjects: skyObjects,
+		Seed:       seed,
+		Transport:  "pgwire/tcp",
+	}
+	mix := harness.MixedSQLMix(4, seed)
+	measure := func(label, target string, stats func() server.Stats) error {
+		dial := func(client int) (workload.SQLConn, error) {
+			return harness.DialWire(context.Background(), target, "bench")
+		}
+		// Warm: prepared statements, plan cache, and (in recycling modes)
+		// the result cache, so the timed run sees the steady state.
+		if _, err := workload.RunSQLClients(workload.SQLClientsConfig{
+			Clients: clients, MaxQueries: int64(clients) * 16, Seed: seed + 7,
+		}, mix, dial); err != nil {
+			return err
+		}
+		before := stats()
+		res, err := workload.RunSQLClients(workload.SQLClientsConfig{
+			Clients: clients, MaxQueries: queries, Seed: seed,
+		}, mix, dial)
+		if err != nil {
+			return err
+		}
+		after := stats()
+		row := serverBenchMode{
+			Mode:           label,
+			Queries:        res.Queries,
+			Errors:         res.Errs,
+			QueriesPerSec:  res.QPS(),
+			P50Micros:      res.Percentile(50).Microseconds(),
+			P95Micros:      res.Percentile(95).Microseconds(),
+			P99Micros:      res.Percentile(99).Microseconds(),
+			AdmissionWaits: after.AdmissionWaits - before.AdmissionWaits,
+			ErrorsSent:     after.ErrorsSent - before.ErrorsSent,
+		}
+		rep.Modes = append(rep.Modes, row)
+		fmt.Printf("%-12s %8.0f q/s  p50 %6dus  p95 %6dus  p99 %6dus  (%d admission waits)\n",
+			row.Mode, row.QueriesPerSec, row.P50Micros, row.P95Micros, row.P99Micros, row.AdmissionWaits)
+		return nil
+	}
+
+	if addr != "" {
+		if err := measure("external", addr, func() server.Stats { return server.Stats{} }); err != nil {
+			return err
+		}
+	} else {
+		cat := harness.MixedCatalog(sf, skyObjects, seed)
+		for _, mode := range harness.Modes {
+			eng := harness.NewEngineParallel(cat, mode, 0, parallelism)
+			srv := server.New(eng, server.Config{})
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() { defer close(done); _ = srv.Serve(ctx, lis) }()
+			err = measure(fmt.Sprintf("%v", mode), lis.Addr().String(), srv.Stats)
+			cancel()
+			<-done
+			if err != nil {
+				return err
+			}
+		}
+	}
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
 	return nil
 }
 

@@ -1,0 +1,61 @@
+// Command recycledb-psql-check is a psql-equivalent smoke probe for CI: it
+// connects to a running recycledb-server with the same wire conversation a
+// psql one-liner would have (startup, trust auth, simple-protocol query),
+// then repeats the query through the extended protocol (Parse/Bind/Execute)
+// and fails unless both protocols return the same, plausible answer. Exit
+// status 0 means a libpq client would work against this server.
+//
+//	recycledb-psql-check [-addr 127.0.0.1:5433] [-q "SELECT ..."]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"recycledb/internal/pgclient"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:5433", "server address")
+		q    = flag.String("q", "SELECT r_name, count(*) AS n FROM region GROUP BY r_name ORDER BY r_name", "probe query")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	conn, err := pgclient.Dial(ctx, *addr, "psql-check")
+	if err != nil {
+		fail("dial: %v", err)
+	}
+	defer conn.Close()
+
+	simple, err := conn.Query(*q)
+	if err != nil {
+		fail("simple protocol: %v", err)
+	}
+	if len(simple) != 1 || len(simple[0].Rows) == 0 {
+		fail("simple protocol: no rows for %q", *q)
+	}
+
+	if err := conn.Prepare("probe", *q); err != nil {
+		fail("extended Parse: %v", err)
+	}
+	ext, err := conn.Exec("probe")
+	if err != nil {
+		fail("extended Execute: %v", err)
+	}
+	if !reflect.DeepEqual(simple[0].Rows, ext.Rows) {
+		fail("protocol mismatch:\nsimple:   %v\nextended: %v", simple[0].Rows, ext.Rows)
+	}
+	fmt.Printf("ok: %d rows, identical over simple and extended protocol\n", len(ext.Rows))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "recycledb-psql-check: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -51,6 +51,9 @@ const module = "recycledb"
 // libraryPackages are the packages on the Engine's query path: the
 // cancellation contract (ctxcheck) binds them. Harness, workload drivers,
 // generators, examples and cmds mint their own root contexts legitimately.
+// internal/server is included deliberately: connection handlers must derive
+// every statement context from the session's context (so CancelRequest,
+// statement_timeout and drain reach them), never mint context.Background.
 var libraryPackages = map[string]bool{
 	module:                       true,
 	module + "/internal/catalog": true,
@@ -59,6 +62,7 @@ var libraryPackages = map[string]bool{
 	module + "/internal/expr":    true,
 	module + "/internal/plan":    true,
 	module + "/internal/rewrite": true,
+	module + "/internal/server":  true,
 	module + "/internal/sql":     true,
 	module + "/internal/vector":  true,
 }

@@ -34,7 +34,11 @@ func (e *Engine) Exec(ctx context.Context, query string, args ...any) (ExecResul
 	if err != nil {
 		return ExecResult{}, err
 	}
-	if stmt.c.Kind == sql.StmtSelect {
+	c, err := stmt.compiled()
+	if err != nil {
+		return ExecResult{}, err
+	}
+	if c.Kind == sql.StmtSelect {
 		rows, err := stmt.Query(ctx, args...)
 		if err != nil {
 			return ExecResult{}, err
@@ -49,7 +53,7 @@ func (e *Engine) Exec(ctx context.Context, query string, args ...any) (ExecResul
 	if err != nil {
 		return ExecResult{}, err
 	}
-	n, err := e.execDML(ctx, stmt.c, ds)
+	n, err := e.execDML(ctx, c, ds)
 	if err != nil {
 		return ExecResult{}, err
 	}

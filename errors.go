@@ -26,6 +26,14 @@ var (
 	// is required (Stmt.Query / Engine.Query on INSERT, DELETE, CREATE
 	// TABLE); use Engine.Exec or Stmt.Exec instead.
 	ErrNotQuery = errors.New("recycledb: statement returns no rows")
+	// ErrStaleStmt reports a prepared statement whose compiled form
+	// predates a catalog schema change (another session's CREATE TABLE or
+	// a table replacement) and no longer compiles against the current
+	// schema. Statements that still compile are recompiled transparently;
+	// ErrStaleStmt surfaces only when the schema moved in a way that
+	// invalidates the statement itself (a table or column it uses is
+	// gone or retyped). The underlying compile error stays in the chain.
+	ErrStaleStmt = errors.New("recycledb: prepared statement is stale")
 )
 
 // ParseError is a SQL syntax error with the byte offset of the offending

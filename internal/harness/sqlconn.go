@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"recycledb/internal/pgclient"
+	"recycledb/internal/workload"
+)
+
+// wireConn adapts a Postgres wire-protocol connection to the SQL client
+// driver's transport interface. Every statement runs through the extended
+// protocol with a per-connection prepared-statement cache keyed by SQL text
+// — the shape a real pooled client library settles into, and the one that
+// exercises the server's prepared-statement table and the engine's plan
+// cache rather than re-parsing each instance.
+type wireConn struct {
+	c     *pgclient.Conn
+	names map[string]string // SQL text -> server-side statement name
+}
+
+// DialWire opens one wire connection for the SQL client driver.
+func DialWire(ctx context.Context, addr, user string) (workload.SQLConn, error) {
+	c, err := pgclient.Dial(ctx, addr, user)
+	if err != nil {
+		return nil, err
+	}
+	return &wireConn{c: c, names: make(map[string]string)}, nil
+}
+
+func (w *wireConn) Run(q workload.SQLQuery) (int, error) {
+	name, ok := w.names[q.SQL]
+	if !ok {
+		name = fmt.Sprintf("s%d", len(w.names))
+		if err := w.c.Prepare(name, q.SQL); err != nil {
+			return 0, err
+		}
+		w.names[q.SQL] = name
+	}
+	res, err := w.c.Exec(name, q.Args...)
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Rows), nil
+}
+
+func (w *wireConn) Close() error { return w.c.Close() }

@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"recycledb/internal/tpch"
+	"recycledb/internal/vector"
+	"recycledb/internal/workload"
+)
+
+// This file mirrors clients.go for the wire: the same TPC-H dashboard and
+// SkyServer cone-search mixes, but expressed as SQL text with $N parameters
+// so they can be driven through recycledb-server's Postgres front end by
+// workload.RunSQLClients. Patterns draw parameters from a small pool of
+// fixed variants, like the plan-level mixes, so concurrent clients collide
+// on identical statements — the sharing structure recycling feeds on.
+//
+// The SQL shapes stay inside the engine's dialect: comma joins with
+// globally-unique column names, IN/LIKE over literals, $N parameters in
+// comparison and BETWEEN positions, table functions with literal arguments.
+// That keeps them compilable by sql.CompileTemplate while remaining
+// recognizable as TPC-H Q1/Q3/Q6/Q12/Q14 and the paper's SkyServer log.
+
+const (
+	sqlQ1 = `SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       avg(l_quantity) AS avg_qty,
+       avg(l_discount) AS avg_disc,
+       count(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= $1
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`
+
+	sqlQ3 = `SELECT l_orderkey, o_orderdate, o_shippriority,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM lineitem, orders, customer
+WHERE c_mktsegment = $1 AND o_orderdate < $2 AND l_shipdate > $3
+  AND l_orderkey = o_orderkey AND o_custkey = c_custkey
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC LIMIT 10`
+
+	sqlQ6 = `SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= $1 AND l_shipdate < $2
+  AND l_discount BETWEEN $3 AND $4 AND l_quantity < $5`
+
+	// Q12's ship modes appear as literals (the dialect's IN lists take
+	// literals only), so each variant is its own statement text.
+	sqlQ12 = `SELECT l_shipmode,
+       sum(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH') THEN 1 ELSE 0 END) AS high_line_count,
+       sum(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH') THEN 0 ELSE 1 END) AS low_line_count
+FROM lineitem, orders
+WHERE l_shipmode IN ('%s', '%s')
+  AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+  AND l_receiptdate >= $1 AND l_receiptdate < $2
+  AND l_orderkey = o_orderkey
+GROUP BY l_shipmode
+ORDER BY l_shipmode`
+
+	sqlQ14 = `SELECT sum(CASE WHEN p_type LIKE 'PROMO%' THEN l_extendedprice * (1 - l_discount) ELSE 0.0 END) AS promo,
+       sum(l_extendedprice * (1 - l_discount)) AS total
+FROM lineitem, part
+WHERE l_shipdate >= $1 AND l_shipdate < $2 AND l_partkey = p_partkey`
+)
+
+func sqlDate(days int64) string { return vector.DateString(days) }
+
+func addDays(days int64, years, months int) int64 {
+	t := time.Unix(days*86400, 0).UTC().AddDate(years, months, 0)
+	return t.Unix() / 86400
+}
+
+// sqlForParams renders one TPC-H pattern instance as SQL text + args.
+func sqlForParams(p tpch.Params) workload.SQLQuery {
+	switch p.Q {
+	case 1:
+		return workload.SQLQuery{Label: "Q1", SQL: sqlQ1,
+			Args: []string{sqlDate(p.Date)}}
+	case 3:
+		return workload.SQLQuery{Label: "Q3", SQL: sqlQ3,
+			Args: []string{p.Str1, sqlDate(p.Date), sqlDate(p.Date)}}
+	case 6:
+		return workload.SQLQuery{Label: "Q6", SQL: sqlQ6,
+			Args: []string{
+				sqlDate(p.Date), sqlDate(addDays(p.Date, 1, 0)),
+				strconv.FormatFloat(p.Float1-0.011, 'f', -1, 64),
+				strconv.FormatFloat(p.Float1+0.011, 'f', -1, 64),
+				strconv.FormatInt(p.Int1, 10)}}
+	case 12:
+		return workload.SQLQuery{Label: "Q12",
+			SQL:  fmt.Sprintf(sqlQ12, p.Strs[0], p.Strs[1]),
+			Args: []string{sqlDate(p.Date), sqlDate(addDays(p.Date, 1, 0))}}
+	case 14:
+		return workload.SQLQuery{Label: "Q14", SQL: sqlQ14,
+			Args: []string{sqlDate(p.Date), sqlDate(addDays(p.Date, 0, 1))}}
+	}
+	panic(fmt.Sprintf("no SQL text for TPC-H Q%d", p.Q))
+}
+
+// TPCHSQLMix is the SQL-text twin of TPCHMix: the same patterns, weights,
+// and per-pattern variant pools, as wire-ready statements.
+func TPCHSQLMix(variants int, seed int64) workload.SQLMix {
+	if variants <= 0 {
+		variants = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	patterns := []struct {
+		q      int
+		weight int
+	}{
+		{1, 4}, {3, 3}, {6, 4}, {12, 2}, {14, 2},
+	}
+	var mix workload.SQLMix
+	for _, pat := range patterns {
+		pool := make([]workload.SQLQuery, variants)
+		for i := range pool {
+			pool[i] = sqlForParams(tpch.NewParams(pat.q, rng))
+		}
+		mix = append(mix, workload.SQLMixEntry{
+			Label:  fmt.Sprintf("Q%d", pat.q),
+			Weight: pat.weight,
+			Make: func(rng *rand.Rand) workload.SQLQuery {
+				return pool[rng.Intn(len(pool))]
+			},
+		})
+	}
+	return mix
+}
+
+// SkyServerSQLMix is the SQL-text twin of SkyServerMix: the dominant cone
+// search verbatim, narrow projections and an aggregation over the same
+// fGetNearbyObjEq(195, 2.5, 0.5) call, and a few other cones, weighted like
+// the paper's log sample (6/2/1/1). Table-function arguments must be
+// literals in the dialect, so every cone is its own statement text — which
+// matches the observed workload: the same literal call repeated verbatim.
+func SkyServerSQLMix(seed int64) workload.SQLMix {
+	// Table-function arguments parse by literal shape: "195" would arrive
+	// as an int64 datum and fGetNearbyObjEq reads float args, so every
+	// coordinate is rendered with an explicit decimal point.
+	flit := func(v float64) string {
+		s := strconv.FormatFloat(v, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
+	}
+	cone := func(ra, dec, r float64, cols string, limit int) string {
+		return fmt.Sprintf(
+			"SELECT %s FROM fGetNearbyObjEq(%s, %s, %s), PhotoPrimary WHERE nearby_objID = objID LIMIT %d",
+			cols, flit(ra), flit(dec), flit(r), limit)
+	}
+	wide := `objID, run, rerun, camcol, field, obj, type`
+	narrow := `objID, ra, dec, r_mag`
+	dominant := cone(195, 2.5, 0.5, wide, 10)
+	narrows := []string{
+		cone(195, 2.5, 0.5, narrow, 10),
+		cone(195, 2.5, 0.5, narrow, 15),
+		cone(195, 2.5, 0.5, narrow, 20),
+	}
+	agg := `SELECT type, count(*) AS n, avg(r_mag) AS avg_r ` +
+		`FROM fGetNearbyObjEq(195.0, 2.5, 0.5), PhotoPrimary WHERE nearby_objID = objID GROUP BY type`
+	others := []string{
+		cone(180, 0, 0.5, wide, 10),
+		cone(210, 5, 0.5, wide, 10),
+		cone(150, 30, 1.0, wide, 10),
+	}
+	return workload.SQLMix{
+		{Label: "cone-join-dominant", Weight: 6, Make: func(rng *rand.Rand) workload.SQLQuery {
+			return workload.SQLQuery{SQL: dominant}
+		}},
+		{Label: "cone-join-narrow", Weight: 2, Make: func(rng *rand.Rand) workload.SQLQuery {
+			return workload.SQLQuery{SQL: narrows[rng.Intn(len(narrows))]}
+		}},
+		{Label: "cone-agg", Weight: 1, Make: func(rng *rand.Rand) workload.SQLQuery {
+			return workload.SQLQuery{SQL: agg}
+		}},
+		{Label: "cone-join-other", Weight: 1, Make: func(rng *rand.Rand) workload.SQLQuery {
+			return workload.SQLQuery{SQL: others[rng.Intn(len(others))]}
+		}},
+	}
+}
+
+// MixedSQLMix combines the TPC-H and SkyServer SQL mixes into one client
+// workload over a MixedCatalog.
+func MixedSQLMix(variants int, seed int64) workload.SQLMix {
+	return append(TPCHSQLMix(variants, seed), SkyServerSQLMix(seed)...)
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+
+	"recycledb"
+	"recycledb/internal/server"
+	"recycledb/internal/workload"
+)
+
+// TestSQLMixOverWire proves every SQL-text mix pattern is accepted by the
+// full serving stack: parse, prepare, bind with text params, execute,
+// stream. It loads a small mixed catalog, serves it on loopback, and runs
+// several instances of each pattern through the wire adapter.
+func TestSQLMixOverWire(t *testing.T) {
+	cat := MixedCatalog(0.01, 3000, 1)
+	eng := recycledb.NewWithCatalog(recycledb.Config{Mode: recycledb.Speculative}, cat)
+	srv := server.New(eng, server.Config{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(ctx, lis) }()
+	t.Cleanup(func() { cancel(); <-done })
+
+	conn, err := DialWire(t.Context(), lis.Addr().String(), "mixtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	rows := make(map[string]int)
+	for _, entry := range MixedSQLMix(3, 7) {
+		for i := 0; i < 4; i++ {
+			q := entry.Make(rng)
+			if q.Label == "" {
+				q.Label = entry.Label
+			}
+			n, err := conn.Run(q)
+			if err != nil {
+				t.Fatalf("%s: %v\nSQL: %s\nargs: %v", entry.Label, err, q.SQL, q.Args)
+			}
+			rows[entry.Label] += n
+		}
+	}
+	// Patterns that aggregate over the whole fact table always produce
+	// rows; cone searches may legitimately come back empty on a tiny sky.
+	for _, label := range []string{"Q1", "Q6", "Q12", "Q14"} {
+		if rows[label] == 0 {
+			t.Errorf("%s returned no rows across all variants", label)
+		}
+	}
+}
+
+// TestRunSQLClientsSmoke drives the SQL client driver end to end over the
+// wire: a handful of clients, a bounded query budget, zero errors expected.
+func TestRunSQLClientsSmoke(t *testing.T) {
+	cat := MixedCatalog(0.01, 2000, 1)
+	eng := recycledb.NewWithCatalog(recycledb.Config{Mode: recycledb.Speculative}, cat)
+	srv := server.New(eng, server.Config{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(ctx, lis) }()
+	t.Cleanup(func() { cancel(); <-done })
+
+	res, err := workload.RunSQLClients(
+		workload.SQLClientsConfig{Clients: 4, MaxQueries: 40, Seed: 3},
+		MixedSQLMix(2, 3),
+		func(client int) (workload.SQLConn, error) {
+			return DialWire(t.Context(), lis.Addr().String(), "bench")
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errs != 0 {
+		t.Fatalf("%d query errors", res.Errs)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no queries ran")
+	}
+	if len(res.Latencies) != int(res.Queries) {
+		t.Fatalf("latencies %d != queries %d", len(res.Latencies), res.Queries)
+	}
+}

@@ -1,0 +1,505 @@
+// Package pgclient is a minimal PostgreSQL wire-protocol (v3) frontend:
+// enough of the simple and extended protocols, in text format, to test and
+// load the recycledb server over real TCP without importing a driver. It is
+// deliberately strict — unexpected messages are errors, not skips — so the
+// integration tests double as a protocol conformance check.
+package pgclient
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+)
+
+// ServerError is an ErrorResponse from the backend.
+type ServerError struct {
+	Severity string
+	Code     string // SQLSTATE
+	Message  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("pg %s %s: %s", e.Severity, e.Code, e.Message)
+}
+
+// Result is one statement's outcome: the column names (empty when the
+// server sent no RowDescription), the rows in text format, and the command
+// tag.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+	Tag     string
+}
+
+// Conn is one client connection.
+type Conn struct {
+	c         net.Conn
+	br        *bufio.Reader
+	out       []byte
+	lastBegin int // offset of the message being built
+	addr      string
+	pid       int32
+	secret    int32
+	Params    map[string]string // ParameterStatus values from the server
+}
+
+// Dial connects and runs the startup handshake (trust auth) as user.
+func Dial(ctx context.Context, addr, user string) (*Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{c: nc, br: bufio.NewReader(nc), addr: addr, Params: make(map[string]string)}
+	if err := c.startup(user); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Conn) startup(user string) error {
+	var body []byte
+	body = binary.BigEndian.AppendUint32(body, 196608)
+	for _, kv := range [][2]string{{"user", user}, {"database", "recycledb"}} {
+		body = append(body, kv[0]...)
+		body = append(body, 0)
+		body = append(body, kv[1]...)
+		body = append(body, 0)
+	}
+	body = append(body, 0)
+	var pkt []byte
+	pkt = binary.BigEndian.AppendUint32(pkt, uint32(len(body)+4))
+	pkt = append(pkt, body...)
+	if _, err := c.c.Write(pkt); err != nil {
+		return err
+	}
+	for {
+		typ, msg, err := c.read()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case 'R':
+			if len(msg) < 4 || binary.BigEndian.Uint32(msg) != 0 {
+				return fmt.Errorf("pgclient: unsupported auth request")
+			}
+		case 'S':
+			k, v := splitCString2(msg)
+			c.Params[k] = v
+		case 'K':
+			if len(msg) >= 8 {
+				c.pid = int32(binary.BigEndian.Uint32(msg))
+				c.secret = int32(binary.BigEndian.Uint32(msg[4:]))
+			}
+		case 'Z':
+			return nil
+		case 'E':
+			return parseError(msg)
+		case 'N':
+			// notice: ignore
+		default:
+			return fmt.Errorf("pgclient: unexpected startup message %q", typ)
+		}
+	}
+}
+
+// Close sends Terminate and closes the socket.
+func (c *Conn) Close() error {
+	c.begin('X')
+	c.end()
+	_ = c.flush()
+	return c.c.Close()
+}
+
+// Query runs sql through the simple query protocol and returns one Result
+// per statement. A server error aborts the batch and is returned after the
+// connection resyncs on ReadyForQuery.
+func (c *Conn) Query(sql string) ([]Result, error) {
+	c.begin('Q')
+	c.cstring(sql)
+	c.end()
+	if err := c.flush(); err != nil {
+		return nil, err
+	}
+	var results []Result
+	var cur *Result
+	var srvErr error
+	for {
+		typ, msg, err := c.read()
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case 'T':
+			results = append(results, Result{Columns: parseRowDescription(msg)})
+			cur = &results[len(results)-1]
+		case 'D':
+			if cur == nil {
+				return nil, fmt.Errorf("pgclient: DataRow before RowDescription")
+			}
+			row, err := parseDataRow(msg)
+			if err != nil {
+				return nil, err
+			}
+			cur.Rows = append(cur.Rows, row)
+		case 'C':
+			tag, _ := splitCString(msg)
+			if cur == nil {
+				results = append(results, Result{Tag: tag})
+			} else {
+				cur.Tag = tag
+			}
+			cur = nil
+		case 'I':
+			results = append(results, Result{})
+		case 'E':
+			if srvErr == nil {
+				srvErr = parseError(msg)
+			}
+		case 'N':
+		case 'Z':
+			return results, srvErr
+		default:
+			return nil, fmt.Errorf("pgclient: unexpected message %q in query", typ)
+		}
+	}
+}
+
+// Prepare sends Parse for a named statement (empty name = unnamed) with
+// optionally declared parameter OIDs, then Syncs.
+func (c *Conn) Prepare(name, query string, oids ...int32) error {
+	c.begin('P')
+	c.cstring(name)
+	c.cstring(query)
+	c.int16(int16(len(oids)))
+	for _, o := range oids {
+		c.int32(o)
+	}
+	c.end()
+	c.sync()
+	if err := c.flush(); err != nil {
+		return err
+	}
+	return c.awaitReady(nil)
+}
+
+// Exec binds and fully executes a prepared statement with text-format
+// parameters: Bind + Describe(portal) + Execute(no limit) + Sync.
+func (c *Conn) Exec(name string, args ...string) (Result, error) {
+	c.bindMsg("", name, args)
+	c.describePortal("")
+	c.executeMsg("", 0)
+	c.sync()
+	if err := c.flush(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	err := c.awaitReady(&res)
+	return res, err
+}
+
+// Bind creates (or replaces, for the unnamed portal) a portal over a
+// prepared statement without executing it. Pair with ExecutePortal and a
+// final Sync.
+func (c *Conn) Bind(portal, stmt string, args ...string) error {
+	c.bindMsg(portal, stmt, args)
+	c.begin('H') // Flush
+	c.end()
+	if err := c.flush(); err != nil {
+		return err
+	}
+	for {
+		typ, msg, err := c.read()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case '2':
+			return nil
+		case 'E':
+			return parseError(msg)
+		case 'N':
+		default:
+			return fmt.Errorf("pgclient: unexpected message %q in bind", typ)
+		}
+	}
+}
+
+// ExecutePortal runs maxRows rows of a bound portal (0 = all), reporting
+// whether the portal suspended at the limit. The caller must Sync when done
+// with the portal.
+func (c *Conn) ExecutePortal(portal string, maxRows int32) (Result, bool, error) {
+	c.executeMsg(portal, maxRows)
+	c.begin('H')
+	c.end()
+	if err := c.flush(); err != nil {
+		return Result{}, false, err
+	}
+	var res Result
+	for {
+		typ, msg, err := c.read()
+		if err != nil {
+			return res, false, err
+		}
+		switch typ {
+		case 'T':
+			res.Columns = parseRowDescription(msg)
+		case 'D':
+			row, err := parseDataRow(msg)
+			if err != nil {
+				return res, false, err
+			}
+			res.Rows = append(res.Rows, row)
+		case 'C':
+			res.Tag, _ = splitCString(msg)
+			return res, false, nil
+		case 's':
+			return res, true, nil
+		case 'I':
+			return res, false, nil
+		case 'E':
+			return res, false, parseError(msg)
+		case 'N':
+		default:
+			return res, false, fmt.Errorf("pgclient: unexpected message %q in execute", typ)
+		}
+	}
+}
+
+// Sync sends Sync and drains to ReadyForQuery, returning any server error
+// seen on the way (e.g. from an earlier pipelined message).
+func (c *Conn) Sync() error {
+	c.sync()
+	if err := c.flush(); err != nil {
+		return err
+	}
+	return c.awaitReady(nil)
+}
+
+// Cancel opens a separate connection and fires a CancelRequest with this
+// connection's backend key.
+func (c *Conn) Cancel(ctx context.Context) error {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	var pkt []byte
+	pkt = binary.BigEndian.AppendUint32(pkt, 16)
+	pkt = binary.BigEndian.AppendUint32(pkt, 80877102)
+	pkt = binary.BigEndian.AppendUint32(pkt, uint32(c.pid))
+	pkt = binary.BigEndian.AppendUint32(pkt, uint32(c.secret))
+	_, err = nc.Write(pkt)
+	return err
+}
+
+// KillRaw closes the socket without Terminate — the crashed-client path.
+func (c *Conn) KillRaw() error { return c.c.Close() }
+
+// awaitReady drains messages until ReadyForQuery. Rows and tags accumulate
+// into res when non-nil; the first server error is remembered and returned.
+func (c *Conn) awaitReady(res *Result) error {
+	var srvErr error
+	for {
+		typ, msg, err := c.read()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case 'Z':
+			return srvErr
+		case 'E':
+			if srvErr == nil {
+				srvErr = parseError(msg)
+			}
+		case 'T':
+			if res != nil {
+				res.Columns = parseRowDescription(msg)
+			}
+		case 'D':
+			if res != nil {
+				row, err := parseDataRow(msg)
+				if err != nil {
+					return err
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		case 'C':
+			if res != nil {
+				res.Tag, _ = splitCString(msg)
+			}
+		case '1', '2', '3', 'n', 't', 's', 'I', 'N', 'S':
+			// completions, descriptions, notices: fine
+		default:
+			return fmt.Errorf("pgclient: unexpected message %q", typ)
+		}
+	}
+}
+
+// ── outgoing message building ────────────────────────────────────────────
+
+func (c *Conn) bindMsg(portal, stmt string, args []string) {
+	c.begin('B')
+	c.cstring(portal)
+	c.cstring(stmt)
+	c.int16(1)
+	c.int16(0) // all parameters text
+	c.int16(int16(len(args)))
+	for _, a := range args {
+		c.int32(int32(len(a)))
+		c.out = append(c.out, a...)
+	}
+	c.int16(1)
+	c.int16(0) // all results text
+	c.end()
+}
+
+func (c *Conn) describePortal(portal string) {
+	c.begin('D')
+	c.out = append(c.out, 'P')
+	c.cstring(portal)
+	c.end()
+}
+
+func (c *Conn) executeMsg(portal string, maxRows int32) {
+	c.begin('E')
+	c.cstring(portal)
+	c.int32(maxRows)
+	c.end()
+}
+
+func (c *Conn) sync() {
+	c.begin('S')
+	c.end()
+}
+
+func (c *Conn) begin(typ byte) {
+	c.lastBegin = len(c.out)
+	c.out = append(c.out, typ, 0, 0, 0, 0)
+}
+
+// end patches the current message's length word (begin/end pair strictly).
+func (c *Conn) end() {
+	binary.BigEndian.PutUint32(c.out[c.lastBegin+1:], uint32(len(c.out)-c.lastBegin-1))
+}
+
+func (c *Conn) cstring(s string) {
+	c.out = append(c.out, s...)
+	c.out = append(c.out, 0)
+}
+
+func (c *Conn) int16(v int16) { c.out = binary.BigEndian.AppendUint16(c.out, uint16(v)) }
+func (c *Conn) int32(v int32) { c.out = binary.BigEndian.AppendUint32(c.out, uint32(v)) }
+
+func (c *Conn) flush() error {
+	if len(c.out) == 0 {
+		return nil
+	}
+	_, err := c.c.Write(c.out)
+	c.out = c.out[:0]
+	return err
+}
+
+// ── incoming parsing ─────────────────────────────────────────────────────
+
+func (c *Conn) read() (byte, []byte, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(c.br, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
+	if n < 4 || n > 1<<30 {
+		return 0, nil, fmt.Errorf("pgclient: bad message length %d", n)
+	}
+	body := make([]byte, n-4)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], body, nil
+}
+
+func parseError(msg []byte) *ServerError {
+	e := &ServerError{}
+	for len(msg) > 0 && msg[0] != 0 {
+		field := msg[0]
+		val, rest := splitCString(msg[1:])
+		switch field {
+		case 'S':
+			e.Severity = val
+		case 'C':
+			e.Code = val
+		case 'M':
+			e.Message = val
+		}
+		msg = rest
+	}
+	return e
+}
+
+func parseRowDescription(msg []byte) []string {
+	if len(msg) < 2 {
+		return nil
+	}
+	n := int(binary.BigEndian.Uint16(msg))
+	msg = msg[2:]
+	cols := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name, rest := splitCString(msg)
+		cols = append(cols, name)
+		if len(rest) < 18 {
+			break
+		}
+		msg = rest[18:] // table OID(4) attnum(2) type OID(4) len(2) mod(4) fmt(2)
+	}
+	return cols
+}
+
+func parseDataRow(msg []byte) ([]string, error) {
+	if len(msg) < 2 {
+		return nil, fmt.Errorf("pgclient: short DataRow")
+	}
+	n := int(binary.BigEndian.Uint16(msg))
+	msg = msg[2:]
+	row := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(msg) < 4 {
+			return nil, fmt.Errorf("pgclient: truncated DataRow")
+		}
+		l := int(int32(binary.BigEndian.Uint32(msg)))
+		msg = msg[4:]
+		if l == -1 {
+			row = append(row, "")
+			continue
+		}
+		if l < 0 || len(msg) < l {
+			return nil, fmt.Errorf("pgclient: truncated DataRow value")
+		}
+		row = append(row, string(msg[:l]))
+		msg = msg[l:]
+	}
+	return row, nil
+}
+
+func splitCString(b []byte) (string, []byte) {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i]), b[i+1:]
+		}
+	}
+	return string(b), nil
+}
+
+func splitCString2(b []byte) (string, string) {
+	k, rest := splitCString(b)
+	v, _ := splitCString(rest)
+	return k, v
+}
+
+// Itoa is a tiny convenience for building text parameters.
+func Itoa(v int64) string { return strconv.FormatInt(v, 10) }

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// admission caps the number of concurrently *executing* statements across
+// all sessions. Statements beyond the cap queue FIFO on the semaphore
+// channel (Go parks channel senders in arrival order) and crucially do NOT
+// hold engine resources while queued: Engine.beginStatement — the
+// parallelism division across in-flight statements — only runs once a slot
+// is acquired, so a hundred queued statements don't shrink the worker
+// budget of the ones actually executing.
+type admission struct {
+	sem     chan struct{}
+	queued  atomic.Int64
+	active  atomic.Int64
+	waits   atomic.Int64 // acquisitions that had to queue
+	rejects atomic.Int64 // acquisitions abandoned (ctx expired while queued)
+}
+
+// newAdmission builds a controller admitting up to limit concurrent
+// statements; limit <= 0 means unlimited (acquire never blocks).
+func newAdmission(limit int) *admission {
+	a := &admission{}
+	if limit > 0 {
+		a.sem = make(chan struct{}, limit)
+	}
+	return a
+}
+
+// acquire blocks until a statement slot is free or ctx expires. The
+// caller's statement timeout covers queueing: a statement that waited its
+// whole budget in the queue fails as canceled without ever executing.
+func (a *admission) acquire(ctx context.Context) error {
+	if a.sem == nil {
+		a.active.Add(1)
+		return nil
+	}
+	select {
+	case a.sem <- struct{}{}:
+		a.active.Add(1)
+		return nil
+	default:
+	}
+	a.waits.Add(1)
+	a.queued.Add(1)
+	defer a.queued.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		a.active.Add(1)
+		return nil
+	case <-ctx.Done():
+		a.rejects.Add(1)
+		return ctx.Err()
+	}
+}
+
+// release returns a slot.
+func (a *admission) release() {
+	a.active.Add(-1)
+	if a.sem != nil {
+		<-a.sem
+	}
+}

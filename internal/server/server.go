@@ -1,0 +1,358 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recycledb"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults:
+// unlimited connections, admission capped at 4x the engine's worker count,
+// no statement timeout, 5s drain.
+type Config struct {
+	// MaxConns caps concurrent connections; beyond it new connections get
+	// a FATAL 53300 and close. 0 = unlimited.
+	MaxConns int
+	// MaxConcurrent caps concurrently *executing* statements (admission
+	// control). Queued statements wait FIFO without holding engine
+	// resources. 0 = DefaultMaxConcurrent(engine); negative = unlimited.
+	MaxConcurrent int
+	// StatementTimeout is the default per-statement deadline, covering
+	// admission queueing and execution. Sessions override it with SET
+	// statement_timeout. 0 = none.
+	StatementTimeout time.Duration
+	// WriteTimeout bounds each socket flush, so a wedged client (not
+	// reading, TCP window full) cannot pin a connection goroutine and its
+	// stalled pipeline forever. 0 = no bound.
+	WriteTimeout time.Duration
+	// DrainTimeout is how long Serve waits for in-flight statements after
+	// its context is canceled before force-closing connections.
+	DrainTimeout time.Duration
+	// ServerVersion is reported in the server_version parameter.
+	ServerVersion string
+}
+
+// DefaultMaxConcurrent is the admission cap used when Config.MaxConcurrent
+// is 0: four statements per engine worker — enough concurrency to keep
+// workers busy across think-time gaps, bounded enough that the engine's
+// per-statement parallelism division retains meaningful budgets.
+func DefaultMaxConcurrent(workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	return 4 * workers
+}
+
+// Stats is a snapshot of server counters.
+type Stats struct {
+	ConnsAccepted  int64
+	ConnsRejected  int64
+	ConnsActive    int64
+	StmtsExecuting int64
+	StmtsQueued    int64
+	AdmissionWaits int64
+	AdmissionDrops int64
+	CancelRequests int64
+	ErrorsSent     int64
+}
+
+// Server serves the PostgreSQL wire protocol over a recycledb engine. One
+// Server multiplexes any number of client sessions onto the shared engine;
+// the engine's own concurrency rules (snapshot scans, epoch-atomic writes,
+// worker division across in-flight statements) are the isolation story, the
+// server adds connection lifecycle, admission, and timeouts on top.
+type Server struct {
+	eng *recycledb.Engine
+	cfg Config
+	adm *admission
+
+	mu       sync.Mutex
+	sessions map[int32]*sessionEntry // guarded by mu
+	nextPID  int32                   // guarded by mu
+	draining bool                    // guarded by mu
+
+	connsAccepted  atomic.Int64
+	connsRejected  atomic.Int64
+	connsActive    atomic.Int64
+	cancelRequests atomic.Int64
+	errorsSent     atomic.Int64
+}
+
+// sessionEntry is the server's handle on one live session: the cancel key,
+// the connection (for force-close), and the statement cancel hook that
+// CancelRequest and drain poke.
+type sessionEntry struct {
+	sess   *session
+	secret int32
+
+	mu         sync.Mutex
+	busy       bool               // guarded by mu — inside dispatch
+	stmtCancel context.CancelFunc // guarded by mu — cancels the executing statement
+}
+
+// New builds a server over eng.
+func New(eng *recycledb.Engine, cfg Config) *Server {
+	if cfg.MaxConcurrent == 0 {
+		cfg.MaxConcurrent = DefaultMaxConcurrent(eng.Workers())
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.ServerVersion == "" {
+		cfg.ServerVersion = "13.0 (recycledb)"
+	}
+	return &Server{
+		eng:      eng,
+		cfg:      cfg,
+		adm:      newAdmission(cfg.MaxConcurrent),
+		sessions: make(map[int32]*sessionEntry),
+	}
+}
+
+// Serve accepts connections on lis until ctx is canceled, then drains:
+// stops accepting, lets in-flight statements finish (up to DrainTimeout),
+// closes idle connections immediately, and force-cancels whatever remains.
+// It returns after all connection goroutines exit.
+func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.beginDrain()
+			lis.Close()
+		case <-done:
+		}
+	}()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			close(done)
+			break
+		}
+		if s.cfg.MaxConns > 0 && s.connsActive.Load() >= int64(s.cfg.MaxConns) {
+			s.connsRejected.Add(1)
+			rejectConn(conn)
+			continue
+		}
+		s.connsAccepted.Add(1)
+		s.connsActive.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer s.connsActive.Add(-1)
+			s.handleConn(ctx, conn)
+		}()
+	}
+	// Drain: connections notice draining before their next command; those
+	// blocked reading an idle socket are closed outright; executing
+	// statements get DrainTimeout before their contexts are canceled.
+	s.closeIdleSessions()
+	finished := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.forceCloseSessions()
+		<-finished
+	}
+	return ctx.Err()
+}
+
+func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
+	// Detach from Serve's cancellation: canceling Serve begins the drain,
+	// it must not instantly kill every in-flight statement. Sessions die
+	// when their client disconnects, or when the drain window expires and
+	// forceCloseSessions cancels them explicitly.
+	sctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	defer cancel()
+	sess := &session{
+		srv:         s,
+		conn:        conn,
+		br:          bufio.NewReaderSize(conn, 8*1024),
+		bw:          bufio.NewWriterSize(conn, 8*1024),
+		ctx:         sctx,
+		cancel:      cancel,
+		params:      make(map[string]string),
+		stmts:       make(map[string]*preparedStmt),
+		portals:     make(map[string]*portal),
+		stmtTimeout: s.cfg.StatementTimeout,
+	}
+	sess.pid, sess.secret = s.register(sess)
+	defer s.deregister(sess.pid)
+	defer conn.Close()
+	_ = sess.serve()
+}
+
+// register assigns a backend PID and cancel secret.
+func (s *Server) register(sess *session) (pid, secret int32) {
+	var b [4]byte
+	_, _ = rand.Read(b[:])
+	secret = int32(binary.BigEndian.Uint32(b[:]))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextPID++
+	pid = s.nextPID
+	s.sessions[pid] = &sessionEntry{sess: sess, secret: secret}
+	return pid, secret
+}
+
+func (s *Server) deregister(pid int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, pid)
+}
+
+// cancelBackend services a wire CancelRequest: find the session by PID,
+// verify the secret, cancel whatever statement it is executing. Unknown
+// keys are ignored silently, per protocol.
+func (s *Server) cancelBackend(pid, secret int32) {
+	s.mu.Lock()
+	e := s.sessions[pid]
+	s.mu.Unlock()
+	if e == nil || e.secret != secret {
+		return
+	}
+	s.cancelRequests.Add(1)
+	e.mu.Lock()
+	cancel := e.stmtCancel
+	e.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// setStatementCancel installs (or clears, with nil) the executing
+// statement's cancel func for CancelRequest delivery.
+func (s *Server) setStatementCancel(pid int32, cancel context.CancelFunc) {
+	s.mu.Lock()
+	e := s.sessions[pid]
+	s.mu.Unlock()
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.stmtCancel = cancel
+	e.mu.Unlock()
+}
+
+// markBusy flags whether a session is inside dispatch (executing) versus
+// blocked reading the socket; drain treats the two differently.
+func (s *Server) markBusy(sess *session, busy bool) {
+	s.mu.Lock()
+	e := s.sessions[sess.pid]
+	s.mu.Unlock()
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.busy = busy
+	e.mu.Unlock()
+}
+
+func (s *Server) beginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// closeIdleSessions closes connections that are between commands — their
+// blocked reads fail and the goroutines exit. Sessions mid-statement are
+// left to finish within the drain window. The busy check races with
+// dispatch entry by nature; a connection closed just as a command arrives
+// fails that command's write, which is the same outcome a crashed client
+// gets — the session teardown path handles it.
+func (s *Server) closeIdleSessions() {
+	s.mu.Lock()
+	entries := make([]*sessionEntry, 0, len(s.sessions))
+	for _, e := range s.sessions {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		idle := !e.busy
+		e.mu.Unlock()
+		if idle {
+			e.sess.conn.Close()
+		}
+	}
+}
+
+// forceCloseSessions cancels every session context and closes every
+// connection; the drain window is over.
+func (s *Server) forceCloseSessions() {
+	s.mu.Lock()
+	entries := make([]*sessionEntry, 0, len(s.sessions))
+	for _, e := range s.sessions {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		e.sess.cancel()
+		e.sess.conn.Close()
+	}
+}
+
+// rejectConn answers a startup attempt over the connection cap with a
+// FATAL and closes. The startup packet is consumed first so the client
+// reads the error rather than a reset.
+func rejectConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	for i := 0; i < 2; i++ { // allow one SSLRequest round before startup
+		body, err := readStartup(conn)
+		if err != nil {
+			return
+		}
+		rb := readBuf{b: body}
+		code, err := rb.int32()
+		if err != nil {
+			return
+		}
+		if code == sslRequestCode || code == gssEncReqCode {
+			if _, err := conn.Write([]byte{'N'}); err != nil {
+				return
+			}
+			continue
+		}
+		break
+	}
+	var wb writeBuf
+	writeErrorResponse(&wb, "FATAL", codeTooManyConns, "sorry, too many clients already")
+	_, _ = conn.Write(wb.buf)
+}
+
+// MaxConcurrent reports the resolved admission cap (negative = unlimited).
+func (s *Server) MaxConcurrent() int { return s.cfg.MaxConcurrent }
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		ConnsAccepted:  s.connsAccepted.Load(),
+		ConnsRejected:  s.connsRejected.Load(),
+		ConnsActive:    s.connsActive.Load(),
+		StmtsExecuting: s.adm.active.Load(),
+		StmtsQueued:    s.adm.queued.Load(),
+		AdmissionWaits: s.adm.waits.Load(),
+		AdmissionDrops: s.adm.rejects.Load(),
+		CancelRequests: s.cancelRequests.Load(),
+		ErrorsSent:     s.errorsSent.Load(),
+	}
+}

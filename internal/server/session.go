@@ -1,0 +1,1196 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"recycledb"
+	"recycledb/internal/catalog"
+	"recycledb/internal/vector"
+)
+
+// flushThreshold is the buffered-output size past which the session pushes
+// to the socket mid-result. Combined with the bufio layer this makes the
+// socket the pipeline's consumer: when the client stops reading, the write
+// blocks, Rows.Next is never called again, and the pipeline stalls at a
+// batch boundary instead of materializing the result server-side.
+const flushThreshold = 32 * 1024
+
+// preparedStmt is a session-level prepared statement: the engine handle
+// (shared compiled form via the plan LRU) plus the wire-level bookkeeping
+// that belongs to the protocol, not the engine — $N ordering and the
+// client's declared parameter OIDs.
+type preparedStmt struct {
+	name      string
+	sql       string // original client text (post $N translation for engine kinds)
+	stmt      *recycledb.Stmt
+	argOrder  []int   // ?-position -> client parameter index
+	numParams int     // distinct client parameters (max $N)
+	paramOIDs []int32 // declared OIDs, padded with oidUnknown
+	utility   string  // non-empty: SET/SHOW/etc. handled by the session
+	empty     bool    // statement was all whitespace
+}
+
+// portal is a bound (and possibly partially executed) statement. rows is
+// non-nil only while the portal is suspended between Execute messages with
+// a row limit; pending holds the tail of the batch the limit split.
+type portal struct {
+	name       string
+	ps         *preparedStmt
+	args       []any // decoded client parameters, $N order
+	rows       *recycledb.Rows
+	pending    *recycledb.Batch // cloned remainder of a limit-split batch
+	pendingOff int
+	sent       int64 // rows sent across all Executes of this portal
+}
+
+// session is one client connection: the read-decode-execute-write loop plus
+// the per-session prepared statement and portal tables.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	wb   writeBuf
+
+	ctx    context.Context // session lifetime; derived from Serve's ctx
+	cancel context.CancelFunc
+
+	pid    int32
+	secret int32
+
+	params  map[string]string // startup + SET parameters
+	stmts   map[string]*preparedStmt
+	portals map[string]*portal
+
+	stmtTimeout time.Duration // 0 = none; SET statement_timeout overrides
+	lastSent    int64         // rows sent by the last portal-less SELECT
+
+	// ignoreTillSync: an extended-protocol message errored; skip everything
+	// until the next Sync, per protocol.
+	ignoreTillSync bool
+}
+
+func (sess *session) serve() error {
+	if err := sess.startup(); err != nil {
+		return err
+	}
+	defer sess.closeAllPortals()
+	for {
+		if sess.srv.isDraining() {
+			sess.fatalError(codeAdminShutdown, "terminating connection: server is shutting down")
+			return nil
+		}
+		typ, body, err := readTyped(sess.br)
+		if err != nil {
+			return err // disconnect (io.EOF) or framing error
+		}
+		sess.srv.markBusy(sess, true)
+		err = sess.dispatch(typ, body)
+		sess.srv.markBusy(sess, false)
+		if err != nil {
+			if errors.Is(err, errTerminate) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+var errTerminate = errors.New("pgwire: client terminated")
+
+// startup negotiates the connection: SSL/GSS declines, CancelRequest
+// short-circuits, then the startup packet's parameters, trust auth, and the
+// initial parameter/key/ready volley.
+func (sess *session) startup() error {
+	for {
+		body, err := readStartup(sess.br)
+		if err != nil {
+			return err
+		}
+		rb := readBuf{b: body}
+		code, err := rb.int32()
+		if err != nil {
+			return err
+		}
+		switch code {
+		case sslRequestCode, gssEncReqCode:
+			// Declined: plaintext only.
+			if _, err := sess.conn.Write([]byte{'N'}); err != nil {
+				return err
+			}
+			continue
+		case cancelReqCode:
+			pid, err1 := rb.int32()
+			secret, err2 := rb.int32()
+			if err1 == nil && err2 == nil {
+				sess.srv.cancelBackend(pid, secret)
+			}
+			return errTerminate // cancel connections close immediately
+		case protocolVersion3:
+			for {
+				k, err := rb.cstring()
+				if err != nil || k == "" {
+					break
+				}
+				v, err := rb.cstring()
+				if err != nil {
+					break
+				}
+				sess.params[k] = v
+			}
+			return sess.finishStartup()
+		default:
+			return fmt.Errorf("pgwire: unsupported protocol version %d", code)
+		}
+	}
+}
+
+func (sess *session) finishStartup() error {
+	// Trust auth: everyone is welcome; this is a research engine, not a
+	// bank. AuthenticationOk, server parameters, cancel key, ready.
+	sess.wb.beginMsg(msgAuth)
+	sess.wb.int32(0)
+	sess.wb.endMsg()
+	status := [][2]string{
+		{"server_version", sess.srv.cfg.ServerVersion},
+		{"server_encoding", "UTF8"},
+		{"client_encoding", "UTF8"},
+		{"DateStyle", "ISO, MDY"},
+		{"integer_datetimes", "on"},
+		{"standard_conforming_strings", "on"},
+		{"TimeZone", "UTC"},
+		{"is_superuser", "on"},
+		{"session_authorization", sess.params["user"]},
+	}
+	for _, kv := range status {
+		sess.wb.beginMsg(msgParameterStatus)
+		sess.wb.string(kv[0])
+		sess.wb.string(kv[1])
+		sess.wb.endMsg()
+	}
+	sess.wb.beginMsg(msgBackendKeyData)
+	sess.wb.int32(sess.pid)
+	sess.wb.int32(sess.secret)
+	sess.wb.endMsg()
+	sess.readyForQuery()
+	return sess.flush()
+}
+
+func (sess *session) dispatch(typ byte, body []byte) error {
+	if sess.ignoreTillSync && typ != msgSync && typ != msgTerminate {
+		return nil
+	}
+	rb := readBuf{b: body}
+	switch typ {
+	case msgQuery:
+		return sess.handleQuery(&rb)
+	case msgParse:
+		return sess.extended(sess.handleParse(&rb))
+	case msgBind:
+		return sess.extended(sess.handleBind(&rb))
+	case msgDescribe:
+		return sess.extended(sess.handleDescribe(&rb))
+	case msgExecute:
+		return sess.extended(sess.handleExecute(&rb))
+	case msgClose:
+		return sess.extended(sess.handleClose(&rb))
+	case msgFlush:
+		return sess.flush()
+	case msgSync:
+		sess.ignoreTillSync = false
+		sess.closeAllPortals()
+		sess.readyForQuery()
+		return sess.flush()
+	case msgTerminate:
+		return errTerminate
+	case msgPassword:
+		return nil // trust auth never asks, but tolerate a stray reply
+	default:
+		sess.errorResponse(codeProtocolViolation, fmt.Sprintf("unknown message type %q", typ))
+		sess.ignoreTillSync = true
+		return sess.flush()
+	}
+}
+
+// extended wraps an extended-protocol handler result: a protocol-level
+// error (not an io error) becomes an ErrorResponse and arms
+// ignoreTillSync.
+func (sess *session) extended(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ioErr *ioError
+	if errors.As(err, &ioErr) {
+		return ioErr.err
+	}
+	code, msg := sqlstateFor(err)
+	sess.errorResponse(code, msg)
+	sess.ignoreTillSync = true
+	return sess.flush()
+}
+
+// ioError marks a transport failure that must tear the connection down
+// rather than turn into an ErrorResponse.
+type ioError struct{ err error }
+
+func (e *ioError) Error() string { return e.err.Error() }
+
+// ── simple query protocol ────────────────────────────────────────────────
+
+func (sess *session) handleQuery(rb *readBuf) error {
+	sql, err := rb.cstring()
+	if err != nil {
+		return err
+	}
+	stmts := splitStatements(sql)
+	if len(stmts) == 0 {
+		sess.wb.beginMsg(msgEmptyQuery)
+		sess.wb.endMsg()
+		sess.readyForQuery()
+		return sess.flush()
+	}
+	for _, one := range stmts {
+		if err := sess.runSimple(one); err != nil {
+			var ioErr *ioError
+			if errors.As(err, &ioErr) {
+				return ioErr.err
+			}
+			code, msg := sqlstateFor(err)
+			sess.errorResponse(code, msg)
+			break // error aborts the rest of a multi-statement string
+		}
+	}
+	sess.readyForQuery()
+	return sess.flush()
+}
+
+// runSimple executes one statement of a simple-protocol query string:
+// utility statements in the session, everything else through the engine
+// with RowDescription + full streaming for SELECTs.
+func (sess *session) runSimple(one string) error {
+	if tag, handled, err := sess.runUtility(one); handled {
+		if err != nil {
+			return err
+		}
+		sess.commandComplete(tag)
+		return nil
+	}
+	translated, _, numParams, err := translateParams(one)
+	if err != nil {
+		return err
+	}
+	if numParams > 0 {
+		return fmt.Errorf("there is no parameter $1: the simple query protocol cannot bind parameters")
+	}
+	stmt, err := sess.srv.eng.Prepare(translated)
+	if err != nil {
+		return err
+	}
+	if !stmt.IsQuery() {
+		return sess.runDML(stmt, nil)
+	}
+	return sess.runSelect(stmt, nil, true, 0, nil)
+}
+
+// ── extended query protocol ──────────────────────────────────────────────
+
+func (sess *session) handleParse(rb *readBuf) error {
+	name, err := rb.cstring()
+	if err != nil {
+		return err
+	}
+	query, err := rb.cstring()
+	if err != nil {
+		return err
+	}
+	nOids, err := rb.int16()
+	if err != nil {
+		return err
+	}
+	oids := make([]int32, nOids)
+	for i := range oids {
+		if oids[i], err = rb.int32(); err != nil {
+			return err
+		}
+	}
+	if name != "" {
+		if _, exists := sess.stmts[name]; exists {
+			return fmt.Errorf("prepared statement %q already exists", name)
+		}
+	}
+	ps, err := sess.parseStatement(name, query, oids)
+	if err != nil {
+		return err
+	}
+	sess.stmts[name] = ps
+	sess.wb.beginMsg(msgParseComplete)
+	sess.wb.endMsg()
+	return nil
+}
+
+func (sess *session) parseStatement(name, query string, oids []int32) (*preparedStmt, error) {
+	if strings.TrimSpace(query) == "" {
+		return &preparedStmt{name: name, empty: true, paramOIDs: oids}, nil
+	}
+	if util := utilityKeyword(query); util != "" {
+		return &preparedStmt{name: name, sql: query, utility: util, paramOIDs: oids}, nil
+	}
+	translated, order, numParams, err := translateParams(query)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := sess.srv.eng.Prepare(translated)
+	if err != nil {
+		return nil, err
+	}
+	padded := make([]int32, numParams)
+	copy(padded, oids)
+	return &preparedStmt{
+		name:      name,
+		sql:       translated,
+		stmt:      stmt,
+		argOrder:  order,
+		numParams: numParams,
+		paramOIDs: padded,
+	}, nil
+}
+
+func (sess *session) handleBind(rb *readBuf) error {
+	portalName, err := rb.cstring()
+	if err != nil {
+		return err
+	}
+	stmtName, err := rb.cstring()
+	if err != nil {
+		return err
+	}
+	ps, ok := sess.stmts[stmtName]
+	if !ok {
+		return &namedError{code: codeInvalidSQLStateStmt,
+			msg: fmt.Sprintf("prepared statement %q does not exist", stmtName)}
+	}
+	nFmt, err := rb.int16()
+	if err != nil {
+		return err
+	}
+	fmts := make([]int16, nFmt)
+	for i := range fmts {
+		if fmts[i], err = rb.int16(); err != nil {
+			return err
+		}
+	}
+	nParams, err := rb.int16()
+	if err != nil {
+		return err
+	}
+	args := make([]any, nParams)
+	for i := range args {
+		n, err := rb.int32()
+		if err != nil {
+			return err
+		}
+		if n == -1 {
+			return fmt.Errorf("parameter $%d is NULL; the engine has no NULL values", i+1)
+		}
+		data, err := rb.bytes(int(n))
+		if err != nil {
+			return err
+		}
+		format := int16(0)
+		if len(fmts) == 1 {
+			format = fmts[0]
+		} else if i < len(fmts) {
+			format = fmts[i]
+		}
+		oid := int32(oidUnknown)
+		if i < len(ps.paramOIDs) {
+			oid = ps.paramOIDs[i]
+		}
+		args[i], err = decodeParam(oid, format, data)
+		if err != nil {
+			return fmt.Errorf("parameter $%d: %w", i+1, err)
+		}
+	}
+	if int(nParams) != ps.numParams {
+		return fmt.Errorf("bind message supplies %d parameters, but prepared statement %q requires %d",
+			nParams, stmtName, ps.numParams)
+	}
+	nResFmt, err := rb.int16()
+	if err != nil {
+		return err
+	}
+	for i := int16(0); i < nResFmt; i++ {
+		f, err := rb.int16()
+		if err != nil {
+			return err
+		}
+		if f != 0 {
+			return &namedError{code: codeFeatureNotSupported,
+				msg: "binary result format is not supported; request text format"}
+		}
+	}
+	if portalName != "" {
+		if _, exists := sess.portals[portalName]; exists {
+			return fmt.Errorf("portal %q already exists", portalName)
+		}
+	} else if old := sess.portals[""]; old != nil {
+		sess.destroyPortal(old)
+	}
+	sess.portals[portalName] = &portal{name: portalName, ps: ps, args: args}
+	sess.wb.beginMsg(msgBindComplete)
+	sess.wb.endMsg()
+	return nil
+}
+
+func (sess *session) handleDescribe(rb *readBuf) error {
+	typ, err := rb.byte()
+	if err != nil {
+		return err
+	}
+	name, err := rb.cstring()
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case 'S':
+		ps, ok := sess.stmts[name]
+		if !ok {
+			return &namedError{code: codeInvalidSQLStateStmt,
+				msg: fmt.Sprintf("prepared statement %q does not exist", name)}
+		}
+		sess.wb.beginMsg(msgParamDescription)
+		sess.wb.int16(int16(ps.numParams))
+		for i := 0; i < ps.numParams; i++ {
+			oid := int32(oidUnknown)
+			if i < len(ps.paramOIDs) {
+				oid = ps.paramOIDs[i]
+			}
+			sess.wb.int32(oid)
+		}
+		sess.wb.endMsg()
+		sess.describeResult(ps, nil)
+		return nil
+	case 'P':
+		p, ok := sess.portals[name]
+		if !ok {
+			return &namedError{code: codeInvalidCursorName,
+				msg: fmt.Sprintf("portal %q does not exist", name)}
+		}
+		sess.describeResult(p.ps, p.args)
+		return nil
+	default:
+		return fmt.Errorf("invalid Describe kind %q", typ)
+	}
+}
+
+// describeResult emits RowDescription for a SELECT whose schema can be
+// resolved (a bound portal, or an unbound statement via dummy bindings
+// synthesized from the declared parameter OIDs), NoData otherwise.
+func (sess *session) describeResult(ps *preparedStmt, args []any) {
+	if ps.empty || ps.utility != "" || ps.stmt == nil || !ps.stmt.IsQuery() {
+		sess.wb.beginMsg(msgNoData)
+		sess.wb.endMsg()
+		return
+	}
+	if args == nil {
+		args = dummyArgs(ps)
+	}
+	engineArgs, err := reorderArgs(ps.argOrder, args)
+	if err == nil {
+		var schema catalog.Schema
+		schema, err = ps.stmt.ResultSchema(engineArgs...)
+		if err == nil {
+			writeRowDescription(&sess.wb, schema)
+			return
+		}
+	}
+	// Unresolvable pre-execution (untyped parameters in positions the dummy
+	// guess got wrong): NoData. Execution will resolve with real values or
+	// report the real error.
+	sess.wb.beginMsg(msgNoData)
+	sess.wb.endMsg()
+}
+
+// dummyArgs synthesizes one zero value per declared parameter OID, for
+// resolving a statement's result schema before any Bind.
+func dummyArgs(ps *preparedStmt) []any {
+	args := make([]any, ps.numParams)
+	for i := range args {
+		oid := int32(oidUnknown)
+		if i < len(ps.paramOIDs) {
+			oid = ps.paramOIDs[i]
+		}
+		switch oid {
+		case oidFloat4, oidFloat8, oidNumeric:
+			args[i] = float64(0)
+		case oidText, oidVarchar, oidBytea:
+			args[i] = ""
+		case oidBool:
+			args[i] = false
+		case oidDate:
+			args[i] = vector.NewDateDatum(0)
+		default:
+			// Unknown and integer OIDs: int64 coerces widely (to float,
+			// to date) so it is the guess most likely to resolve.
+			args[i] = int64(0)
+		}
+	}
+	return args
+}
+
+func (sess *session) handleExecute(rb *readBuf) error {
+	name, err := rb.cstring()
+	if err != nil {
+		return err
+	}
+	maxRows, err := rb.int32()
+	if err != nil {
+		return err
+	}
+	p, ok := sess.portals[name]
+	if !ok {
+		return &namedError{code: codeInvalidCursorName,
+			msg: fmt.Sprintf("portal %q does not exist", name)}
+	}
+	if p.rows != nil || p.pending != nil {
+		return sess.resumePortal(p, int(maxRows))
+	}
+	ps := p.ps
+	switch {
+	case ps.empty:
+		sess.wb.beginMsg(msgEmptyQuery)
+		sess.wb.endMsg()
+		return nil
+	case ps.utility != "":
+		tag, _, err := sess.runUtility(ps.sql)
+		if err != nil {
+			return err
+		}
+		sess.commandComplete(tag)
+		return nil
+	}
+	engineArgs, err := reorderArgs(ps.argOrder, p.args)
+	if err != nil {
+		return err
+	}
+	if !ps.stmt.IsQuery() {
+		return sess.runDML(ps.stmt, engineArgs)
+	}
+	return sess.runSelect(ps.stmt, engineArgs, false, int(maxRows), p)
+}
+
+func (sess *session) handleClose(rb *readBuf) error {
+	typ, err := rb.byte()
+	if err != nil {
+		return err
+	}
+	name, err := rb.cstring()
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case 'S':
+		delete(sess.stmts, name) // closing a nonexistent statement is not an error
+	case 'P':
+		if p, ok := sess.portals[name]; ok {
+			sess.destroyPortal(p)
+		}
+	default:
+		return fmt.Errorf("invalid Close kind %q", typ)
+	}
+	sess.wb.beginMsg(msgCloseComplete)
+	sess.wb.endMsg()
+	return nil
+}
+
+// ── statement execution ──────────────────────────────────────────────────
+
+// statementCtx derives the per-statement context: session lifetime, the
+// statement timeout if set, and registration for wire CancelRequest.
+func (sess *session) statementCtx() (context.Context, context.CancelFunc) {
+	ctx := sess.ctx
+	var cancel context.CancelFunc
+	if sess.stmtTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, sess.stmtTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	sess.srv.setStatementCancel(sess.pid, cancel)
+	return ctx, func() {
+		sess.srv.setStatementCancel(sess.pid, nil)
+		cancel()
+	}
+}
+
+func (sess *session) runDML(stmt *recycledb.Stmt, args []any) error {
+	ctx, done := sess.statementCtx()
+	defer done()
+	if err := sess.srv.adm.acquire(ctx); err != nil {
+		return admissionErr(err)
+	}
+	defer sess.srv.adm.release()
+	res, err := stmt.Exec(ctx, args...)
+	if err != nil {
+		return err
+	}
+	sess.commandComplete(commandTag(stmt, res.RowsAffected))
+	return nil
+}
+
+// runSelect streams a SELECT to the wire. describeFirst (simple protocol)
+// emits RowDescription before the rows; maxRows > 0 (extended protocol)
+// suspends the portal at the limit.
+func (sess *session) runSelect(stmt *recycledb.Stmt, args []any, describeFirst bool, maxRows int, p *portal) error {
+	ctx, done := sess.statementCtx()
+	defer done()
+	if err := sess.srv.adm.acquire(ctx); err != nil {
+		return admissionErr(err)
+	}
+	defer sess.srv.adm.release()
+	rows, err := stmt.Query(ctx, args...)
+	if err != nil {
+		return err
+	}
+	if describeFirst {
+		writeRowDescription(&sess.wb, rows.Schema())
+	}
+	suspended, err := sess.streamRows(ctx, rows, maxRows, p)
+	if err != nil {
+		rows.Close()
+		return err
+	}
+	if suspended {
+		p.rows = rows
+		sess.wb.beginMsg(msgPortalSuspended)
+		sess.wb.endMsg()
+		return nil
+	}
+	if err := rows.Close(); err != nil {
+		return err
+	}
+	var sent int64
+	if p != nil {
+		sent = p.sent
+	} else {
+		sent = sess.lastSent
+	}
+	sess.commandComplete(fmt.Sprintf("SELECT %d", sent))
+	return nil
+}
+
+// resumePortal continues a suspended portal: drain the limit-split batch
+// remainder first, then the stream, under a fresh statement timeout and a
+// fresh admission slot (the slot was released at suspension so parked
+// portals cannot starve the server).
+func (sess *session) resumePortal(p *portal, maxRows int) error {
+	ctx, done := sess.statementCtx()
+	defer done()
+	if err := sess.srv.adm.acquire(ctx); err != nil {
+		return admissionErr(err)
+	}
+	defer sess.srv.adm.release()
+	suspended, err := sess.streamRows(ctx, p.rows, maxRows, p)
+	if err != nil {
+		sess.destroyPortal(p)
+		return err
+	}
+	if suspended {
+		sess.wb.beginMsg(msgPortalSuspended)
+		sess.wb.endMsg()
+		return nil
+	}
+	if p.rows != nil {
+		err = p.rows.Close()
+		p.rows = nil
+	}
+	if err != nil {
+		return err
+	}
+	sess.commandComplete(fmt.Sprintf("SELECT %d", p.sent))
+	return nil
+}
+
+// streamRows encodes batches as DataRow messages, flushing through the
+// socket at flushThreshold — the backpressure edge. With maxRows > 0 it
+// stops at the limit, stashing any batch remainder in the portal, and
+// reports suspended=true.
+func (sess *session) streamRows(ctx context.Context, rows *recycledb.Rows, maxRows int, p *portal) (bool, error) {
+	sent := 0
+	emit := func(b *recycledb.Batch, from int) (int, error) {
+		n := b.Len()
+		for i := from; i < n; i++ {
+			if maxRows > 0 && sent >= maxRows {
+				return i, nil
+			}
+			sess.encodeDataRow(b, i)
+			sent++
+			if len(sess.wb.buf) >= flushThreshold {
+				if err := sess.flush(); err != nil {
+					return i, &ioError{err: err}
+				}
+			}
+		}
+		return n, nil
+	}
+	if p != nil && p.pending != nil {
+		stop, err := emit(p.pending, p.pendingOff)
+		if err != nil {
+			return false, err
+		}
+		if stop < p.pending.Len() {
+			p.pendingOff = stop
+			p.sent += int64(sent)
+			return true, nil
+		}
+		p.pending = nil
+		p.pendingOff = 0
+	}
+	for {
+		if maxRows > 0 && sent >= maxRows {
+			// Limit landed exactly on a batch boundary.
+			if p != nil {
+				p.sent += int64(sent)
+			}
+			return true, nil
+		}
+		b, err := rows.Next(ctx)
+		if err != nil {
+			return false, err
+		}
+		if b == nil {
+			break
+		}
+		stop, err := emit(b, 0)
+		if err != nil {
+			return false, err
+		}
+		if stop < b.Len() {
+			// Limit split this batch: the next Next invalidates it, so the
+			// remainder is cloned into the portal.
+			p.pending = b.Clone()
+			p.pendingOff = stop
+			p.sent += int64(sent)
+			return true, nil
+		}
+	}
+	if p != nil {
+		p.sent += int64(sent)
+	} else {
+		sess.lastSent = int64(sent)
+	}
+	return false, nil
+}
+
+// encodeDataRow appends one DataRow message for logical row i of batch b.
+func (sess *session) encodeDataRow(b *recycledb.Batch, i int) {
+	w := &sess.wb
+	w.beginMsg(msgDataRow)
+	w.int16(int16(len(b.Vecs)))
+	phys := b.RowIdx(i)
+	for _, v := range b.Vecs {
+		lenAt := len(w.buf)
+		w.int32(0) // patched below
+		w.buf = appendDatumText(w.buf, v, phys)
+		putInt32(w.buf[lenAt:], int32(len(w.buf)-lenAt-4))
+	}
+	w.endMsg()
+}
+
+// ── utility statements ───────────────────────────────────────────────────
+
+// utilityKeyword classifies statements the session handles without the
+// engine: SET, SHOW, and the transaction-control no-ops (the engine's
+// writes are epoch-atomic per statement; BEGIN/COMMIT exist so client
+// libraries that always open a transaction still work).
+func utilityKeyword(q string) string {
+	fields := strings.Fields(strings.ToLower(strings.TrimRight(strings.TrimSpace(q), ";")))
+	if len(fields) == 0 {
+		return ""
+	}
+	switch fields[0] {
+	case "set", "show", "begin", "commit", "rollback", "end", "discard", "reset":
+		return fields[0]
+	case "start":
+		if len(fields) > 1 && fields[1] == "transaction" {
+			return "start"
+		}
+	}
+	return ""
+}
+
+// runUtility executes a utility statement, returning its command tag and
+// whether the statement was in fact a utility.
+func (sess *session) runUtility(q string) (tag string, handled bool, err error) {
+	kw := utilityKeyword(q)
+	if kw == "" {
+		return "", false, nil
+	}
+	body := strings.TrimRight(strings.TrimSpace(q), ";")
+	switch kw {
+	case "begin", "start":
+		return "BEGIN", true, nil
+	case "commit", "end":
+		return "COMMIT", true, nil
+	case "rollback":
+		return "ROLLBACK", true, nil
+	case "discard":
+		sess.closeAllPortals()
+		sess.stmts = make(map[string]*preparedStmt)
+		return "DISCARD ALL", true, nil
+	case "set":
+		err := sess.runSet(body)
+		return "SET", true, err
+	case "reset":
+		name := strings.ToLower(strings.TrimSpace(body[len("reset"):]))
+		if name == "statement_timeout" || name == "all" {
+			sess.stmtTimeout = sess.srv.cfg.StatementTimeout
+		}
+		return "RESET", true, nil
+	case "show":
+		err := sess.runShow(strings.TrimSpace(body[len("show"):]))
+		return "SHOW", true, err
+	}
+	return "", false, nil
+}
+
+// runSet handles SET name = value / SET name TO value. statement_timeout
+// and recycling_mode are live knobs; everything else is recorded and
+// acknowledged so client libraries' session setup does not error out.
+func (sess *session) runSet(body string) error {
+	rest := strings.TrimSpace(body[len("set"):])
+	low := strings.ToLower(rest)
+	for _, scope := range []string{"session ", "local "} {
+		if strings.HasPrefix(low, scope) {
+			rest = strings.TrimSpace(rest[len(scope):])
+			low = strings.ToLower(rest)
+			break
+		}
+	}
+	var name, value string
+	if i := strings.IndexAny(rest, "=\t "); i >= 0 {
+		name = strings.ToLower(strings.TrimSpace(rest[:i]))
+		value = strings.TrimSpace(rest[i:])
+		value = strings.TrimSpace(strings.TrimPrefix(value, "="))
+		if lowv := strings.ToLower(value); strings.HasPrefix(lowv, "to ") || lowv == "to" {
+			value = strings.TrimSpace(value[2:])
+		}
+	} else {
+		return fmt.Errorf("syntax error in SET: %q", body)
+	}
+	value = strings.Trim(value, "'\"")
+	switch name {
+	case "statement_timeout":
+		d, err := parseTimeoutValue(value)
+		if err != nil {
+			return err
+		}
+		sess.stmtTimeout = d
+	case "recycling_mode":
+		mode, err := parseMode(value)
+		if err != nil {
+			return err
+		}
+		sess.srv.eng.SetMode(mode)
+	default:
+		sess.params[name] = value
+	}
+	return nil
+}
+
+// runShow answers SHOW name with a one-column, one-row text result.
+func (sess *session) runShow(name string) error {
+	name = strings.ToLower(strings.Trim(strings.Trim(name, "'\""), ";"))
+	var value string
+	switch name {
+	case "statement_timeout":
+		value = formatTimeout(sess.stmtTimeout)
+	case "recycling_mode":
+		value = modeName(sess.srv.eng.Mode())
+	case "server_version":
+		value = sess.srv.cfg.ServerVersion
+	case "transaction_isolation":
+		value = "snapshot"
+	default:
+		if v, ok := sess.params[name]; ok {
+			value = v
+		} else {
+			return fmt.Errorf("unrecognized configuration parameter %q", name)
+		}
+	}
+	writeRowDescription(&sess.wb, catalog.Schema{{Name: name, Typ: vector.String}})
+	sess.wb.beginMsg(msgDataRow)
+	sess.wb.int16(1)
+	sess.wb.int32(int32(len(value)))
+	sess.wb.bytes([]byte(value))
+	sess.wb.endMsg()
+	return nil
+}
+
+// parseTimeoutValue parses a statement_timeout setting: a bare integer is
+// milliseconds (PostgreSQL convention), or a value with a unit suffix.
+func parseTimeoutValue(v string) (time.Duration, error) {
+	if ms, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if ms < 0 {
+			return 0, fmt.Errorf("statement_timeout cannot be negative")
+		}
+		return time.Duration(ms) * time.Millisecond, nil
+	}
+	for _, u := range []struct {
+		suffix string
+		unit   time.Duration
+	}{{"ms", time.Millisecond}, {"us", time.Microsecond}, {"min", time.Minute}, {"s", time.Second}, {"h", time.Hour}} {
+		if n, ok := strings.CutSuffix(v, u.suffix); ok {
+			ms, err := strconv.ParseInt(strings.TrimSpace(n), 10, 64)
+			if err == nil && ms >= 0 {
+				return time.Duration(ms) * u.unit, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("invalid statement_timeout value %q", v)
+}
+
+func formatTimeout(d time.Duration) string {
+	return strconv.FormatInt(d.Milliseconds(), 10) + "ms"
+}
+
+func modeName(m recycledb.Mode) string {
+	switch m {
+	case recycledb.History:
+		return "history"
+	case recycledb.Speculative:
+		return "speculative"
+	case recycledb.Proactive:
+		return "proactive"
+	default:
+		return "off"
+	}
+}
+
+func parseMode(v string) (recycledb.Mode, error) {
+	switch strings.ToLower(v) {
+	case "off":
+		return recycledb.Off, nil
+	case "history":
+		return recycledb.History, nil
+	case "speculative":
+		return recycledb.Speculative, nil
+	case "proactive":
+		return recycledb.Proactive, nil
+	}
+	return 0, fmt.Errorf("invalid recycling_mode %q (off, history, speculative, proactive)", v)
+}
+
+// ── response plumbing ────────────────────────────────────────────────────
+
+func (sess *session) commandComplete(tag string) {
+	sess.wb.beginMsg(msgCommandComplete)
+	sess.wb.string(tag)
+	sess.wb.endMsg()
+}
+
+func (sess *session) readyForQuery() {
+	sess.wb.beginMsg(msgReadyForQuery)
+	sess.wb.byte('I') // always idle: no multi-statement transactions
+	sess.wb.endMsg()
+}
+
+func (sess *session) errorResponse(code, msg string) {
+	writeErrorResponse(&sess.wb, "ERROR", code, msg)
+	sess.srv.errorsSent.Add(1)
+}
+
+// fatalError sends a FATAL and flushes; used on the teardown path where the
+// connection closes right after.
+func (sess *session) fatalError(code, msg string) {
+	writeErrorResponse(&sess.wb, "FATAL", code, msg)
+	_ = sess.flush()
+}
+
+func writeErrorResponse(w *writeBuf, severity, code, msg string) {
+	w.beginMsg(msgErrorResponse)
+	w.byte('S')
+	w.string(severity)
+	w.byte('V')
+	w.string(severity)
+	w.byte('C')
+	w.string(code)
+	w.byte('M')
+	w.string(msg)
+	w.byte(0)
+	w.endMsg()
+}
+
+// flush pushes buffered messages through the socket. The write deadline
+// bounds how long a wedged client (not reading, window full) can pin a
+// connection goroutine and its pipeline.
+func (sess *session) flush() error {
+	if len(sess.wb.buf) > 0 {
+		if sess.srv.cfg.WriteTimeout > 0 {
+			_ = sess.conn.SetWriteDeadline(time.Now().Add(sess.srv.cfg.WriteTimeout))
+		}
+		if _, err := sess.bw.Write(sess.wb.buf); err != nil {
+			return err
+		}
+		sess.wb.reset()
+	}
+	return sess.bw.Flush()
+}
+
+func (sess *session) destroyPortal(p *portal) {
+	if p.rows != nil {
+		p.rows.Close()
+		p.rows = nil
+	}
+	p.pending = nil
+	delete(sess.portals, p.name)
+}
+
+func (sess *session) closeAllPortals() {
+	for _, p := range sess.portals {
+		sess.destroyPortal(p)
+	}
+}
+
+// ── error → SQLSTATE mapping ─────────────────────────────────────────────
+
+// namedError carries an explicit SQLSTATE.
+type namedError struct {
+	code string
+	msg  string
+}
+
+func (e *namedError) Error() string { return e.msg }
+
+var errAdmission = errors.New("too many concurrent statements")
+
+func admissionErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return fmt.Errorf("%w: canceling statement while waiting for an execution slot: %w", errAdmission, err)
+	}
+	return err
+}
+
+// sqlstateFor maps engine and protocol errors to the SQLSTATE the client
+// sees.
+func sqlstateFor(err error) (code, msg string) {
+	var ne *namedError
+	if errors.As(err, &ne) {
+		return ne.code, ne.msg
+	}
+	switch {
+	case errors.Is(err, errAdmission):
+		return codeAdmissionRejected, err.Error()
+	case errors.Is(err, recycledb.ErrParse):
+		return codeSyntaxError, err.Error()
+	case errors.Is(err, recycledb.ErrUnknownTable):
+		return codeUndefinedTable, err.Error()
+	case errors.Is(err, recycledb.ErrStaleStmt):
+		return codeUndefinedTable, err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		return codeQueryCanceled, "canceling statement due to statement timeout"
+	case errors.Is(err, recycledb.ErrCanceled), errors.Is(err, context.Canceled):
+		return codeQueryCanceled, "canceling statement due to user request"
+	case errors.Is(err, recycledb.ErrNotQuery):
+		return codeFeatureNotSupported, err.Error()
+	case strings.Contains(err.Error(), "unknown column"):
+		return codeUndefinedColumn, err.Error()
+	default:
+		return codeInternalError, err.Error()
+	}
+}
+
+// commandTag renders the CommandComplete tag for a DML statement.
+func commandTag(stmt *recycledb.Stmt, affected int64) string {
+	switch stmt.Verb() {
+	case "INSERT":
+		return fmt.Sprintf("INSERT 0 %d", affected)
+	case "DELETE":
+		return fmt.Sprintf("DELETE %d", affected)
+	case "CREATE":
+		return "CREATE TABLE"
+	default:
+		return fmt.Sprintf("SELECT %d", affected)
+	}
+}
+
+// splitStatements splits a simple-protocol query string on top-level
+// semicolons, honouring quotes and comments, and drops empty statements.
+func splitStatements(q string) []string {
+	var out []string
+	start := 0
+	i := 0
+	n := len(q)
+	emit := func(end int) {
+		s := strings.TrimSpace(q[start:end])
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	for i < n {
+		switch c := q[i]; {
+		case c == '\'':
+			j := i + 1
+			for j < n {
+				if q[j] == '\'' {
+					if j+1 < n && q[j+1] == '\'' {
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				j++
+			}
+			i = j
+		case c == '"':
+			j := i + 1
+			for j < n && q[j] != '"' {
+				j++
+			}
+			if j < n {
+				j++
+			}
+			i = j
+		case c == '-' && i+1 < n && q[i+1] == '-':
+			for i < n && q[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && q[i+1] == '*':
+			depth := 1
+			i += 2
+			for i < n && depth > 0 {
+				if i+1 < n && q[i] == '*' && q[i+1] == '/' {
+					depth--
+					i += 2
+				} else if i+1 < n && q[i] == '/' && q[i+1] == '*' {
+					depth++
+					i += 2
+				} else {
+					i++
+				}
+			}
+		case c == ';':
+			emit(i)
+			i++
+			start = i
+		default:
+			i++
+		}
+	}
+	emit(n)
+	return out
+}
+
+func putInt32(b []byte, v int32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}

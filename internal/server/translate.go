@@ -1,0 +1,118 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+)
+
+// translateParams rewrites PostgreSQL-style $N placeholders into the
+// engine's positional ?, returning the rewritten SQL, the order slice
+// (order[i] = the 0-based client parameter that the i-th ? binds), and the
+// number of distinct client parameters (max N). $N may repeat and appear
+// out of order — the per-execution bind reorders and duplicates the
+// client's values to match.
+//
+// The scanner is quote- and comment-aware: $N inside single-quoted strings
+// (” escapes), double-quoted identifiers, line comments (--) and block
+// comments (/* */, nested) is left alone. Dollar-quoted strings ($$ / $tag$)
+// are not supported and surface as a translation error rather than a
+// silently misparsed statement.
+func translateParams(sql string) (string, []int, int, error) {
+	var out strings.Builder
+	out.Grow(len(sql))
+	var order []int
+	maxParam := 0
+	i := 0
+	n := len(sql)
+	for i < n {
+		c := sql[i]
+		switch {
+		case c == '\'':
+			j := i + 1
+			for j < n {
+				if sql[j] == '\'' {
+					if j+1 < n && sql[j+1] == '\'' {
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				j++
+			}
+			out.WriteString(sql[i:j])
+			i = j
+		case c == '"':
+			j := i + 1
+			for j < n && sql[j] != '"' {
+				j++
+			}
+			if j < n {
+				j++
+			}
+			out.WriteString(sql[i:j])
+			i = j
+		case c == '-' && i+1 < n && sql[i+1] == '-':
+			j := i
+			for j < n && sql[j] != '\n' {
+				j++
+			}
+			out.WriteString(sql[i:j])
+			i = j
+		case c == '/' && i+1 < n && sql[i+1] == '*':
+			depth := 1
+			j := i + 2
+			for j < n && depth > 0 {
+				if j+1 < n && sql[j] == '*' && sql[j+1] == '/' {
+					depth--
+					j += 2
+				} else if j+1 < n && sql[j] == '/' && sql[j+1] == '*' {
+					depth++
+					j += 2
+				} else {
+					j++
+				}
+			}
+			out.WriteString(sql[i:j])
+			i = j
+		case c == '$':
+			j := i + 1
+			for j < n && sql[j] >= '0' && sql[j] <= '9' {
+				j++
+			}
+			if j == i+1 {
+				return "", nil, 0, fmt.Errorf("dollar-quoted strings are not supported (at byte %d)", i)
+			}
+			num := 0
+			for _, d := range sql[i+1 : j] {
+				num = num*10 + int(d-'0')
+			}
+			if num < 1 || num > 65535 {
+				return "", nil, 0, fmt.Errorf("bad parameter number $%d", num)
+			}
+			order = append(order, num-1)
+			if num > maxParam {
+				maxParam = num
+			}
+			out.WriteByte('?')
+			i = j
+		default:
+			out.WriteByte(c)
+			i++
+		}
+	}
+	return out.String(), order, maxParam, nil
+}
+
+// reorderArgs maps the client's positional parameters (by $N) onto the
+// engine's ?-appearance order.
+func reorderArgs(order []int, args []any) ([]any, error) {
+	out := make([]any, len(order))
+	for i, src := range order {
+		if src >= len(args) {
+			return nil, fmt.Errorf("statement references $%d but only %d parameters were bound", src+1, len(args))
+		}
+		out[i] = args[src]
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTranslateParams(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string
+		order   []int
+		nparams int
+		errSub  string
+	}{
+		{in: `SELECT 1`, want: `SELECT 1`, order: nil, nparams: 0},
+		{in: `SELECT a FROM t WHERE b > $1`, want: `SELECT a FROM t WHERE b > ?`,
+			order: []int{0}, nparams: 1},
+		{in: `SELECT a FROM t WHERE b > $2 AND c < $1`, want: `SELECT a FROM t WHERE b > ? AND c < ?`,
+			order: []int{1, 0}, nparams: 2},
+		{in: `SELECT a FROM t WHERE b = $1 OR c = $1`, want: `SELECT a FROM t WHERE b = ? OR c = ?`,
+			order: []int{0, 0}, nparams: 1},
+		{in: `SELECT '$1' FROM t WHERE b = $1`, want: `SELECT '$1' FROM t WHERE b = ?`,
+			order: []int{0}, nparams: 1},
+		{in: `SELECT 'it''s $2' FROM t`, want: `SELECT 'it''s $2' FROM t`, order: nil, nparams: 0},
+		{in: `SELECT "$1" FROM t`, want: `SELECT "$1" FROM t`, order: nil, nparams: 0},
+		{in: "SELECT a -- $1\nFROM t WHERE b = $1", want: "SELECT a -- $1\nFROM t WHERE b = ?",
+			order: []int{0}, nparams: 1},
+		{in: `SELECT a /* $1 /* $2 */ */ FROM t`, want: `SELECT a /* $1 /* $2 */ */ FROM t`,
+			order: nil, nparams: 0},
+		{in: `SELECT $$body$$`, errSub: "dollar-quoted"},
+		{in: `SELECT $0`, errSub: "bad parameter number"},
+	}
+	for _, tc := range cases {
+		got, order, n, err := translateParams(tc.in)
+		if tc.errSub != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.errSub) {
+				t.Errorf("%q: want error containing %q, got %v", tc.in, tc.errSub, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%q: translated to %q, want %q", tc.in, got, tc.want)
+		}
+		if !reflect.DeepEqual(order, tc.order) {
+			t.Errorf("%q: order %v, want %v", tc.in, order, tc.order)
+		}
+		if n != tc.nparams {
+			t.Errorf("%q: nparams %d, want %d", tc.in, n, tc.nparams)
+		}
+	}
+}
+
+func TestReorderArgs(t *testing.T) {
+	got, err := reorderArgs([]int{1, 0, 1}, []any{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []any{"b", "a", "b"}) {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := reorderArgs([]int{2}, []any{"a"}); err == nil {
+		t.Fatal("want error for missing parameter")
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"SELECT 1", []string{"SELECT 1"}},
+		{"SELECT 1; SELECT 2", []string{"SELECT 1", "SELECT 2"}},
+		{"SELECT 1;;  ;", []string{"SELECT 1"}},
+		{"SELECT 'a;b'; SELECT 2", []string{"SELECT 'a;b'", "SELECT 2"}},
+		{`SELECT ";" FROM "t;u"`, []string{`SELECT ";" FROM "t;u"`}},
+		{"SELECT 1 -- tail; not a split\n; SELECT 2", []string{"SELECT 1 -- tail; not a split", "SELECT 2"}},
+		{"/* x;y */ SELECT 1", []string{"/* x;y */ SELECT 1"}},
+		{"", nil},
+		{"   ", nil},
+	}
+	for _, tc := range cases {
+		got := splitStatements(tc.in)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%q: got %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestUtilityKeyword(t *testing.T) {
+	cases := map[string]string{
+		"SET statement_timeout = 100": "set",
+		"  show server_version ;":     "show",
+		"BEGIN":                       "begin",
+		"START TRANSACTION":           "start",
+		"start work":                  "",
+		"COMMIT;":                     "commit",
+		"SELECT 1":                    "",
+		"settle the question":         "",
+	}
+	for in, want := range cases {
+		if got := utilityKeyword(in); got != want {
+			t.Errorf("%q: got %q, want %q", in, got, want)
+		}
+	}
+}

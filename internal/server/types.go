@@ -1,0 +1,267 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/vector"
+)
+
+// PostgreSQL type OIDs for the engine's five physical types, plus the wire
+// types clients commonly bind parameters with.
+const (
+	oidBool    = 16
+	oidBytea   = 17
+	oidInt8    = 20
+	oidInt2    = 21
+	oidInt4    = 23
+	oidText    = 25
+	oidFloat4  = 700
+	oidFloat8  = 701
+	oidVarchar = 1043
+	oidDate    = 1082
+	oidNumeric = 1700
+	oidUnknown = 0
+)
+
+// pgDateEpochDays is 2000-01-01 (the binary DATE epoch) in days since
+// 1970-01-01 (the engine's Date epoch).
+const pgDateEpochDays = 10957
+
+// typeOID maps an engine column type to the OID advertised in
+// RowDescription.
+func typeOID(t vector.Type) int32 {
+	switch t {
+	case vector.Int64:
+		return oidInt8
+	case vector.Float64:
+		return oidFloat8
+	case vector.String:
+		return oidText
+	case vector.Date:
+		return oidDate
+	case vector.Bool:
+		return oidBool
+	default:
+		return oidText
+	}
+}
+
+// typeSize returns the RowDescription type length (-1 = variable).
+func typeSize(t vector.Type) int16 {
+	switch t {
+	case vector.Int64, vector.Float64:
+		return 8
+	case vector.Date:
+		return 4
+	case vector.Bool:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// writeRowDescription emits a RowDescription for schema (text format).
+func writeRowDescription(w *writeBuf, schema catalog.Schema) {
+	w.beginMsg(msgRowDescription)
+	w.int16(int16(len(schema)))
+	for _, col := range schema {
+		w.string(col.Name)
+		w.int32(0) // table OID
+		w.int16(0) // attribute number
+		w.int32(typeOID(col.Typ))
+		w.int16(typeSize(col.Typ))
+		w.int32(-1) // type modifier
+		w.int16(0)  // text format
+	}
+	w.endMsg()
+}
+
+// appendDatumText renders one value of a column vector in PostgreSQL text
+// format, appending to dst. Floats use the shortest round-trip form, bools
+// the single-letter form, dates ISO.
+func appendDatumText(dst []byte, v *vector.Vector, row int) []byte {
+	switch v.Typ {
+	case vector.Int64:
+		return strconv.AppendInt(dst, v.I64[row], 10)
+	case vector.Float64:
+		return appendFloatText(dst, v.F64[row])
+	case vector.String:
+		return append(dst, v.Str[row]...)
+	case vector.Date:
+		return append(dst, vector.DateString(v.I64[row])...)
+	case vector.Bool:
+		if v.B[row] {
+			return append(dst, 't')
+		}
+		return append(dst, 'f')
+	}
+	return dst
+}
+
+// appendFloatText renders a float in PostgreSQL text form: shortest
+// round-trip decimal, with Infinity/NaN spelled the way libpq expects.
+func appendFloatText(dst []byte, f float64) []byte {
+	switch {
+	case math.IsInf(f, 1):
+		return append(dst, "Infinity"...)
+	case math.IsInf(f, -1):
+		return append(dst, "-Infinity"...)
+	case math.IsNaN(f):
+		return append(dst, "NaN"...)
+	}
+	return strconv.AppendFloat(dst, f, 'g', -1, 64)
+}
+
+var dateRE = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}$`)
+
+// decodeParam converts one Bind parameter to a Go value for the engine's
+// parameter binding (Stmt.Query / toDatums). Conversions are
+// exactness-preserving: integer text parses as int64 before any float
+// fallback (the canonical-numeric rule — 2^53+1 must survive), float4
+// binaries stay the float32 value they carried, and unknown-typed text
+// infers only numbers and ISO dates, leaving everything else a string.
+func decodeParam(oid int32, format int16, data []byte) (any, error) {
+	switch format {
+	case 0:
+		return decodeTextParam(oid, string(data))
+	case 1:
+		return decodeBinaryParam(oid, data)
+	default:
+		return nil, fmt.Errorf("unknown parameter format code %d", format)
+	}
+}
+
+func decodeTextParam(oid int32, s string) (any, error) {
+	switch oid {
+	case oidInt2, oidInt4, oidInt8:
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid integer parameter %q", s)
+		}
+		return v, nil
+	case oidFloat4, oidFloat8, oidNumeric:
+		// Exact-integer numerics stay integers: the engine widens int64 to
+		// float64 where a float is needed, but a float64 round trip would
+		// corrupt integers above 2^53.
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v, nil
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid numeric parameter %q", s)
+		}
+		return v, nil
+	case oidBool:
+		switch strings.ToLower(s) {
+		case "t", "true", "1", "yes", "on", "y":
+			return true, nil
+		case "f", "false", "0", "no", "off", "n":
+			return false, nil
+		}
+		return nil, fmt.Errorf("invalid boolean parameter %q", s)
+	case oidDate:
+		days, err := parseDate(s)
+		if err != nil {
+			return nil, err
+		}
+		return vector.NewDateDatum(days), nil
+	case oidText, oidVarchar, oidBytea:
+		return s, nil
+	case oidUnknown:
+		// Untyped text parameter: infer numerics and ISO dates — the forms
+		// the engine's implicit coercions understand — and keep everything
+		// else as the string the client sent.
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v, nil
+		}
+		if v, err := strconv.ParseFloat(s, 64); err == nil {
+			return v, nil
+		}
+		if dateRE.MatchString(s) {
+			if days, err := parseDate(s); err == nil {
+				return vector.NewDateDatum(days), nil
+			}
+		}
+		return s, nil
+	default:
+		// Unrecognized OID in text format: hand the raw text through.
+		return s, nil
+	}
+}
+
+func decodeBinaryParam(oid int32, data []byte) (any, error) {
+	want := func(n int) error {
+		if len(data) != n {
+			return fmt.Errorf("binary parameter for oid %d has %d bytes, want %d", oid, len(data), n)
+		}
+		return nil
+	}
+	switch oid {
+	case oidInt2:
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		return int64(int16(uint16(data[0])<<8 | uint16(data[1]))), nil
+	case oidInt4:
+		if err := want(4); err != nil {
+			return nil, err
+		}
+		return int64(int32(beUint32(data))), nil
+	case oidInt8:
+		if err := want(8); err != nil {
+			return nil, err
+		}
+		return int64(beUint64(data)), nil
+	case oidFloat4:
+		if err := want(4); err != nil {
+			return nil, err
+		}
+		return math.Float32frombits(beUint32(data)), nil
+	case oidFloat8:
+		if err := want(8); err != nil {
+			return nil, err
+		}
+		return math.Float64frombits(beUint64(data)), nil
+	case oidBool:
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return data[0] != 0, nil
+	case oidDate:
+		if err := want(4); err != nil {
+			return nil, err
+		}
+		return vector.NewDateDatum(int64(int32(beUint32(data))) + pgDateEpochDays), nil
+	case oidText, oidVarchar, oidBytea, oidUnknown:
+		return append([]byte(nil), data...), nil
+	default:
+		return nil, fmt.Errorf("binary format not supported for parameter oid %d", oid)
+	}
+}
+
+func beUint32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func beUint64(b []byte) uint64 {
+	return uint64(beUint32(b))<<32 | uint64(beUint32(b[4:]))
+}
+
+// parseDate converts "YYYY-MM-DD" to engine epoch days.
+func parseDate(s string) (int64, error) {
+	if !dateRE.MatchString(s) {
+		return 0, fmt.Errorf("invalid date parameter %q", s)
+	}
+	y, _ := strconv.Atoi(s[0:4])
+	m, _ := strconv.Atoi(s[5:7])
+	d, _ := strconv.Atoi(s[8:10])
+	if m < 1 || m > 12 || d < 1 || d > 31 {
+		return 0, fmt.Errorf("invalid date parameter %q", s)
+	}
+	return vector.DaysFromDate(y, m, d), nil
+}

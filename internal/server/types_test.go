@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"recycledb/internal/vector"
+)
+
+func TestDecodeTextParam(t *testing.T) {
+	big := "9007199254740993" // 2^53+1: must stay an exact int64
+	cases := []struct {
+		name string
+		oid  int32
+		in   string
+		want any
+		err  bool
+	}{
+		{"int8", oidInt8, "42", int64(42), false},
+		{"int8_big_exact", oidInt8, big, int64(9007199254740993), false},
+		{"int8_garbage", oidInt8, "4x", nil, true},
+		{"numeric_integer_stays_exact", oidNumeric, big, int64(9007199254740993), false},
+		{"numeric_fraction", oidNumeric, "2.5", 2.5, false},
+		{"float8_integer_stays_exact", oidFloat8, big, int64(9007199254740993), false},
+		{"bool_t", oidBool, "t", true, false},
+		{"bool_off", oidBool, "off", false, false},
+		{"bool_bad", oidBool, "maybe", nil, true},
+		{"date", oidDate, "1996-03-15", vector.NewDateDatum(vector.MustParseDate("1996-03-15")), false},
+		{"date_bad", oidDate, "96-3-15", nil, true},
+		{"text", oidText, "hello", "hello", false},
+		{"unknown_int", oidUnknown, "17", int64(17), false},
+		{"unknown_float", oidUnknown, "1.5", 1.5, false},
+		{"unknown_date", oidUnknown, "1996-03-15", vector.NewDateDatum(vector.MustParseDate("1996-03-15")), false},
+		{"unknown_text", oidUnknown, "kangaroo", "kangaroo", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := decodeTextParam(tc.oid, tc.in)
+			if tc.err {
+				if err == nil {
+					t.Fatalf("want error, got %v", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gd, ok := got.(vector.Datum); ok {
+				if !gd.Equal(tc.want.(vector.Datum)) {
+					t.Fatalf("got %v, want %v", got, tc.want)
+				}
+				return
+			}
+			if got != tc.want {
+				t.Fatalf("got %#v, want %#v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeBinaryParam(t *testing.T) {
+	be32 := func(v uint32) []byte { b := make([]byte, 4); binary.BigEndian.PutUint32(b, v); return b }
+	be64 := func(v uint64) []byte { b := make([]byte, 8); binary.BigEndian.PutUint64(b, v); return b }
+
+	if got, err := decodeBinaryParam(oidInt4, be32(uint32(0xFFFFFFFF))); err != nil || got.(int64) != -1 {
+		t.Fatalf("int4: got %v, %v", got, err)
+	}
+	if got, err := decodeBinaryParam(oidInt8, be64(uint64(1)<<53+1)); err != nil || got.(int64) != int64(1)<<53+1 {
+		t.Fatalf("int8: got %v, %v", got, err)
+	}
+	// float4 binaries arrive as the float32 they are; the engine widens
+	// exactly, never through the shorter decimal rendering.
+	f32 := float32(0.1)
+	got, err := decodeBinaryParam(oidFloat4, be32(math.Float32bits(f32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(float32) != f32 {
+		t.Fatalf("float4: got %v", got)
+	}
+	if got, err := decodeBinaryParam(oidFloat8, be64(math.Float64bits(2.5))); err != nil || got.(float64) != 2.5 {
+		t.Fatalf("float8: got %v, %v", got, err)
+	}
+	// Binary DATE is days since 2000-01-01; the engine speaks days since
+	// 1970-01-01.
+	gd, err := decodeBinaryParam(oidDate, be32(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := gd.(vector.Datum); d.I64 != vector.MustParseDate("2000-01-01") {
+		t.Fatalf("date epoch: got %d, want %d", d.I64, vector.MustParseDate("2000-01-01"))
+	}
+	if _, err := decodeBinaryParam(oidInt4, []byte{1, 2}); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := decodeBinaryParam(oidNumeric, be64(0)); err == nil {
+		t.Fatal("want unsupported-binary error for numeric")
+	}
+}
+
+func TestAppendDatumText(t *testing.T) {
+	iv := vector.New(vector.Int64, 1)
+	iv.AppendInt64(math.MaxInt64)
+	if got := string(appendDatumText(nil, iv, 0)); got != "9223372036854775807" {
+		t.Fatalf("int: %q", got)
+	}
+	fv := vector.New(vector.Float64, 3)
+	fv.AppendFloat64(2.5)
+	fv.AppendFloat64(math.Inf(-1))
+	fv.AppendFloat64(math.NaN())
+	if got := string(appendDatumText(nil, fv, 0)); got != "2.5" {
+		t.Fatalf("float: %q", got)
+	}
+	if got := string(appendDatumText(nil, fv, 1)); got != "-Infinity" {
+		t.Fatalf("inf: %q", got)
+	}
+	if got := string(appendDatumText(nil, fv, 2)); got != "NaN" {
+		t.Fatalf("nan: %q", got)
+	}
+	dv := vector.New(vector.Date, 1)
+	dv.AppendInt64(vector.MustParseDate("1998-12-01"))
+	if got := string(appendDatumText(nil, dv, 0)); got != "1998-12-01" {
+		t.Fatalf("date: %q", got)
+	}
+	bv := vector.New(vector.Bool, 2)
+	bv.AppendBool(true)
+	bv.AppendBool(false)
+	if got := string(appendDatumText(nil, bv, 0)); got != "t" {
+		t.Fatalf("bool: %q", got)
+	}
+	if got := string(appendDatumText(nil, bv, 1)); got != "f" {
+		t.Fatalf("bool: %q", got)
+	}
+}
+
+func TestParseTimeoutValue(t *testing.T) {
+	cases := map[string]int64{
+		"250":   250,
+		"0":     0,
+		"1s":    1000,
+		"50ms":  50,
+		"2min":  120000,
+		"500us": 0, // rounds below 1ms but parses
+	}
+	for in, wantMS := range cases {
+		d, err := parseTimeoutValue(in)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+			continue
+		}
+		if in == "500us" {
+			if d.Microseconds() != 500 {
+				t.Errorf("%q: got %v", in, d)
+			}
+			continue
+		}
+		if d.Milliseconds() != wantMS {
+			t.Errorf("%q: got %v, want %dms", in, d, wantMS)
+		}
+	}
+	for _, bad := range []string{"-1", "abc", "1fortnight"} {
+		if _, err := parseTimeoutValue(bad); err == nil {
+			t.Errorf("%q: want error", bad)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the SQL-text twin of the plan-level multi-client driver:
+// RunSQLClients drives N connections issuing queries expressed as SQL
+// strings with $N parameters, through a caller-supplied transport. The
+// transport is deliberately abstract — the bench wires it to a Postgres
+// wire-protocol client talking to recycledb-server over TCP, tests can wire
+// it straight to Engine.Query — so the same mix measures both the engine
+// proper and the full serving stack (parse, admission, encode, socket).
+
+// SQLQuery is one query instance as it would cross the wire: SQL text with
+// $1..$N placeholders and text-format parameter values in order.
+type SQLQuery struct {
+	Label string
+	SQL   string
+	Args  []string
+}
+
+// SQLMixEntry is one weighted pattern of a SQL client mix. Make draws any
+// parameters only from the supplied RNG so runs are reproducible. Patterns
+// should reuse a small pool of SQL texts and argument variants: identical
+// statements from many clients are what give the recycler (and the server's
+// prepared-statement cache) sharing potential.
+type SQLMixEntry struct {
+	Label  string
+	Weight int
+	Make   func(rng *rand.Rand) SQLQuery
+}
+
+// SQLMix is a weighted set of SQL query patterns.
+type SQLMix []SQLMixEntry
+
+// Pick draws one query from the mix.
+func (m SQLMix) Pick(rng *rand.Rand) SQLQuery {
+	total := 0
+	for _, e := range m {
+		total += e.Weight
+	}
+	if total <= 0 {
+		return SQLQuery{}
+	}
+	v := rng.Intn(total)
+	for _, e := range m {
+		if v < e.Weight {
+			q := e.Make(rng)
+			if q.Label == "" {
+				q.Label = e.Label
+			}
+			return q
+		}
+		v -= e.Weight
+	}
+	return SQLQuery{}
+}
+
+// SQLConn executes SQL queries on behalf of one client. Implementations are
+// used by a single goroutine; Run returns the number of result rows
+// consumed. A transport backed by prepared statements should key them by
+// q.SQL — the mixes repeat a small set of texts precisely so that
+// preparation cost amortizes away, as it would for a real client.
+type SQLConn interface {
+	Run(q SQLQuery) (rows int, err error)
+	Close() error
+}
+
+// DialFunc opens the connection for one client (0-based index).
+type DialFunc func(client int) (SQLConn, error)
+
+// SQLClientsConfig configures a SQL multi-client run.
+type SQLClientsConfig struct {
+	// Clients is the number of concurrent connections.
+	Clients int
+	// Duration bounds the run in wall time (0 = no time bound).
+	Duration time.Duration
+	// MaxQueries bounds total queries across all clients (0 = no bound).
+	// At least one bound must be set.
+	MaxQueries int64
+	// Seed makes the per-client query sequences reproducible.
+	Seed int64
+}
+
+// RunSQLClients dials one connection per client, then drives all clients
+// concurrently until the duration elapses or the query budget is spent.
+// Connections are established before the clock starts, so setup cost stays
+// out of the measurement; any dial failure aborts the run. Latency
+// bookkeeping is client-local and merged afterwards, exactly like
+// RunClients, so the driver adds no shared-lock contention.
+func RunSQLClients(cfg SQLClientsConfig, mix SQLMix, dial DialFunc) (*ClientsResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Duration <= 0 && cfg.MaxQueries <= 0 {
+		cfg.Duration = time.Second
+	}
+	conns := make([]SQLConn, cfg.Clients)
+	for ci := range conns {
+		c, err := dial(ci)
+		if err != nil {
+			for _, open := range conns[:ci] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("dial client %d: %w", ci, err)
+		}
+		conns[ci] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	var deadline time.Time
+	if cfg.Duration > 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+	var issued atomic.Int64
+	var errs atomic.Int64
+
+	type clientTally struct {
+		queries   int64
+		perLabel  map[string]int64
+		latencies []time.Duration
+	}
+	tallies := make([]clientTally, cfg.Clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*104729))
+			tally := &tallies[ci]
+			tally.perLabel = make(map[string]int64)
+			for {
+				if cfg.MaxQueries > 0 && issued.Add(1) > cfg.MaxQueries {
+					return
+				}
+				if !deadline.IsZero() && !time.Now().Before(deadline) {
+					return
+				}
+				q := mix.Pick(rng)
+				if q.SQL == "" {
+					return
+				}
+				qs := time.Now()
+				_, err := conns[ci].Run(q)
+				if err != nil {
+					errs.Add(1)
+				} else {
+					tally.latencies = append(tally.latencies, time.Since(qs))
+					tally.perLabel[q.Label]++
+				}
+				tally.queries++
+			}
+		}(ci)
+	}
+	wg.Wait()
+	res := &ClientsResult{
+		Clients:   cfg.Clients,
+		Elapsed:   time.Since(start),
+		Errs:      errs.Load(),
+		PerClient: make([]int64, cfg.Clients),
+		PerLabel:  make(map[string]int64),
+	}
+	for ci := range tallies {
+		res.PerClient[ci] = tallies[ci].queries
+		res.Queries += tallies[ci].queries
+		for l, n := range tallies[ci].perLabel {
+			res.PerLabel[l] += n
+		}
+		res.Latencies = append(res.Latencies, tallies[ci].latencies...)
+	}
+	sort.Slice(res.Latencies, func(a, b int) bool { return res.Latencies[a] < res.Latencies[b] })
+	return res, nil
+}

@@ -258,6 +258,17 @@ func (e *Engine) extendEntry(entry *core.Entry, table string, lo, hi int64) ([]*
 // Catalog returns the engine's catalog for loading tables and functions.
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 
+// Workers returns the engine's intra-query parallelism budget
+// (Config.Parallelism resolved to its default if unset). The budget
+// divides across in-flight statements; serving front ends size admission
+// control relative to it.
+func (e *Engine) Workers() int { return e.par }
+
+// ActiveStatements returns the number of statements currently in flight
+// (streams open or DML executing). Serving front ends use it to verify
+// that abandoned streams drained their statement slots.
+func (e *Engine) ActiveStatements() int { return int(e.active.Load()) }
+
 // Recycler exposes the recycler for introspection (statistics, cache state).
 func (e *Engine) Recycler() *core.Recycler { return e.rec }
 

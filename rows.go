@@ -3,6 +3,7 @@ package recycledb
 import (
 	"context"
 	"iter"
+	"sync"
 	"time"
 
 	"recycledb/internal/catalog"
@@ -23,8 +24,14 @@ import (
 // decisions) happens when the stream completes; a canceled or abandoned
 // query contributes no measurements.
 //
-// A Rows is a cursor owned by one goroutine, like database/sql.Rows: it is
-// not safe for concurrent use. The Engine and Stmt that produced it are.
+// A Rows is a cursor driven by one goroutine at a time, like
+// database/sql.Rows — but Close may be called from any goroutine, at any
+// moment, concurrently with a Next in flight: lifecycle transitions are
+// serialized, so operator scratch, pinned cache entries, and in-flight
+// recycler registrations are released exactly once no matter how a close
+// races a batch. A concurrent Close blocks until the in-flight Next
+// returns; cancel the query's context first to unblock it promptly (that
+// is what a serving front end's disconnect/timeout path does).
 type Rows struct {
 	eng    *Engine
 	qctx   context.Context
@@ -37,17 +44,25 @@ type Rows struct {
 
 	start     time.Time
 	execStart time.Time
-	stats     QueryStats
-	rows      int
-	dense     *vector.Batch // compaction buffer for selective batches
-	err       error
-	done      bool // end of stream reached (operator closed, graph annotated)
-	closed    bool // Close called before end of stream (operator closed)
-	released  bool // statement slot given back to the engine's worker budget
+
+	// mu serializes the cursor's lifecycle: Next, Close, and the internal
+	// fail/finish transitions. It makes abandon-from-another-goroutine (a
+	// server reaping a dead connection while its handler is mid-Next) safe:
+	// the operator tree is closed exactly once, never concurrently with an
+	// executing Next.
+	mu       sync.Mutex
+	stats    QueryStats    // guarded by mu
+	rows     int           // guarded by mu
+	dense    *vector.Batch // guarded by mu; compaction buffer for selective batches
+	err      error         // guarded by mu
+	done     bool          // guarded by mu; end of stream reached (operator closed, graph annotated)
+	closed   bool          // guarded by mu; Close called before end of stream (operator closed)
+	released bool          // guarded by mu; statement slot given back to the engine's worker budget
 }
 
-// release returns the statement's slot in the engine's parallelism budget.
-func (r *Rows) release() {
+// releaseLocked returns the statement's slot in the engine's parallelism
+// budget. Callers hold mu.
+func (r *Rows) releaseLocked() {
 	if !r.released {
 		r.released = true
 		r.eng.endStatement()
@@ -64,6 +79,8 @@ func (r *Rows) Schema() catalog.Schema { return r.schema }
 // multi-million-row scan within one vector; nil ctx falls back to the
 // context the query started with.
 func (r *Rows) Next(ctx context.Context) (*Batch, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -76,11 +93,11 @@ func (r *Rows) Next(ctx context.Context) (*Batch, error) {
 	r.ectx.Context = ctx
 	b, err := r.op.Next(r.ectx)
 	if err != nil {
-		r.fail(wrapRunError(err))
+		r.failLocked(wrapRunError(err))
 		return nil, r.err
 	}
 	if b == nil {
-		return nil, r.finish()
+		return nil, r.finishLocked()
 	}
 	r.rows += b.Len()
 	if b.Sel != nil {
@@ -97,21 +114,21 @@ func (r *Rows) Next(ctx context.Context) (*Batch, error) {
 	return b, nil
 }
 
-// fail records err and releases the pipeline (store cancellations and cache
-// unpins fire inside the operators' Close).
-func (r *Rows) fail(err error) {
+// failLocked records err and releases the pipeline (store cancellations and
+// cache unpins fire inside the operators' Close). Callers hold mu.
+func (r *Rows) failLocked(err error) {
 	r.err = err
 	r.closed = true
 	r.op.Close(r.ectx)
-	r.release()
+	r.releaseLocked()
 }
 
-// finish completes the stream: the recycler graph is annotated with the
-// measured operator costs and cardinalities, the statistics are finalized,
-// and the operator tree is closed.
-func (r *Rows) finish() error {
+// finishLocked completes the stream: the recycler graph is annotated with
+// the measured operator costs and cardinalities, the statistics are
+// finalized, and the operator tree is closed. Callers hold mu.
+func (r *Rows) finishLocked() error {
 	r.done = true
-	defer r.release()
+	defer r.releaseLocked()
 	execTime := time.Since(r.execStart)
 	if err := r.op.Close(r.ectx); err != nil {
 		r.err = wrapRunError(err)
@@ -127,23 +144,35 @@ func (r *Rows) finish() error {
 
 // Close releases the query without draining it. Abandoning a stream mid-way
 // cancels any in-progress materializations and skips graph annotation; it
-// is a no-op after end of stream. Close is idempotent.
+// is a no-op after end of stream. Close is idempotent and safe to call from
+// a goroutine other than the one driving Next; it serializes behind an
+// in-flight Next (cancel the query's context to unblock one promptly).
 func (r *Rows) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.done || r.closed {
 		return nil
 	}
 	r.closed = true
-	defer r.release()
+	defer r.releaseLocked()
 	return r.op.Close(r.ectx)
 }
 
 // Err returns the first error hit by Next, if any.
-func (r *Rows) Err() error { return r.err }
+func (r *Rows) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
 
 // Stats reports what the recycler planned for this query immediately, and
 // the measured times, row count, and materialization count once the stream
 // has completed.
-func (r *Rows) Stats() QueryStats { return r.stats }
+func (r *Rows) Stats() QueryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
 
 // All adapts the stream to a Go 1.23 range-over-func iterator:
 //

@@ -4,7 +4,9 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"recycledb/internal/catalog"
@@ -19,12 +21,27 @@ import (
 // keeps matching across executions of a prepared statement exactly as it
 // does for repeated ad-hoc queries.
 //
+// A Stmt survives catalog schema changes: every execution revalidates the
+// compiled form against the current schema version and transparently
+// recompiles when another session's CREATE TABLE (or a table replacement)
+// moved it on. If the statement no longer compiles — a table or column it
+// uses is gone or retyped — execution fails with ErrStaleStmt wrapping the
+// compile error.
+//
 // A Stmt is safe for concurrent use: every execution binds into its own
-// clone of the compiled template.
+// clone of the compiled template, and revalidation swaps the compiled form
+// atomically.
 type Stmt struct {
 	eng  *Engine
 	text string // normalized statement text (the plan-cache key)
-	c    *sql.Compiled
+	cur  atomic.Pointer[compiledAt]
+}
+
+// compiledAt pins a compiled statement to the catalog schema version it
+// compiled against.
+type compiledAt struct {
+	c   *sql.Compiled
+	ver int64
 }
 
 // Prepare compiles a statement — SELECT or DML — into a reusable handle.
@@ -32,40 +49,79 @@ type Stmt struct {
 // normalized text, so preparing (or Querying, or Execing) the same text
 // repeatedly skips the front-end. Cached statements are versioned against
 // the catalog schema: a schema change (CREATE TABLE, AddTable replacing a
-// table, a new function) invalidates them, so a statement never executes
-// against a stale schema snapshot. Data changes do not invalidate compiled
-// plans — they are re-snapshotted at every execution.
+// table, a new function) invalidates them, and the handle recompiles
+// transparently at its next execution. Data changes do not invalidate
+// compiled plans — they are re-snapshotted at every execution.
 func (e *Engine) Prepare(query string) (*Stmt, error) {
 	key := sql.Normalize(query)
+	c, ver, err := e.compile(query, key)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stmt{eng: e, text: key}
+	s.cur.Store(&compiledAt{c: c, ver: ver})
+	return s, nil
+}
+
+// compile fetches the compiled form of query from the plan cache at the
+// current schema version, compiling and caching on a miss. key is the
+// normalized cache key of query.
+func (e *Engine) compile(query, key string) (*sql.Compiled, int64, error) {
 	ver := e.cat.Version()
 	if c := e.plans.get(key, ver); c != nil {
-		return &Stmt{eng: e, text: key, c: c}, nil
+		return c, ver, nil
 	}
 	c, err := sql.CompileStatement(query, e.cat)
 	if err != nil {
-		return nil, wrapSQLError(err)
+		return nil, 0, wrapSQLError(err)
 	}
 	e.plans.put(key, c, ver)
-	return &Stmt{eng: e, text: key, c: c}, nil
+	return c, ver, nil
+}
+
+// compiled returns the statement's compiled form, revalidated against the
+// current catalog schema version. When the schema moved since the last
+// execution the statement recompiles through the plan cache; a recompile
+// failure surfaces as ErrStaleStmt with the cause in the chain.
+func (s *Stmt) compiled() (*sql.Compiled, error) {
+	cv := s.cur.Load()
+	ver := s.eng.cat.Version()
+	if cv.ver == ver {
+		return cv.c, nil
+	}
+	c, nver, err := s.eng.compile(s.text, s.text)
+	if err != nil {
+		return nil, fmt.Errorf("%w: schema changed since Prepare: %w", ErrStaleStmt, err)
+	}
+	// Racing revalidations compile the same text; any winner is current
+	// enough (the version is re-checked on the next execution).
+	s.cur.Store(&compiledAt{c: c, ver: nver})
+	return c, nil
 }
 
 // IsQuery reports whether the statement is a SELECT (streamable via Query)
 // as opposed to DML (runnable via Exec only).
-func (s *Stmt) IsQuery() bool { return s.c.Kind == sql.StmtSelect }
+func (s *Stmt) IsQuery() bool { return s.cur.Load().c.Kind == sql.StmtSelect }
 
 // Query executes the statement with the given parameter bindings and
-// streams the result. Supported binding types: int, int32, int64, float32,
-// float64, string, bool, time.Time (as a date), and Datum. DML statements
-// are rejected with ErrNotQuery; use Exec.
+// streams the result. Supported binding types: all Go integer types (exact,
+// uint64 above math.MaxInt64 is rejected rather than wrapped), float32
+// (widened exactly), float64, string, []byte (as string), bool, time.Time
+// (as a date), and Datum. DML statements are rejected with ErrNotQuery; use
+// Exec.
 func (s *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
-	if s.c.Kind != sql.StmtSelect {
-		return nil, fmt.Errorf("%w: %v statement", ErrNotQuery, s.c.Kind)
+	c, err := s.compiled()
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != sql.StmtSelect {
+		return nil, fmt.Errorf("%w: %v statement", ErrNotQuery, c.Kind)
 	}
 	ds, err := toDatums(args)
 	if err != nil {
 		return nil, err
 	}
-	p, err := s.c.Query.Bind(ds)
+	p, err := c.Query.Bind(ds)
 	if err != nil {
 		return nil, fmt.Errorf("recycledb: bind: %w", err)
 	}
@@ -76,12 +132,16 @@ func (s *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
 // the full result; for DML it performs the writes and returns a Result with
 // an empty schema and RowsAffected set.
 func (s *Stmt) Exec(ctx context.Context, args ...any) (*Result, error) {
-	if s.c.Kind != sql.StmtSelect {
+	c, err := s.compiled()
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != sql.StmtSelect {
 		ds, err := toDatums(args)
 		if err != nil {
 			return nil, err
 		}
-		n, err := s.eng.execDML(ctx, s.c, ds)
+		n, err := s.eng.execDML(ctx, c, ds)
 		if err != nil {
 			return nil, err
 		}
@@ -94,13 +154,50 @@ func (s *Stmt) Exec(ctx context.Context, args ...any) (*Result, error) {
 	return rows.Collect()
 }
 
+// ResultSchema returns the result schema the statement would produce for
+// the given parameter bindings, by resolving a plan clone against the
+// current catalog without executing anything. Serving front ends use it to
+// describe a bound portal (RowDescription) before the first Execute. DML
+// statements return ErrNotQuery. The binding values only matter for type
+// checking — any value of the right type describes the same schema.
+func (s *Stmt) ResultSchema(args ...any) (catalog.Schema, error) {
+	c, err := s.compiled()
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != sql.StmtSelect {
+		return nil, fmt.Errorf("%w: %v statement", ErrNotQuery, c.Kind)
+	}
+	ds, err := toDatums(args)
+	if err != nil {
+		return nil, err
+	}
+	p, err := c.Query.Bind(ds)
+	if err != nil {
+		return nil, fmt.Errorf("recycledb: bind: %w", err)
+	}
+	if err := p.Resolve(s.eng.cat); err != nil {
+		return nil, fmt.Errorf("recycledb: resolve: %w", err)
+	}
+	return p.Schema(), nil
+}
+
 // NumParams returns the number of ? placeholders in the statement.
-func (s *Stmt) NumParams() int { return s.c.NumParams() }
+func (s *Stmt) NumParams() int { return s.cur.Load().c.NumParams() }
 
 // Text returns the normalized statement text.
 func (s *Stmt) Text() string { return s.text }
 
-// toDatums converts Go values to engine datums.
+// Verb returns the statement's SQL verb ("SELECT", "INSERT", "DELETE",
+// "CREATE"); serving front ends use it to build command tags.
+func (s *Stmt) Verb() string { return s.cur.Load().c.Kind.String() }
+
+// toDatums converts Go values to engine datums. Conversions are
+// exactness-preserving: integer types convert only when the value fits
+// int64 (uint64 above math.MaxInt64 errors instead of wrapping), float32
+// widens to the float64 that represents it exactly, and []byte becomes a
+// string of the same bytes. Wire front ends hand extended-protocol
+// parameters (int32/float32/[]byte/text) straight through here.
 func toDatums(args []any) ([]vector.Datum, error) {
 	out := make([]vector.Datum, len(args))
 	for i, a := range args {
@@ -109,20 +206,47 @@ func toDatums(args []any) ([]vector.Datum, error) {
 			out[i] = v
 		case int:
 			out[i] = vector.NewInt64Datum(int64(v))
+		case int8:
+			out[i] = vector.NewInt64Datum(int64(v))
+		case int16:
+			out[i] = vector.NewInt64Datum(int64(v))
 		case int32:
 			out[i] = vector.NewInt64Datum(int64(v))
 		case int64:
 			out[i] = vector.NewInt64Datum(v)
+		case uint8:
+			out[i] = vector.NewInt64Datum(int64(v))
+		case uint16:
+			out[i] = vector.NewInt64Datum(int64(v))
+		case uint32:
+			out[i] = vector.NewInt64Datum(int64(v))
+		case uint:
+			if uint64(v) > math.MaxInt64 {
+				return nil, fmt.Errorf("recycledb: parameter %d overflows int64: %d", i+1, v)
+			}
+			out[i] = vector.NewInt64Datum(int64(v))
+		case uint64:
+			if v > math.MaxInt64 {
+				return nil, fmt.Errorf("recycledb: parameter %d overflows int64: %d", i+1, v)
+			}
+			out[i] = vector.NewInt64Datum(int64(v))
 		case float32:
+			// float64(float32) is exact: every float32 value is
+			// representable; the engine sees the value the client sent,
+			// not a re-rounded decimal.
 			out[i] = vector.NewFloat64Datum(float64(v))
 		case float64:
 			out[i] = vector.NewFloat64Datum(v)
 		case string:
 			out[i] = vector.NewStringDatum(v)
+		case []byte:
+			out[i] = vector.NewStringDatum(string(v))
 		case bool:
 			out[i] = vector.NewBoolDatum(v)
 		case time.Time:
-			out[i] = vector.NewDateDatum(vector.MustParseDate(v.Format("2006-01-02")))
+			out[i] = vector.NewDateDatum(vector.DaysFromDate(v.Year(), int(v.Month()), v.Day()))
+		case nil:
+			return nil, fmt.Errorf("recycledb: parameter %d is NULL; the engine has no NULL values", i+1)
 		default:
 			return nil, fmt.Errorf("recycledb: unsupported parameter %d type %T", i+1, a)
 		}
