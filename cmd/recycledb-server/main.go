@@ -38,12 +38,14 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:5433", "listen address")
-		mode        = flag.String("mode", "spec", "recycling mode: off, hist, spec, pa")
-		sf          = flag.Float64("sf", 0.05, "TPC-H scale factor to preload")
-		objects     = flag.Int("objects", 20000, "SkyServer PhotoPrimary size to preload")
-		seed        = flag.Int64("seed", 1, "data generation seed")
-		par         = flag.Int("parallelism", 0, "intra-query worker budget (0 = GOMAXPROCS)")
+		addr    = flag.String("addr", "127.0.0.1:5433", "listen address")
+		mode    = flag.String("mode", "spec", "recycling mode: off, hist, spec, pa")
+		sf      = flag.Float64("sf", 0.05, "TPC-H scale factor to preload")
+		objects = flag.Int("objects", 20000, "SkyServer PhotoPrimary size to preload")
+		seed    = flag.Int64("seed", 1, "data generation seed")
+		par     = flag.Int("parallelism", 0, "intra-query worker budget (0 = GOMAXPROCS)")
+		noFuse  = flag.Bool("disable-fusion", envBool("RECYCLEDB_DISABLE_FUSION"),
+			"disable push-based loop fusion of pipeline interiors (also via RECYCLEDB_DISABLE_FUSION=1)")
 		cacheMB     = flag.Int64("cache-mb", 0, "recycler cache budget in MiB (0 = default 256)")
 		maxConns    = flag.Int("max-conns", 0, "connection cap (0 = unlimited)")
 		maxConc     = flag.Int("max-concurrent", 0, "executing-statement cap (0 = 4x workers, -1 = unlimited)")
@@ -57,9 +59,10 @@ func main() {
 	log.Printf("loading TPC-H sf=%g + SkyServer objects=%d ...", *sf, *objects)
 	cat := harness.MixedCatalog(*sf, *objects, *seed)
 	eng := recycledb.NewWithCatalog(recycledb.Config{
-		Mode:        parseMode(*mode),
-		Parallelism: *par,
-		CacheBytes:  *cacheMB << 20,
+		Mode:          parseMode(*mode),
+		Parallelism:   *par,
+		CacheBytes:    *cacheMB << 20,
+		DisableFusion: *noFuse,
 	}, cat)
 	srv := server.New(eng, server.Config{
 		MaxConns:         *maxConns,
@@ -75,14 +78,28 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("serving pgwire on %s (mode=%s, workers=%d, max-concurrent=%d)",
-		lis.Addr(), eng.Mode(), eng.Workers(), srv.MaxConcurrent())
+	fusion := "on"
+	if *noFuse {
+		fusion = "off"
+	}
+	log.Printf("serving pgwire on %s (mode=%s, workers=%d, max-concurrent=%d, fusion=%s)",
+		lis.Addr(), eng.Mode(), eng.Workers(), srv.MaxConcurrent(), fusion)
 	log.Printf("connect with: psql -h %s -p %s -U recycle", hostOf(lis.Addr().String()), portOf(lis.Addr().String()))
 
 	err = srv.Serve(ctx, lis)
 	st := srv.Stats()
 	log.Printf("drained: %d conns served, %d stmts rejected by admission, %d errors sent (%v)",
 		st.ConnsAccepted, st.AdmissionDrops, st.ErrorsSent, err)
+}
+
+// envBool reads a boolean environment override ("1", "true", "yes" — any
+// non-empty value except "0"/"false"/"no" enables).
+func envBool(name string) bool {
+	switch strings.ToLower(os.Getenv(name)) {
+	case "", "0", "false", "no":
+		return false
+	}
+	return true
 }
 
 func parseMode(s string) recycledb.Mode {

@@ -32,8 +32,12 @@ func TestGoldenEquivalenceAcrossParallelism(t *testing.T) {
 	cat := harness.MixedCatalog(0.002, 10000, 1)
 	queries := goldenQueries()
 
+	// Ground truth comes from the serial, unfused chained-operator path —
+	// the engine's legacy execution strategy — so the matrix proves both
+	// the parallel merge AND the fused push loops reproduce it exactly.
 	base := recycledb.NewWithCatalog(
-		recycledb.Config{Mode: recycledb.Off, Parallelism: 1, VectorSize: vsz}, cat)
+		recycledb.Config{Mode: recycledb.Off, Parallelism: 1, VectorSize: vsz,
+			DisableFusion: true}, cat)
 
 	type pareng struct {
 		label string
@@ -42,16 +46,20 @@ func TestGoldenEquivalenceAcrossParallelism(t *testing.T) {
 	var engines []pareng
 	for _, mode := range harness.Modes {
 		for _, par := range []int{1, 4, 8} {
-			engines = append(engines, pareng{
-				label: fmt.Sprintf("%v/par=%d", mode, par),
-				eng: recycledb.NewWithCatalog(
-					recycledb.Config{Mode: mode, Parallelism: par, VectorSize: vsz}, cat),
-			})
+			for _, fused := range []bool{true, false} {
+				engines = append(engines, pareng{
+					label: fmt.Sprintf("%v/par=%d/fused=%v", mode, par, fused),
+					eng: recycledb.NewWithCatalog(
+						recycledb.Config{Mode: mode, Parallelism: par, VectorSize: vsz,
+							DisableFusion: !fused}, cat),
+				})
+			}
 		}
 	}
 	meng := monet.New(cat, monet.NewRecycler(0))
 
 	fragsBefore := exec.ParallelFragmentsBuilt()
+	fusedBefore := exec.FusedFragmentsBuilt()
 	rng := rand.New(rand.NewSource(123))
 	rounds := []struct {
 		name string
@@ -114,15 +122,18 @@ func TestGoldenEquivalenceAcrossParallelism(t *testing.T) {
 	if got := exec.ParallelFragmentsBuilt() - fragsBefore; got == 0 {
 		t.Fatal("no parallel fragments were built; the equivalence matrix ran fully serial")
 	}
+	if got := exec.FusedFragmentsBuilt() - fusedBefore; got == 0 {
+		t.Fatal("no fused fragments were built; the equivalence matrix ran fully unfused")
+	}
 	// Recycling decisions must also be parallelism-independent: compare
 	// each mode's recycler stats between its serial and 8-way engines.
 	for _, mode := range harness.Modes[1:] { // skip Off: no recycler work
 		var serial, par8 *recycledb.Engine
 		for _, pe := range engines {
-			if pe.label == fmt.Sprintf("%v/par=1", mode) {
+			if pe.label == fmt.Sprintf("%v/par=1/fused=true", mode) {
 				serial = pe.eng
 			}
-			if pe.label == fmt.Sprintf("%v/par=8", mode) {
+			if pe.label == fmt.Sprintf("%v/par=8/fused=true", mode) {
 				par8 = pe.eng
 			}
 		}

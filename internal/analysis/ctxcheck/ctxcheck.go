@@ -8,7 +8,11 @@
 //   - Operator Next methods (any method Next(ctx *exec.Ctx)) observe
 //     cancellation at batch boundaries: the body must consult
 //     Ctx.Interrupted (or the raw context's Err/Done) so a canceled query
-//     stops within one vector of work.
+//     stops within one vector of work. The fused push drivers —
+//     driveMorsel/step/Drive methods taking *exec.Ctx — are held to the
+//     same contract: a fused loop replaces a whole chain of Next calls,
+//     so missing the check there loses cancellation for the entire
+//     fragment, not one operator.
 package ctxcheck
 
 import (
@@ -66,10 +70,21 @@ func checkBackground(pass *analysis.Pass, fn *ast.FuncDecl) {
 	})
 }
 
-// checkNextObservesCtx requires methods of the form Next(ctx *exec.Ctx) to
-// consult cancellation somewhere in their body.
+// driverNames are the batch-boundary methods bound to the cancellation
+// contract: pull-operator Next, plus the fused push drivers (driveMorsel
+// runs one morsel's scan batches through the consumer chain; step/Drive
+// claim morsels themselves).
+var driverNames = map[string]bool{
+	"Next":        true,
+	"driveMorsel": true,
+	"step":        true,
+	"Drive":       true,
+}
+
+// checkNextObservesCtx requires driver methods taking a *exec.Ctx first
+// parameter to consult cancellation somewhere in their body.
 func checkNextObservesCtx(pass *analysis.Pass, fn *ast.FuncDecl) {
-	if fn.Name.Name != "Next" || fn.Recv == nil || fn.Type.Params == nil ||
+	if !driverNames[fn.Name.Name] || fn.Recv == nil || fn.Type.Params == nil ||
 		len(fn.Type.Params.List) == 0 {
 		return
 	}
@@ -99,9 +114,9 @@ func checkNextObservesCtx(pass *analysis.Pass, fn *ast.FuncDecl) {
 		return true
 	})
 	if !observed {
-		pass.Reportf(fn.Pos(), "operator %s.Next does not observe ctx cancellation: call "+
+		pass.Reportf(fn.Pos(), "operator %s.%s does not observe ctx cancellation: call "+
 			"ctx.Interrupted() at the batch boundary (or justify with //recycledb:ctx-ok)",
-			recvName(fn))
+			recvName(fn), fn.Name.Name)
 	}
 }
 

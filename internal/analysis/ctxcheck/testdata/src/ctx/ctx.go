@@ -30,6 +30,30 @@ func (o *statsOp) Next(ctx *exec.Ctx) error {
 	return nil
 }
 
+// blindPipe mirrors a fused push driver that never checks cancellation:
+// a finding — a fused loop replaces a whole chain of Next calls, so a
+// missed check loses cancellation for the entire fragment.
+type blindPipe struct{}
+
+func (p *blindPipe) driveMorsel(ctx *exec.Ctx, m int) error { // want `operator \*blindPipe.driveMorsel does not observe ctx cancellation`
+	return nil
+}
+
+func (p *blindPipe) step(ctx *exec.Ctx) (bool, error) { // want `operator \*blindPipe.step does not observe ctx cancellation`
+	return true, nil
+}
+
+// politePipe checks Interrupted at morsel/claim boundaries: sanctioned.
+type politePipe struct{}
+
+func (p *politePipe) driveMorsel(ctx *exec.Ctx, m int) error {
+	return ctx.Interrupted()
+}
+
+func (p *politePipe) step(ctx *exec.Ctx) (bool, error) {
+	return true, ctx.Interrupted()
+}
+
 // mint creates a root context in library code: findings.
 func mint() context.Context {
 	_ = context.TODO()          // want `context.TODO\(\) in library code`

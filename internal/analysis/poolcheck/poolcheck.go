@@ -3,8 +3,13 @@
 //
 //   - A pooled vector or batch stored into an operator's field — drawn via
 //     Pool.Get/GetBatch in Open, or lazily in Next/build helpers — must be
-//     returned to the pool in that type's Close (Pool.Put/PutBatch rooted
-//     at the same field). A missed release silently degrades the
+//     returned to the pool in a Close (Pool.Put/PutBatch rooted at a field
+//     of the same type). Acquire/release pairing is keyed by the field's
+//     owning named type, not the enclosing method's receiver, so scratch
+//     assigned through element-pointer locals — the fused consumer chain's
+//     `s := &p.stages[i]; s.flags = pool.Get(...)` released by a matching
+//     `pool.Put(s.flags)` in the pipe's close — is tracked the same way as
+//     plain receiver fields. A missed release silently degrades the
 //     steady-state zero-allocation contract; a double ownership silently
 //     corrupts a future query, because cached results are long-lived.
 //   - Batches destined for recycler-held results (Store.buf,
@@ -39,15 +44,24 @@ const (
 	execPath    = "recycledb/internal/exec"
 )
 
-type acquire struct {
+// fieldKey names one pooled storage slot: a field of a named type. The
+// key deliberately ignores which method touched the slot — an acquire in
+// fusedPipe.open pairs with a release in fusedPipe.close even though the
+// slot lives on a fusedStage reached through a slice-element pointer.
+type fieldKey struct {
+	typ   *types.Named
 	field string
-	pos   token.Pos
-	what  string // Get or GetBatch
+}
+
+type acquire struct {
+	key  fieldKey
+	pos  token.Pos
+	what string // Get or GetBatch
 }
 
 func run(pass *analysis.Pass) error {
-	acquires := make(map[*types.Named][]acquire)       // type -> pooled fields
-	releases := make(map[*types.Named]map[string]bool) // type -> fields released in Close
+	var acquires []acquire              // pooled slots assigned outside Close
+	releases := make(map[fieldKey]bool) // slots released in some Close/close
 
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -55,32 +69,28 @@ func run(pass *analysis.Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			recv := analysis.ReceiverType(pass.TypesInfo, fn)
-			if recv != nil {
+			if analysis.ReceiverType(pass.TypesInfo, fn) != nil {
 				switch fn.Name.Name {
 				case "Close", "close":
-					collectReleases(pass, fn, recv, releases)
+					collectReleases(pass, fn, releases)
 				default:
-					collectAcquires(pass, fn, recv, acquires)
+					collectAcquires(pass, fn, &acquires)
 				}
 			}
 			checkCloneDiscipline(pass, fn)
 		}
 	}
 
-	for typ, acqs := range acquires {
-		rel := releases[typ]
-		for _, a := range acqs {
-			if rel[a.field] {
-				continue
-			}
-			if pass.Annotated(a.pos, "pool-ok") {
-				continue
-			}
-			pass.Reportf(a.pos, "pooled %s stored in %s.%s is never released: Close must "+
-				"Put/PutBatch it back (or justify ownership transfer with //recycledb:pool-ok)",
-				a.what, typ.Obj().Name(), a.field)
+	for _, a := range acquires {
+		if releases[a.key] {
+			continue
 		}
+		if pass.Annotated(a.pos, "pool-ok") {
+			continue
+		}
+		pass.Reportf(a.pos, "pooled %s stored in %s.%s is never released: Close must "+
+			"Put/PutBatch it back (or justify ownership transfer with //recycledb:pool-ok)",
+			a.what, a.key.typ.Obj().Name(), a.key.field)
 	}
 	return nil
 }
@@ -109,38 +119,41 @@ func poolMethod(pass *analysis.Pass, call *ast.CallExpr, names ...string) (strin
 	return sel.Sel.Name, true
 }
 
-// fieldOf extracts the receiver field a LHS/argument expression roots in:
-// recv.f, recv.f[i] — returns f. Returns "" when the expression is not a
-// field of recv.
-func fieldOf(pass *analysis.Pass, recvObj types.Object, e ast.Expr) string {
+// fieldOf resolves the pooled slot an LHS/argument expression roots in:
+// base.f or base.f[i], where base is any expression of a named struct type
+// (or pointer to one) — the method receiver, a nested field chain, or an
+// element-pointer local like `s := &p.stages[i]`. Returns the zero key
+// when the expression is not a field selection on a named type.
+func fieldOf(pass *analysis.Pass, e ast.Expr) (fieldKey, bool) {
 	e = ast.Unparen(e)
 	if idx, ok := e.(*ast.IndexExpr); ok {
 		e = ast.Unparen(idx.X)
 	}
 	sel, ok := e.(*ast.SelectorExpr)
 	if !ok {
-		return ""
+		return fieldKey{}, false
 	}
-	id, ok := ast.Unparen(sel.X).(*ast.Ident)
-	if !ok || recvObj == nil || pass.TypesInfo.ObjectOf(id) != recvObj {
-		return ""
+	// Only struct fields: a method value or package selector is not a slot.
+	if _, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Var); !ok {
+		return fieldKey{}, false
 	}
-	return sel.Sel.Name
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return fieldKey{}, false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return fieldKey{}, false
+	}
+	return fieldKey{typ: named, field: sel.Sel.Name}, true
 }
 
-func recvObject(pass *analysis.Pass, fn *ast.FuncDecl) types.Object {
-	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
-		return nil
-	}
-	return pass.TypesInfo.ObjectOf(fn.Recv.List[0].Names[0])
-}
-
-// collectAcquires records receiver fields assigned pool-drawn values.
-func collectAcquires(pass *analysis.Pass, fn *ast.FuncDecl, recv *types.Named, acquires map[*types.Named][]acquire) {
-	recvObj := recvObject(pass, fn)
-	if recvObj == nil {
-		return
-	}
+// collectAcquires records fields of named types assigned pool-drawn values.
+func collectAcquires(pass *analysis.Pass, fn *ast.FuncDecl, acquires *[]acquire) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		assign, ok := n.(*ast.AssignStmt)
 		if !ok {
@@ -158,37 +171,28 @@ func collectAcquires(pass *analysis.Pass, fn *ast.FuncDecl, recv *types.Named, a
 			if !ok {
 				continue
 			}
-			if f := fieldOf(pass, recvObj, assign.Lhs[i]); f != "" {
-				acquires[recv] = append(acquires[recv], acquire{field: f, pos: assign.Pos(), what: what})
+			if k, ok := fieldOf(pass, assign.Lhs[i]); ok {
+				*acquires = append(*acquires, acquire{key: k, pos: assign.Pos(), what: what})
 			}
 		}
 		return true
 	})
 }
 
-// collectReleases records receiver fields whose pooled contents Close
-// returns: direct Put(recv.f), indexed Put(recv.f[i]), and the
-// range-value idiom `for _, v := range recv.f { pool.Put(v) }`.
-func collectReleases(pass *analysis.Pass, fn *ast.FuncDecl, recv *types.Named, releases map[*types.Named]map[string]bool) {
-	recvObj := recvObject(pass, fn)
-	if recvObj == nil {
-		return
-	}
-	rel := releases[recv]
-	if rel == nil {
-		rel = make(map[string]bool)
-		releases[recv] = rel
-	}
-	// rangeVals maps a range value variable to the receiver field it
-	// iterates, for the drain-a-slice-of-vectors idiom.
-	rangeVals := make(map[types.Object]string)
+// collectReleases records fields whose pooled contents a Close/close
+// method returns: direct Put(x.f), indexed Put(x.f[i]), and the
+// range-value idiom `for _, v := range x.f { pool.Put(v) }`.
+func collectReleases(pass *analysis.Pass, fn *ast.FuncDecl, releases map[fieldKey]bool) {
+	// rangeVals maps a range value variable to the field it iterates, for
+	// the drain-a-slice-of-vectors idiom.
+	rangeVals := make(map[types.Object]fieldKey)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.RangeStmt:
-			if f := fieldOf(pass, recvObj, x.X); f != "" && x.Value != nil {
+			if k, ok := fieldOf(pass, x.X); ok && x.Value != nil {
 				if id, ok := x.Value.(*ast.Ident); ok {
 					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
-						rangeVals[obj] = f
+						rangeVals[obj] = k
 					}
 				}
 			}
@@ -197,14 +201,14 @@ func collectReleases(pass *analysis.Pass, fn *ast.FuncDecl, recv *types.Named, r
 				return true
 			}
 			for _, arg := range x.Args {
-				if f := fieldOf(pass, recvObj, arg); f != "" {
-					rel[f] = true
+				if k, ok := fieldOf(pass, arg); ok {
+					releases[k] = true
 					continue
 				}
 				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
 					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
-						if f, ok := rangeVals[obj]; ok {
-							rel[f] = true
+						if k, ok := rangeVals[obj]; ok {
+							releases[k] = true
 						}
 					}
 				}

@@ -63,6 +63,39 @@ func (o *handoffOp) Open() {
 
 func (o *handoffOp) Close() {}
 
+// stage mirrors the fused consumer chain: per-stage scratch lives on
+// slice elements reached through element-pointer locals, not on the
+// method receiver. Acquire/release pairing keys on the field's owning
+// named type, so pipe.open's `s.flags = ...` pairs with pipe.close's
+// `p.Put(s.flags)`.
+type stage struct {
+	flags *vector.Vector
+	out   *vector.Batch
+	leak  *vector.Vector
+}
+
+type pipe struct {
+	p      *vector.Pool
+	stages []stage
+}
+
+func (pp *pipe) open() {
+	for i := range pp.stages {
+		s := &pp.stages[i]
+		s.flags = pp.p.Get(vector.Bool, 16)
+		s.out = pp.p.GetBatch([]vector.Type{vector.Int64}, 16)
+		s.leak = pp.p.Get(vector.Int64, 16) // want `pooled Get stored in stage.leak is never released`
+	}
+}
+
+func (pp *pipe) close() {
+	for i := range pp.stages {
+		s := &pp.stages[i]
+		pp.p.Put(s.flags)
+		pp.p.PutBatch(s.out)
+	}
+}
+
 // admitRaw stores a live operator batch into a recycler-destined result:
 // a finding.
 func admitRaw(res *catalog.Result, b *vector.Batch) {

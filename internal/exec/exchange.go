@@ -6,20 +6,38 @@ import (
 	"sync/atomic"
 	"time"
 
+	"recycledb/internal/catalog"
 	"recycledb/internal/plan"
 	"recycledb/internal/vector"
 )
 
-// pipeWorker is one cloned pipeline of a parallel fragment.
+// pipeWorker is one pipeline of a parallel fragment: either a cloned
+// operator chain (root/scan) or a fused push chain (fused), per
+// Ctx.DisableFusion at build time.
 type pipeWorker struct {
-	root Operator
-	scan *MorselScan
-	wctx Ctx // copy of the statement Ctx; maps shared read-only
+	root  Operator
+	scan  *MorselScan
+	fused *fusedPipe
+	wctx  Ctx // copy of the statement Ctx; maps shared read-only
+	// local buffers the current morsel's copied output batches (fused
+	// path: the sink appends here).
+	local []*vector.Batch
 	// copyNanos measures the exchange transfer copies (fold overhead).
+	// The fused pipe times its sink internally instead.
 	copyNanos int64
 	// lastCost is the worker's root cost already published to the
 	// exchange's atomic accumulator (worker-goroutine-local).
 	lastCost time.Duration
+}
+
+// cost returns the worker's total pipeline time so far (fused loops
+// include their sink copies; unfused roots exclude copyNanos, which the
+// caller adds). Worker-goroutine-local.
+func (w *pipeWorker) cost() time.Duration {
+	if w.fused != nil {
+		return w.fused.cost()
+	}
+	return w.root.Cost()
 }
 
 // Exchange runs N cloned pipeline workers over the morsel source and
@@ -67,19 +85,46 @@ func newExchange(workers []*pipeWorker, src *morselSource, builds []*sharedBuild
 	return x
 }
 
-// buildExchange assembles the exchange for a pipeline fragment.
-func (fb *fragBuilder) buildExchange(n *plan.Node, nW int) (Operator, bool, error) {
+// buildExchange assembles the exchange for a pipeline fragment. fuse picks
+// the worker interior: fused push chains or cloned operator pipelines.
+func (fb *fragBuilder) buildExchange(n *plan.Node, nW int, fuse bool) (Operator, bool, error) {
 	workers := make([]*pipeWorker, nW)
 	for w := 0; w < nW; w++ {
-		root, scan, err := fb.clonePipeline(n)
-		if err != nil {
-			return nil, false, err
+		if fuse {
+			pipe, err := fb.newFusedPipe(n)
+			if err != nil {
+				return nil, false, err
+			}
+			workers[w] = &pipeWorker{fused: pipe}
+		} else {
+			root, scan, err := fb.clonePipeline(n)
+			if err != nil {
+				return nil, false, err
+			}
+			workers[w] = &pipeWorker{root: root, scan: scan}
 		}
-		workers[w] = &pipeWorker{root: root, scan: scan}
 	}
 	x := newExchange(workers, fb.src, buildList(fb.builds), n.Schema().Types())
 	x.schema = n.Schema()
 	x.slots = make([]exSlot, fb.src.count())
+	for _, w := range x.workers {
+		if w.fused != nil {
+			// The sink copies each chain batch into an owned, compacted
+			// pool batch for the slot buffer, checking teardown per batch
+			// like the unfused pull loop. Bound once here so the steady
+			// state drive allocates nothing.
+			w := w
+			w.fused.sink = func(b *vector.Batch) error {
+				if x.stopping.Load() {
+					return errFusedStopped
+				}
+				t := w.wctx.pool().GetBatch(x.types, b.Len())
+				t.CopyFrom(b)
+				w.local = append(w.local, t)
+				return nil
+			}
+		}
+	}
 	return x, true, nil
 }
 
@@ -103,7 +148,11 @@ func (x *Exchange) Open(ctx *Ctx) error {
 	}
 	for _, w := range x.workers {
 		w.wctx = *ctx
-		if err := w.root.Open(&w.wctx); err != nil {
+		if w.fused != nil {
+			if err := w.fused.open(&w.wctx); err != nil {
+				return err
+			}
+		} else if err := w.root.Open(&w.wctx); err != nil {
 			return err
 		}
 	}
@@ -121,8 +170,9 @@ func (x *Exchange) start(ctx *Ctx) {
 	}
 }
 
-// runWorker claims morsels, drives the worker's pipeline to end-of-morsel,
-// and publishes each finished morsel's (copied) batches to its slot.
+// runWorker claims morsels, drives the worker's pipeline to end-of-morsel
+// (one fused drive call, or the pull loop over the cloned chain), and
+// publishes each finished morsel's (copied) batches to its slot.
 func (x *Exchange) runWorker(w *pipeWorker) {
 	defer x.wg.Done()
 	for {
@@ -130,44 +180,59 @@ func (x *Exchange) runWorker(w *pipeWorker) {
 		if !ok {
 			return
 		}
-		w.scan.StartMorsel(m)
-		var local []*vector.Batch
-		for {
-			if x.stopping.Load() {
-				releaseBatches(&w.wctx, local)
+		w.local = nil
+		if w.fused != nil {
+			if err := w.fused.driveMorsel(&w.wctx, m); err != nil {
+				releaseBatches(&w.wctx, w.local)
+				w.local = nil
+				if err != errFusedStopped {
+					x.fail(err)
+				}
 				return
 			}
-			b, err := w.root.Next(&w.wctx)
-			if err != nil {
-				releaseBatches(&w.wctx, local)
-				x.fail(err)
-				return
+		} else {
+			w.scan.StartMorsel(m)
+			for {
+				if x.stopping.Load() {
+					releaseBatches(&w.wctx, w.local)
+					w.local = nil
+					return
+				}
+				b, err := w.root.Next(&w.wctx)
+				if err != nil {
+					releaseBatches(&w.wctx, w.local)
+					w.local = nil
+					x.fail(err)
+					return
+				}
+				if b == nil {
+					break
+				}
+				if b.Len() == 0 {
+					continue
+				}
+				// Hand off an owned, compacted copy: the producing operators
+				// reuse their scratch on the next pull.
+				cs := time.Now()
+				t := w.wctx.pool().GetBatch(x.types, b.Len())
+				t.CopyFrom(b)
+				w.copyNanos += time.Since(cs).Nanoseconds()
+				w.local = append(w.local, t)
 			}
-			if b == nil {
-				break
-			}
-			if b.Len() == 0 {
-				continue
-			}
-			// Hand off an owned, compacted copy: the producing operators
-			// reuse their scratch on the next pull.
-			cs := time.Now()
-			t := w.wctx.pool().GetBatch(x.types, b.Len())
-			t.CopyFrom(b)
-			w.copyNanos += time.Since(cs).Nanoseconds()
-			local = append(local, t)
 		}
 		// Publish this morsel's work to the mid-stream-readable
-		// accumulator (root.Cost is safe here: only this goroutine
-		// drives the clone).
-		cost := w.root.Cost()
+		// accumulator (w.cost() is safe here: only this goroutine drives
+		// the pipeline; the fused loop's copy time is inside its cost,
+		// the unfused root's is copyNanos).
+		cost := w.cost()
 		x.costNanos.Add(int64(cost-w.lastCost) + w.copyNanos)
 		w.lastCost = cost
 		w.copyNanos = 0
 		x.mu.Lock()
-		x.slots[m].batches = local
+		x.slots[m].batches = w.local
 		x.slots[m].done = true
 		x.mu.Unlock()
+		w.local = nil
 		x.cond.Broadcast()
 	}
 }
@@ -264,7 +329,13 @@ func (x *Exchange) Close(ctx *Ctx) error {
 	}
 	var first error
 	for _, w := range x.workers {
-		if err := w.root.Close(&w.wctx); err != nil && first == nil {
+		var err error
+		if w.fused != nil {
+			err = w.fused.close(&w.wctx)
+		} else {
+			err = w.root.Close(&w.wctx)
+		}
+		if err != nil && first == nil {
 			first = err
 		}
 	}
@@ -301,17 +372,36 @@ func (x *Exchange) Cost() time.Duration {
 	return c + time.Duration(x.mergeNanos)
 }
 
-// aggWorker is one partial-aggregation worker: a cloned input pipeline
-// plus a worker-local group table.
+// aggWorker is one partial-aggregation worker: a cloned (or fused) input
+// pipeline plus a worker-local group table.
 type aggWorker struct {
-	root Operator
-	scan *MorselScan
-	wctx Ctx
-	st   aggState
+	root  Operator
+	scan  *MorselScan
+	fused *fusedPipe
+	wctx  Ctx
+	st    aggState
 	// absorbNanos measures accumulation time only; pipeline time is the
 	// clone's own Cost. (Wall time would also count blocking on a shared
 	// join build's Once — work that is folded exactly once elsewhere.)
+	// Fused pipes absorb through their sink and time it as sinkNanos.
 	absorbNanos int64
+}
+
+// inSchema returns the aggregation input schema (the pipeline's output).
+func (w *aggWorker) inSchema() catalog.Schema {
+	if w.fused != nil {
+		return w.fused.schema
+	}
+	return w.root.Schema()
+}
+
+// cost returns the worker's pipeline + accumulation time.
+// Worker-goroutine-local until the fragment quiesces.
+func (w *aggWorker) cost() time.Duration {
+	if w.fused != nil {
+		return w.fused.cost() // absorb time included via the sink
+	}
+	return w.root.Cost() + time.Duration(w.absorbNanos)
 }
 
 // ParallelAgg executes an aggregation fragment: each worker drains
@@ -345,8 +435,10 @@ type ParallelAgg struct {
 }
 
 // buildParallelAgg assembles the parallel aggregation for fragment root n
-// (an Aggregate node).
-func (fb *fragBuilder) buildParallelAgg(n *plan.Node, nW int) (Operator, bool, error) {
+// (an Aggregate node). With fuse set, each worker drives a fused push loop
+// whose sink absorbs directly into the worker's partial aggState; otherwise
+// workers pull from cloned operator pipelines.
+func (fb *fragBuilder) buildParallelAgg(n *plan.Node, nW int, fuse bool) (Operator, bool, error) {
 	child := n.Children[0]
 	groupCols := make([]int, len(n.GroupBy))
 	for i, g := range n.GroupBy {
@@ -361,9 +453,22 @@ func (fb *fragBuilder) buildParallelAgg(n *plan.Node, nW int) (Operator, bool, e
 		src:       fb.src,
 	}
 	for w := 0; w < nW; w++ {
-		root, scan, err := fb.clonePipeline(child)
-		if err != nil {
-			return nil, false, err
+		aw := &aggWorker{}
+		if fuse {
+			pipe, err := fb.newFusedPipe(child)
+			if err != nil {
+				return nil, false, err
+			}
+			aw.fused = pipe
+			// Absorption happens inside the drive loop; push() times it as
+			// the pipe's sinkNanos, so spine-node attribution excludes it.
+			pipe.sink = func(b *vector.Batch) error { return aw.st.absorb(b) }
+		} else {
+			root, scan, err := fb.clonePipeline(child)
+			if err != nil {
+				return nil, false, err
+			}
+			aw.root, aw.scan = root, scan
 		}
 		aggs := make([]AggExpr, len(n.Aggs))
 		for i, a := range n.Aggs {
@@ -378,7 +483,6 @@ func (fb *fragBuilder) buildParallelAgg(n *plan.Node, nW int) (Operator, bool, e
 		if w == 0 {
 			pa.Aggs = aggs
 		}
-		aw := &aggWorker{root: root, scan: scan}
 		aw.st.groupCols = groupCols
 		aw.st.aggs = aggs
 		aw.st.trackOrd = true
@@ -397,15 +501,19 @@ func (p *ParallelAgg) Open(ctx *Ctx) error {
 	}
 	for _, w := range p.workers {
 		w.wctx = *ctx
-		if err := w.root.Open(&w.wctx); err != nil {
+		if w.fused != nil {
+			if err := w.fused.open(&w.wctx); err != nil {
+				return err
+			}
+		} else if err := w.root.Open(&w.wctx); err != nil {
 			return err
 		}
-		w.st.open(&w.wctx, w.root.Schema())
+		w.st.open(&w.wctx, w.inSchema())
 	}
 	p.final.groupCols = p.GroupCols
 	p.final.aggs = p.Aggs
 	p.final.trackOrd = true
-	p.final.open(ctx, p.workers[0].root.Schema())
+	p.final.open(ctx, p.workers[0].inSchema())
 	p.out = ctx.pool().GetBatch(p.schema.Types(), ctx.vecSize())
 	p.opened = true
 	p.built = false
@@ -435,6 +543,14 @@ func (p *ParallelAgg) run(ctx *Ctx) error {
 				m, ok := p.src.claim()
 				if !ok {
 					return
+				}
+				if w.fused != nil {
+					w.st.startMorsel(m)
+					if err := w.fused.driveMorsel(&w.wctx, m); err != nil {
+						p.fail(err)
+						return
+					}
+					continue
 				}
 				w.scan.StartMorsel(m)
 				w.st.startMorsel(m)
@@ -521,7 +637,11 @@ func (p *ParallelAgg) Close(ctx *Ctx) error {
 	p.src.stop()
 	var first error
 	for _, w := range p.workers {
-		if err := w.root.Close(&w.wctx); err != nil && first == nil {
+		if w.fused != nil {
+			if err := w.fused.close(&w.wctx); err != nil && first == nil {
+				first = err
+			}
+		} else if err := w.root.Close(&w.wctx); err != nil && first == nil {
 			first = err
 		}
 		if p.opened {
@@ -562,7 +682,7 @@ func (p *ParallelAgg) Progress() float64 {
 func (p *ParallelAgg) Cost() time.Duration {
 	var c time.Duration
 	for _, w := range p.workers {
-		c += w.root.Cost() + time.Duration(w.absorbNanos)
+		c += w.cost()
 	}
 	for _, b := range p.builds {
 		c += b.cost()

@@ -48,6 +48,11 @@ type Ctx struct {
 	// 16 x the vector size). Exposed for tests; morsel granularity does
 	// not affect results, only scheduling.
 	MorselRows int
+	// DisableFusion forces pipeline-fragment interiors back onto chained
+	// operator Next calls instead of the fused push loop (see fused.go).
+	// An escape hatch for bisecting regressions and for benchmarking the
+	// two paths against each other; results are identical either way.
+	DisableFusion bool
 }
 
 // morselRows returns the scan range claimed per worker dispatch.

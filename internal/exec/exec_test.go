@@ -461,8 +461,22 @@ func TestCostAndRowsTracked(t *testing.T) {
 	if op.RowsOut() != 4 {
 		t.Fatalf("rows out = %d", op.RowsOut())
 	}
-	// Inclusive: parent cost >= child cost.
-	agg := op.(*HashAgg)
+	// Fusion is on by default, so the fragment root is the fused agg.
+	if _, ok := op.(*FusedAgg); !ok {
+		t.Fatalf("op = %T, want *FusedAgg", op)
+	}
+
+	// Unfused chain: inclusive parent cost >= child cost.
+	uctx := NewCtx(cat)
+	uctx.DisableFusion = true
+	uop, err := Build(uctx, n, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(uctx, uop); err != nil {
+		t.Fatal(err)
+	}
+	agg := uop.(*HashAgg)
 	if agg.Cost() < agg.Child.Cost() {
 		t.Fatal("inclusive cost must dominate child cost")
 	}

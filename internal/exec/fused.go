@@ -1,0 +1,777 @@
+package exec
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/expr"
+	"recycledb/internal/plan"
+	"recycledb/internal/vector"
+)
+
+// Fused push-loop execution of pipeline-fragment interiors.
+//
+// A pipeline fragment (plan.ClassifyFragment) used to run as a chain of
+// pull operators even inside one morsel worker: every batch crossed a
+// virtual Next boundary per operator, each with its own cancellation check,
+// cost timer, and selection handoff. fusedPipe collapses that interior into
+// one compiled consumer chain driven by a single loop, per "Push vs.
+// Pull-Based Loop Fusion in Query Engines" (PAPERS.md):
+//
+//   - the scan pushes each morsel batch straight through a flat []fusedStage
+//     array (a tagged union — no interface dispatch between stages);
+//   - filter stages refine ONE shared selection vector in place
+//     (vector.RefineSel) instead of emitting a fresh selection per operator,
+//     and a conjunctive predicate is split (expr.Conjuncts) so each conjunct
+//     evaluates only over the previous conjuncts' survivors;
+//   - project stages evaluate selection-aware into stage-owned pooled
+//     scratch, producing dense batches;
+//   - probe stages run the shared-build hash-join probe loop and gather-emit
+//     matched pairs once per input batch.
+//
+// The pull Next interface survives only at fragment roots — Exchange and
+// ParallelAgg when the fragment parallelizes, FusedPipeline and FusedAgg
+// when it runs serially — which is where the recycler decorates, stores,
+// and replays. Row content and order are identical to the unfused engine
+// (probes emit in probe-row × chain-arrival order exactly like HashJoin);
+// only batch *boundaries* may differ, because a fused probe flushes at each
+// input-batch end rather than accumulating pairs to the vector size.
+//
+// Selection-vector ownership: a selection attached by a fused filter lives
+// either in the scan's own per-batch sel (refined in place — the scan
+// rebuilds it every Next, never reading old contents) or in the filter
+// stage's selBuf when the input was dense. Probe and project stages always
+// emit dense batches, so a selection never crosses a materializing stage
+// and no stage ever aliases another stage's live selection storage.
+//
+// Cost attribution (the fused interior has no per-operator Next boundaries
+// to time): one timer wraps the whole drive loop per worker, sink time
+// (exchange copy-out / agg absorb) is measured separately and subtracted,
+// and the remainder is attributed to spine nodes in proportion to work
+// weights — rows scanned for the scan, rows evaluated per conjunct pass for
+// filters, rows emitted for projects, rows in + rows out for probes. A
+// node's inclusive cost is the prefix sum of attributed shares from the
+// scan up to and including that node, which is monotone toward the root —
+// exactly the shape of the unfused engine's inclusive subtree costs, so the
+// recycler's hR/benefit ordering over spine nodes is preserved. Shared join
+// builds fold in through foldOp.extraCost exactly as before. The views fold
+// across workers through the same foldOp used for unfused clones, so
+// recycler-graph annotation stays parallelism- and fusion-oblivious.
+
+// fusedFragments counts fused fragments built process-wide; tests use it to
+// assert the fused path engaged rather than silently falling back.
+var fusedFragments atomic.Int64
+
+// FusedFragmentsBuilt returns the number of fused pipeline fragments
+// compiled since process start (introspection/testing).
+func FusedFragmentsBuilt() int64 { return fusedFragments.Load() }
+
+// errFusedStopped aborts a fused drive from the sink when the fragment root
+// is tearing down; it never escapes the fragment operator.
+var errFusedStopped = errors.New("exec: fused pipeline stopped")
+
+// stageKind discriminates fused consumer-chain stages.
+type stageKind uint8
+
+const (
+	stageFilter stageKind = iota
+	stageProject
+	stageProbe
+)
+
+// fusedStage is one interior spine node compiled into the consumer chain.
+type fusedStage struct {
+	kind stageKind
+
+	// filter: split conjuncts refining the shared selection.
+	conjuncts []expr.Expr
+	flags     *vector.Vector // pooled bool scratch: predicate output
+	selBuf    []int32        // selection storage when the input is dense
+
+	// project: selection-aware evaluation into stage scratch.
+	exprs []expr.Expr
+	out   *vector.Batch // pooled dense output
+
+	// probe: shared-build hash-join probe.
+	probe *fusedProbe
+
+	types []vector.Type // output schema types (project/probe scratch shape)
+
+	// stats: rows emitted and the cost-attribution work weight.
+	rowsOut int64
+	work    int64
+}
+
+// fusedProbe is the probe-stage core: the serial HashJoin probe loop
+// against a sharedBuild, emitting pairs gathered once per input batch.
+type fusedProbe struct {
+	sb          *sharedBuild
+	jt          plan.JoinType
+	leftCols    []int
+	leftWidth   int
+	rightVecs   int
+	parallelism int
+
+	built  bool
+	out    *vector.Batch // pooled output batch
+	probeH []uint64
+	lIdx   []int32
+	rIdx   []int32
+}
+
+// fusedPipe is one worker's compiled pipeline: a morsel scan plus the flat
+// stage chain and the terminal sink. All fields are worker-goroutine-local
+// while driving; stats are read only after the fragment quiesces (or, for
+// the root's mid-stream cost, by the driving goroutine itself).
+type fusedPipe struct {
+	schema catalog.Schema // chain output schema (the spine root's)
+	scan   *MorselScan
+	src    *morselSource
+	stages []fusedStage
+	sink   func(*vector.Batch) error
+
+	lastMorsel int // serial step state: morsel being drained (-1 = none)
+
+	loopNanos int64 // whole drive loop, sink included
+	sinkNanos int64 // sink calls only (copy-out / absorb)
+}
+
+func (p *fusedPipe) addLoop(start time.Time) { p.loopNanos += time.Since(start).Nanoseconds() }
+
+// cost returns the pipe's total drive time (sink included) — the fused
+// equivalent of the unfused worker's root.Cost()+copyNanos.
+func (p *fusedPipe) cost() time.Duration { return time.Duration(p.loopNanos) }
+
+// open acquires stage scratch from the pool; close releases it.
+func (p *fusedPipe) open(ctx *Ctx) error {
+	p.lastMorsel = -1
+	if err := p.scan.Open(ctx); err != nil {
+		return err
+	}
+	for i := range p.stages {
+		s := &p.stages[i]
+		switch s.kind {
+		case stageFilter:
+			s.flags = ctx.pool().Get(vector.Bool, ctx.vecSize())
+			if s.selBuf == nil {
+				s.selBuf = make([]int32, 0, ctx.vecSize())
+			}
+		case stageProject:
+			s.out = ctx.pool().GetBatch(s.types, ctx.vecSize())
+		case stageProbe:
+			j := s.probe
+			j.built = false
+			j.parallelism = ctx.Parallelism
+			if j.parallelism < 1 {
+				j.parallelism = 1
+			}
+			j.out = ctx.pool().GetBatch(s.types, ctx.vecSize())
+			if j.lIdx == nil {
+				j.lIdx = make([]int32, 0, ctx.vecSize())
+				j.rIdx = make([]int32, 0, ctx.vecSize())
+			}
+		}
+	}
+	return nil
+}
+
+// close returns stage scratch to the pool. Shared builds are owned and
+// closed by the fragment operator, not per pipe.
+func (p *fusedPipe) close(ctx *Ctx) error {
+	for i := range p.stages {
+		s := &p.stages[i]
+		if s.flags != nil {
+			ctx.pool().Put(s.flags)
+			s.flags = nil
+		}
+		if s.out != nil {
+			ctx.pool().PutBatch(s.out)
+			s.out = nil
+		}
+		if s.probe != nil && s.probe.out != nil {
+			j := s.probe
+			ctx.pool().PutBatch(j.out)
+			j.out = nil
+		}
+	}
+	return p.scan.Close(ctx)
+}
+
+// driveMorsel points the scan at morsel m and pushes every batch through
+// the chain to the sink. Cancellation is observed at the morsel boundary
+// here and at batch granularity inside the scan.
+func (p *fusedPipe) driveMorsel(ctx *Ctx, m int) error {
+	if err := ctx.Interrupted(); err != nil {
+		return err
+	}
+	defer p.addLoop(time.Now())
+	p.scan.StartMorsel(m)
+	for {
+		b, err := p.scan.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		if err := p.push(ctx, b); err != nil {
+			return err
+		}
+	}
+}
+
+// step is the serial driver: it claims morsels itself and processes exactly
+// one scan batch per call, so a pausing sink (the pull adapter in
+// FusedPipeline) holds at most one emitted batch. done reports end of the
+// final morsel. Cancellation is observed at morsel boundaries; the scan
+// checks it per batch.
+func (p *fusedPipe) step(ctx *Ctx) (done bool, err error) {
+	defer p.addLoop(time.Now())
+	for {
+		b, err := p.scan.Next(ctx)
+		if err != nil {
+			return false, err
+		}
+		if b == nil {
+			if p.lastMorsel >= 0 {
+				p.src.advance(p.lastMorsel)
+			}
+			m, ok := p.src.claim()
+			if !ok {
+				return true, nil
+			}
+			if err := ctx.Interrupted(); err != nil {
+				return false, err
+			}
+			p.scan.StartMorsel(m)
+			p.lastMorsel = m
+			continue
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		if err := p.push(ctx, b); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+}
+
+// push drives one scan batch through every stage and into the sink. The
+// chain is linear: a probe emits at most one (possibly oversized) batch per
+// input batch, so no stage ever has more than one batch in flight and no
+// per-operator handoff or resumption state exists.
+func (p *fusedPipe) push(ctx *Ctx, b *vector.Batch) error {
+	for i := range p.stages {
+		s := &p.stages[i]
+		switch s.kind {
+		case stageFilter:
+			n := b.Len()
+			for _, pred := range s.conjuncts {
+				if n == 0 {
+					break
+				}
+				s.work += int64(n)
+				s.flags.Reset()
+				if err := pred.Eval(b, s.flags); err != nil {
+					return err
+				}
+				if b.Sel != nil {
+					b.Sel = vector.RefineSel(b.Sel, s.flags.B[:n])
+				} else {
+					sel := s.selBuf[:0]
+					for r, ok := range s.flags.B[:n] {
+						if ok {
+							sel = append(sel, int32(r))
+						}
+					}
+					s.selBuf = sel
+					if len(sel) < n {
+						b.Sel = sel
+					}
+				}
+				n = b.Len()
+			}
+			if n == 0 {
+				return nil
+			}
+			s.rowsOut += int64(n)
+		case stageProject:
+			out := s.out
+			out.Reset()
+			for c, e := range s.exprs {
+				if err := e.Eval(b, out.Vecs[c]); err != nil {
+					return err
+				}
+			}
+			n := int64(out.Len())
+			s.rowsOut += n
+			s.work += n
+			b = out
+		case stageProbe:
+			nb, err := s.pushProbe(ctx, b)
+			if err != nil {
+				return err
+			}
+			if nb == nil {
+				return nil
+			}
+			b = nb
+		}
+	}
+	ss := time.Now()
+	err := p.sink(b)
+	p.sinkNanos += time.Since(ss).Nanoseconds()
+	return err
+}
+
+// pushProbe probes one input batch against the shared build and returns the
+// gathered output batch (nil when no rows matched). Identical match
+// semantics and emission order to HashJoin/ProbeJoin; pairs are flushed
+// once per input batch, before the scan overwrites the probe rows.
+func (s *fusedStage) pushProbe(ctx *Ctx, b *vector.Batch) (*vector.Batch, error) {
+	j := s.probe
+	sb := j.sb
+	if !j.built {
+		// Outside the per-stage weights: the shared build's wall time is
+		// folded exactly once via sharedBuild.cost, and every pipe but the
+		// builder merely blocks here on the Once.
+		if err := sb.ensure(ctx, j.parallelism); err != nil {
+			return nil, err
+		}
+		j.built = true
+	}
+	n := b.Len()
+	s.work += int64(n)
+	if cap(j.probeH) < n {
+		j.probeH = make([]uint64, n)
+	}
+	j.probeH = j.probeH[:n]
+	hashColumns(b, j.leftCols, j.probeH)
+	out := j.out
+	out.Reset()
+	for row := 0; row < n; row++ {
+		r := b.RowIdx(row)
+		h := j.probeH[row]
+		t := &sb.parts[h>>sb.shift]
+		cand := t.buckets[t.slot(h)]
+		matched := false
+		for cand >= 0 {
+			c := cand
+			cand = sb.next[c]
+			if sb.hash[c] != h ||
+				!keyRowsEqual(b, r, j.leftCols, sb.arena, int(c), sb.rightCols) {
+				continue
+			}
+			switch j.jt {
+			case plan.Inner, plan.LeftOuter:
+				matched = true
+				j.lIdx = append(j.lIdx, int32(r))
+				j.rIdx = append(j.rIdx, c)
+			case plan.LeftSemi, plan.LeftAnti:
+				matched = true
+				cand = -1
+			}
+		}
+		switch j.jt {
+		case plan.LeftSemi:
+			if matched {
+				j.lIdx = append(j.lIdx, int32(r))
+				j.rIdx = append(j.rIdx, -1)
+			}
+		case plan.LeftAnti:
+			if !matched {
+				j.lIdx = append(j.lIdx, int32(r))
+				j.rIdx = append(j.rIdx, -1)
+			}
+		case plan.LeftOuter:
+			if !matched {
+				j.lIdx = append(j.lIdx, int32(r))
+				j.rIdx = append(j.rIdx, -1)
+			}
+		}
+	}
+	flushJoinPairs(out, b, sb.arena, j.lIdx, j.rIdx, j.leftWidth, j.rightVecs, j.jt)
+	j.lIdx = j.lIdx[:0]
+	j.rIdx = j.rIdx[:0]
+	no := int64(out.Len())
+	s.rowsOut += no
+	s.work += no
+	if no == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// fusedNodeStat is the per-(pipe, spine node) stats view folded by foldOp:
+// proportional cost attribution (see the package comment's rule), actual
+// emitted rows, and morsel-merge progress. Read only after the pipe's
+// driving goroutine quiesces.
+type fusedNodeStat struct {
+	p   *fusedPipe
+	idx int // spine index: 0 = scan, k>=1 = stages[k-1]
+}
+
+func (v *fusedNodeStat) Cost() time.Duration {
+	p := v.p
+	interior := p.loopNanos - p.sinkNanos
+	if interior <= 0 {
+		return 0
+	}
+	total := p.scan.RowsOut()
+	for i := range p.stages {
+		total += p.stages[i].work
+	}
+	if total <= 0 {
+		return 0
+	}
+	prefix := p.scan.RowsOut()
+	for i := 0; i < v.idx; i++ {
+		prefix += p.stages[i].work
+	}
+	return time.Duration(float64(interior) * float64(prefix) / float64(total))
+}
+
+func (v *fusedNodeStat) RowsOut() int64 {
+	if v.idx == 0 {
+		return v.p.scan.RowsOut()
+	}
+	return v.p.stages[v.idx-1].rowsOut
+}
+
+func (v *fusedNodeStat) Progress() float64 { return v.p.scan.Progress() }
+
+// newFusedPipe compiles the pipeline spine rooted at root into one fused
+// chain, registering a fusedNodeStat view per spine node in the builder's
+// fold map (so recycler-graph annotation folds fused pipes and unfused
+// clones identically). Expressions are cloned so each pipe owns its
+// evaluation scratch; join builds are shared across pipes like clonePipeline.
+func (fb *fragBuilder) newFusedPipe(root *plan.Node) (*fusedPipe, error) {
+	barrier := func(x *plan.Node) bool { return fb.dec != nil && fb.dec[x] != nil }
+	spine, ok := plan.SpineNodes(root, barrier)
+	if !ok {
+		return nil, errNotPipeline(root)
+	}
+	p := &fusedPipe{
+		schema: root.Schema(),
+		scan:   newMorselScan(fb.src, fb.scanCols, spine[0].Schema()),
+		src:    fb.src,
+	}
+	for _, pn := range spine[1:] {
+		var s fusedStage
+		switch pn.Op {
+		case plan.Select:
+			s.kind = stageFilter
+			for _, c := range expr.Conjuncts(pn.Pred) {
+				s.conjuncts = append(s.conjuncts, c.Clone())
+			}
+		case plan.Project:
+			s.kind = stageProject
+			s.exprs = make([]expr.Expr, len(pn.Projs))
+			for i, pr := range pn.Projs {
+				s.exprs[i] = pr.E.Clone()
+			}
+			s.types = pn.Schema().Types()
+		case plan.Join:
+			sb := fb.builds[pn]
+			if sb == nil {
+				var err error
+				sb, err = fb.newSharedBuild(pn)
+				if err != nil {
+					return nil, err
+				}
+				fb.builds[pn] = sb
+			}
+			lcols := make([]int, len(pn.LeftKeys))
+			for i := range pn.LeftKeys {
+				lcols[i] = pn.Children[0].Schema().ColIndex(pn.LeftKeys[i])
+				if lcols[i] < 0 {
+					return nil, errJoinKey(pn, i)
+				}
+			}
+			s.kind = stageProbe
+			s.types = pn.Schema().Types()
+			s.probe = &fusedProbe{
+				sb: sb, jt: pn.JT, leftCols: lcols,
+				leftWidth: len(pn.Children[0].Schema()),
+				rightVecs: len(sb.child.Schema()),
+			}
+		default:
+			return nil, errNotPipeline(pn)
+		}
+		p.stages = append(p.stages, s)
+	}
+	for i, pn := range spine {
+		f := fb.folds[pn]
+		if f == nil {
+			f = &foldOp{schema: pn.Schema()}
+			if pn.Op == plan.Join {
+				sb := fb.builds[pn]
+				f.extraCost = func() time.Duration { return sb.cost() }
+			}
+			fb.folds[pn] = f
+			if fb.opmap != nil {
+				fb.opmap[pn] = f
+			}
+		}
+		f.clones = append(f.clones, &fusedNodeStat{p: p, idx: i})
+	}
+	return p, nil
+}
+
+// FusedPipeline is the serial fragment root for a fused pipeline: the
+// push-to-pull adapter. Its sink holds the single batch each step emits
+// (the chain is linear, so a step produces at most one), and Next hands it
+// up — valid until the following Next, per the operator contract, because
+// the chain does not advance until then. This is what makes loop fusion pay
+// at Parallelism 1: no exchange, no copies, one goroutine.
+type FusedPipeline struct {
+	base
+	pipe    *fusedPipe
+	src     *morselSource
+	builds  []*sharedBuild
+	emitted *vector.Batch
+	closed  bool
+}
+
+// buildFusedPipeline assembles the serial fused root for fragment root n.
+func (fb *fragBuilder) buildFusedPipeline(n *plan.Node) (Operator, bool, error) {
+	pipe, err := fb.newFusedPipe(n)
+	if err != nil {
+		return nil, false, err
+	}
+	f := &FusedPipeline{base: base{schema: n.Schema()}, pipe: pipe, src: fb.src}
+	f.builds = buildList(fb.builds)
+	pipe.sink = func(b *vector.Batch) error {
+		f.emitted = b
+		return nil
+	}
+	return f, true, nil
+}
+
+// Open implements Operator.
+func (f *FusedPipeline) Open(ctx *Ctx) error {
+	f.closed = false
+	f.emitted = nil
+	for _, b := range f.builds {
+		if err := b.child.Open(ctx); err != nil {
+			return err
+		}
+	}
+	return f.pipe.open(ctx)
+}
+
+// Next implements Operator.
+func (f *FusedPipeline) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
+	for {
+		if f.emitted != nil {
+			b := f.emitted
+			f.emitted = nil
+			f.rows += int64(b.Len())
+			return b, nil
+		}
+		done, err := f.pipe.step(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if done && f.emitted == nil {
+			return nil, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *FusedPipeline) Close(ctx *Ctx) error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	f.src.stop()
+	f.emitted = nil
+	first := f.pipe.close(ctx)
+	for _, b := range f.builds {
+		if err := b.close(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Progress implements Operator: drained morsels over total.
+func (f *FusedPipeline) Progress() float64 { return f.pipe.scan.Progress() }
+
+// Cost implements Operator: the fused loop (scan through sink) plus shared
+// builds — the serial pipeline's inclusive subtree cost. Driving-goroutine
+// local, so safe for mid-stream speculation reads from the same stream.
+func (f *FusedPipeline) Cost() time.Duration {
+	c := f.pipe.cost()
+	for _, b := range f.builds {
+		c += b.cost()
+	}
+	return c
+}
+
+// FusedAgg is the serial fragment root for a fused aggregation: the chain's
+// sink absorbs straight into one aggState (no partials, no merge — single
+// consumer discovery order is already the serial HashAgg's), and Next emits
+// groups exactly like HashAgg.
+type FusedAgg struct {
+	base
+	pipe      *fusedPipe
+	src       *morselSource
+	builds    []*sharedBuild
+	GroupCols []int
+	Aggs      []AggExpr
+
+	st     aggState
+	opened bool
+	closed bool
+	built  bool
+	emit   int
+	out    *vector.Batch // pooled
+
+	emitNanos int64
+}
+
+// buildFusedAgg assembles the serial fused aggregation for root n.
+func (fb *fragBuilder) buildFusedAgg(n *plan.Node) (Operator, bool, error) {
+	child := n.Children[0]
+	groupCols := make([]int, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		groupCols[i] = child.Schema().ColIndex(g)
+		if groupCols[i] < 0 {
+			return nil, false, nil // serial path reports the error
+		}
+	}
+	pipe, err := fb.newFusedPipe(child)
+	if err != nil {
+		return nil, false, err
+	}
+	aggs := make([]AggExpr, len(n.Aggs))
+	for i, a := range n.Aggs {
+		aggs[i] = AggExpr{
+			Func: a.Func,
+			Arg:  a.Arg,
+			Typ:  n.Schema()[len(n.GroupBy)+i].Typ,
+		}
+	}
+	fa := &FusedAgg{
+		base: base{schema: n.Schema()}, pipe: pipe, src: fb.src,
+		GroupCols: groupCols, Aggs: aggs,
+	}
+	fa.builds = buildList(fb.builds)
+	pipe.sink = func(b *vector.Batch) error { return fa.st.absorb(b) }
+	return fa, true, nil
+}
+
+// Open implements Operator.
+func (a *FusedAgg) Open(ctx *Ctx) error {
+	a.closed = false
+	a.built = false
+	a.emit = 0
+	for _, b := range a.builds {
+		if err := b.child.Open(ctx); err != nil {
+			return err
+		}
+	}
+	if err := a.pipe.open(ctx); err != nil {
+		return err
+	}
+	a.st.groupCols = a.GroupCols
+	a.st.aggs = a.Aggs
+	a.st.open(ctx, a.pipe.schema)
+	a.out = ctx.pool().GetBatch(a.schema.Types(), ctx.vecSize())
+	a.opened = true
+	return nil
+}
+
+// Next implements Operator.
+func (a *FusedAgg) Next(ctx *Ctx) (*vector.Batch, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
+	if !a.built {
+		for {
+			done, err := a.pipe.step(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				break
+			}
+		}
+		if a.st.scalar {
+			a.st.ensureScalarGroup()
+		}
+		a.built = true
+	}
+	if a.emit >= a.st.nGroups {
+		return nil, nil
+	}
+	start := time.Now()
+	a.out.Reset()
+	lo := a.emit
+	hi := lo + ctx.vecSize()
+	if hi > a.st.nGroups {
+		hi = a.st.nGroups
+	}
+	a.st.emitRange(a.out, lo, hi)
+	a.emit = hi
+	a.rows += int64(hi - lo)
+	a.emitNanos += time.Since(start).Nanoseconds()
+	return a.out, nil
+}
+
+// Close implements Operator.
+func (a *FusedAgg) Close(ctx *Ctx) error {
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	a.src.stop()
+	first := a.pipe.close(ctx)
+	for _, b := range a.builds {
+		if err := b.close(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	if a.opened {
+		a.st.close(ctx)
+	}
+	if a.out != nil {
+		ctx.pool().PutBatch(a.out)
+		a.out = nil
+	}
+	return first
+}
+
+// Progress implements Operator: like HashAgg, 0 until built, then the
+// emitted-group fraction.
+func (a *FusedAgg) Progress() float64 {
+	if !a.built {
+		return 0
+	}
+	if a.st.nGroups == 0 {
+		return 1
+	}
+	return float64(a.emit) / float64(a.st.nGroups)
+}
+
+// Cost implements Operator: the fused loop (absorb included via the sink)
+// plus shared builds and group emission — the serial HashAgg's inclusive
+// subtree cost.
+func (a *FusedAgg) Cost() time.Duration {
+	c := a.pipe.cost() + time.Duration(a.emitNanos)
+	for _, b := range a.builds {
+		c += b.cost()
+	}
+	return c
+}

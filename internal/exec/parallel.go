@@ -55,12 +55,20 @@ func ParallelFragmentsBuilt() int64 { return parallelFragments.Load() }
 // to the serial engine's (total work, not elapsed wall time) and the
 // hR/benefit math is unchanged.
 
-// buildParallel attempts to build a morsel-parallel operator for the
-// subtree rooted at n. It reports handled=false when the subtree should
-// take the serial path (no parallelism budget, not pipeline-shaped, or too
-// small to split).
+// buildParallel attempts to build a morsel-parallel and/or fused operator
+// for the subtree rooted at n. It reports handled=false when the subtree
+// should take the serial unfused path (not pipeline-shaped, fusion disabled
+// with no parallelism budget, or a delta run). Fragments large enough to
+// split run on a worker pool (with fused or cloned worker interiors per
+// Ctx.DisableFusion); smaller or serial fragments still fuse on the calling
+// goroutine through FusedPipeline/FusedAgg unless fusion is disabled.
 func buildParallel(ctx *Ctx, n *plan.Node, dec Decorations, opmap map[*plan.Node]Operator) (Operator, bool, error) {
-	if ctx.Parallelism <= 1 || len(ctx.ScanFrom) > 0 {
+	if len(ctx.ScanFrom) > 0 {
+		return nil, false, nil
+	}
+	fuse := !ctx.DisableFusion
+	par := ctx.Parallelism > 1
+	if !par && !fuse {
 		return nil, false, nil
 	}
 	barrier := func(x *plan.Node) bool { return dec != nil && dec[x] != nil }
@@ -74,8 +82,11 @@ func buildParallel(ctx *Ctx, n *plan.Node, dec Decorations, opmap map[*plan.Node
 	}
 	snap := ctx.SnapFor(tbl)
 	msz := ctx.morselRows()
-	if snap.Rows < 2*msz {
-		return nil, false, nil // too small: splitting costs more than it buys
+	if par && snap.Rows < 2*msz {
+		par = false // too small: splitting costs more than it buys
+	}
+	if !par && !fuse {
+		return nil, false, nil
 	}
 	cols := make([]int, len(scanNode.Cols))
 	for i, c := range scanNode.Cols {
@@ -84,16 +95,19 @@ func buildParallel(ctx *Ctx, n *plan.Node, dec Decorations, opmap map[*plan.Node
 			return nil, false, nil
 		}
 	}
-	nMorsels := (snap.Rows + msz - 1) / msz
-	nW := ctx.Parallelism
-	if nW > nMorsels {
-		nW = nMorsels
-	}
-	window := 0
-	if kind == plan.FragPipeline {
-		// Ordered merges buffer out-of-order morsel outputs; the claim
-		// window bounds that buffer. Aggregating fragments keep nothing.
-		window = 2 * nW
+	nW, window := 1, 0
+	if par {
+		nMorsels := (snap.Rows + msz - 1) / msz
+		nW = ctx.Parallelism
+		if nW > nMorsels {
+			nW = nMorsels
+		}
+		if kind == plan.FragPipeline {
+			// Ordered merges buffer out-of-order morsel outputs; the claim
+			// window bounds that buffer. Aggregating fragments keep nothing,
+			// and the serial drivers consume morsels in claim order.
+			window = 2 * nW
+		}
 	}
 	src := newMorselSource(snap, 0, snap.Rows, msz, window)
 	fb := &fragBuilder{
@@ -104,14 +118,23 @@ func buildParallel(ctx *Ctx, n *plan.Node, dec Decorations, opmap map[*plan.Node
 	}
 	var op Operator
 	var handled bool
-	switch kind {
-	case plan.FragPipeline:
-		op, handled, err = fb.buildExchange(n, nW)
-	case plan.FragAggregate:
-		op, handled, err = fb.buildParallelAgg(n, nW)
+	switch {
+	case kind == plan.FragPipeline && par:
+		op, handled, err = fb.buildExchange(n, nW, fuse)
+	case kind == plan.FragAggregate && par:
+		op, handled, err = fb.buildParallelAgg(n, nW, fuse)
+	case kind == plan.FragPipeline:
+		op, handled, err = fb.buildFusedPipeline(n)
+	case kind == plan.FragAggregate:
+		op, handled, err = fb.buildFusedAgg(n)
 	}
 	if handled {
-		parallelFragments.Add(1)
+		if par {
+			parallelFragments.Add(1)
+		}
+		if fuse {
+			fusedFragments.Add(1)
+		}
 	}
 	return op, handled, err
 }
@@ -231,15 +254,25 @@ type buildErr struct{ msg string }
 
 func (e *buildErr) Error() string { return e.msg }
 
+// statSource is what foldOp folds: measured cost, emitted rows, and
+// progress for one worker's execution of a plan node. Unfused worker
+// clones satisfy it as Operators; fused pipes contribute fusedNodeStat
+// attribution views (see fused.go).
+type statSource interface {
+	Cost() time.Duration
+	RowsOut() int64
+	Progress() float64
+}
+
 // foldOp is the stats-only stand-in registered in the engine's opmap for
-// plan nodes cloned into pipeline workers: Cost and RowsOut fold the
+// plan nodes compiled into pipeline workers: Cost and RowsOut fold the
 // worker clones' measurements (sums — total work, matching the serial
 // engine's inclusive subtree cost), so recycler-graph annotation is
-// oblivious to how many workers executed the node. It is never driven as
-// an operator.
+// oblivious to how many workers executed the node, and to whether they ran
+// fused or as chained operators. It is never driven as an operator.
 type foldOp struct {
 	schema    catalog.Schema
-	clones    []Operator
+	clones    []statSource
 	extraCost func() time.Duration // e.g. a join's shared build
 }
 

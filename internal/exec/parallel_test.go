@@ -178,7 +178,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 // parallel fragment (guarding against silent fallback to serial).
 func TestParallelUsesExchange(t *testing.T) {
 	cat := parCatalog(40000, 0)
-	mk := func(q *plan.Node, par int) Operator {
+	mk := func(q *plan.Node, par int, disableFusion bool) Operator {
 		n := q.Clone()
 		if err := n.Resolve(cat); err != nil {
 			t.Fatal(err)
@@ -186,6 +186,7 @@ func TestParallelUsesExchange(t *testing.T) {
 		ctx := NewCtx(cat)
 		ctx.Parallelism = par
 		ctx.MorselRows = 1024
+		ctx.DisableFusion = disableFusion
 		op, err := Build(ctx, n, nil, nil)
 		if err != nil {
 			t.Fatal(err)
@@ -193,19 +194,32 @@ func TestParallelUsesExchange(t *testing.T) {
 		return op
 	}
 	filter := plan.NewSelect(plan.NewScan("fact", "id"), expr.Lt(expr.C("id"), expr.Int(10)))
-	if _, ok := mk(filter, 4).(*Exchange); !ok {
+	if _, ok := mk(filter, 4, false).(*Exchange); !ok {
 		t.Fatalf("expected *Exchange for a large filter at parallelism 4")
 	}
-	if _, ok := mk(filter, 1).(*Filter); !ok {
-		t.Fatalf("expected serial *Filter at parallelism 1")
+	// Fusion is on by default, so serial pipelines become fused push loops.
+	if _, ok := mk(filter, 1, false).(*FusedPipeline); !ok {
+		t.Fatalf("expected *FusedPipeline at parallelism 1 with fusion on")
+	}
+	if _, ok := mk(filter, 1, true).(*Filter); !ok {
+		t.Fatalf("expected serial *Filter at parallelism 1 with fusion disabled")
 	}
 	agg := plan.NewAggregate(filter.Clone(), []string{"id"}, plan.A(plan.Count, nil, "n"))
-	if _, ok := mk(agg, 4).(*ParallelAgg); !ok {
+	if _, ok := mk(agg, 4, false).(*ParallelAgg); !ok {
 		t.Fatalf("expected *ParallelAgg for a large aggregation at parallelism 4")
 	}
-	// A bare scan gains nothing from a merge copy: stays serial.
-	if _, ok := mk(plan.NewScan("fact", "id"), 4).(*TableScan); !ok {
+	if _, ok := mk(agg, 1, false).(*FusedAgg); !ok {
+		t.Fatalf("expected *FusedAgg at parallelism 1 with fusion on")
+	}
+	if _, ok := mk(agg, 1, true).(*HashAgg); !ok {
+		t.Fatalf("expected serial *HashAgg at parallelism 1 with fusion disabled")
+	}
+	// A bare scan gains nothing from a merge copy or a fused loop: stays serial.
+	if _, ok := mk(plan.NewScan("fact", "id"), 4, false).(*TableScan); !ok {
 		t.Fatalf("expected serial *TableScan for a bare scan")
+	}
+	if _, ok := mk(plan.NewScan("fact", "id"), 1, false).(*TableScan); !ok {
+		t.Fatalf("expected serial *TableScan for a bare scan at parallelism 1")
 	}
 }
 

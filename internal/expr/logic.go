@@ -84,6 +84,23 @@ func (a *And) Clone() Expr {
 	return &And{Es: es}
 }
 
+// Conjuncts returns e's flattened AND operands (e itself when it is not a
+// conjunction). Fused filter stages evaluate conjuncts one at a time,
+// refining the batch's shared selection vector between them, so each later
+// conjunct is evaluated only over the earlier conjuncts' survivors — unlike
+// And.Eval, which evaluates every operand over every row.
+func Conjuncts(e Expr) []Expr {
+	a, ok := e.(*And)
+	if !ok {
+		return []Expr{e}
+	}
+	out := make([]Expr, 0, len(a.Es))
+	for _, c := range a.Es {
+		out = append(out, Conjuncts(c)...)
+	}
+	return out
+}
+
 // Or is the disjunction of its operands.
 type Or struct {
 	Es []Expr

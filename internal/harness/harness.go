@@ -61,10 +61,17 @@ func NewEngine(cat *catalog.Catalog, mode recycledb.Mode, cacheBytes int64) *rec
 // NewEngineParallel is NewEngine with an explicit intra-query worker
 // budget (0 = GOMAXPROCS, 1 = serial).
 func NewEngineParallel(cat *catalog.Catalog, mode recycledb.Mode, cacheBytes int64, parallelism int) *recycledb.Engine {
+	return NewEngineFusion(cat, mode, cacheBytes, parallelism, false)
+}
+
+// NewEngineFusion is NewEngineParallel with explicit control over loop
+// fusion, for fused-vs-unfused comparisons.
+func NewEngineFusion(cat *catalog.Catalog, mode recycledb.Mode, cacheBytes int64, parallelism int, disableFusion bool) *recycledb.Engine {
 	return recycledb.NewWithCatalog(recycledb.Config{
-		Mode:        mode,
-		CacheBytes:  cacheBytes,
-		Parallelism: parallelism,
+		Mode:          mode,
+		CacheBytes:    cacheBytes,
+		Parallelism:   parallelism,
+		DisableFusion: disableFusion,
 	}, cat)
 }
 

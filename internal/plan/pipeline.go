@@ -55,6 +55,36 @@ func spineWalk(n *Node, barrier func(*Node) bool, root bool) (*Node, bool) {
 	return nil, false
 }
 
+// SpineNodes enumerates the pipeline spine of n leaf-first: the driving
+// Scan, then every Select/Project/Join on the probe path up to and
+// including n. It walks exactly like PipelineSpine (same barrier rule, root
+// exempt), so a subtree classified FragPipeline/FragAggregate always
+// enumerates. The executor compiles this node list into a fused consumer
+// chain — one stage per interior node — and uses the same list to attribute
+// fused-loop cost back to the plan nodes.
+func SpineNodes(n *Node, barrier func(*Node) bool) ([]*Node, bool) {
+	var rev []*Node
+	cur, root := n, true
+	for {
+		if !root && barrier != nil && barrier(cur) {
+			return nil, false
+		}
+		rev = append(rev, cur)
+		switch cur.Op {
+		case Scan:
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev, true
+		case Select, Project, Join:
+			cur = cur.Children[0]
+			root = false
+		default:
+			return nil, false
+		}
+	}
+}
+
 // ClassifyFragment decides how the subtree rooted at n may be parallelized
 // and returns its driving scan. A bare Scan root classifies as FragNone:
 // a serial scan aliases storage for free, so splitting it buys nothing and

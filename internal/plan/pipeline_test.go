@@ -41,6 +41,59 @@ func TestClassifyFragment(t *testing.T) {
 	}
 }
 
+// TestSpineNodes pins the enumeration the fused compiler consumes: the
+// same walk as PipelineSpine (same barrier rule, root exempt), returned
+// leaf-first — driving Scan, then every interior node up to the root.
+func TestSpineNodes(t *testing.T) {
+	scan := NewScan("t", "a", "b")
+	sel := NewSelect(scan, expr.Gt(expr.C("a"), expr.Int(1)))
+	join := NewJoin(Inner, sel, NewScan("d", "k"), []string{"a"}, []string{"k"})
+	proj := NewProject(join, P(expr.C("a"), "a"))
+
+	nodes, ok := SpineNodes(proj, nil)
+	if !ok {
+		t.Fatal("pipeline spine not recognized")
+	}
+	want := []*Node{scan, sel, join, proj}
+	if len(nodes) != len(want) {
+		t.Fatalf("spine length = %d, want %d", len(nodes), len(want))
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("spine[%d] = %v, want %v", i, nodes[i].Op, want[i].Op)
+		}
+	}
+
+	// A bare scan is its own one-node spine.
+	solo, ok := SpineNodes(scan, nil)
+	if !ok || len(solo) != 1 || solo[0] != scan {
+		t.Fatalf("bare scan spine = %v ok=%v", solo, ok)
+	}
+
+	// Non-pipeline roots refuse.
+	if _, ok := SpineNodes(NewLimit(sel, 5), nil); ok {
+		t.Fatal("limit root must not enumerate as a spine")
+	}
+
+	// Barrier on an interior node stops enumeration; on the root it is
+	// exempt — mirror of the PipelineSpine rule the executor relies on.
+	if _, ok := SpineNodes(proj, func(n *Node) bool { return n == sel }); ok {
+		t.Fatal("interior barrier ignored")
+	}
+	if nodes, ok := SpineNodes(proj, func(n *Node) bool { return n == proj }); !ok || len(nodes) != 4 {
+		t.Fatalf("root barrier must not stop enumeration (ok=%v len=%d)", ok, len(nodes))
+	}
+
+	// Agreement with PipelineSpine on every classified fragment shape.
+	for _, n := range []*Node{sel, join, proj} {
+		s1, ok1 := PipelineSpine(n, nil)
+		s2, ok2 := SpineNodes(n, nil)
+		if ok1 != ok2 || (ok1 && s2[0] != s1) {
+			t.Fatalf("SpineNodes disagrees with PipelineSpine for %v", n.Op)
+		}
+	}
+}
+
 // TestClassifyFragmentBarriers pins the merge-point rule: a barrier on an
 // interior node (a recycler decoration in the executor) stops the
 // fragment; a barrier on the root does not, because the root's decoration

@@ -6,6 +6,24 @@ package vector
 // loop. They are the compaction half of the selection-vector design —
 // consumers that cannot iterate a selection gather it away column-wise.
 
+// RefineSel compacts sel in place to the entries whose flag is set:
+// flags[i] judges logical row i, the row sel[i] selects, so len(flags) must
+// equal len(sel). The returned slice aliases sel's storage (survivors are
+// written to its prefix, which is safe because the write index never passes
+// the read index) — the caller must own sel. This is the fused-filter
+// kernel: a chain of predicates refines one shared selection vector with no
+// intermediate selection buffers.
+func RefineSel(sel []int32, flags []bool) []int32 {
+	k := 0
+	for i, ok := range flags {
+		if ok {
+			sel[k] = sel[i]
+			k++
+		}
+	}
+	return sel[:k]
+}
+
 // AppendAll bulk-appends every row of src to v. Types must match.
 func (v *Vector) AppendAll(src *Vector) {
 	switch v.Typ {

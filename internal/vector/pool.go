@@ -129,7 +129,7 @@ func (v *Vector) payloadCap() int {
 func (p *Pool) GetBatch(types []Type, capacity int) *Batch {
 	b := &Batch{Vecs: make([]*Vector, len(types))}
 	for i, t := range types {
-		b.Vecs[i] = p.Get(t, capacity)
+		b.Vecs[i] = p.Get(t, capacity) //recycledb:pool-ok GetBatch constructs the loan; the caller releases via PutBatch
 	}
 	return b
 }

@@ -137,6 +137,11 @@ type Config struct {
 	// Results are independent of the setting — parallel pipelines merge
 	// deterministically in serial order; see README "Parallel execution".
 	Parallelism int
+	// DisableFusion turns off push-based loop fusion of pipeline-fragment
+	// interiors, reverting them to chained operator Next calls. An escape
+	// hatch for bisecting regressions and for benchmarking the two paths;
+	// results are identical either way. See README "Loop fusion".
+	DisableFusion bool
 }
 
 // DefaultPlanCacheSize is the compiled-plan LRU capacity when
@@ -160,6 +165,7 @@ type Engine struct {
 	// resolved); active tracks in-flight statements so the budget divides
 	// across them.
 	par    int
+	noFuse bool
 	active atomic.Int32
 	// pool recycles operator scratch batches across this engine's queries
 	// (vector.Pool documents the ownership rules).
@@ -210,12 +216,13 @@ func NewWithCatalog(cfg Config, cat *catalog.Catalog) *Engine {
 		par = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		cat:   cat,
-		rec:   core.New(ccfg),
-		plans: newPlanCache(planCap),
-		vsz:   cfg.VectorSize,
-		par:   par,
-		pool:  &vector.Pool{},
+		cat:    cat,
+		rec:    core.New(ccfg),
+		plans:  newPlanCache(planCap),
+		vsz:    cfg.VectorSize,
+		par:    par,
+		noFuse: cfg.DisableFusion,
+		pool:   &vector.Pool{},
 	}
 	e.mode.Store(int32(cfg.Mode))
 	cat.OnCommit(e.onCommit)
@@ -239,10 +246,11 @@ func (e *Engine) extendEntry(entry *core.Entry, table string, lo, hi int64) ([]*
 		return nil, 0, 0, false
 	}
 	ectx := &exec.Ctx{
-		Cat:        e.cat,
-		VectorSize: e.vsz,
-		Pool:       e.pool,
-		ScanFrom:   map[string]int{table: int(lo)},
+		Cat:           e.cat,
+		VectorSize:    e.vsz,
+		Pool:          e.pool,
+		ScanFrom:      map[string]int{table: int(lo)},
+		DisableFusion: e.noFuse,
 	}
 	op, err := exec.Build(ectx, entry.Plan, nil, nil)
 	if err != nil {
@@ -428,7 +436,7 @@ func (e *Engine) stream(ctx context.Context, p *plan.Node) (rows *Rows, err erro
 		return nil, fmt.Errorf("recycledb: rewrite: %w", err)
 	}
 	ectx := &exec.Ctx{Cat: e.cat, VectorSize: e.vsz, Context: ctx, Pool: e.pool, Snaps: snaps,
-		Parallelism: par}
+		Parallelism: par, DisableFusion: e.noFuse}
 	opmap := make(map[*plan.Node]exec.Operator)
 	op, err := exec.Build(ectx, rres.Exec, rres.Decor, opmap)
 	if err != nil {
