@@ -46,6 +46,8 @@ func main() {
 		par     = flag.Int("parallelism", 0, "intra-query worker budget (0 = GOMAXPROCS)")
 		noFuse  = flag.Bool("disable-fusion", envBool("RECYCLEDB_DISABLE_FUSION"),
 			"disable push-based loop fusion of pipeline interiors (also via RECYCLEDB_DISABLE_FUSION=1)")
+		noOpt = flag.Bool("disable-optimizer", envBool("RECYCLEDB_DISABLE_OPTIMIZER"),
+			"disable the recycler-aware plan optimizer (also via RECYCLEDB_DISABLE_OPTIMIZER=1)")
 		cacheMB     = flag.Int64("cache-mb", 0, "recycler cache budget in MiB (0 = default 256)")
 		maxConns    = flag.Int("max-conns", 0, "connection cap (0 = unlimited)")
 		maxConc     = flag.Int("max-concurrent", 0, "executing-statement cap (0 = 4x workers, -1 = unlimited)")
@@ -59,10 +61,11 @@ func main() {
 	log.Printf("loading TPC-H sf=%g + SkyServer objects=%d ...", *sf, *objects)
 	cat := harness.MixedCatalog(*sf, *objects, *seed)
 	eng := recycledb.NewWithCatalog(recycledb.Config{
-		Mode:          parseMode(*mode),
-		Parallelism:   *par,
-		CacheBytes:    *cacheMB << 20,
-		DisableFusion: *noFuse,
+		Mode:             parseMode(*mode),
+		Parallelism:      *par,
+		CacheBytes:       *cacheMB << 20,
+		DisableFusion:    *noFuse,
+		DisableOptimizer: *noOpt,
 	}, cat)
 	srv := server.New(eng, server.Config{
 		MaxConns:         *maxConns,
@@ -78,12 +81,14 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fusion := "on"
-	if *noFuse {
-		fusion = "off"
+	onOff := func(off bool) string {
+		if off {
+			return "off"
+		}
+		return "on"
 	}
-	log.Printf("serving pgwire on %s (mode=%s, workers=%d, max-concurrent=%d, fusion=%s)",
-		lis.Addr(), eng.Mode(), eng.Workers(), srv.MaxConcurrent(), fusion)
+	log.Printf("serving pgwire on %s (mode=%s, workers=%d, max-concurrent=%d, fusion=%s, optimizer=%s)",
+		lis.Addr(), eng.Mode(), eng.Workers(), srv.MaxConcurrent(), onOff(*noFuse), onOff(*noOpt))
 	log.Printf("connect with: psql -h %s -p %s -U recycle", hostOf(lis.Addr().String()), portOf(lis.Addr().String()))
 
 	err = srv.Serve(ctx, lis)

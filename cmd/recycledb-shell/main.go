@@ -8,7 +8,10 @@
 // move in \rstats as writes hit cached results.
 //
 // Shell commands: \mode off|hist|spec|pa, \stats (toggle per-query stats),
-// \rstats (recycler totals), \flush, \tables, \q.
+// \rstats (recycler totals), \opt on|off (toggle the plan optimizer),
+// \flush, \tables, \q. EXPLAIN <query> prints the optimizer's chosen plan
+// tree with per-node cost estimates and [cached] markers on subtrees the
+// recycler can serve warm.
 //
 // With -clients N the shell runs non-interactively: N concurrent client
 // goroutines issue a mixed TPC-H workload against the engine for -duration,
@@ -44,10 +47,13 @@ func main() {
 		duration  = flag.Duration("duration", 5*time.Second, "duration of the -clients benchmark")
 		writeFrac = flag.Float64("write-frac", 0, "fraction of -clients operations that are writes (appends to lineitem)")
 		par       = flag.Int("parallelism", 0, "intra-query worker budget (0 = GOMAXPROCS, 1 = serial)")
+		noOpt     = flag.Bool("disable-optimizer", envBool("RECYCLEDB_DISABLE_OPTIMIZER"),
+			"disable the recycler-aware plan optimizer (also via RECYCLEDB_DISABLE_OPTIMIZER=1)")
 	)
 	flag.Parse()
 
-	eng := recycledb.New(recycledb.Config{Mode: parseMode(*mode), Parallelism: *par})
+	eng := recycledb.New(recycledb.Config{Mode: parseMode(*mode), Parallelism: *par,
+		DisableOptimizer: *noOpt})
 	fmt.Printf("loading TPC-H sf=%g ...\n", *sf)
 	tpch.Generate(eng.Catalog(), *sf, 1)
 	if *clients > 0 {
@@ -55,7 +61,7 @@ func main() {
 		return
 	}
 	fmt.Printf("tables: %s\n", strings.Join(eng.Catalog().TableNames(), ", "))
-	fmt.Println(`type SQL, or \mode, \stats, \rstats, \flush, \tables, \q (Ctrl-C cancels the running statement)`)
+	fmt.Println(`type SQL (EXPLAIN <query> shows the plan), or \mode, \opt, \stats, \rstats, \flush, \tables, \q (Ctrl-C cancels the running statement)`)
 
 	showStats := false
 	in := bufio.NewScanner(os.Stdin)
@@ -94,6 +100,25 @@ func main() {
 				fmt.Println("usage: \\mode off|hist|spec|pa")
 			}
 			continue
+		case strings.HasPrefix(line, `\opt`):
+			parts := strings.Fields(line)
+			if len(parts) == 2 && (parts[1] == "on" || parts[1] == "off") {
+				eng.SetOptimizerEnabled(parts[1] == "on")
+			} else if len(parts) != 1 {
+				fmt.Println("usage: \\opt [on|off]")
+				continue
+			}
+			fmt.Printf("optimizer: %v\n", map[bool]string{true: "on", false: "off"}[eng.OptimizerEnabled()])
+			continue
+		}
+		if rest, ok := explainArg(line); ok {
+			out, err := eng.Explain(rest)
+			if err != nil {
+				printErr(err)
+			} else {
+				fmt.Print(out)
+			}
+			continue
 		}
 		runStatement(eng, line, showStats)
 	}
@@ -116,6 +141,26 @@ func runClients(eng *recycledb.Engine, clients int, duration time.Duration, writ
 	}, harness.TPCHMix(4, 1), harness.EngineExec(eng))
 	fmt.Print(harness.ClientsReport(res))
 	fmt.Printf("recycler: %+v\n", eng.Recycler().Stats())
+}
+
+// explainArg strips a leading EXPLAIN keyword, returning the query to
+// explain and whether the line was an EXPLAIN at all.
+func explainArg(line string) (string, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 || !strings.EqualFold(f[0], "explain") {
+		return "", false
+	}
+	return strings.TrimSpace(line[len(f[0]):]), true
+}
+
+// envBool reads a boolean environment override ("1", "true", "yes" — any
+// non-empty value but "0"/"false"/"no" counts as set).
+func envBool(name string) bool {
+	switch strings.ToLower(os.Getenv(name)) {
+	case "", "0", "false", "no":
+		return false
+	}
+	return true
 }
 
 // isDML sniffs the statement verb: INSERT / DELETE / CREATE run through

@@ -60,6 +60,7 @@ var libraryPackages = map[string]bool{
 	module + "/internal/core":    true,
 	module + "/internal/exec":    true,
 	module + "/internal/expr":    true,
+	module + "/internal/opt":     true,
 	module + "/internal/plan":    true,
 	module + "/internal/rewrite": true,
 	module + "/internal/server":  true,
@@ -69,9 +70,13 @@ var libraryPackages = map[string]bool{
 
 // resultPackages produce query results, plan shapes, cache state or
 // recycler statistics: map-iteration order must not leak there (detcheck).
+// internal/opt is included because optimizer enumeration must be
+// deterministic — two plannings of one query against the same recycler
+// state have to yield byte-identical plans.
 var resultPackages = map[string]bool{
 	module + "/internal/exec":    true,
 	module + "/internal/core":    true,
+	module + "/internal/opt":     true,
 	module + "/internal/plan":    true,
 	module + "/internal/rewrite": true,
 }

@@ -1,0 +1,151 @@
+package recycledb_test
+
+// Optimizer golden equivalence: the optimizer may change plan shapes —
+// conjunct chain order, join order, projection placement — but never
+// results. Every query in the golden set (plus permuted-conjunct
+// near-variants, the shapes the optimizer exists to canonicalize) must
+// produce the serial-unfused-unoptimized ground truth under the full
+// execution matrix: optimizer on/off × every recycling mode × parallelism
+// {1,4} × fused/unfused, cold cache and warm.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"regexp"
+	"testing"
+
+	"recycledb"
+
+	"recycledb/internal/harness"
+	"recycledb/internal/workload"
+)
+
+// optGoldenQueries is the golden set plus permuted-conjunct draws: the same
+// filter parameters written in shuffled conjunct order, which only the
+// optimizer collapses to one recycler shape.
+func optGoldenQueries() []workload.Query {
+	out := goldenQueries()
+	rng := rand.New(rand.NewSource(99))
+	for _, pat := range harness.PermutedMix(3, 5) {
+		for d := 0; d < 3; d++ {
+			out = append(out, workload.Query{
+				Label: fmt.Sprintf("%s-%d", pat.Label, d),
+				Plan:  pat.Make(rng),
+			})
+		}
+	}
+	return out
+}
+
+func TestGoldenEquivalenceOptimizer(t *testing.T) {
+	cat := harness.MixedCatalog(0.002, 4000, 1)
+	queries := optGoldenQueries()
+
+	// Ground truth: serial, unfused, unoptimized, no recycling.
+	base := recycledb.NewWithCatalog(recycledb.Config{
+		Mode: recycledb.Off, DisableOptimizer: true, DisableFusion: true, Parallelism: 1,
+	}, cat)
+	want := make([]map[string]*canonRow, len(queries))
+	for i, q := range queries {
+		r, err := base.ExecuteContext(context.Background(), q.Plan)
+		if err != nil {
+			t.Fatalf("baseline %s: %v", q.Label, err)
+		}
+		want[i] = canonResult(r)
+	}
+
+	for _, disableOpt := range []bool{false, true} {
+		for _, mode := range harness.Modes {
+			for _, par := range []int{1, 4} {
+				for _, noFuse := range []bool{false, true} {
+					name := fmt.Sprintf("opt=%t/%v/par=%d/fused=%t", !disableOpt, mode, par, !noFuse)
+					eng := recycledb.NewWithCatalog(recycledb.Config{
+						Mode:             mode,
+						DisableOptimizer: disableOpt,
+						DisableFusion:    noFuse,
+						Parallelism:      par,
+					}, cat)
+					// Round 0 exercises cold paths (materialization,
+					// admission), round 1 warm reuse and subsumption under
+					// the optimizer-chosen shapes.
+					for round := 0; round < 2; round++ {
+						for i, q := range queries {
+							r, err := eng.ExecuteContext(context.Background(), q.Plan)
+							if err != nil {
+								t.Fatalf("%s round %d %s: %v", name, round, q.Label, err)
+							}
+							if d := canonDiff(want[i], canonResult(r)); d != "" {
+								t.Fatalf("%s round %d %s: %s", name, round, q.Label, d)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// measuredRE strips the [measured …] annotation, the only Explain element
+// fed by wall-clock timings rather than deterministic state.
+var measuredRE = regexp.MustCompile(`\s*\[measured [^\]]*\]`)
+
+// TestOptimizerMemoDeterminism checks that optimizer enumeration is
+// deterministic: two fresh engines render byte-identical plans (including
+// cost estimates) for the same query, differently-written conjunct orders
+// canonicalize to the same plan, and re-planning against warm state is
+// stable across repeated runs.
+func TestOptimizerMemoDeterminism(t *testing.T) {
+	const qA = `SELECT l_quantity, l_extendedprice FROM lineitem WHERE l_quantity < 25 AND l_extendedprice > 1000 AND l_tax < 1`
+	const qB = `SELECT l_quantity, l_extendedprice FROM lineitem WHERE l_tax < 1 AND l_quantity < 25 AND l_extendedprice > 1000`
+
+	mk := func() *recycledb.Engine {
+		return recycledb.NewWithCatalog(recycledb.Config{Mode: recycledb.History},
+			harness.MixedCatalog(0.002, 4000, 1))
+	}
+
+	// Cold engines carry no timing-dependent state: full Explain output —
+	// shapes, cardinalities, costs — must agree across engines.
+	a, b := mk(), mk()
+	ea, err := a.Explain(qA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.Explain(qA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea != eb {
+		t.Fatalf("cold explain differs across engines:\n%s\n--- vs ---\n%s", ea, eb)
+	}
+
+	// Canonicalization: the same conjuncts written in a different order
+	// must plan identically.
+	eBOrder, err := a.Explain(qB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea != eBOrder {
+		t.Fatalf("conjunct order changed the plan:\n%s\n--- vs ---\n%s", ea, eBOrder)
+	}
+
+	// Warm determinism: after executions mutate recycler state, repeated
+	// re-planning of the same query is stable (measured-cost annotations
+	// excepted — they report wall-clock times).
+	for i := 0; i < 3; i++ {
+		if _, err := a.Exec(context.Background(), qA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w1, err := a.Explain(qA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := a.Explain(qB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measuredRE.ReplaceAllString(w1, "") != measuredRE.ReplaceAllString(w2, "") {
+		t.Fatalf("warm re-plan unstable:\n%s\n--- vs ---\n%s", w1, w2)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"recycledb/internal/vector"
+)
+
+func TestProbeMissOnUnseenShape(t *testing.T) {
+	cat := testCatalog()
+	r := New(DefaultConfig())
+	r.MatchInsert(selPlan(t, cat, 5))
+	// A different parameter is a different shape: probe must miss without
+	// inserting anything.
+	before := r.Graph().Size()
+	if _, ok := r.Probe(selPlan(t, cat, 6), nil); ok {
+		t.Fatal("probe matched a never-seen shape")
+	}
+	if got := r.Graph().Size(); got != before {
+		t.Fatalf("probe mutated the graph: %d -> %d nodes", before, got)
+	}
+}
+
+func TestProbeReportsStatsCachedInflight(t *testing.T) {
+	cat := testCatalog()
+	r := New(DefaultConfig())
+	p := selPlan(t, cat, 5)
+	res := r.MatchInsert(p)
+	g := res.ByNode[p].G
+
+	info, ok := r.Probe(selPlan(t, cat, 5), nil)
+	if !ok || info.Node != g {
+		t.Fatalf("probe missed the inserted shape (ok=%v)", ok)
+	}
+	if info.CostKnown || info.Cached || info.Inflight {
+		t.Fatalf("fresh node reports state: %+v", info)
+	}
+
+	r.UpdateStats(g, 42*time.Millisecond, 7, 128)
+	if !r.BeginInflight(g) {
+		t.Fatal("BeginInflight refused")
+	}
+	info, _ = r.Probe(selPlan(t, cat, 5), nil)
+	if !info.CostKnown || info.BaseCost != 42*time.Millisecond || info.Card != 7 {
+		t.Fatalf("measured stats not reported: %+v", info)
+	}
+	if !info.Inflight {
+		t.Fatal("in-flight producer not reported")
+	}
+	r.FinishInflight(g)
+
+	b := vector.NewBatch([]vector.Type{vector.Int64, vector.Float64}, 1)
+	if !r.Admit(g, []*vector.Batch{b}, 7, 128, 42*time.Millisecond, -1) {
+		t.Fatal("admit refused")
+	}
+	reusesBefore := r.Stats().Reuses
+	info, _ = r.Probe(selPlan(t, cat, 5), nil)
+	if !info.Cached || info.CachedRows != 7 || info.CachedBytes != 128 {
+		t.Fatalf("cached result not reported: %+v", info)
+	}
+	if info.Inflight {
+		t.Fatal("cached entry also reported in-flight")
+	}
+	if got := r.Stats().Reuses; got != reusesBefore {
+		t.Fatalf("probe bumped the reuse counter: %d -> %d", reusesBefore, got)
+	}
+	if e := g.cached.Load(); e == nil || e.Pins() != 0 {
+		t.Fatalf("probe left the entry pinned")
+	}
+
+	// A validator that rejects the entry turns Cached off.
+	info, _ = r.Probe(selPlan(t, cat, 5), func(*Entry) bool { return false })
+	if info.Cached {
+		t.Fatal("rejected entry still reported cached")
+	}
+}
+
+func TestEntrySnapValid(t *testing.T) {
+	e := &Entry{Snap: map[string]TableSnap{"t": {Ver: 3}}}
+	live := func(string) (int64, bool) { return 0, false }
+
+	if v, s := EntrySnapValid(&Entry{}, nil, 0, live); !v || s {
+		t.Fatalf("untagged entry: valid=%v stale=%v", v, s)
+	}
+	if v, s := EntrySnapValid(e, map[string]TableSnap{"t": {Ver: 3}}, 0, live); !v || s {
+		t.Fatalf("matching tag: valid=%v stale=%v", v, s)
+	}
+	if v, s := EntrySnapValid(e, map[string]TableSnap{"t": {Ver: 5}}, 0, live); v || !s {
+		t.Fatalf("older tag: valid=%v stale=%v", v, s)
+	}
+	if v, s := EntrySnapValid(e, map[string]TableSnap{"t": {Ver: 2}}, 0, live); v || s {
+		t.Fatalf("newer tag: valid=%v stale=%v (fresher entries are not stale)", v, s)
+	}
+	// Table outside the capture falls back to live; unknown tables are stale.
+	if v, s := EntrySnapValid(e, map[string]TableSnap{"u": {Ver: 1}}, 0, live); v || !s {
+		t.Fatalf("unknown live table: valid=%v stale=%v", v, s)
+	}
+	liveAt := func(ver int64) func(string) (int64, bool) {
+		return func(string) (int64, bool) { return ver, true }
+	}
+	if v, _ := EntrySnapValid(e, map[string]TableSnap{"u": {Ver: 1}}, 0, liveAt(3)); !v {
+		t.Fatal("live version match rejected")
+	}
+	if v, s := EntrySnapValid(e, map[string]TableSnap{"u": {Ver: 1}}, 0, liveAt(4)); v || !s {
+		t.Fatalf("live version moved on: valid=%v stale=%v", v, s)
+	}
+}

@@ -75,6 +75,17 @@ func NewEngineFusion(cat *catalog.Catalog, mode recycledb.Mode, cacheBytes int64
 	}, cat)
 }
 
+// NewEngineOpt is NewEngineParallel with explicit control over the plan
+// optimizer, for optimized-vs-unoptimized comparisons.
+func NewEngineOpt(cat *catalog.Catalog, mode recycledb.Mode, cacheBytes int64, parallelism int, disableOptimizer bool) *recycledb.Engine {
+	return recycledb.NewWithCatalog(recycledb.Config{
+		Mode:             mode,
+		CacheBytes:       cacheBytes,
+		Parallelism:      parallelism,
+		DisableOptimizer: disableOptimizer,
+	}, cat)
+}
+
 // EngineExec adapts an engine to the workload driver.
 func EngineExec(e *recycledb.Engine) workload.ExecFunc {
 	return func(stream int, q workload.Query) (workload.Outcome, error) {

@@ -1,0 +1,309 @@
+package opt
+
+import (
+	"math"
+	"strings"
+	"time"
+
+	"recycledb/internal/expr"
+	"recycledb/internal/plan"
+)
+
+// Costing. Cold costs come from a deterministic per-node model — a pure
+// function of the plan shape and the statement's snapshot row counts, with
+// per-row constants mirroring the executor's measured per-operator costs
+// (hash-join builds dominate probes, scans scale with width, filters are
+// cheap). The model is intentionally *not* fed the recycler's measured
+// NodeStats: measured costs appear only after a shape first executes, so
+// steering on them would make rival comparisons flip between runs and
+// fragment the graph across shapes — exactly what HIST-mode's seen-before
+// matching cannot afford. The recycler influences costs through one channel
+// only: a subtree with a valid cached entry (or an in-flight producer) is
+// re-costed as a cached access path — replay cost, interpolated with the
+// cold cost by Config.ReuseBias.
+
+// costInfo is the memoized verdict for one canonical plan shape.
+type costInfo struct {
+	Cost time.Duration // inclusive, after any cached-access-path adjustment
+	Rows int64         // estimated output cardinality
+
+	// Recycler probe results, surfaced by EXPLAIN.
+	Existed  bool
+	Cached   bool
+	Inflight bool
+	Measured time.Duration
+	Known    bool
+}
+
+// coster memoizes cost/cardinality per canonical shape so the join DP's
+// shared subplans are costed (and probed) once. The memo is the optimizer's
+// group table: logically-equivalent subplans rendered to the same canonical
+// signature share one entry.
+type coster struct {
+	ctx  *Context
+	bias float64
+	memo map[string]costInfo
+}
+
+func newCoster(ctx *Context) *coster {
+	return &coster{ctx: ctx, bias: effBias(ctx.Cfg.ReuseBias), memo: make(map[string]costInfo)}
+}
+
+// effBias maps the ReuseBias knob to [0,1]: 0 selects the default of full
+// steering, negative disables it.
+func effBias(b float64) float64 {
+	switch {
+	case b == 0:
+		return 1
+	case b < 0:
+		return 0
+	case b > 1:
+		return 1
+	}
+	return b
+}
+
+// info returns the (memoized) cost verdict for a resolved subtree.
+func (c *coster) info(n *plan.Node) costInfo {
+	key := shapeKey(n)
+	if ci, ok := c.memo[key]; ok {
+		return ci
+	}
+	ci := c.compute(n)
+	c.memo[key] = ci
+	return ci
+}
+
+func (c *coster) compute(n *plan.Node) costInfo {
+	var childCost time.Duration
+	childRows := make([]int64, len(n.Children))
+	for i, ch := range n.Children {
+		ci := c.info(ch)
+		childCost += ci.Cost
+		childRows[i] = ci.Rows
+	}
+	rows := c.estRows(n, childRows)
+	ci := costInfo{Rows: rows, Cost: childCost + selfCost(n, childRows, rows)}
+	if c.ctx.Rec != nil && probeable(n.Op) {
+		if pi, ok := c.ctx.Rec.Probe(n, c.ctx.Validate); ok {
+			ci.Existed = true
+			ci.Known, ci.Measured = pi.CostKnown, pi.BaseCost
+			cold := ci.Cost
+			switch {
+			case pi.Cached:
+				ci.Cached = true
+				if warm := replayCost(pi.CachedRows, pi.CachedBytes); warm < cold {
+					ci.Cost = lerp(cold, warm, c.bias)
+				}
+			case pi.Inflight:
+				// A concurrent producer is materializing this result: the
+				// executor will share or wait rather than recompute.
+				ci.Inflight = true
+				ci.Cost = lerp(cold, cold/4, c.bias)
+			}
+		}
+	}
+	return ci
+}
+
+// probeable reports ops the recycler could hold a result for; bare leaves
+// are never cached (scans are the recomputation baseline, not entries).
+func probeable(op plan.Op) bool {
+	switch op {
+	case plan.Scan, plan.TableFn, plan.Cached:
+		return false
+	}
+	return true
+}
+
+// replayCost models streaming a cached entry out of the cache.
+func replayCost(rows, bytes int64) time.Duration {
+	return time.Duration(rows)*time.Nanosecond + time.Duration(bytes/4)*time.Nanosecond
+}
+
+// lerp interpolates between the cold and warm cost by bias (1 = warm).
+func lerp(cold, warm time.Duration, bias float64) time.Duration {
+	return time.Duration(float64(warm)*bias + float64(cold)*(1-bias))
+}
+
+// estRows estimates a node's output cardinality from its children's.
+func (c *coster) estRows(n *plan.Node, childRows []int64) int64 {
+	switch n.Op {
+	case plan.Scan:
+		return c.tableRows(n.Table)
+	case plan.TableFn:
+		return 1000
+	case plan.Cached:
+		return 100
+	case plan.Select:
+		r := float64(childRows[0]) * selectivity(n.Pred)
+		return floor1(int64(r))
+	case plan.Project:
+		return childRows[0]
+	case plan.Aggregate:
+		if len(n.GroupBy) == 0 {
+			return 1
+		}
+		return floor1(childRows[0] / 4)
+	case plan.Join:
+		l, r := childRows[0], childRows[1]
+		switch n.JT {
+		case plan.LeftSemi, plan.LeftAnti:
+			return floor1(l / 2)
+		case plan.LeftOuter:
+			return l
+		}
+		if len(n.LeftKeys) == 0 {
+			// Cross join: the full product.
+			return floor1(int64(math.Min(float64(l)*float64(r), 1e18)))
+		}
+		big := l
+		if r > big {
+			big = r
+		}
+		out := float64(l) * float64(r) / float64(floor1(big))
+		for i := 1; i < len(n.LeftKeys); i++ {
+			out *= 0.2
+		}
+		return floor1(int64(out))
+	case plan.TopN, plan.Limit:
+		if int64(n.N) < childRows[0] {
+			return int64(n.N)
+		}
+		return childRows[0]
+	case plan.Union:
+		return childRows[0] + childRows[1]
+	default: // Sort
+		return childRows[0]
+	}
+}
+
+func (c *coster) tableRows(table string) int64 {
+	if c.ctx.TableRows != nil {
+		if r, ok := c.ctx.TableRows[table]; ok {
+			return floor1(r)
+		}
+	}
+	if c.ctx.Cat != nil {
+		if t, err := c.ctx.Cat.Table(table); err == nil {
+			return floor1(int64(t.Rows()))
+		}
+	}
+	return 1000
+}
+
+// selectivity is a textbook heuristic per predicate form.
+func selectivity(e expr.Expr) float64 {
+	switch x := e.(type) {
+	case *expr.And:
+		p := 1.0
+		for _, c := range x.Es {
+			p *= selectivity(c)
+		}
+		return p
+	case *expr.Or:
+		s := 0.0
+		for _, c := range x.Es {
+			s += selectivity(c)
+		}
+		return math.Min(s, 1)
+	case *expr.Not:
+		return 1 - selectivity(x.E)
+	case *expr.Cmp:
+		switch x.Op {
+		case expr.EQ:
+			return 0.1
+		case expr.NE:
+			return 0.9
+		default:
+			return 0.3
+		}
+	case *expr.Like:
+		if x.Negate {
+			return 0.75
+		}
+		return 0.25
+	case *expr.InList:
+		s := math.Min(0.05*float64(len(x.Vals)), 0.5)
+		if x.Negate {
+			return 1 - s
+		}
+		return s
+	}
+	return 0.33
+}
+
+// selfCost is the node's own per-row work (children excluded).
+func selfCost(n *plan.Node, childRows []int64, outRows int64) time.Duration {
+	ns := func(v float64) time.Duration { return time.Duration(v) }
+	switch n.Op {
+	case plan.Scan:
+		w := len(n.Cols)
+		if w == 0 {
+			w = len(n.Schema())
+		}
+		return ns(float64(outRows) * float64(1+w))
+	case plan.TableFn:
+		return ns(float64(outRows) * 2)
+	case plan.Cached:
+		return replayCost(outRows, 0)
+	case plan.Select:
+		return ns(float64(childRows[0]) * 2)
+	case plan.Project:
+		return ns(float64(childRows[0]) * float64(1+len(n.Projs)))
+	case plan.Aggregate:
+		return ns(float64(childRows[0])*8 + float64(outRows)*4)
+	case plan.Join:
+		// Hash join: build the right side, probe with the left.
+		return ns(float64(childRows[1])*10 + float64(childRows[0])*4 + float64(outRows)*2)
+	case plan.TopN:
+		return ns(float64(childRows[0]) * 4)
+	case plan.Sort:
+		in := float64(childRows[0])
+		return ns(in * math.Log2(in+2) * 2)
+	default: // Limit, Union
+		var in float64
+		for _, r := range childRows {
+			in += float64(r)
+		}
+		return ns(in)
+	}
+}
+
+func floor1(v int64) int64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// ShapeKey renders a plan's canonical signature — the same per-node
+// canonical parameter strings the recycler graph dedupes shapes by. The
+// engine keys its optimized-shape cache on it.
+func ShapeKey(p *plan.Node) string { return shapeKey(p) }
+
+// shapeKey renders a subtree's canonical signature: operator and canonical
+// parameter string per node, parenthesized by structure. Logically identical
+// shapes (however they were assembled) share one memo group.
+func shapeKey(n *plan.Node) string {
+	var b strings.Builder
+	writeShape(&b, n)
+	return b.String()
+}
+
+func writeShape(b *strings.Builder, n *plan.Node) {
+	b.WriteString(n.Op.String())
+	b.WriteByte('[')
+	b.WriteString(n.ParamString(expr.Ident))
+	b.WriteByte(']')
+	if len(n.Children) > 0 {
+		b.WriteByte('(')
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeShape(b, c)
+		}
+		b.WriteByte(')')
+	}
+}

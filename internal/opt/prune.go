@@ -1,0 +1,160 @@
+package opt
+
+import (
+	"recycledb/internal/plan"
+)
+
+// Projection pruning: a top-down pass computing, for each node, the set of
+// output columns some ancestor actually consumes, then narrowing Scan
+// column lists, Project items, and Aggregate specs to exactly those. A nil
+// requirement means "everything" — the root, and anything whose ancestors
+// never pin a concrete column set, keeps its full schema, so the
+// statement's output schema is untouched. The requirement first becomes
+// concrete below Projects (which rebind columns by name), which is where
+// the SQL builder's plans gain: scans stop materializing columns only the
+// SELECT list ignores. Aggregates narrow their own spec list but pass
+// "everything" down — see the Aggregate case for why.
+
+// pruneTree prunes n's subtree given the ancestor requirement req (nil =
+// keep all). The tree must be resolved (join routing reads child schemas);
+// the caller re-resolves afterwards.
+func pruneTree(n *plan.Node, req map[string]struct{}) {
+	switch n.Op {
+	case plan.Scan:
+		if req == nil {
+			return
+		}
+		var cols []string
+		for _, c := range n.Cols {
+			if _, ok := req[c]; ok {
+				cols = append(cols, c)
+			}
+		}
+		if len(cols) == 0 && len(n.Cols) > 0 {
+			// Keep one column: a zero-column scan has no row count.
+			cols = []string{n.Cols[0]}
+		}
+		n.Cols = cols
+
+	case plan.TableFn, plan.Cached:
+		return
+
+	case plan.Select:
+		creq := req
+		if req != nil {
+			creq = copySet(req)
+			n.Pred.AddCols(creq)
+		}
+		pruneTree(n.Children[0], creq)
+
+	case plan.Project:
+		if req != nil {
+			var keep []plan.NamedExpr
+			for _, it := range n.Projs {
+				if _, ok := req[it.As]; ok {
+					keep = append(keep, it)
+				}
+			}
+			if len(keep) == 0 {
+				keep = n.Projs[:1]
+			}
+			n.Projs = keep
+		}
+		// Requirements first become concrete here: even when req is nil the
+		// child only needs the columns the (possibly narrowed) items read.
+		creq := make(map[string]struct{})
+		for _, it := range n.Projs {
+			it.E.AddCols(creq)
+		}
+		pruneTree(n.Children[0], creq)
+
+	case plan.Aggregate:
+		if req != nil {
+			// Group-by columns define the grouping and always survive;
+			// only unconsumed aggregate outputs are dropped.
+			var keep []plan.AggSpec
+			for _, a := range n.Aggs {
+				if _, ok := req[a.As]; ok {
+					keep = append(keep, a)
+				}
+			}
+			if len(keep) == 0 && len(n.Aggs) > 0 {
+				keep = n.Aggs[:1]
+			}
+			n.Aggs = keep
+		}
+		// Pruning stops here: aggregate subsumption (§IV-A tuple and column
+		// derivations) only links aggregates that share their child subtree
+		// verbatim, so narrowing the input per-aggregate — GROUP BY region
+		// dropping columns a GROUP BY region, product kept — would fragment
+		// the recycler graph and silently defeat re-aggregation reuse.
+		pruneTree(n.Children[0], nil)
+
+	case plan.Join:
+		l, r := n.Children[0], n.Children[1]
+		var lreq, rreq map[string]struct{}
+		if req != nil {
+			lreq = intersectNames(req, l.Schema().Names())
+			for _, k := range n.LeftKeys {
+				lreq[k] = struct{}{}
+			}
+		}
+		switch n.JT {
+		case plan.LeftSemi, plan.LeftAnti:
+			// The right side only feeds the key membership test — always
+			// prunable to its keys, even when the ancestors need
+			// everything from the join.
+			rreq = make(map[string]struct{}, len(n.RightKeys))
+		default:
+			if req != nil {
+				rreq = intersectNames(req, r.Schema().Names())
+			}
+		}
+		if rreq != nil {
+			for _, k := range n.RightKeys {
+				rreq[k] = struct{}{}
+			}
+		}
+		pruneTree(l, lreq)
+		pruneTree(r, rreq)
+
+	case plan.TopN, plan.Sort:
+		creq := req
+		if req != nil {
+			creq = copySet(req)
+			for _, k := range n.Keys {
+				creq[k.Col] = struct{}{}
+			}
+		}
+		pruneTree(n.Children[0], creq)
+
+	case plan.Limit:
+		pruneTree(n.Children[0], req)
+
+	case plan.Union:
+		// Union children match positionally; narrowing one side by name
+		// would desynchronize them. Keep both whole.
+		pruneTree(n.Children[0], nil)
+		pruneTree(n.Children[1], nil)
+	}
+}
+
+func copySet(s map[string]struct{}) map[string]struct{} {
+	c := make(map[string]struct{}, len(s))
+	//recycledb:nondet-ok — set copy, order-free
+	for k := range s {
+		c[k] = struct{}{}
+	}
+	return c
+}
+
+// intersectNames returns the subset of names present in req, as a set.
+func intersectNames(req map[string]struct{}, names []string) map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, n := range names {
+		if _, ok := req[n]; ok {
+			out[n] = struct{}{}
+		}
+	}
+	return out
+}

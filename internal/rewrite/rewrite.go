@@ -193,44 +193,17 @@ func (rw *Rewriter) dropStoresUnderWaits(n *plan.Node, res *Result, underWait bo
 // entry is stale (tagged older than the epoch the catalog has moved to).
 // Untagged entries are version-agnostic; tags over tables outside the
 // statement's capture (subsumption across differently-shaped plans) fall
-// back to the live table version.
+// back to the live table version. The predicate itself is shared with the
+// optimizer's cached-access-path probing (core.EntrySnapValid), so the
+// rewriter substitutes exactly the entries the optimizer steered toward.
 func (rw *Rewriter) entryValid(e *core.Entry) (valid, stale bool) {
-	if e.Snap == nil {
-		return true, false
-	}
-	valid = true
-	//recycledb:nondet-ok — commutative ∀-fold over the snapshot tags
-	for t, ts := range e.Snap {
-		if t == plan.LineageAll {
-			if rw.SnapVers != nil && ts.Ver != rw.GlobalVer {
-				valid = false
-				if ts.Ver < rw.GlobalVer {
-					stale = true
-				}
-			}
-			continue
-		}
-		if v, ok := rw.SnapVers[t]; ok {
-			if v.Ver != ts.Ver {
-				valid = false
-				if ts.Ver < v.Ver {
-					stale = true
-				}
-			}
-			continue
-		}
+	return core.EntrySnapValid(e, rw.SnapVers, rw.GlobalVer, func(t string) (int64, bool) {
 		tbl, err := rw.Cat.Table(t)
 		if err != nil {
-			return false, true
+			return 0, false
 		}
-		if live := tbl.DataVersion(); live != ts.Ver {
-			valid = false
-			if ts.Ver < live {
-				stale = true
-			}
-		}
-	}
-	return valid, stale
+		return tbl.DataVersion(), true
+	})
 }
 
 // cachedValid is Cached plus snapshot validation. Entries tagged older

@@ -91,6 +91,10 @@ func addYears(days int64, years int) int64 {
 	return t.Unix() / 86400
 }
 
+// AddYears shifts a day-epoch date by whole years (for harness mixes that
+// rebuild query windows from Params).
+func AddYears(days int64, years int) int64 { return addYears(days, years) }
+
 func dd(days int64) *expr.Lit { return expr.DateDays(days) }
 
 // Q1: pricing summary report.

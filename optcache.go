@@ -1,0 +1,92 @@
+package recycledb
+
+import (
+	"container/list"
+	"sync"
+
+	"recycledb/internal/plan"
+)
+
+// Optimized-shape cache. The optimizer's decisions are deterministic for a
+// fixed recycler state, and its steering deliberately *converges*: once a
+// shape has executed, later probes find that shape warm and re-pick it. So
+// per-execution re-optimization of a shape seen moments ago recomputes the
+// same answer through several tree passes and graph probes. This LRU keys
+// the optimized output by the bound plan's canonical signature — the same
+// rendering the recycler graph dedupes shapes by, so two plans sharing a
+// key are plans the recycler already treats as identical — and replays it
+// with one clone.
+//
+// Staleness is tolerated by design: a cached decision made against an
+// older recycler state stays *correct* (golden equivalence holds for every
+// enumerable shape), it is merely no longer the warmest choice. Entries
+// are dropped on schema-version or optimizer-fingerprint mismatch, and the
+// whole cache is flushed with the result cache (Engine.FlushCache), whose
+// warmth the decisions were based on.
+
+// DefaultOptCacheSize is the optimized-shape LRU capacity.
+const DefaultOptCacheSize = 512
+
+type optShapeEntry struct {
+	key string
+	p   *plan.Node // resolved optimized plan; cloned on every use
+	ver int64      // catalog schema version at optimization time
+	fp  string     // optimizer fingerprint at optimization time
+}
+
+type optShapeCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+func newOptShapeCache(max int) *optShapeCache {
+	return &optShapeCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns a clone of the cached optimized plan for key, or nil. A hit
+// under a different schema version or optimizer fingerprint evicts.
+func (c *optShapeCache) get(key string, ver int64, fp string) *plan.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*optShapeEntry)
+	if e.ver != ver || e.fp != fp {
+		c.ll.Remove(el)
+		delete(c.m, key)
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return e.p.Clone()
+}
+
+// put stores a clone of the optimized plan under key.
+func (c *optShapeCache) put(key string, p *plan.Node, ver int64, fp string) {
+	clone := p.Clone()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		e := el.Value.(*optShapeEntry)
+		e.p, e.ver, e.fp = clone, ver, fp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&optShapeEntry{key: key, p: clone, ver: ver, fp: fp})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*optShapeEntry).key)
+	}
+}
+
+// flush empties the cache (recycler warmth it steered by is gone).
+func (c *optShapeCache) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.m = make(map[string]*list.Element)
+}

@@ -1,0 +1,131 @@
+package recycledb
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"recycledb/internal/plan"
+)
+
+// Flipping the optimizer mid-process must recompile prepared statements and
+// refuse plan-cache entries compiled under the other setting: an optimized
+// template's shape (pruned scans, split chains) is wrong for an engine told
+// to run without the optimizer, and vice versa.
+func TestOptimizerToggleRecompiles(t *testing.T) {
+	e := New(Config{Mode: Speculative})
+	loadSales(e, 2000)
+
+	const q = `SELECT region FROM sales WHERE qty > 5`
+	stmt, err := e.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := stmt.Exec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	onFP := e.optFingerprint()
+	if got := stmt.cur.Load().fp; got != onFP {
+		t.Fatalf("stmt fingerprint %q, want %q", got, onFP)
+	}
+	// Compile-time normalization pruned the scan: only region and qty
+	// survive out of sales' five columns.
+	scan := findScan(stmt.cur.Load().c.Query.Plan)
+	if scan == nil || len(scan.Cols) != 2 {
+		t.Fatalf("optimized template scan not pruned: %v", scan)
+	}
+
+	e.SetOptimizerEnabled(false)
+	offFP := e.optFingerprint()
+	if offFP == onFP {
+		t.Fatal("fingerprint did not change with the optimizer setting")
+	}
+	if c := e.plans.get(stmt.Text(), e.cat.Version(), offFP); c != nil {
+		t.Fatal("plan cache served a template compiled under the other optimizer setting")
+	}
+
+	after, err := stmt.Exec(context.Background())
+	if err != nil {
+		t.Fatalf("prepared statement failed after optimizer toggle: %v", err)
+	}
+	if cv := stmt.cur.Load(); cv.fp != offFP {
+		t.Fatalf("stmt did not recompile: fingerprint %q, want %q", cv.fp, offFP)
+	}
+	// The recompiled template is the written shape: all five columns scanned.
+	scan = findScan(stmt.cur.Load().c.Query.Plan)
+	if scan == nil || len(scan.Cols) != 0 && len(scan.Cols) != 5 {
+		t.Fatalf("unoptimized template scan unexpectedly pruned: %v", scan.Cols)
+	}
+	if before.Rows() != after.Rows() {
+		t.Fatalf("toggle changed the result: %d rows before, %d after", before.Rows(), after.Rows())
+	}
+}
+
+func findScan(n *plan.Node) *plan.Node {
+	if n.Op == plan.Scan {
+		return n
+	}
+	for _, c := range n.Children {
+		if s := findScan(c); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// The environment hatch and the Config hatch must produce the same state.
+func TestDisableOptimizerConfig(t *testing.T) {
+	e := New(Config{DisableOptimizer: true})
+	if e.OptimizerEnabled() {
+		t.Fatal("Config.DisableOptimizer ignored")
+	}
+	e.SetOptimizerEnabled(true)
+	if !e.OptimizerEnabled() {
+		t.Fatal("SetOptimizerEnabled(true) ignored")
+	}
+}
+
+// EXPLAIN renders the chosen plan with per-node cost estimates, and marks
+// recycler-matched subtrees once the cache is warm.
+func TestEngineExplain(t *testing.T) {
+	e := New(Config{Mode: Speculative})
+	loadSales(e, 2000)
+
+	const q = `SELECT region, sum(amount) AS total FROM sales WHERE qty > 5 GROUP BY region`
+	cold, err := e.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cold, "cost≈") || !strings.Contains(cold, "rows≈") {
+		t.Fatalf("explain missing cost annotations:\n%s", cold)
+	}
+	if strings.Contains(cold, "[cached]") {
+		t.Fatalf("cold explain claims a cached subtree:\n%s", cold)
+	}
+
+	// Warm the cache, then the same plan must show a [cached] subtree.
+	if _, err := e.Exec(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := e.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm, "[cached]") {
+		t.Fatalf("warm explain shows no cached subtree:\n%s", warm)
+	}
+
+	// Deterministic: rendering twice against the same state is identical.
+	again, err := e.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != warm {
+		t.Fatalf("explain not deterministic:\n%s\nvs\n%s", warm, again)
+	}
+
+	if _, err := e.Explain(`INSERT INTO sales VALUES ('north', 1, 2.0, 3, date '1996-01-01')`); err == nil {
+		t.Fatal("explain of DML did not fail")
+	}
+}

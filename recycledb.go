@@ -81,8 +81,10 @@ import (
 	"recycledb/internal/catalog"
 	"recycledb/internal/core"
 	"recycledb/internal/exec"
+	"recycledb/internal/opt"
 	"recycledb/internal/plan"
 	"recycledb/internal/rewrite"
+	"recycledb/internal/sql"
 	"recycledb/internal/vector"
 )
 
@@ -142,6 +144,17 @@ type Config struct {
 	// hatch for bisecting regressions and for benchmarking the two paths;
 	// results are identical either way. See README "Loop fusion".
 	DisableFusion bool
+	// DisableOptimizer turns off the recycler-aware plan optimizer
+	// (internal/opt): plans execute exactly as written/compiled. An escape
+	// hatch for bisecting regressions; results are identical either way.
+	// See README "Optimizer".
+	DisableOptimizer bool
+	// OptimizerReuseBias is the optimizer's reuse-vs-cold-cost tradeoff:
+	// 1 costs a recycler-warm subtree purely as a cached access path (full
+	// steering toward reuse), 0 ignores warmth; values between interpolate.
+	// 0 uses the default of 1; negative disables cached-access-path
+	// steering while keeping the cost-based rules.
+	OptimizerReuseBias float64
 }
 
 // DefaultPlanCacheSize is the compiled-plan LRU capacity when
@@ -166,7 +179,17 @@ type Engine struct {
 	// across them.
 	par    int
 	noFuse bool
-	active atomic.Int32
+	// noOpt gates the plan optimizer; optBias is its reuse-steering knob
+	// (fixed at construction — it participates in the plan-cache
+	// fingerprint). optFP precomputes the two fingerprint strings
+	// (disabled/enabled) so the per-query check does not format.
+	noOpt   atomic.Bool
+	optBias float64
+	optFP   [2]string
+	// optShapes memoizes optimized plan shapes per canonical signature
+	// (see optcache.go); flushed with the result cache.
+	optShapes *optShapeCache
+	active    atomic.Int32
 	// pool recycles operator scratch batches across this engine's queries
 	// (vector.Pool documents the ownership rules).
 	pool *vector.Pool
@@ -216,15 +239,22 @@ func NewWithCatalog(cfg Config, cat *catalog.Catalog) *Engine {
 		par = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		cat:    cat,
-		rec:    core.New(ccfg),
-		plans:  newPlanCache(planCap),
-		vsz:    cfg.VectorSize,
-		par:    par,
-		noFuse: cfg.DisableFusion,
-		pool:   &vector.Pool{},
+		cat:       cat,
+		rec:       core.New(ccfg),
+		plans:     newPlanCache(planCap),
+		vsz:       cfg.VectorSize,
+		par:       par,
+		noFuse:    cfg.DisableFusion,
+		optBias:   cfg.OptimizerReuseBias,
+		optShapes: newOptShapeCache(DefaultOptCacheSize),
+		pool:      &vector.Pool{},
+	}
+	e.optFP = [2]string{
+		fmt.Sprintf("opt=%t;bias=%g", false, e.optBias),
+		fmt.Sprintf("opt=%t;bias=%g", true, e.optBias),
 	}
 	e.mode.Store(int32(cfg.Mode))
+	e.noOpt.Store(cfg.DisableOptimizer)
 	cat.OnCommit(e.onCommit)
 	return e
 }
@@ -287,9 +317,109 @@ func (e *Engine) Mode() Mode { return Mode(e.mode.Load()) }
 // mode they started with.
 func (e *Engine) SetMode(m Mode) { e.mode.Store(int32(m)) }
 
+// OptimizerEnabled reports whether the plan optimizer is active.
+func (e *Engine) OptimizerEnabled() bool { return !e.noOpt.Load() }
+
+// SetOptimizerEnabled toggles the plan optimizer; in-flight queries finish
+// under the setting they started with, and compiled-plan cache entries
+// carry the setting they compiled under (a flip never serves a plan shaped
+// by the other setting).
+func (e *Engine) SetOptimizerEnabled(on bool) { e.noOpt.Store(!on) }
+
+// optFingerprint identifies the optimizer configuration a compiled plan
+// depends on; it is part of the plan-cache key validation.
+func (e *Engine) optFingerprint() string {
+	if e.OptimizerEnabled() {
+		return e.optFP[1]
+	}
+	return e.optFP[0]
+}
+
+// liveVer reports a table's current data version for snapshot-tag
+// validation of tables outside a statement's capture.
+func (e *Engine) liveVer(table string) (int64, bool) {
+	tbl, err := e.cat.Table(table)
+	if err != nil {
+		return 0, false
+	}
+	return tbl.DataVersion(), true
+}
+
+// optContext assembles the optimizer's per-statement environment: the
+// recycler to probe, the statement's snapshot row counts for the cost
+// model, and a validator that accepts exactly the cached entries the
+// rewriter's substitution rule would accept under the same snapshot.
+func (e *Engine) optContext(vers map[string]core.TableSnap, trows map[string]int64, globalVer int64) *opt.Context {
+	return &opt.Context{
+		Cat: e.cat,
+		Rec: e.rec,
+		Validate: func(en *core.Entry) bool {
+			ok, _ := core.EntrySnapValid(en, vers, globalVer, e.liveVer)
+			return ok
+		},
+		TableRows: trows,
+		Cfg:       opt.Config{ReuseBias: e.optBias},
+	}
+}
+
+// Explain compiles and optimizes query with the given bindings — without
+// executing it — and renders the chosen plan tree with per-node estimated
+// cost and cardinality, plus [cached]/[inflight]/[seen] markers on subtrees
+// the optimizer matched against the recycler under the current data
+// versions. With the optimizer disabled it renders the compiled plan
+// annotated the same way.
+func (e *Engine) Explain(query string, args ...any) (string, error) {
+	stmt, err := e.Prepare(query)
+	if err != nil {
+		return "", err
+	}
+	c, err := stmt.compiled()
+	if err != nil {
+		return "", err
+	}
+	if c.Kind != sql.StmtSelect {
+		return "", fmt.Errorf("%w: %v statement", ErrNotQuery, c.Kind)
+	}
+	ds, err := toDatums(args)
+	if err != nil {
+		return "", err
+	}
+	p, err := c.Query.Bind(ds)
+	if err != nil {
+		return "", fmt.Errorf("recycledb: bind: %w", err)
+	}
+	if err := p.Resolve(e.cat); err != nil {
+		return "", fmt.Errorf("recycledb: resolve: %w", err)
+	}
+	vers := make(map[string]core.TableSnap)
+	trows := make(map[string]int64)
+	for _, name := range p.Lineage() {
+		if name == plan.LineageAll {
+			continue
+		}
+		tbl, err := e.cat.Table(name)
+		if err != nil {
+			continue
+		}
+		vers[name] = core.TableSnap{Ver: tbl.DataVersion(), Rows: int64(tbl.Rows())}
+		trows[name] = int64(tbl.Rows())
+	}
+	octx := e.optContext(vers, trows, e.cat.DataVersion())
+	if e.OptimizerEnabled() {
+		if p, err = opt.Optimize(p, octx); err != nil {
+			return "", fmt.Errorf("recycledb: optimize: %w", err)
+		}
+	}
+	return opt.Render(p, opt.Annotate(p, octx)), nil
+}
+
 // FlushCache evicts all cached results (simulates update invalidation, as in
 // the paper's Fig. 6 protocol).
-func (e *Engine) FlushCache() { e.rec.FlushCache() }
+func (e *Engine) FlushCache() {
+	e.rec.FlushCache()
+	// Cached optimizer decisions steered toward the warmth just flushed.
+	e.optShapes.flush()
+}
 
 // QueryStats reports what the recycler did for one query.
 type QueryStats struct {
@@ -353,7 +483,7 @@ func (e *Engine) QueryCollect(ctx context.Context, sql string, args ...any) (*Re
 // The recycler graph is annotated with measured costs when the stream
 // completes. q is not mutated.
 func (e *Engine) Stream(ctx context.Context, q *plan.Node) (*Rows, error) {
-	return e.stream(ctx, q.Clone())
+	return e.stream(ctx, q, true)
 }
 
 // ExecuteContext runs a built query plan to completion under ctx and
@@ -393,9 +523,12 @@ func (e *Engine) beginStatement() int {
 // endStatement releases a statement slot.
 func (e *Engine) endStatement() { e.active.Add(-1) }
 
-// stream owns p (already cloned). It resolves, rewrites, builds, and opens
-// the pipeline, returning a Rows positioned before the first batch.
-func (e *Engine) stream(ctx context.Context, p *plan.Node) (rows *Rows, err error) {
+// stream resolves, optimizes, rewrites, builds, and opens the pipeline,
+// returning a Rows positioned before the first batch. shared marks p as
+// caller-owned: stream only reads it (the canonical-signature render walks
+// the tree without mutation) and clones before any rewrite; with shared
+// false, stream takes ownership of p.
+func (e *Engine) stream(ctx context.Context, p *plan.Node, shared bool) (rows *Rows, err error) {
 	if ctx == nil {
 		ctx = context.Background() //recycledb:ctx-ok — documented nil-ctx fallback
 	}
@@ -406,8 +539,30 @@ func (e *Engine) stream(ctx context.Context, p *plan.Node) (rows *Rows, err erro
 		}
 	}()
 	start := time.Now()
-	if err := p.Resolve(e.cat); err != nil {
-		return nil, fmt.Errorf("recycledb: resolve: %w", err)
+	// Optimized-shape fast path (optcache.go): render the plan's canonical
+	// signature on the incoming tree and replay a prior optimizer decision
+	// with a single clone. The cached clone carries its resolution — the
+	// schema version it resolved under is part of the cache key — so a hit
+	// skips the clone-resolve-optimize sequence entirely. optVer is read
+	// before Resolve so a concurrent schema change can only store the entry
+	// under a too-old version (evicted on next lookup), never a too-new one.
+	optimize := e.OptimizerEnabled()
+	resolved := false
+	var shapeKey, optFP string
+	var optVer int64
+	if optimize {
+		shapeKey, optVer, optFP = opt.ShapeKey(p), e.cat.Version(), e.optFingerprint()
+		if c := e.optShapes.get(shapeKey, optVer, optFP); c != nil {
+			p, shared, optimize, resolved = c, false, false, true
+		}
+	}
+	if shared {
+		p = p.Clone()
+	}
+	if !resolved {
+		if err := p.Resolve(e.cat); err != nil {
+			return nil, fmt.Errorf("recycledb: resolve: %w", err)
+		}
 	}
 	// Capture the statement's data epoch: one snapshot per base table in
 	// the plan's lineage, taken before rewriting. Cache substitution
@@ -416,6 +571,7 @@ func (e *Engine) stream(ctx context.Context, p *plan.Node) (rows *Rows, err erro
 	// front to back even while writers commit.
 	snaps := make(map[string]*catalog.Snapshot)
 	vers := make(map[string]core.TableSnap)
+	trows := make(map[string]int64)
 	for _, name := range p.Lineage() {
 		if name == plan.LineageAll {
 			continue
@@ -427,10 +583,27 @@ func (e *Engine) stream(ctx context.Context, p *plan.Node) (rows *Rows, err erro
 		s := tbl.Snapshot()
 		snaps[name] = s
 		vers[name] = core.TableSnap{Ver: s.Ver, Rows: int64(s.Rows)}
+		trows[name] = int64(s.Rows)
+	}
+	globalVer := e.cat.DataVersion()
+	// The optimizer runs between compilation and the recycling rewrite:
+	// pushdown/pruning normalization, then the recycler-probing dynamic
+	// phase that orders conjunct chains and join groups toward subtrees
+	// already warm under this statement's snapshot. The rewriter then
+	// performs the actual substitutions on the chosen shape. The decision
+	// is memoized under the signature rendered above; later executions of
+	// this shape replay it from the cache.
+	if optimize {
+		np, err := opt.Optimize(p, e.optContext(vers, trows, globalVer))
+		if err != nil {
+			return nil, fmt.Errorf("recycledb: optimize: %w", err)
+		}
+		e.optShapes.put(shapeKey, np, optVer, optFP)
+		p = np
 	}
 	rw := rewrite.NewRewriter(e.rec, e.cat, e.Mode())
 	rw.SnapVers = vers
-	rw.GlobalVer = e.cat.DataVersion()
+	rw.GlobalVer = globalVer
 	rres, err := rw.Rewrite(p)
 	if err != nil {
 		return nil, fmt.Errorf("recycledb: rewrite: %w", err)

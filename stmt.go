@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"recycledb/internal/catalog"
+	"recycledb/internal/opt"
 	"recycledb/internal/sql"
 	"recycledb/internal/vector"
 )
@@ -37,11 +38,12 @@ type Stmt struct {
 	cur  atomic.Pointer[compiledAt]
 }
 
-// compiledAt pins a compiled statement to the catalog schema version it
-// compiled against.
+// compiledAt pins a compiled statement to the catalog schema version and
+// the optimizer fingerprint it compiled under.
 type compiledAt struct {
 	c   *sql.Compiled
 	ver int64
+	fp  string
 }
 
 // Prepare compiles a statement — SELECT or DML — into a reusable handle.
@@ -54,29 +56,45 @@ type compiledAt struct {
 // compiled plans — they are re-snapshotted at every execution.
 func (e *Engine) Prepare(query string) (*Stmt, error) {
 	key := sql.Normalize(query)
-	c, ver, err := e.compile(query, key)
+	c, ver, fp, err := e.compile(query, key)
 	if err != nil {
 		return nil, err
 	}
 	s := &Stmt{eng: e, text: key}
-	s.cur.Store(&compiledAt{c: c, ver: ver})
+	s.cur.Store(&compiledAt{c: c, ver: ver, fp: fp})
 	return s, nil
 }
 
 // compile fetches the compiled form of query from the plan cache at the
-// current schema version, compiling and caching on a miss. key is the
-// normalized cache key of query.
-func (e *Engine) compile(query, key string) (*sql.Compiled, int64, error) {
+// current schema version and optimizer fingerprint, compiling and caching
+// on a miss. key is the normalized cache key of query. Parameter-free
+// SELECT templates are statically normalized (pushdown, conjunct
+// chain-splitting, projection pruning) at compile time when the optimizer
+// is on — which is why the fingerprint is part of cache validation: a
+// cached template's shape depends on the optimizer setting it compiled
+// under, and flipping the setting mid-process must recompile, not reuse.
+func (e *Engine) compile(query, key string) (*sql.Compiled, int64, string, error) {
 	ver := e.cat.Version()
-	if c := e.plans.get(key, ver); c != nil {
-		return c, ver, nil
+	fp := e.optFingerprint()
+	if c := e.plans.get(key, ver, fp); c != nil {
+		return c, ver, fp, nil
 	}
 	c, err := sql.CompileStatement(query, e.cat)
 	if err != nil {
-		return nil, 0, wrapSQLError(err)
+		return nil, 0, "", wrapSQLError(err)
 	}
-	e.plans.put(key, c, ver)
-	return c, ver, nil
+	if e.OptimizerEnabled() && c.Kind == sql.StmtSelect &&
+		c.Query != nil && c.Query.NumParams == 0 {
+		// Static normalization only — the dynamic (recycler-probing) phase
+		// runs per execution against the statement's snapshot. Errors are
+		// swallowed here: the template stays as compiled and the per-
+		// execution optimizer surfaces any real problem.
+		if np, err := opt.Normalize(c.Query.Plan.Clone(), e.cat); err == nil {
+			c.Query.Plan = np
+		}
+	}
+	e.plans.put(key, c, ver, fp)
+	return c, ver, fp, nil
 }
 
 // compiled returns the statement's compiled form, revalidated against the
@@ -85,17 +103,16 @@ func (e *Engine) compile(query, key string) (*sql.Compiled, int64, error) {
 // failure surfaces as ErrStaleStmt with the cause in the chain.
 func (s *Stmt) compiled() (*sql.Compiled, error) {
 	cv := s.cur.Load()
-	ver := s.eng.cat.Version()
-	if cv.ver == ver {
+	if cv.ver == s.eng.cat.Version() && cv.fp == s.eng.optFingerprint() {
 		return cv.c, nil
 	}
-	c, nver, err := s.eng.compile(s.text, s.text)
+	c, nver, nfp, err := s.eng.compile(s.text, s.text)
 	if err != nil {
 		return nil, fmt.Errorf("%w: schema changed since Prepare: %w", ErrStaleStmt, err)
 	}
 	// Racing revalidations compile the same text; any winner is current
 	// enough (the version is re-checked on the next execution).
-	s.cur.Store(&compiledAt{c: c, ver: nver})
+	s.cur.Store(&compiledAt{c: c, ver: nver, fp: nfp})
 	return c, nil
 }
 
@@ -125,7 +142,7 @@ func (s *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
 	if err != nil {
 		return nil, fmt.Errorf("recycledb: bind: %w", err)
 	}
-	return s.eng.stream(ctx, p)
+	return s.eng.stream(ctx, p, false)
 }
 
 // Exec executes the statement to completion. For SELECTs it materializes
@@ -269,13 +286,18 @@ type planEntry struct {
 	key  string
 	tmpl *sql.Compiled
 	ver  int64
+	// fp is the optimizer fingerprint the template compiled under; a
+	// lookup under a different fingerprint misses (and drops the entry),
+	// so toggling the optimizer mid-process can never serve a plan shaped
+	// by the other setting.
+	fp string
 }
 
 func newPlanCache(max int) *planCache {
 	return &planCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
-func (c *planCache) get(key string, ver int64) *sql.Compiled {
+func (c *planCache) get(key string, ver int64, fp string) *sql.Compiled {
 	if c.max <= 0 {
 		return nil
 	}
@@ -286,7 +308,7 @@ func (c *planCache) get(key string, ver int64) *sql.Compiled {
 		return nil
 	}
 	pe := el.Value.(*planEntry)
-	if pe.ver != ver {
+	if pe.ver != ver || pe.fp != fp {
 		c.ll.Remove(el)
 		delete(c.m, key)
 		return nil
@@ -295,7 +317,7 @@ func (c *planCache) get(key string, ver int64) *sql.Compiled {
 	return pe.tmpl
 }
 
-func (c *planCache) put(key string, tmpl *sql.Compiled, ver int64) {
+func (c *planCache) put(key string, tmpl *sql.Compiled, ver int64, fp string) {
 	if c.max <= 0 {
 		return
 	}
@@ -303,11 +325,11 @@ func (c *planCache) put(key string, tmpl *sql.Compiled, ver int64) {
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		pe := el.Value.(*planEntry)
-		pe.tmpl, pe.ver = tmpl, ver
+		pe.tmpl, pe.ver, pe.fp = tmpl, ver, fp
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.m[key] = c.ll.PushFront(&planEntry{key: key, tmpl: tmpl, ver: ver})
+	c.m[key] = c.ll.PushFront(&planEntry{key: key, tmpl: tmpl, ver: ver, fp: fp})
 	for c.ll.Len() > c.max {
 		last := c.ll.Back()
 		c.ll.Remove(last)

@@ -32,7 +32,7 @@ func TestStmtRecompilesAfterSchemaChange(t *testing.T) {
 	if _, err := e.Exec(context.Background(), `CREATE TABLE audit (id int, note string)`); err != nil {
 		t.Fatal(err)
 	}
-	if e.plans.get(stmt.Text(), e.cat.Version()) != nil {
+	if e.plans.get(stmt.Text(), e.cat.Version(), e.optFingerprint()) != nil {
 		t.Fatal("plan cache served a compiled statement across a schema change")
 	}
 	if stmt.cur.Load().ver == e.cat.Version() {
