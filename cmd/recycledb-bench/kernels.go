@@ -1,0 +1,268 @@
+package main
+
+// The -kernels comparison: the type-specialized compute kernels (compiled
+// predicate kernels, typed aggregate emission, the int64 hash fast path)
+// against the generic interpreted paths they specialize. Two sections:
+//
+//   - pipeline: the loop-fusion benchmark's workload (recycling OFF, one
+//     client, pure cache-miss execution) crossed with kernels on/off, at
+//     parallelism 1 and 8, fused and unfused — directly comparable to
+//     BENCH_<date>_fusion.json cells;
+//   - micro: per-kernel operator throughput (predicate filtering by type,
+//     single-int64-key hash join, aggregate emission), kernels on vs off,
+//     isolating each specialized loop from plan and workload noise.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"recycledb"
+
+	"recycledb/internal/catalog"
+	"recycledb/internal/exec"
+	"recycledb/internal/expr"
+	"recycledb/internal/harness"
+	"recycledb/internal/plan"
+	"recycledb/internal/vector"
+	"recycledb/internal/workload"
+)
+
+// kernelPipeRow is one (workers, fused, kernels) cell of the end-to-end
+// comparison.
+type kernelPipeRow struct {
+	Workers       int     `json:"workers"`
+	Fused         bool    `json:"fused"`
+	Kernels       bool    `json:"kernels"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	P50Micros     int64   `json:"p50_us"`
+	P95Micros     int64   `json:"p95_us"`
+	// SpeedupVsGeneric is q/s relative to the kernels-off run of the same
+	// (workers, fused) cell (set on kernels-on rows).
+	SpeedupVsGeneric float64 `json:"speedup_vs_generic,omitempty"`
+}
+
+// kernelMicroRow is one (kernel, on/off) cell of the per-kernel section.
+type kernelMicroRow struct {
+	Name       string  `json:"name"`
+	Kernels    bool    `json:"kernels"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	// SpeedupVsGeneric is rows/sec relative to the kernels-off run of the
+	// same micro (set on kernels-on rows).
+	SpeedupVsGeneric float64 `json:"speedup_vs_generic,omitempty"`
+}
+
+// kernelsReport is the BENCH_<date>_kernels.json document.
+type kernelsReport struct {
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	Clients    int               `json:"clients"`
+	Queries    int64             `json:"queries_per_cell"`
+	SF         float64           `json:"sf"`
+	Seed       int64             `json:"seed"`
+	Mode       string            `json:"mode"`
+	Pipeline   []*kernelPipeRow  `json:"pipeline"`
+	Micro      []*kernelMicroRow `json:"micro"`
+}
+
+// runKernelsBench measures the kernel layer end to end and in isolation.
+func runKernelsBench(out string, queries int64, sf float64, seed int64) error {
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s_kernels.json", time.Now().Format("2006-01-02"))
+	}
+	cfg := harness.DefaultTPCH()
+	cfg.SF = sf
+	cfg.Seed = seed
+	cat := harness.LoadTPCH(cfg)
+	rep := kernelsReport{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Clients:    1,
+		Queries:    queries,
+		SF:         sf,
+		Seed:       seed,
+		Mode:       "off",
+	}
+
+	fmt.Printf("--- kernels pipeline (mode off, 1 client) ---\n")
+	for _, workers := range []int{1, 8} {
+		for _, fused := range []bool{false, true} {
+			base := 0.0
+			for _, kernels := range []bool{false, true} {
+				eng := harness.NewEngineKernels(cat, recycledb.Off, cfg.CacheBytes, workers, !fused, !kernels)
+				mix := harness.TPCHMix(4, 1)
+				ex := harness.EngineExec(eng)
+				workload.RunClients(workload.ClientsConfig{
+					Clients: 1, MaxQueries: 32, Seed: seed + 7,
+				}, mix, ex) // warm plan pools and batch pools
+				res := workload.RunClients(workload.ClientsConfig{
+					Clients: 1, MaxQueries: queries, Seed: seed,
+				}, mix, ex)
+				row := &kernelPipeRow{
+					Workers:       workers,
+					Fused:         fused,
+					Kernels:       kernels,
+					QueriesPerSec: res.QPS(),
+					P50Micros:     res.Percentile(50).Microseconds(),
+					P95Micros:     res.Percentile(95).Microseconds(),
+				}
+				if !kernels {
+					base = row.QueriesPerSec
+				} else if base > 0 {
+					row.SpeedupVsGeneric = row.QueriesPerSec / base
+				}
+				rep.Pipeline = append(rep.Pipeline, row)
+				onOff := map[bool]string{true: "on", false: "off"}
+				fmt.Printf("%2d workers fused=%-5v kernels=%-3s %8.0f q/s  p50 %6dus  p95 %6dus  speedup %.2fx\n",
+					workers, fused, onOff[kernels], row.QueriesPerSec, row.P50Micros, row.P95Micros, row.SpeedupVsGeneric)
+			}
+		}
+	}
+
+	fmt.Printf("--- kernel micro (rows/sec through one operator) ---\n")
+	rep.Micro = runKernelMicros()
+	for _, m := range rep.Micro {
+		fmt.Printf("%-18s kernels=%-5v %12.0f rows/sec  speedup %.2fx\n",
+			m.Name, m.Kernels, m.RowsPerSec, m.SpeedupVsGeneric)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// microRows is the input size of each micro operator run.
+const microRows = 1 << 18
+
+// microTable builds the synthetic micro input: id int64 (unique), k int64
+// (64 distinct), v float64, s string (8 distinct).
+func microTable() *catalog.Table {
+	t := catalog.NewTable("micro", catalog.Schema{
+		{Name: "id", Typ: vector.Int64},
+		{Name: "k", Typ: vector.Int64},
+		{Name: "v", Typ: vector.Float64},
+		{Name: "s", Typ: vector.String},
+	})
+	w := t.BeginWrite()
+	app := w.Appender()
+	for i := 0; i < microRows; i++ {
+		app.Int64(0, int64(i))
+		app.Int64(1, int64(i*2654435761)%64)
+		app.Float64(2, float64((i*48271)%1000))
+		app.String(3, fmt.Sprintf("tag-%d", i%8))
+		app.FinishRow()
+	}
+	w.Commit()
+	return t
+}
+
+// microScan builds a fresh all-column scan of t.
+func microScan(t *catalog.Table) (*exec.TableScan, catalog.Schema) {
+	cols := make([]int, len(t.Schema))
+	for i := range cols {
+		cols[i] = i
+	}
+	return exec.NewTableScan(t, cols, t.Schema), t.Schema
+}
+
+// microRate drains the operator mk builds repeatedly under the given kernel
+// setting and returns the best input-rows/sec over the timed runs.
+func microRate(disable bool, mk func() exec.Operator) float64 {
+	ctx := exec.NewCtx(catalog.New())
+	ctx.DisableKernels = disable
+	drain := func() time.Duration {
+		op := mk()
+		start := time.Now()
+		if _, err := exec.Drain(ctx, op); err != nil {
+			fatal(err)
+		}
+		return time.Since(start)
+	}
+	drain() // warm the shared pool and operator scratch paths
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 5; i++ {
+		if d := drain(); d < best {
+			best = d
+		}
+	}
+	return float64(microRows) / best.Seconds()
+}
+
+// runKernelMicros measures each specialized loop in isolation.
+func runKernelMicros() []*kernelMicroRow {
+	tab := microTable()
+	micros := []struct {
+		name string
+		mk   func() exec.Operator
+	}{
+		{"filter-i64-range", func() exec.Operator {
+			scan, schema := microScan(tab)
+			pred := expr.Between(expr.C("id"), expr.Int(microRows/4), expr.Int(microRows/2))
+			if _, err := pred.Bind(schema); err != nil {
+				fatal(err)
+			}
+			return exec.NewFilter(scan, pred)
+		}},
+		{"filter-f64-cmp", func() exec.Operator {
+			scan, schema := microScan(tab)
+			pred := expr.Lt(expr.C("v"), expr.Flt(500))
+			if _, err := pred.Bind(schema); err != nil {
+				fatal(err)
+			}
+			return exec.NewFilter(scan, pred)
+		}},
+		{"filter-str-eq", func() exec.Operator {
+			scan, schema := microScan(tab)
+			pred := expr.Eq(expr.C("s"), expr.Str("tag-3"))
+			if _, err := pred.Bind(schema); err != nil {
+				fatal(err)
+			}
+			return exec.NewFilter(scan, pred)
+		}},
+		{"hash-join-i64", func() exec.Operator {
+			left, ls := microScan(tab)
+			right, rs := microScan(tab)
+			out := append(append(catalog.Schema{}, ls...), rs...)
+			return exec.NewHashJoin(plan.Inner, left, right, []int{0}, []int{0}, out)
+		}},
+		{"agg-emit", func() exec.Operator {
+			scan, schema := microScan(tab)
+			arg := expr.C("v")
+			if _, err := arg.Bind(schema); err != nil {
+				fatal(err)
+			}
+			// One group per row: runtime is emission-dominated.
+			return exec.NewHashAgg(scan, []int{0}, []exec.AggExpr{
+				{Func: plan.Count, Typ: vector.Int64},
+				{Func: plan.Sum, Arg: arg, Typ: vector.Float64},
+			}, catalog.Schema{
+				{Name: "id", Typ: vector.Int64},
+				{Name: "n", Typ: vector.Int64},
+				{Name: "sv", Typ: vector.Float64},
+			})
+		}},
+	}
+	var out []*kernelMicroRow
+	for _, m := range micros {
+		off := &kernelMicroRow{Name: m.name, Kernels: false, RowsPerSec: microRate(true, m.mk)}
+		on := &kernelMicroRow{Name: m.name, Kernels: true, RowsPerSec: microRate(false, m.mk)}
+		if off.RowsPerSec > 0 {
+			on.SpeedupVsGeneric = on.RowsPerSec / off.RowsPerSec
+		}
+		out = append(out, off, on)
+	}
+	return out
+}

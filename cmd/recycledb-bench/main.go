@@ -35,6 +35,7 @@ import (
 	"recycledb"
 
 	"recycledb/internal/catalog"
+	"recycledb/internal/envflag"
 	"recycledb/internal/harness"
 	"recycledb/internal/monet"
 	"recycledb/internal/server"
@@ -63,10 +64,13 @@ func main() {
 		writeFrac = flag.Float64("write-frac", 0.1, "write fraction of the -json churn section (0 disables it)")
 		par       = flag.Int("parallelism", 0, "intra-query worker budget for -json (0 = GOMAXPROCS)")
 		scaleOff  = flag.Bool("no-scaling", false, "skip the intra-query scaling sweep in -json")
-		noFuse    = flag.Bool("disable-fusion", envBool("RECYCLEDB_DISABLE_FUSION"),
+		noFuse    = flag.Bool("disable-fusion", envflag.Bool(envflag.DisableFusion),
 			"disable push-based loop fusion in benchmarked engines (also via RECYCLEDB_DISABLE_FUSION=1)")
-		fusionMode = flag.Bool("fusion", false, "run the fused-vs-unfused comparison and write BENCH_<date>_fusion.json")
-		optMode    = flag.Bool("optimizer", false, "run the optimized-vs-unoptimized comparison and write BENCH_<date>_optimizer.json")
+		noKern = flag.Bool("disable-kernels", envflag.Bool(envflag.DisableKernels),
+			"disable type-specialized compute kernels in benchmarked engines (also via RECYCLEDB_DISABLE_KERNELS=1)")
+		fusionMode  = flag.Bool("fusion", false, "run the fused-vs-unfused comparison and write BENCH_<date>_fusion.json")
+		kernelsMode = flag.Bool("kernels", false, "run the kernels-on-vs-off comparison and write BENCH_<date>_kernels.json")
+		optMode     = flag.Bool("optimizer", false, "run the optimized-vs-unoptimized comparison and write BENCH_<date>_optimizer.json")
 	)
 	flag.Parse()
 
@@ -82,14 +86,20 @@ func main() {
 		}
 		return
 	}
+	if *kernelsMode {
+		if err := runKernelsBench(*jsonOut, *bqueries, *sf, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *serverMode {
-		if err := runServerBench(*jsonOut, *serverAddr, *clients, *bqueries, *sf, *skyObjects, *seed, *par, *noFuse); err != nil {
+		if err := runServerBench(*jsonOut, *serverAddr, *clients, *bqueries, *sf, *skyObjects, *seed, *par, *noFuse, *noKern); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *jsonMode {
-		if err := runJSON(*jsonOut, *clients, *bqueries, *sf, *seed, *writeFrac, *par, !*scaleOff, *noFuse); err != nil {
+		if err := runJSON(*jsonOut, *clients, *bqueries, *sf, *seed, *writeFrac, *par, !*scaleOff, *noFuse, *noKern); err != nil {
 			fatal(err)
 		}
 		return
@@ -217,6 +227,9 @@ type benchReport struct {
 	Parallelism int `json:"parallelism"`
 	// DisableFusion records whether the runs bypassed the fused push loops.
 	DisableFusion bool `json:"disable_fusion"`
+	// DisableKernels records whether the runs bypassed the type-specialized
+	// compute kernels.
+	DisableKernels bool `json:"disable_kernels"`
 	// Churn measures recycling under append-only updates: the pipelined
 	// recycler's lineage-based invalidation with delta extension keeps a
 	// nonzero hit rate, while the monet-style invalidate-all baseline
@@ -243,7 +256,7 @@ type scaleRow struct {
 // runtime.MemStats delta across the timed run divided by completed queries,
 // so the number covers the whole serving path (parse-free: plans come from
 // the mix, so this isolates rewrite+execute).
-func runJSON(out string, clients int, queries int64, sf float64, seed int64, writeFrac float64, parallelism int, scaling, noFuse bool) error {
+func runJSON(out string, clients int, queries int64, sf float64, seed int64, writeFrac float64, parallelism int, scaling, noFuse, noKern bool) error {
 	if out == "" {
 		out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
 	}
@@ -252,19 +265,20 @@ func runJSON(out string, clients int, queries int64, sf float64, seed int64, wri
 	cfg.Seed = seed
 	cat := harness.LoadTPCH(cfg)
 	rep := benchReport{
-		Date:          time.Now().Format("2006-01-02"),
-		GoVersion:     runtime.Version(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		NumCPU:        runtime.NumCPU(),
-		Clients:       clients,
-		Queries:       queries,
-		SF:            sf,
-		Seed:          seed,
-		Parallelism:   parallelism,
-		DisableFusion: noFuse,
+		Date:           time.Now().Format("2006-01-02"),
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		Clients:        clients,
+		Queries:        queries,
+		SF:             sf,
+		Seed:           seed,
+		Parallelism:    parallelism,
+		DisableFusion:  noFuse,
+		DisableKernels: noKern,
 	}
 	for _, mode := range harness.Modes {
-		eng := harness.NewEngineFusion(cat, mode, cfg.CacheBytes, parallelism, noFuse)
+		eng := harness.NewEngineKernels(cat, mode, cfg.CacheBytes, parallelism, noFuse, noKern)
 		mix := harness.TPCHMix(4, 1)
 		exec := harness.EngineExec(eng)
 		// Warm plan pools and (in recycling modes) the cache so the timed
@@ -402,18 +416,19 @@ type serverBenchMode struct {
 
 // serverBenchReport is the BENCH_<date>_server.json document.
 type serverBenchReport struct {
-	Date          string            `json:"date"`
-	GoVersion     string            `json:"go"`
-	GOMAXPROCS    int               `json:"gomaxprocs"`
-	NumCPU        int               `json:"num_cpu"`
-	Clients       int               `json:"clients"`
-	Queries       int64             `json:"queries_per_mode"`
-	SF            float64           `json:"sf"`
-	SkyObjects    int               `json:"sky_objects"`
-	Seed          int64             `json:"seed"`
-	Transport     string            `json:"transport"`
-	DisableFusion bool              `json:"disable_fusion"`
-	Modes         []serverBenchMode `json:"modes"`
+	Date           string            `json:"date"`
+	GoVersion      string            `json:"go"`
+	GOMAXPROCS     int               `json:"gomaxprocs"`
+	NumCPU         int               `json:"num_cpu"`
+	Clients        int               `json:"clients"`
+	Queries        int64             `json:"queries_per_mode"`
+	SF             float64           `json:"sf"`
+	SkyObjects     int               `json:"sky_objects"`
+	Seed           int64             `json:"seed"`
+	Transport      string            `json:"transport"`
+	DisableFusion  bool              `json:"disable_fusion"`
+	DisableKernels bool              `json:"disable_kernels"`
+	Modes          []serverBenchMode `json:"modes"`
 }
 
 // runServerBench measures the serving tier end to end: per recycling mode it
@@ -422,22 +437,23 @@ type serverBenchReport struct {
 // prepared statements reused per connection), and records throughput and
 // latency percentiles. With addr set it instead benchmarks an external
 // server once — whatever mode that server is running.
-func runServerBench(out, addr string, clients int, queries int64, sf float64, skyObjects int, seed int64, parallelism int, noFuse bool) error {
+func runServerBench(out, addr string, clients int, queries int64, sf float64, skyObjects int, seed int64, parallelism int, noFuse, noKern bool) error {
 	if out == "" {
 		out = fmt.Sprintf("BENCH_%s_server.json", time.Now().Format("2006-01-02"))
 	}
 	rep := serverBenchReport{
-		Date:          time.Now().Format("2006-01-02"),
-		GoVersion:     runtime.Version(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		NumCPU:        runtime.NumCPU(),
-		Clients:       clients,
-		Queries:       queries,
-		SF:            sf,
-		SkyObjects:    skyObjects,
-		Seed:          seed,
-		Transport:     "pgwire/tcp",
-		DisableFusion: noFuse,
+		Date:           time.Now().Format("2006-01-02"),
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		Clients:        clients,
+		Queries:        queries,
+		SF:             sf,
+		SkyObjects:     skyObjects,
+		Seed:           seed,
+		Transport:      "pgwire/tcp",
+		DisableFusion:  noFuse,
+		DisableKernels: noKern,
 	}
 	mix := harness.MixedSQLMix(4, seed)
 	measure := func(label, target string, stats func() server.Stats) error {
@@ -483,7 +499,7 @@ func runServerBench(out, addr string, clients int, queries int64, sf float64, sk
 	} else {
 		cat := harness.MixedCatalog(sf, skyObjects, seed)
 		for _, mode := range harness.Modes {
-			eng := harness.NewEngineFusion(cat, mode, 0, parallelism, noFuse)
+			eng := harness.NewEngineKernels(cat, mode, 0, parallelism, noFuse, noKern)
 			srv := server.New(eng, server.Config{})
 			lis, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
@@ -527,16 +543,6 @@ func parseStreams(s string) ([]int, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "recycledb-bench:", err)
 	os.Exit(1)
-}
-
-// envBool reads a boolean environment override ("1", "true", "yes" — any
-// non-empty value except "0"/"false"/"no" enables).
-func envBool(name string) bool {
-	switch strings.ToLower(os.Getenv(name)) {
-	case "", "0", "false", "no":
-		return false
-	}
-	return true
 }
 
 // fusionRow is one (workers, fused) cell of the loop-fusion comparison.

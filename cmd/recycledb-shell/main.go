@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"recycledb"
+	"recycledb/internal/envflag"
 	"recycledb/internal/harness"
 	"recycledb/internal/tpch"
 	"recycledb/internal/vector"
@@ -47,13 +48,17 @@ func main() {
 		duration  = flag.Duration("duration", 5*time.Second, "duration of the -clients benchmark")
 		writeFrac = flag.Float64("write-frac", 0, "fraction of -clients operations that are writes (appends to lineitem)")
 		par       = flag.Int("parallelism", 0, "intra-query worker budget (0 = GOMAXPROCS, 1 = serial)")
-		noOpt     = flag.Bool("disable-optimizer", envBool("RECYCLEDB_DISABLE_OPTIMIZER"),
+		noOpt     = flag.Bool("disable-optimizer", envflag.Bool(envflag.DisableOptimizer),
 			"disable the recycler-aware plan optimizer (also via RECYCLEDB_DISABLE_OPTIMIZER=1)")
+		noFuse = flag.Bool("disable-fusion", envflag.Bool(envflag.DisableFusion),
+			"disable push-based loop fusion of pipeline interiors (also via RECYCLEDB_DISABLE_FUSION=1)")
+		noKern = flag.Bool("disable-kernels", envflag.Bool(envflag.DisableKernels),
+			"disable type-specialized compute kernels (also via RECYCLEDB_DISABLE_KERNELS=1)")
 	)
 	flag.Parse()
 
 	eng := recycledb.New(recycledb.Config{Mode: parseMode(*mode), Parallelism: *par,
-		DisableOptimizer: *noOpt})
+		DisableOptimizer: *noOpt, DisableFusion: *noFuse, DisableKernels: *noKern})
 	fmt.Printf("loading TPC-H sf=%g ...\n", *sf)
 	tpch.Generate(eng.Catalog(), *sf, 1)
 	if *clients > 0 {
@@ -151,16 +156,6 @@ func explainArg(line string) (string, bool) {
 		return "", false
 	}
 	return strings.TrimSpace(line[len(f[0]):]), true
-}
-
-// envBool reads a boolean environment override ("1", "true", "yes" — any
-// non-empty value but "0"/"false"/"no" counts as set).
-func envBool(name string) bool {
-	switch strings.ToLower(os.Getenv(name)) {
-	case "", "0", "false", "no":
-		return false
-	}
-	return true
 }
 
 // isDML sniffs the statement verb: INSERT / DELETE / CREATE run through

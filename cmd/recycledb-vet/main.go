@@ -72,13 +72,17 @@ var libraryPackages = map[string]bool{
 // recycler statistics: map-iteration order must not leak there (detcheck).
 // internal/opt is included because optimizer enumeration must be
 // deterministic — two plannings of one query against the same recycler
-// state have to yield byte-identical plans.
+// state have to yield byte-identical plans. internal/vector is included
+// because the gather/refine kernels build the batches results are made of:
+// emission must follow explicit order slices (first-occurrence group
+// order), never a map walk.
 var resultPackages = map[string]bool{
 	module + "/internal/exec":    true,
 	module + "/internal/core":    true,
 	module + "/internal/opt":     true,
 	module + "/internal/plan":    true,
 	module + "/internal/rewrite": true,
+	module + "/internal/vector":  true,
 }
 
 // inScope decides which analyzers run on which import paths.

@@ -1,0 +1,156 @@
+package recycledb_test
+
+// Golden equivalence for the type-specialized kernel layer: every TPC-H and
+// SkyServer query must produce the same canonical result with kernels on
+// and off, crossed with fused/unfused execution and Parallelism 1 and 4, in
+// every recycling mode, cold and warm cache. Ground truth comes from the
+// fully generic path — serial, unfused, kernels disabled — so the matrix
+// proves the compiled predicate kernels, typed aggregate emission, and the
+// int64 hash fast path reproduce the legacy interpreter exactly. The kernel
+// toggle must also be invisible to the recycler: per-mode recycler stats
+// and cold EXPLAIN output (plan shapes and cost estimates) are compared
+// between otherwise-identical kernels-on and kernels-off engines.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"recycledb"
+
+	"recycledb/internal/exec"
+	"recycledb/internal/harness"
+)
+
+func TestGoldenEquivalenceKernels(t *testing.T) {
+	// Small vectors shrink the morsel size so the parallel paths engage at
+	// test scale (see TestGoldenEquivalenceAcrossParallelism).
+	const vsz = 256
+	cat := harness.MixedCatalog(0.002, 10000, 1)
+	queries := goldenQueries()
+
+	base := recycledb.NewWithCatalog(
+		recycledb.Config{Mode: recycledb.Off, Parallelism: 1, VectorSize: vsz,
+			DisableFusion: true, DisableKernels: true}, cat)
+	want := make([]map[string]*canonRow, len(queries))
+	for i, q := range queries {
+		r, err := base.ExecuteContext(context.Background(), q.Plan)
+		if err != nil {
+			t.Fatalf("baseline %s: %v", q.Label, err)
+		}
+		want[i] = canonResult(r)
+	}
+
+	type cell struct {
+		label   string
+		kernels bool
+		eng     *recycledb.Engine
+	}
+	var cells []cell
+	for _, mode := range harness.Modes {
+		for _, par := range []int{1, 4} {
+			for _, fused := range []bool{true, false} {
+				for _, kernels := range []bool{true, false} {
+					cells = append(cells, cell{
+						label:   fmt.Sprintf("%v/par=%d/fused=%v/kernels=%v", mode, par, fused, kernels),
+						kernels: kernels,
+						eng: recycledb.NewWithCatalog(
+							recycledb.Config{Mode: mode, Parallelism: par, VectorSize: vsz,
+								DisableFusion: !fused, DisableKernels: !kernels}, cat),
+					})
+				}
+			}
+		}
+	}
+
+	predBefore := exec.PredKernelsCompiled()
+	emitBefore := exec.AggEmitKernelRuns()
+	hashBefore := exec.FastHashEngaged()
+	// Cold then warm pass per cell: the warm pass replays whatever the
+	// first admitted (kernel-produced cache entries included) and must
+	// still match the generic ground truth.
+	for _, c := range cells {
+		for pass := 0; pass < 2; pass++ {
+			for i, q := range queries {
+				r, err := c.eng.ExecuteContext(context.Background(), q.Plan)
+				if err != nil {
+					t.Fatalf("%s pass %d %s: %v", c.label, pass, q.Label, err)
+				}
+				if d := canonDiff(want[i], canonResult(r)); d != "" {
+					t.Fatalf("%s pass %d %s: %s", c.label, pass, q.Label, d)
+				}
+			}
+		}
+	}
+
+	// Sanity: the kernels-on cells really took the specialized paths — a
+	// matrix where every shape fell back to the generic evaluator would be
+	// vacuously green.
+	if got := exec.PredKernelsCompiled() - predBefore; got == 0 {
+		t.Fatal("no predicate kernels compiled; the equivalence matrix ran fully generic")
+	}
+	if got := exec.AggEmitKernelRuns() - emitBefore; got == 0 {
+		t.Fatal("no typed aggregate emissions ran")
+	}
+	if got := exec.FastHashEngaged() - hashBefore; got == 0 {
+		t.Fatal("the int64 hash fast path never engaged")
+	}
+
+	// The kernel toggle must not leak into recycling decisions: each
+	// kernels-on engine must report the same recycler activity as its
+	// kernels-off twin. Query counts are load-bearing and exact; reuse
+	// counts tolerate the small timing dependence speculation carries.
+	for i := 0; i < len(cells); i += 2 {
+		on, off := cells[i], cells[i+1]
+		if !on.kernels || off.kernels {
+			t.Fatalf("cell pairing broke: %s / %s", on.label, off.label)
+		}
+		ss, ps := on.eng.Recycler().Stats(), off.eng.Recycler().Stats()
+		if ss.Queries != ps.Queries {
+			t.Fatalf("%s vs %s: recycler query counts diverged: %d vs %d",
+				on.label, off.label, ss.Queries, ps.Queries)
+		}
+		tol := ss.Reuses / 10
+		if tol < 8 {
+			tol = 8
+		}
+		diff := ss.Reuses - ps.Reuses
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tol {
+			t.Errorf("%s vs %s: reuses diverged beyond tolerance: %d vs %d",
+				on.label, off.label, ss.Reuses, ps.Reuses)
+		}
+	}
+}
+
+// TestExplainUnchangedByKernels pins the planner-visible surface: EXPLAIN
+// output — plan shape, cardinalities, cost estimates — must be
+// byte-identical with kernels on and off, because kernels attach at bind
+// time underneath plan nodes and never alter signatures or costing.
+func TestExplainUnchangedByKernels(t *testing.T) {
+	queries := []string{
+		`SELECT l_quantity, l_extendedprice FROM lineitem WHERE l_quantity < 25 AND l_extendedprice > 1000 AND l_tax < 1`,
+		`SELECT l_returnflag, sum(l_quantity) AS q FROM lineitem WHERE l_shipdate <= date '1998-09-02' GROUP BY l_returnflag`,
+	}
+	mk := func(disable bool) *recycledb.Engine {
+		return recycledb.NewWithCatalog(
+			recycledb.Config{Mode: recycledb.History, DisableKernels: disable},
+			harness.MixedCatalog(0.002, 4000, 1))
+	}
+	on, off := mk(false), mk(true)
+	for _, q := range queries {
+		eon, err := on.Explain(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eoff, err := off.Explain(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eon != eoff {
+			t.Fatalf("EXPLAIN differs under the kernel toggle:\n%s\n--- vs ---\n%s", eon, eoff)
+		}
+	}
+}

@@ -51,3 +51,24 @@ func sliceRange(xs []int) int {
 	}
 	return total
 }
+
+// emitGroupsLeaky emits aggregate groups by ranging the group-directory
+// map, leaking iteration order into the emitted column — the failure mode
+// the typed emission kernels must never reintroduce: a finding.
+func emitGroupsLeaky(dir map[uint64]int, accs []int64) []int64 {
+	var out []int64
+	for _, slot := range dir { // want `range over map dir`
+		out = append(out, accs[slot])
+	}
+	return out
+}
+
+// emitGroupsOrdered walks the first-occurrence order slice — the emission
+// contract of the kernel layer. Not a map walk; never flagged.
+func emitGroupsOrdered(order []int, accs []int64) []int64 {
+	out := make([]int64, 0, len(order))
+	for _, slot := range order {
+		out = append(out, accs[slot])
+	}
+	return out
+}

@@ -113,3 +113,30 @@ func admitOwned(res *catalog.Result) {
 	//recycledb:clone-ok — freshly allocated, never pooled
 	res.Batches = append(res.Batches, b)
 }
+
+// emitOp mirrors the typed-emission aggregators: the pooled output batch
+// the emission kernels grow into is acquired in Open and released in
+// Close. Sanctioned.
+type emitOp struct {
+	p   *vector.Pool
+	out *vector.Batch
+}
+
+func (o *emitOp) Open() {
+	o.out = o.p.GetBatch([]vector.Type{vector.Int64, vector.Float64}, 16)
+}
+
+func (o *emitOp) Close() { o.p.PutBatch(o.out) }
+
+// emitLeakOp acquires emission scratch in Open but its Close forgets the
+// release: a finding.
+type emitLeakOp struct {
+	p   *vector.Pool
+	out *vector.Batch
+}
+
+func (o *emitLeakOp) Open() {
+	o.out = o.p.GetBatch([]vector.Type{vector.Int64}, 16) // want `pooled GetBatch stored in emitLeakOp.out is never released`
+}
+
+func (o *emitLeakOp) Close() {}

@@ -1,0 +1,35 @@
+// Package envflag centralizes the engine's boolean environment knobs so
+// every front end (shell, server, bench) parses them identically. Each
+// knob mirrors a Config escape hatch and exists for bisecting regressions
+// without rebuilding: results are byte-identical with any combination of
+// knobs set. The README's "Environment knobs" table documents them.
+package envflag
+
+import (
+	"os"
+	"strings"
+)
+
+// Knob names. Command-line flags take the environment value as their
+// default, so `-disable-fusion=false` overrides an exported knob.
+const (
+	// DisableFusion reverts pipeline interiors to chained operator Next
+	// calls (Config.DisableFusion).
+	DisableFusion = "RECYCLEDB_DISABLE_FUSION"
+	// DisableOptimizer turns off the recycler-aware plan optimizer
+	// (Config.DisableOptimizer).
+	DisableOptimizer = "RECYCLEDB_DISABLE_OPTIMIZER"
+	// DisableKernels turns off the type-specialized compute kernels
+	// (Config.DisableKernels).
+	DisableKernels = "RECYCLEDB_DISABLE_KERNELS"
+)
+
+// Bool reads a boolean environment override: "1", "true", "yes" — any
+// non-empty value except "0"/"false"/"no" — enables the knob.
+func Bool(name string) bool {
+	switch strings.ToLower(os.Getenv(name)) {
+	case "", "0", "false", "no":
+		return false
+	}
+	return true
+}

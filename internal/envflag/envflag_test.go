@@ -1,0 +1,31 @@
+package envflag
+
+import "testing"
+
+func TestBool(t *testing.T) {
+	cases := []struct {
+		val  string
+		want bool
+	}{
+		{"", false},
+		{"0", false},
+		{"false", false},
+		{"no", false},
+		{"1", true},
+		{"true", true},
+		{"yes", true},
+		{"anything", true},
+	}
+	for _, c := range cases {
+		t.Setenv(DisableKernels, c.val)
+		if got := Bool(DisableKernels); got != c.want {
+			t.Errorf("Bool(%q=%q) = %v, want %v", DisableKernels, c.val, got, c.want)
+		}
+	}
+}
+
+func TestBoolUnset(t *testing.T) {
+	if Bool("RECYCLEDB_ENVFLAG_TEST_UNSET") {
+		t.Error("unset variable should read false")
+	}
+}

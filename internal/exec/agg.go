@@ -71,6 +71,14 @@ type aggState struct {
 	ord       []groupOrd // per group
 	curMorsel int
 	rowBase   int64
+
+	// kernels selects the typed emission loops (kernel_emit.go); fastHash
+	// selects the single-column int64 group hash (hash.go). Both are set
+	// once in open from the Ctx, so every state of one statement — worker
+	// partials and the final merge alike — makes the same choice and the
+	// stored group hashes stay mutually consistent across mergeFrom.
+	kernels  bool
+	fastHash bool
 }
 
 // open draws scratch from the pool. inSchema is the aggregation input
@@ -82,6 +90,11 @@ func (st *aggState) open(ctx *Ctx, inSchema catalog.Schema) {
 	st.curMorsel = 0
 	st.rowBase = 0
 	st.scalar = len(st.groupCols) == 0
+	st.kernels = !ctx.DisableKernels
+	st.fastHash = st.kernels && len(st.groupCols) == 1 && fastHashType(inSchema[st.groupCols[0]].Typ)
+	if st.fastHash {
+		fastHashEngaged.Add(1)
+	}
 	st.accs = make([][]acc, len(st.aggs))
 	keyTypes := make([]vector.Type, len(st.groupCols))
 	st.keyCols = make([]int, len(st.groupCols))
@@ -213,7 +226,11 @@ func (st *aggState) absorb(in *vector.Batch) error {
 		st.rowH = make([]uint64, n)
 	}
 	st.rowH = st.rowH[:n]
-	hashColumns(in, st.groupCols, st.rowH)
+	if st.fastHash {
+		hashI64Fast(in.Vecs[st.groupCols[0]], in.Sel, st.rowH)
+	} else {
+		hashColumns(in, st.groupCols, st.rowH)
+	}
 	sel := in.Sel
 	for i := 0; i < n; i++ {
 		r := i
@@ -319,9 +336,15 @@ func (st *aggState) emitRange(out *vector.Batch, lo, hi int) {
 	for k := 0; k < nk; k++ {
 		out.Vecs[k].AppendRange(st.keyRows.Vecs[k], lo, hi)
 	}
+	if st.kernels {
+		aggEmitKernelRuns.Add(1)
+	}
 	for a, ag := range st.aggs {
 		outV := out.Vecs[nk+a]
 		accs := st.accs[a]
+		if st.kernels && emitAccsRange(outV, accs[lo:hi], ag) {
+			continue
+		}
 		for g := lo; g < hi; g++ {
 			emitAcc(outV, &accs[g], ag)
 		}
@@ -334,9 +357,15 @@ func (st *aggState) emitIndex(out *vector.Batch, idx []int32) {
 	for k := 0; k < nk; k++ {
 		out.Vecs[k].AppendGather(st.keyRows.Vecs[k], idx)
 	}
+	if st.kernels {
+		aggEmitKernelRuns.Add(1)
+	}
 	for a, ag := range st.aggs {
 		outV := out.Vecs[nk+a]
 		accs := st.accs[a]
+		if st.kernels && emitAccsIndex(outV, accs, idx, ag) {
+			continue
+		}
 		for _, g := range idx {
 			emitAcc(outV, &accs[g], ag)
 		}

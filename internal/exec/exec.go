@@ -53,6 +53,13 @@ type Ctx struct {
 	// An escape hatch for bisecting regressions and for benchmarking the
 	// two paths against each other; results are identical either way.
 	DisableFusion bool
+	// DisableKernels turns off the type-specialized compute kernels
+	// (compiled predicate kernels, typed aggregate emission, and the
+	// single-column int64 hash fast path; see kernel.go) and falls back to
+	// the generic evaluation paths everywhere. Another bisection hatch;
+	// survivors, emitted rows, and hashes-observable behavior are
+	// identical either way.
+	DisableKernels bool
 }
 
 // morselRows returns the scan range claimed per worker dispatch.

@@ -22,6 +22,14 @@ type Filter struct {
 	flags  *vector.Vector // pooled bool scratch: predicate output
 	selBuf []int32        // selection build buffer
 	view   vector.Batch   // output: aliases input vectors + selection
+
+	// steps is the compiled all-kernel conjunct chain, or nil when any
+	// conjunct failed to compile (then Next evaluates Pred generically as
+	// one expression, exactly as before). The pull Filter takes the kernel
+	// path only when every conjunct compiled: a mixed chain would need
+	// intermediate selection views for the generic conjuncts, which is the
+	// fused executor's job — this operator keeps one code path per batch.
+	steps []filterStep
 }
 
 // NewFilter builds a filter over child.
@@ -36,6 +44,12 @@ func (f *Filter) Open(ctx *Ctx) error {
 	if f.selBuf == nil {
 		f.selBuf = make([]int32, 0, ctx.vecSize())
 	}
+	f.steps = nil
+	if !ctx.DisableKernels {
+		if steps, nk := compileSteps(expr.Conjuncts(f.Pred), false, true); nk > 0 && allKernelSteps(steps) {
+			f.steps = steps
+		}
+	}
 	return f.Child.Open(ctx)
 }
 
@@ -49,6 +63,47 @@ func (f *Filter) Next(ctx *Ctx) (*vector.Batch, error) {
 		in, err := f.Child.Next(ctx)
 		if err != nil || in == nil {
 			return nil, err
+		}
+		if f.steps != nil {
+			n := in.Len()
+			var sel []int32
+			if in.Sel != nil {
+				// Copy the child's selection before refining: the kernels
+				// compact in place, and the input batch is not ours to
+				// mutate on the pull path.
+				sel = kernelSelBuf(f.selBuf, n)
+				copy(sel, in.Sel[:n])
+				for si := range f.steps {
+					if len(sel) == 0 {
+						break
+					}
+					k := f.steps[si].kern
+					sel = k.refine(k, in.Vecs[k.col], sel)
+				}
+			} else if n > 0 {
+				k0 := f.steps[0].kern
+				sel = k0.dense(k0, in.Vecs[k0.col], n, f.selBuf)
+				for si := 1; si < len(f.steps); si++ {
+					if len(sel) == 0 {
+						break
+					}
+					k := f.steps[si].kern
+					sel = k.refine(k, in.Vecs[k.col], sel)
+				}
+			}
+			if sel != nil {
+				f.selBuf = sel[:0] // retain (possibly regrown) backing storage
+			}
+			if len(sel) == 0 {
+				continue
+			}
+			f.rows += int64(len(sel))
+			if len(sel) == n && in.Sel == nil {
+				return in, nil
+			}
+			f.view.Vecs = in.Vecs
+			f.view.Sel = sel
+			return &f.view, nil
 		}
 		f.flags.Reset()
 		if err := f.Pred.Eval(in, f.flags); err != nil {

@@ -85,10 +85,13 @@ const (
 type fusedStage struct {
 	kind stageKind
 
-	// filter: split conjuncts refining the shared selection.
-	conjuncts []expr.Expr
-	flags     *vector.Vector // pooled bool scratch: predicate output
-	selBuf    []int32        // selection storage when the input is dense
+	// filter: the compiled conjunct chain refining the shared selection.
+	// Each step is either a typed predicate kernel (dispatching through a
+	// function pointer bound at plan time) or a generic cloned conjunct
+	// evaluated through expr.Eval (see kernel.go).
+	steps  []filterStep
+	flags  *vector.Vector // pooled bool scratch: generic predicate output
+	selBuf []int32        // selection storage when the input is dense
 
 	// project: selection-aware evaluation into stage scratch.
 	exprs []expr.Expr
@@ -272,10 +275,33 @@ func (p *fusedPipe) push(ctx *Ctx, b *vector.Batch) error {
 		switch s.kind {
 		case stageFilter:
 			n := b.Len()
-			for _, pred := range s.conjuncts {
+			for si := range s.steps {
 				if n == 0 {
 					break
 				}
+				step := &s.steps[si]
+				if k := step.kern; k != nil {
+					// Compiled kernel: one typed column loop refines the
+					// shared selection directly — no flags vector, no
+					// expression walk. A fused pair (width > 1) judges its
+					// conjuncts in the same pass; the work weight counts
+					// every generic pass it replaces so fused cost
+					// attribution is independent of the kernel toggle.
+					s.work += int64(n) * k.width
+					v := b.Vecs[k.col]
+					if b.Sel != nil {
+						b.Sel = k.refine(k, v, b.Sel)
+					} else {
+						sel := k.dense(k, v, n, s.selBuf)
+						s.selBuf = sel[:0]
+						if len(sel) < n {
+							b.Sel = sel
+						}
+					}
+					n = b.Len()
+					continue
+				}
+				pred := step.pred
 				s.work += int64(n)
 				s.flags.Reset()
 				if err := pred.Eval(b, s.flags); err != nil {
@@ -352,7 +378,11 @@ func (s *fusedStage) pushProbe(ctx *Ctx, b *vector.Batch) (*vector.Batch, error)
 		j.probeH = make([]uint64, n)
 	}
 	j.probeH = j.probeH[:n]
-	hashColumns(b, j.leftCols, j.probeH)
+	if sb.fastHash {
+		hashI64Fast(b.Vecs[j.leftCols[0]], b.Sel, j.probeH)
+	} else {
+		hashColumns(b, j.leftCols, j.probeH)
+	}
 	out := j.out
 	out.Reset()
 	for row := 0; row < n; row++ {
@@ -467,9 +497,7 @@ func (fb *fragBuilder) newFusedPipe(root *plan.Node) (*fusedPipe, error) {
 		switch pn.Op {
 		case plan.Select:
 			s.kind = stageFilter
-			for _, c := range expr.Conjuncts(pn.Pred) {
-				s.conjuncts = append(s.conjuncts, c.Clone())
-			}
+			s.steps, _ = compileSteps(expr.Conjuncts(pn.Pred), true, !fb.ctx.DisableKernels)
 		case plan.Project:
 			s.kind = stageProject
 			s.exprs = make([]expr.Expr, len(pn.Projs))

@@ -67,28 +67,91 @@ func hashColumns(b *vector.Batch, cols []int, hs []uint64) {
 	}
 }
 
+// fastHashType reports whether a key column type qualifies for the
+// single-column fast path below.
+func fastHashType(t vector.Type) bool { return t == vector.Int64 || t == vector.Date }
+
+// hashI64Fast is the single-column int64/date key fast path: the seed-init
+// pass and the canonical class tag both fold away, leaving one fused loop
+// of independent mix64 chains — unrolled 4-wide in the dense case so the
+// multiply chains overlap instead of serializing behind one accumulator.
+//
+// The produced hashes differ from hashColumns' (no classInt XOR), which is
+// why the path is an all-or-nothing choice per hash table: every producer
+// of a directory's hashes — both sides of a join, all worker partials of a
+// parallel aggregation — must qualify and agree, which the callers ensure
+// by gating on the statically known key column types (and mixed
+// int64/float64 keys, where the canonical form is load-bearing, never
+// qualify). Equality verification is untouched, so the >2^53 exactness
+// rule of keyRowsEqual holds on this path too.
+func hashI64Fast(v *vector.Vector, sel []int32, hs []uint64) {
+	xs := v.I64
+	if sel != nil {
+		sel = sel[:len(hs)]
+		for i, r := range sel {
+			hs[i] = mix64(hashSeed, uint64(xs[r]))
+		}
+		return
+	}
+	n := len(hs)
+	xs = xs[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		hs[i] = mix64(hashSeed, uint64(xs[i]))
+		hs[i+1] = mix64(hashSeed, uint64(xs[i+1]))
+		hs[i+2] = mix64(hashSeed, uint64(xs[i+2]))
+		hs[i+3] = mix64(hashSeed, uint64(xs[i+3]))
+	}
+	for ; i < n; i++ {
+		hs[i] = mix64(hashSeed, uint64(xs[i]))
+	}
+}
+
 // hashCol folds one column into the per-row hashes, one tight typed loop
 // per (type, selection) combination.
 func hashCol(v *vector.Vector, sel []int32, hs []uint64) {
 	switch v.Typ {
 	case vector.Int64, vector.Date:
 		if sel != nil {
+			xs := v.I64
 			for i, r := range sel {
-				hs[i] = mix64(hs[i], uint64(v.I64[r])^classInt)
+				hs[i] = mix64(hs[i], uint64(xs[r])^classInt)
 			}
 		} else {
-			for i, x := range v.I64 {
-				hs[i] = mix64(hs[i], uint64(x)^classInt)
+			// Block-unrolled: each row's mix chain is independent, so a
+			// 4-wide body keeps several multiply chains in flight. Hash
+			// values are identical to the rolled loop's.
+			n := len(hs)
+			xs := v.I64[:n]
+			i := 0
+			for ; i+4 <= n; i += 4 {
+				hs[i] = mix64(hs[i], uint64(xs[i])^classInt)
+				hs[i+1] = mix64(hs[i+1], uint64(xs[i+1])^classInt)
+				hs[i+2] = mix64(hs[i+2], uint64(xs[i+2])^classInt)
+				hs[i+3] = mix64(hs[i+3], uint64(xs[i+3])^classInt)
+			}
+			for ; i < n; i++ {
+				hs[i] = mix64(hs[i], uint64(xs[i])^classInt)
 			}
 		}
 	case vector.Float64:
 		if sel != nil {
+			xs := v.F64
 			for i, r := range sel {
-				hs[i] = mix64(hs[i], canonF64(v.F64[r]))
+				hs[i] = mix64(hs[i], canonF64(xs[r]))
 			}
 		} else {
-			for i, x := range v.F64 {
-				hs[i] = mix64(hs[i], canonF64(x))
+			n := len(hs)
+			xs := v.F64[:n]
+			i := 0
+			for ; i+4 <= n; i += 4 {
+				hs[i] = mix64(hs[i], canonF64(xs[i]))
+				hs[i+1] = mix64(hs[i+1], canonF64(xs[i+1]))
+				hs[i+2] = mix64(hs[i+2], canonF64(xs[i+2]))
+				hs[i+3] = mix64(hs[i+3], canonF64(xs[i+3]))
+			}
+			for ; i < n; i++ {
+				hs[i] = mix64(hs[i], canonF64(xs[i]))
 			}
 		}
 	case vector.String:

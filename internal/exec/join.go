@@ -45,6 +45,13 @@ type HashJoin struct {
 	matched   bool          // current probe row matched anything
 
 	leftWidth, rightVecs int
+
+	// fastHash selects the single-column int64 key hash (hash.go). Decided
+	// once in Open for both sides together — build and probe hashes must
+	// come from the same scheme — and only when both key columns are
+	// statically Int64/Date, so the canonical mixed-numeric form is never
+	// needed for equality.
+	fastHash bool
 }
 
 // NewHashJoin builds a hash join; schema is the resolved output schema.
@@ -64,6 +71,12 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 	j.rowActive = false
 	j.leftWidth = len(j.Left.Schema())
 	j.rightVecs = len(j.Right.Schema())
+	j.fastHash = !ctx.DisableKernels && len(j.LeftCols) == 1 && len(j.RightCols) == 1 &&
+		fastHashType(j.Left.Schema()[j.LeftCols[0]].Typ) &&
+		fastHashType(j.Right.Schema()[j.RightCols[0]].Typ)
+	if j.fastHash {
+		fastHashEngaged.Add(1)
+	}
 	j.out = ctx.pool().GetBatch(j.schema.Types(), ctx.vecSize())
 	if j.lIdx == nil {
 		j.lIdx = make([]int32, 0, ctx.vecSize())
@@ -97,7 +110,11 @@ func (j *HashJoin) build(ctx *Ctx) error {
 			hs = make([]uint64, n)
 		}
 		hs = hs[:n]
-		hashColumns(b, j.RightCols, hs)
+		if j.fastHash {
+			hashI64Fast(b.Vecs[j.RightCols[0]], b.Sel, hs)
+		} else {
+			hashColumns(b, j.RightCols, hs)
+		}
 		j.buildHash = append(j.buildHash, hs...)
 	}
 	rows := len(j.buildHash)
@@ -265,7 +282,11 @@ func (j *HashJoin) Next(ctx *Ctx) (*vector.Batch, error) {
 				j.probeH = make([]uint64, n)
 			}
 			j.probeH = j.probeH[:n]
-			hashColumns(b, j.LeftCols, j.probeH)
+			if j.fastHash {
+				hashI64Fast(b.Vecs[j.LeftCols[0]], b.Sel, j.probeH)
+			} else {
+				hashColumns(b, j.LeftCols, j.probeH)
+			}
 		}
 		n := j.cur.Len()
 		for j.curRow < n {

@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"recycledb/internal/plan"
+	"recycledb/internal/vector"
+)
+
+// Typed aggregate-emission kernels.
+//
+// The generic emission path (emitAcc) finalizes one accumulator at a time:
+// per group it re-enters a (Func, Typ) switch and appends through the
+// Vector's per-value Append methods, each with its own slice-growth check.
+// The kernels below hoist that dispatch out of the loop: emitRange and
+// emitIndex classify each aggregate once, grow the output column once, and
+// then run a straight typed store loop over the accumulator array — the
+// same loop shape as the column-gather kernels in internal/vector. Group
+// order is whatever the caller hands in (ascending ids for emitRange, the
+// caller's explicit index order for emitIndex), so first-occurrence
+// emission order is untouched.
+//
+// The produced values are bit-identical to emitAcc's: the per-class loops
+// below are emitAcc's switch arms, verbatim, applied element-wise.
+
+// emitClass is one hoisted (Func, Typ) dispatch outcome.
+type emitClass uint8
+
+const (
+	emitOther emitClass = iota // not specialized: fall back to emitAcc
+	emitCnt                    // int64 column <- acc.cnt
+	emitI64                    // int64 column <- acc.i
+	emitF64                    // float64 column <- acc.f
+	emitAvg                    // float64 column <- acc.f / acc.cnt (0 when empty)
+	emitStr                    // string column <- acc.s
+)
+
+// emitClassOf classifies one aggregate's finalization. The mapping mirrors
+// emitAcc exactly; shapes emitAcc would silently skip (min/max over bool —
+// unreachable through the planner) classify as emitOther and keep the
+// generic row loop.
+func emitClassOf(ag AggExpr) emitClass {
+	switch ag.Func {
+	case plan.Count:
+		return emitCnt
+	case plan.Sum:
+		if ag.Typ == vector.Float64 {
+			return emitF64
+		}
+		return emitI64
+	case plan.Avg:
+		return emitAvg
+	case plan.Min, plan.Max:
+		switch ag.Typ {
+		case vector.Int64, vector.Date:
+			return emitI64
+		case vector.Float64:
+			return emitF64
+		case vector.String:
+			return emitStr
+		}
+	}
+	return emitOther
+}
+
+// growTailI64 extends v by n rows and returns the writable tail.
+func growTailI64(v *vector.Vector, n int) []int64 {
+	v.I64 = vector.GrowI64(v.I64, n)
+	return v.I64[len(v.I64)-n:]
+}
+
+// growTailF64 extends v by n rows and returns the writable tail.
+func growTailF64(v *vector.Vector, n int) []float64 {
+	v.F64 = vector.GrowF64(v.F64, n)
+	return v.F64[len(v.F64)-n:]
+}
+
+// growTailStr extends v by n rows and returns the writable tail.
+func growTailStr(v *vector.Vector, n int) []string {
+	v.Str = vector.GrowStr(v.Str, n)
+	return v.Str[len(v.Str)-n:]
+}
+
+// emitAccsRange appends the finalization of every accumulator in accs to
+// out as one typed column loop. It reports false (appending nothing) when
+// the aggregate's shape is not specialized.
+func emitAccsRange(out *vector.Vector, accs []acc, ag AggExpr) bool {
+	n := len(accs)
+	switch emitClassOf(ag) {
+	case emitCnt:
+		dst := growTailI64(out, n)
+		for i := range accs {
+			dst[i] = accs[i].cnt
+		}
+	case emitI64:
+		dst := growTailI64(out, n)
+		for i := range accs {
+			dst[i] = accs[i].i
+		}
+	case emitF64:
+		dst := growTailF64(out, n)
+		for i := range accs {
+			dst[i] = accs[i].f
+		}
+	case emitAvg:
+		dst := growTailF64(out, n)
+		for i := range accs {
+			a := &accs[i]
+			if a.cnt == 0 {
+				dst[i] = 0
+			} else {
+				dst[i] = a.f / float64(a.cnt)
+			}
+		}
+	case emitStr:
+		dst := growTailStr(out, n)
+		for i := range accs {
+			dst[i] = accs[i].s
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// emitAccsIndex appends the finalization of accs[idx[0]], accs[idx[1]], ...
+// to out in idx order (the gather twin of emitAccsRange). It reports false
+// (appending nothing) when the aggregate's shape is not specialized.
+func emitAccsIndex(out *vector.Vector, accs []acc, idx []int32, ag AggExpr) bool {
+	n := len(idx)
+	switch emitClassOf(ag) {
+	case emitCnt:
+		dst := growTailI64(out, n)
+		for i, g := range idx {
+			dst[i] = accs[g].cnt
+		}
+	case emitI64:
+		dst := growTailI64(out, n)
+		for i, g := range idx {
+			dst[i] = accs[g].i
+		}
+	case emitF64:
+		dst := growTailF64(out, n)
+		for i, g := range idx {
+			dst[i] = accs[g].f
+		}
+	case emitAvg:
+		dst := growTailF64(out, n)
+		for i, g := range idx {
+			a := &accs[g]
+			if a.cnt == 0 {
+				dst[i] = 0
+			} else {
+				dst[i] = a.f / float64(a.cnt)
+			}
+		}
+	case emitStr:
+		dst := growTailStr(out, n)
+		for i, g := range idx {
+			dst[i] = accs[g].s
+		}
+	default:
+		return false
+	}
+	return true
+}

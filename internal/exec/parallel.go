@@ -239,7 +239,20 @@ func (fb *fragBuilder) newSharedBuild(pn *plan.Node) (*sharedBuild, error) {
 			return nil, errJoinKey(pn, i)
 		}
 	}
-	return &sharedBuild{child: child, rightCols: rcols}, nil
+	sb := &sharedBuild{child: child, rightCols: rcols}
+	// The single-column int64 hash fast path is a per-join decision (build
+	// and probe hashes must use one scheme), made here where both sides'
+	// key types are known. Probes read it from the shared build.
+	if !fb.ctx.DisableKernels && len(pn.LeftKeys) == 1 && len(rcols) == 1 {
+		lc := pn.Children[0].Schema().ColIndex(pn.LeftKeys[0])
+		if lc >= 0 &&
+			fastHashType(pn.Children[0].Schema()[lc].Typ) &&
+			fastHashType(pn.Children[1].Schema()[rcols[0]].Typ) {
+			sb.fastHash = true
+			fastHashEngaged.Add(1)
+		}
+	}
+	return sb, nil
 }
 
 func errJoinKey(pn *plan.Node, i int) error {
@@ -325,6 +338,7 @@ func (f *foldOp) RowsOut() int64 {
 type sharedBuild struct {
 	child     Operator
 	rightCols []int
+	fastHash  bool // single-column int64 key hashing (set at construction)
 
 	once    sync.Once
 	err     error
@@ -369,7 +383,11 @@ func (b *sharedBuild) run(ctx *Ctx, parallelism int) error {
 			hs = make([]uint64, n)
 		}
 		hs = hs[:n]
-		hashColumns(batch, b.rightCols, hs)
+		if b.fastHash {
+			hashI64Fast(batch.Vecs[b.rightCols[0]], batch.Sel, hs)
+		} else {
+			hashColumns(batch, b.rightCols, hs)
+		}
 		b.hash = append(b.hash, hs...)
 	}
 	rows := len(b.hash)
@@ -561,7 +579,11 @@ func (j *ProbeJoin) Next(ctx *Ctx) (*vector.Batch, error) {
 				j.probeH = make([]uint64, n)
 			}
 			j.probeH = j.probeH[:n]
-			hashColumns(b, j.LeftCols, j.probeH)
+			if j.sb.fastHash {
+				hashI64Fast(b.Vecs[j.LeftCols[0]], b.Sel, j.probeH)
+			} else {
+				hashColumns(b, j.LeftCols, j.probeH)
+			}
 		}
 		n := j.cur.Len()
 		for j.curRow < n {

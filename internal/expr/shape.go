@@ -1,0 +1,62 @@
+package expr
+
+import "recycledb/internal/vector"
+
+// KernelShape describes a predicate of the compilable form
+// `col <op> const` after Bind: the resolved column slot and physical type,
+// the comparison operator normalized so the column is on the left, the
+// promoted comparison type the generic evaluator would use, and the literal.
+// The executor's kernel registry keys on (type, op) to pick a specialized
+// column-loop implementation; anything Shape rejects falls back to Eval.
+type KernelShape struct {
+	ColIdx int
+	ColTyp vector.Type // physical column type (Int64, Float64, String, Date)
+	CmpTyp vector.Type // promoted comparison type (what generic Eval coerces to)
+	Op     CmpOp       // normalized: column on the left
+	Const  vector.Datum
+}
+
+// Shape extracts a kernel shape from a bound conjunct. It recognizes
+// Col-op-Lit and the mirrored Lit-op-Col (normalizing the operator), and
+// reports ok=false for every other form — including unbound expressions,
+// which must keep using the generic path.
+func Shape(e Expr) (KernelShape, bool) {
+	c, isCmp := e.(*Cmp)
+	if !isCmp {
+		return KernelShape{}, false
+	}
+	op := c.Op
+	var col *Col
+	var lit *Lit
+	switch l := c.L.(type) {
+	case *Col:
+		col = l
+		lit, _ = c.R.(*Lit)
+	case *Lit:
+		lit = l
+		if r, ok := c.R.(*Col); ok {
+			col = r
+			op = mirrorOp(op)
+		}
+	}
+	if col == nil || lit == nil || col.typ == vector.Unknown || c.lt == vector.Unknown {
+		return KernelShape{}, false
+	}
+	return KernelShape{ColIdx: col.idx, ColTyp: col.typ, CmpTyp: c.lt, Op: op, Const: lit.D}, true
+}
+
+// mirrorOp flips a comparison across its operands: `lit op col` is
+// `col mirrorOp(op) lit`. EQ and NE are symmetric.
+func mirrorOp(op CmpOp) CmpOp {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	}
+	return op
+}

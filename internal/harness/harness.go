@@ -67,11 +67,18 @@ func NewEngineParallel(cat *catalog.Catalog, mode recycledb.Mode, cacheBytes int
 // NewEngineFusion is NewEngineParallel with explicit control over loop
 // fusion, for fused-vs-unfused comparisons.
 func NewEngineFusion(cat *catalog.Catalog, mode recycledb.Mode, cacheBytes int64, parallelism int, disableFusion bool) *recycledb.Engine {
+	return NewEngineKernels(cat, mode, cacheBytes, parallelism, disableFusion, false)
+}
+
+// NewEngineKernels is NewEngineFusion with explicit control over the
+// type-specialized compute kernels, for kernels-on-vs-off comparisons.
+func NewEngineKernels(cat *catalog.Catalog, mode recycledb.Mode, cacheBytes int64, parallelism int, disableFusion, disableKernels bool) *recycledb.Engine {
 	return recycledb.NewWithCatalog(recycledb.Config{
-		Mode:          mode,
-		CacheBytes:    cacheBytes,
-		Parallelism:   parallelism,
-		DisableFusion: disableFusion,
+		Mode:           mode,
+		CacheBytes:     cacheBytes,
+		Parallelism:    parallelism,
+		DisableFusion:  disableFusion,
+		DisableKernels: disableKernels,
 	}, cat)
 }
 

@@ -14,10 +14,20 @@ package vector
 // kernel: a chain of predicates refines one shared selection vector with no
 // intermediate selection buffers.
 func RefineSel(sel []int32, flags []bool) []int32 {
+	if len(sel) == 0 {
+		return sel
+	}
+	// Hoist the bounds relationship so the loop body carries no slice
+	// checks: after this, flags[i] and sel[i] are both provably in range.
+	flags = flags[:len(sel)]
 	k := 0
-	for i, ok := range flags {
-		if ok {
-			sel[k] = sel[i]
+	for i, s := range sel {
+		// Branch-free compaction: unconditional store, conditional
+		// advance. The write index never passes the read index, so the
+		// in-place store is safe, and the loop body is a straight-line
+		// cmov candidate instead of a mispredicted branch per row.
+		sel[k] = s
+		if flags[i] {
 			k++
 		}
 	}
@@ -52,31 +62,41 @@ func (v *Vector) AppendRange(src *Vector, lo, hi int) {
 	}
 }
 
-// AppendGather appends the physical src rows listed in sel to v.
+// AppendGather appends the physical src rows listed in sel to v. The grow is
+// done once up front so the gather loop is a pure indexed store — no append
+// bookkeeping or capacity branch per element.
 func (v *Vector) AppendGather(src *Vector, sel []int32) {
+	n := len(sel)
+	if n == 0 {
+		return
+	}
 	switch v.Typ {
 	case Int64, Date:
-		out := v.I64
-		for _, r := range sel {
-			out = append(out, src.I64[r])
+		out := GrowI64(v.I64, n)
+		dst, in := out[len(out)-n:], src.I64
+		for i, r := range sel {
+			dst[i] = in[r]
 		}
 		v.I64 = out
 	case Float64:
-		out := v.F64
-		for _, r := range sel {
-			out = append(out, src.F64[r])
+		out := GrowF64(v.F64, n)
+		dst, in := out[len(out)-n:], src.F64
+		for i, r := range sel {
+			dst[i] = in[r]
 		}
 		v.F64 = out
 	case String:
-		out := v.Str
-		for _, r := range sel {
-			out = append(out, src.Str[r])
+		out := GrowStr(v.Str, n)
+		dst, in := out[len(out)-n:], src.Str
+		for i, r := range sel {
+			dst[i] = in[r]
 		}
 		v.Str = out
 	case Bool:
-		out := v.B
-		for _, r := range sel {
-			out = append(out, src.B[r])
+		out := GrowBool(v.B, n)
+		dst, in := out[len(out)-n:], src.B
+		for i, r := range sel {
+			dst[i] = in[r]
 		}
 		v.B = out
 	}
@@ -85,29 +105,37 @@ func (v *Vector) AppendGather(src *Vector, sel []int32) {
 // AppendIndex appends the physical src rows listed in idx to v (the []int
 // twin of AppendGather, used with sort order arrays).
 func (v *Vector) AppendIndex(src *Vector, idx []int) {
+	n := len(idx)
+	if n == 0 {
+		return
+	}
 	switch v.Typ {
 	case Int64, Date:
-		out := v.I64
-		for _, r := range idx {
-			out = append(out, src.I64[r])
+		out := GrowI64(v.I64, n)
+		dst, in := out[len(out)-n:], src.I64
+		for i, r := range idx {
+			dst[i] = in[r]
 		}
 		v.I64 = out
 	case Float64:
-		out := v.F64
-		for _, r := range idx {
-			out = append(out, src.F64[r])
+		out := GrowF64(v.F64, n)
+		dst, in := out[len(out)-n:], src.F64
+		for i, r := range idx {
+			dst[i] = in[r]
 		}
 		v.F64 = out
 	case String:
-		out := v.Str
-		for _, r := range idx {
-			out = append(out, src.Str[r])
+		out := GrowStr(v.Str, n)
+		dst, in := out[len(out)-n:], src.Str
+		for i, r := range idx {
+			dst[i] = in[r]
 		}
 		v.Str = out
 	case Bool:
-		out := v.B
-		for _, r := range idx {
-			out = append(out, src.B[r])
+		out := GrowBool(v.B, n)
+		dst, in := out[len(out)-n:], src.B
+		for i, r := range idx {
+			dst[i] = in[r]
 		}
 		v.B = out
 	}

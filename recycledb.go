@@ -144,6 +144,15 @@ type Config struct {
 	// hatch for bisecting regressions and for benchmarking the two paths;
 	// results are identical either way. See README "Loop fusion".
 	DisableFusion bool
+	// DisableKernels turns off the type-specialized compute kernels
+	// (compiled predicate kernels, fused aggregate emission, the
+	// single-int64-key hash fast path), reverting the executor to its
+	// generic interpreted loops. An escape hatch for bisecting
+	// regressions and for benchmarking the two paths; results are
+	// byte-identical either way, and the recycler never sees the
+	// difference (plan signatures and cost attribution are unchanged).
+	// See README "Kernels".
+	DisableKernels bool
 	// DisableOptimizer turns off the recycler-aware plan optimizer
 	// (internal/opt): plans execute exactly as written/compiled. An escape
 	// hatch for bisecting regressions; results are identical either way.
@@ -179,6 +188,7 @@ type Engine struct {
 	// across them.
 	par    int
 	noFuse bool
+	noKern bool
 	// noOpt gates the plan optimizer; optBias is its reuse-steering knob
 	// (fixed at construction — it participates in the plan-cache
 	// fingerprint). optFP precomputes the two fingerprint strings
@@ -245,6 +255,7 @@ func NewWithCatalog(cfg Config, cat *catalog.Catalog) *Engine {
 		vsz:       cfg.VectorSize,
 		par:       par,
 		noFuse:    cfg.DisableFusion,
+		noKern:    cfg.DisableKernels,
 		optBias:   cfg.OptimizerReuseBias,
 		optShapes: newOptShapeCache(DefaultOptCacheSize),
 		pool:      &vector.Pool{},
@@ -276,11 +287,12 @@ func (e *Engine) extendEntry(entry *core.Entry, table string, lo, hi int64) ([]*
 		return nil, 0, 0, false
 	}
 	ectx := &exec.Ctx{
-		Cat:           e.cat,
-		VectorSize:    e.vsz,
-		Pool:          e.pool,
-		ScanFrom:      map[string]int{table: int(lo)},
-		DisableFusion: e.noFuse,
+		Cat:            e.cat,
+		VectorSize:     e.vsz,
+		Pool:           e.pool,
+		ScanFrom:       map[string]int{table: int(lo)},
+		DisableFusion:  e.noFuse,
+		DisableKernels: e.noKern,
 	}
 	op, err := exec.Build(ectx, entry.Plan, nil, nil)
 	if err != nil {
@@ -609,7 +621,7 @@ func (e *Engine) stream(ctx context.Context, p *plan.Node, shared bool) (rows *R
 		return nil, fmt.Errorf("recycledb: rewrite: %w", err)
 	}
 	ectx := &exec.Ctx{Cat: e.cat, VectorSize: e.vsz, Context: ctx, Pool: e.pool, Snaps: snaps,
-		Parallelism: par, DisableFusion: e.noFuse}
+		Parallelism: par, DisableFusion: e.noFuse, DisableKernels: e.noKern}
 	opmap := make(map[*plan.Node]exec.Operator)
 	op, err := exec.Build(ectx, rres.Exec, rres.Decor, opmap)
 	if err != nil {
